@@ -1,0 +1,75 @@
+// Ablation (§4.2): UDC input batching. REX amortizes the per-invocation
+// overhead of dynamically dispatched user code (Java reflection in the
+// original) across batches of input tuples. We sweep the batch size with a
+// nonzero emulated invocation overhead and measure an applyFunction-heavy
+// pipeline.
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+Result<double> RunWithBatch(size_t batch_size, int invoke_overhead) {
+  EngineConfig cfg = BenchEngineConfig(4);
+  cfg.udf_batch_size = batch_size;
+  cfg.udf_invoke_overhead = invoke_overhead;
+  cfg.cache_deterministic_udfs = false;  // isolate the batching effect
+  Cluster cluster(cfg);
+
+  LineitemGenOptions opt;
+  opt.num_rows = static_cast<int64_t>(20000 * BenchScale());
+  REX_RETURN_NOT_OK(cluster.CreateTable(
+      "lineitem",
+      Schema{{"orderkey", ValueType::kInt},
+             {"linenumber", ValueType::kInt},
+             {"quantity", ValueType::kDouble},
+             {"extendedprice", ValueType::kDouble},
+             {"tax", ValueType::kDouble}},
+      0, GenerateLineitem(opt)));
+
+  TableUdf udf;
+  udf.name = "taxed_price";
+  udf.deterministic = false;
+  udf.fn = [](const Delta& d) -> Result<DeltaVec> {
+    REX_ASSIGN_OR_RETURN(double price, d.tuple.field(3).ToDouble());
+    REX_ASSIGN_OR_RETURN(double tax, d.tuple.field(4).ToDouble());
+    return DeltaVec{
+        d.WithTuple(Tuple{d.tuple.field(0), Value(price * (1 + tax))})};
+  };
+  REX_RETURN_NOT_OK(cluster.udfs()->RegisterTable(udf));
+
+  PlanSpec plan;
+  ScanOp::Params scan;
+  scan.table = "lineitem";
+  int top = plan.AddScan(scan);
+  top = plan.AddApplyFn(top, "taxed_price");
+  GroupByOp::Params agg;
+  agg.aggs = {GroupByOp::AggSpec{AggKind::kSum, 1, "total"}};
+  agg.mode = GroupByOp::Mode::kStratum;
+  top = plan.AddGroupBy(top, agg);
+  plan.AddSink(top);
+  REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan));
+  return run.total_seconds;
+}
+
+void BM_BatchSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    for (size_t batch : {size_t{1}, size_t{8}, size_t{64}, size_t{512}}) {
+      auto t = RunWithBatch(batch, /*invoke_overhead=*/40);
+      Row("ablA1", "udc-batching", static_cast<double>(batch),
+          t.ok() ? *t : -1, "s");
+    }
+  }
+}
+BENCHMARK(BM_BatchSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Ablation A1",
+                        "UDC input batching (§4.2): batch size sweep with "
+                        "reflection-style invocation overhead");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation (§5.2): pre-aggregation pushdown. (a) the combiner before the
+// exchange in the flat aggregation query; (b) the local partial sum in the
+// PageRank recursive loop.
+#include "rql/compiler.h"
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+Result<double> RunFlatAgg(bool enable_preagg) {
+  Cluster cluster(BenchEngineConfig(4));
+  LineitemGenOptions opt;
+  opt.num_rows = static_cast<int64_t>(60000 * BenchScale());
+  REX_RETURN_NOT_OK(cluster.CreateTable(
+      "lineitem",
+      Schema{{"orderkey", ValueType::kInt},
+             {"linenumber", ValueType::kInt},
+             {"quantity", ValueType::kDouble},
+             {"extendedprice", ValueType::kDouble},
+             {"tax", ValueType::kDouble}},
+      0, GenerateLineitem(opt)));
+  rql::CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  ctx.optimizer_options.enable_preagg = enable_preagg;
+  REX_ASSIGN_OR_RETURN(
+      rql::CompiledQuery compiled,
+      rql::CompileRql(
+          "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1",
+          ctx));
+  REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(compiled.spec));
+  return run.total_seconds;
+}
+
+void BM_FlatCombiner(benchmark::State& state) {
+  for (auto _ : state) {
+    auto with = RunFlatAgg(true);
+    auto without = RunFlatAgg(false);
+    Row("ablA2", "flat-agg/with-combiner", 0, with.ok() ? *with : -1, "s");
+    Row("ablA2", "flat-agg/no-combiner", 0,
+        without.ok() ? *without : -1, "s");
+  }
+}
+BENCHMARK(BM_FlatCombiner)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+Result<std::pair<double, int64_t>> RunPr(bool preagg) {
+  GraphData graph = GenerateDbpediaLike(DbpediaScale());
+  Cluster cluster(BenchEngineConfig(4));
+  REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
+  PageRankConfig cfg;
+  cfg.threshold = 0.01;
+  cfg.relative = true;
+  cfg.preaggregate = preagg;
+  REX_RETURN_NOT_OK(RegisterPageRankUdfs(cluster.udfs(), cfg));
+  REX_ASSIGN_OR_RETURN(PlanSpec plan, BuildPageRankDeltaPlan(cfg));
+  REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan));
+  return std::make_pair(run.total_seconds, run.total_bytes_sent);
+}
+
+void BM_RecursivePreagg(benchmark::State& state) {
+  for (auto _ : state) {
+    auto with = RunPr(true);
+    auto without = RunPr(false);
+    if (with.ok() && without.ok()) {
+      Row("ablA2", "pagerank/with-preagg", 0, with->first, "s");
+      Row("ablA2", "pagerank/no-preagg", 0, without->first, "s");
+      Row("ablA2", "pagerank/with-preagg-bytes", 0,
+          static_cast<double>(with->second), "B");
+      Row("ablA2", "pagerank/no-preagg-bytes", 0,
+          static_cast<double>(without->second), "B");
+    }
+  }
+}
+BENCHMARK(BM_RecursivePreagg)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Ablation A2", "Pre-aggregation pushdown (§5.2)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary reproduces one table/figure from §6 of the paper. It
+// prints machine-readable series rows
+//
+//   FIGURE <id> | series=<name> x=<x> y=<value> unit=<unit>
+//
+// followed by the google-benchmark report for the headline configurations.
+// Workloads are scaled (synthetic stand-ins for DBPedia/Twitter/TPC-H, see
+// DESIGN.md) so each binary completes in seconds; set REX_BENCH_SCALE to
+// scale all inputs up or down (default 1.0 = the committed bench scale,
+// roughly 1/10 of the paper's DBPedia for graph workloads).
+#ifndef REX_BENCH_BENCH_COMMON_H_
+#define REX_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rexbench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("REX_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Graph scale factors relative to the paper's datasets. At scale 1.0 the
+/// "DBPedia-like" graph is ~3.3K vertices / ~48K edges (1% of the paper's)
+/// and the "Twitter-like" graph is ~4.1K vertices / ~140K edges (0.01%).
+inline double DbpediaScale() { return 0.1 * BenchScale(); }
+inline double TwitterScale() { return 0.1 * BenchScale(); }
+
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("==== %s: %s ====\n", figure, title);
+}
+
+inline void Row(const char* figure, const std::string& series, double x,
+                double y, const char* unit) {
+  std::printf("FIGURE %s | series=%-14s x=%-10.4g y=%-12.6g unit=%s\n",
+              figure, series.c_str(), x, y, unit);
+}
+
+inline void Note(const std::string& text) {
+  std::printf("NOTE %s\n", text.c_str());
+}
+
+}  // namespace rexbench
+
+#endif  // REX_BENCH_BENCH_COMMON_H_

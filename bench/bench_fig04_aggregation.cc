@@ -1,0 +1,194 @@
+// Figure 4: the standard aggregation query over TPC-H-like lineitem —
+//   SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1
+// in four configurations: REX built-in (RQL through the optimizer),
+// REX UDF (UDAs + UDF predicate), REX wrap (the Hadoop classes inside
+// REX), and Hadoop (the mini-MapReduce engine).
+#include "rql/compiler.h"
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+
+std::vector<Tuple>& Lineitem() {
+  static std::vector<Tuple> rows = [] {
+    LineitemGenOptions opt;
+    opt.num_rows = static_cast<int64_t>(600000 * BenchScale() / 10);
+    return GenerateLineitem(opt);
+  }();
+  return rows;
+}
+
+Schema LineitemSchema() {
+  return Schema{{"orderkey", ValueType::kInt},
+                {"linenumber", ValueType::kInt},
+                {"quantity", ValueType::kDouble},
+                {"extendedprice", ValueType::kDouble},
+                {"tax", ValueType::kDouble}};
+}
+
+struct SumCountState : UdaState {
+  double sum = 0;
+  int64_t count = 0;
+};
+
+Status RegisterFig4Udfs(UdfRegistry* udfs) {
+  ScalarUdf gt_one;
+  gt_one.name = "gt_one";
+  gt_one.in_types = {ValueType::kInt};
+  gt_one.out_type = ValueType::kBool;
+  gt_one.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    REX_ASSIGN_OR_RETURN(int64_t x, args[0].ToInt());
+    return Value(x > 1);
+  };
+  REX_RETURN_NOT_OK(udfs->RegisterScalar(gt_one));
+
+  Uda agg;
+  agg.name = "SumCountTax";
+  agg.in_schema = Schema{{"tax", ValueType::kDouble}};
+  agg.out_schema =
+      Schema{{"sum_tax", ValueType::kDouble}, {"n", ValueType::kInt}};
+  agg.composable = true;
+  agg.init = [] { return std::make_unique<SumCountState>(); };
+  agg.agg_state = [](UdaState* state, const Delta& d) -> Result<DeltaVec> {
+    auto* s = static_cast<SumCountState*>(state);
+    REX_ASSIGN_OR_RETURN(double tax, d.tuple.field(0).ToDouble());
+    if (d.tuple.size() >= 2) {  // merging a partial
+      REX_ASSIGN_OR_RETURN(int64_t n, d.tuple.field(1).ToInt());
+      s->sum += tax;
+      s->count += n;
+    } else {
+      s->sum += tax;
+      s->count += 1;
+    }
+    return DeltaVec{};
+  };
+  agg.agg_result = [](UdaState* state) -> Result<DeltaVec> {
+    auto* s = static_cast<SumCountState*>(state);
+    DeltaVec out{Delta::Insert(Tuple{Value(s->sum), Value(s->count)})};
+    s->sum = 0;
+    s->count = 0;
+    return out;
+  };
+  return udfs->RegisterUda(agg);
+}
+
+double RunRexRql(const std::string& query) {
+  Cluster cluster(BenchEngineConfig(kWorkers));
+  if (!cluster.CreateTable("lineitem", LineitemSchema(), 0, Lineitem())
+           .ok()) {
+    return -1;
+  }
+  if (!RegisterFig4Udfs(cluster.udfs()).ok()) return -1;
+  rql::CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  ctx.calibration = ClusterCalibration::Uniform(kWorkers);
+  auto compiled = rql::CompileRql(query, ctx);
+  if (!compiled.ok()) {
+    Note("compile failed: " + compiled.status().ToString());
+    return -1;
+  }
+  auto run = cluster.Run(compiled->spec);
+  return run.ok() ? run->total_seconds : -1;
+}
+
+void BM_RexBuiltin(benchmark::State& state) {
+  for (auto _ : state) {
+    double t = RunRexRql(
+        "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1");
+    Row("fig4", "REX-builtin", 0, t, "s");
+  }
+}
+BENCHMARK(BM_RexBuiltin)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RexUdf(benchmark::State& state) {
+  for (auto _ : state) {
+    double t = RunRexRql(
+        "SELECT SumCountTax(tax) FROM lineitem WHERE gt_one(linenumber)");
+    Row("fig4", "REX-UDF", 0, t, "s");
+  }
+}
+BENCHMARK(BM_RexUdf)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RexWrap(benchmark::State& state) {
+  for (auto _ : state) {
+    Cluster cluster(BenchEngineConfig(kWorkers));
+    // The Hadoop classes (same functors the Hadoop series runs), wrapped.
+    MrJob job;
+    job.map = [](const KeyValue& rec,
+                 std::vector<KeyValue>* out) -> Status {
+      const auto& cols = rec.value.AsList();
+      REX_ASSIGN_OR_RETURN(int64_t linenumber, cols[0].ToInt());
+      if (linenumber > 1) {
+        out->push_back(KeyValue{Value(int64_t{0}),
+                                Value::List({cols[1], Value(int64_t{1})})});
+      }
+      return Status::OK();
+    };
+    auto sum_pair = [](const Value& key, const std::vector<Value>& values,
+                       std::vector<KeyValue>* out) -> Status {
+      double tax = 0;
+      int64_t count = 0;
+      for (const Value& v : values) {
+        const auto& pair = v.AsList();
+        REX_ASSIGN_OR_RETURN(double t, pair[0].ToDouble());
+        REX_ASSIGN_OR_RETURN(int64_t c, pair[1].ToInt());
+        tax += t;
+        count += c;
+      }
+      out->push_back(
+          KeyValue{key, Value::List({Value(tax), Value(count)})});
+      return Status::OK();
+    };
+    if (!RegisterHadoopClass(cluster.udfs(), "TpchAgg", job.map, sum_pair,
+                             sum_pair)
+             .ok()) {
+      return;
+    }
+    std::vector<Tuple> records;
+    records.reserve(Lineitem().size());
+    for (const Tuple& row : Lineitem()) {
+      records.push_back(Tuple{
+          row.field(0), Value::List({row.field(1), row.field(4)})});
+    }
+    if (!cluster
+             .CreateTable("wrap_lineitem",
+                          Schema{{"k", ValueType::kInt},
+                                 {"v", ValueType::kList}},
+                          0, std::move(records))
+             .ok()) {
+      return;
+    }
+    WrapJobPlanOptions options;
+    options.hadoop_class = "TpchAgg";
+    options.input_table = "wrap_lineitem";
+    options.use_combiner = true;
+    auto plan = BuildWrapJobPlan(options);
+    if (!plan.ok()) return;
+    auto run = cluster.Run(*plan);
+    Row("fig4", "REX-wrap", 0, run.ok() ? run->total_seconds : -1, "s");
+  }
+}
+BENCHMARK(BM_RexWrap)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Hadoop(benchmark::State& state) {
+  for (auto _ : state) {
+    auto run = RunMrAggregation(Lineitem(), BenchMrConfig(kWorkers));
+    Row("fig4", "Hadoop", 0, run.ok() ? run->total_seconds : -1, "s");
+  }
+}
+BENCHMARK(BM_Hadoop)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Figure 4", "Standard aggregation (TPC-H-like)");
+  rexbench::Note("lineitem rows: " +
+                 std::to_string(rexbench::Lineitem().size()));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5: K-means scalability — input size swept over two orders of
+// magnitude (the paper sweeps 0.38M - 382M tuples via the enlargement
+// trick); series: Hadoop LB and REX Δ. With no immutable relation in the
+// shuffle, HaLoop ≡ Hadoop here (§6.2), so it is omitted exactly as in the
+// paper. REX Δ's advantage: only switching points ever re-process.
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kClusters = 8;
+
+std::vector<Tuple> MakePoints(int64_t base_points, int enlargement) {
+  GeoGenOptions geo;
+  geo.num_base_points = base_points;
+  geo.num_clusters = kClusters;
+  geo.enlargement = enlargement;
+  geo.seed = 2026;
+  return GenerateGeoPoints(geo);
+}
+
+void RunPoint(double size_label, const std::vector<Tuple>& points) {
+  {  // Hadoop LB
+    MrKMeansOptions options;
+    options.k = kClusters;
+    options.config = BenchMrConfig(kWorkers);
+    auto run = RunMrKMeans(points, options);
+    Row("fig5", "HadoopLB", size_label,
+        run.ok() ? run->total_seconds : -1, "s");
+  }
+  {  // REX Δ
+    Cluster cluster(BenchEngineConfig(kWorkers));
+    if (!LoadPointsTable(&cluster, points).ok()) return;
+    KMeansConfig cfg;
+    cfg.k = kClusters;
+    if (!RegisterKMeansUdfs(cluster.udfs(), cfg).ok()) return;
+    auto plan = BuildKMeansDeltaPlan(cfg);
+    if (!plan.ok()) return;
+    auto run = cluster.Run(*plan);
+    Row("fig5", "REXdelta", size_label,
+        run.ok() ? run->total_seconds : -1, "s");
+  }
+}
+
+void BM_KMeansSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto base =
+        static_cast<int64_t>(400 * BenchScale());
+    // Paper-style sweep: base points, then 10x and 100x enlargements
+    // (jittered copies around each base coordinate).
+    RunPoint(static_cast<double>(base), MakePoints(base, 0));
+    RunPoint(static_cast<double>(base * 10), MakePoints(base, 9));
+    RunPoint(static_cast<double>(base * 100), MakePoints(base, 99));
+  }
+}
+BENCHMARK(BM_KMeansSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Figure 5", "K-means scalability (size sweep)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

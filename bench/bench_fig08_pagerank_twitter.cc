@@ -1,0 +1,51 @@
+// Figure 8: PageRank on the (much denser) Twitter-like graph. Series:
+// Hadoop LB, HaLoop LB, REX Δ — the scalability shoot-out of §6.4.
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kIterations = 31;
+
+GraphData& Graph() {
+  static GraphData graph = GenerateTwitterLike(TwitterScale());
+  return graph;
+}
+
+void BM_HadoopLB(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunMrPageRankSeries(Graph(), false, kWorkers, kIterations);
+    if (r.ok()) EmitRecursiveSeries("fig8", "HadoopLB", *r);
+  }
+}
+BENCHMARK(BM_HadoopLB)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_HaLoopLB(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunMrPageRankSeries(Graph(), true, kWorkers, kIterations);
+    if (r.ok()) EmitRecursiveSeries("fig8", "HaLoopLB", *r);
+  }
+}
+BENCHMARK(BM_HaLoopLB)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RexDelta(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunRexPageRank(Graph(), RexMode::kDelta, kWorkers, kIterations);
+    if (r.ok()) EmitRecursiveSeries("fig8", "REXdelta", *r);
+  }
+}
+BENCHMARK(BM_RexDelta)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Figure 8", "PageRank (Twitter-like)");
+  rexbench::Note("graph: " + std::to_string(rexbench::Graph().num_vertices) +
+                 " vertices, " +
+                 std::to_string(rexbench::Graph().edges.size()) + " edges");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: shortest path on the Twitter-like graph (Hadoop LB, HaLoop
+// LB, REX Δ). The per-iteration plot shows the frontier-explosion spike a
+// few hops from the source, preceded and followed by fast iterations.
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kIterations = 15;
+
+GraphData& Graph() {
+  static GraphData graph = GenerateTwitterLike(TwitterScale());
+  return graph;
+}
+
+void BM_HadoopLB(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunMrSsspSeries(Graph(), false, kWorkers, kIterations);
+    if (r.ok()) EmitRecursiveSeries("fig9", "HadoopLB", *r);
+  }
+}
+BENCHMARK(BM_HadoopLB)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_HaLoopLB(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunMrSsspSeries(Graph(), true, kWorkers, kIterations);
+    if (r.ok()) EmitRecursiveSeries("fig9", "HaLoopLB", *r);
+  }
+}
+BENCHMARK(BM_HaLoopLB)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RexDelta(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunRexSssp(Graph(), /*delta=*/true, kWorkers, kIterations);
+    if (r.ok()) EmitRecursiveSeries("fig9", "REXdelta", *r);
+  }
+}
+BENCHMARK(BM_RexDelta)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Figure 9", "Shortest path (Twitter-like)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

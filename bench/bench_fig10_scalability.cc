@@ -1,0 +1,71 @@
+// Figure 10: (a) PageRank runtime vs number of worker nodes, with the
+// single-machine commercial-DBMS comparison extended by a perfect-linear-
+// speedup lower bound ("DBMS X LB"); (b) speedup relative to one node.
+//
+// Note: the simulated cluster's workers are threads; on machines with few
+// cores the wall-clock speedup saturates at the core count, while the
+// per-worker partitioning still divides the work (the paper's 28 machines
+// were physical).
+#include "dbmsx/dbmsx.h"
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kIterations = 30;
+
+GraphData& Graph() {
+  static GraphData graph = GenerateDbpediaLike(DbpediaScale());
+  return graph;
+}
+
+void BM_RexScaling(benchmark::State& state) {
+  for (auto _ : state) {
+    double one_node = 0;
+    for (int workers : {1, 2, 4, 8}) {
+      auto r = RunRexPageRank(Graph(), RexMode::kDelta, workers,
+                              kIterations);
+      if (!r.ok()) {
+        Note("scaling run failed: " + r.status().ToString());
+        return;
+      }
+      Row("fig10a", "REXdelta", workers, r->total_seconds, "s");
+      if (workers == 1) one_node = r->total_seconds;
+      Row("fig10b", "REXdelta/speedup", workers,
+          one_node / r->total_seconds, "x");
+    }
+  }
+}
+BENCHMARK(BM_RexScaling)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_DbmsX(benchmark::State& state) {
+  for (auto _ : state) {
+    DbmsXConfig cfg;
+    cfg.iterations = kIterations;
+    auto run = RunDbmsXPageRank(Graph(), cfg);
+    if (!run.ok()) {
+      Note("dbmsx run failed: " + run.status().ToString());
+      return;
+    }
+    // Single machine measured; multi-node points are the paper's
+    // perfect-linear-speedup LOWER BOUND (license-limited, §6.4).
+    for (int nodes : {1, 2, 4, 8}) {
+      Row("fig10a", "DBMSX-LB", nodes, run->total_seconds / nodes, "s");
+    }
+    Row("fig10a", "DBMSX-accumulated-tuples", 1,
+        static_cast<double>(run->accumulated_tuples), "tuples");
+  }
+}
+BENCHMARK(BM_DbmsX)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("Figure 10",
+                        "Scalability & speedup (PageRank, DBPedia-like) + "
+                        "DBMS X lower bound");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

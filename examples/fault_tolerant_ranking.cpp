@@ -1,0 +1,79 @@
+// Fault tolerance demo (§4.3, §6.6): a long-running delta PageRank loses
+// a worker mid-query. The incremental strategy restores the failed
+// range's state from the replicated Δ-set checkpoints and resumes at the
+// interrupted stratum; the restart strategy repeats everything. Both give
+// exactly the no-failure answer.
+#include <cmath>
+#include <cstdio>
+
+#include "algos/pagerank.h"
+
+using namespace rex;
+
+namespace {
+
+Result<std::pair<double, std::vector<double>>> RunOnce(
+    const GraphData& graph, FailureInjection failure) {
+  EngineConfig config;
+  config.num_workers = 4;
+  config.replication = 3;
+  Cluster cluster(config);
+  REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
+  PageRankConfig pr;
+  pr.threshold = 1e-6;
+  REX_RETURN_NOT_OK(RegisterPageRankUdfs(cluster.udfs(), pr));
+  REX_ASSIGN_OR_RETURN(PlanSpec plan, BuildPageRankDeltaPlan(pr));
+  QueryOptions options;
+  options.failure = failure;
+  REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan, options));
+  REX_ASSIGN_OR_RETURN(std::vector<double> ranks,
+                       RanksFromState(run.fixpoint_state,
+                                      graph.num_vertices));
+  std::printf("  %-12s %2d strata, %.3fs, checkpoint volume %lld bytes\n",
+              failure.worker < 0
+                  ? "no-failure:"
+                  : (failure.strategy == RecoveryStrategy::kIncremental
+                         ? "incremental:"
+                         : "restart:"),
+              run.strata_executed, run.total_seconds,
+              static_cast<long long>(
+                  cluster.checkpoints()->metrics().Value(
+                      metrics::kCheckpointBytes)));
+  return std::make_pair(run.total_seconds, std::move(ranks));
+}
+
+}  // namespace
+
+int main() {
+  GraphData graph = GenerateDbpediaLike(0.08);
+  std::printf("delta PageRank on %lld vertices; killing worker 2 before "
+              "iteration 40\n",
+              static_cast<long long>(graph.num_vertices));
+
+  auto baseline = RunOnce(graph, FailureInjection{});
+  if (!baseline.ok()) return 1;
+
+  FailureInjection failure;
+  failure.worker = 2;
+  failure.before_stratum = 40;
+
+  failure.strategy = RecoveryStrategy::kIncremental;
+  auto incremental = RunOnce(graph, failure);
+  if (!incremental.ok()) return 1;
+
+  failure.strategy = RecoveryStrategy::kRestart;
+  auto restart = RunOnce(graph, failure);
+  if (!restart.ok()) return 1;
+
+  double max_diff = 0;
+  for (size_t v = 0; v < baseline->second.size(); ++v) {
+    max_diff = std::max(max_diff, std::fabs(baseline->second[v] -
+                                            incremental->second[v]));
+  }
+  std::printf("max |rank difference| incremental vs no-failure: %.2e\n",
+              max_diff);
+  std::printf("incremental recovered %.1f%% faster than restart\n",
+              100.0 * (restart->first - incremental->first) /
+                  restart->first);
+  return max_diff < 1e-6 ? 0 : 1;
+}

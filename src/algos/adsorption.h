@@ -1,0 +1,46 @@
+// Adsorption: random-walk label propagation (Fig 3's fourth algorithm).
+//
+// Each labeled seed vertex injects its label; label weight flows along
+// out-edges with damping, exactly like a multi-source personalized
+// PageRank — one independent diffusion per label. The mutable set is the
+// complete adsorption vector of every vertex; the Δᵢ set is the vector
+// positions whose weight changed by at least the threshold since the last
+// iteration (the paper's Fig 3 row).
+//
+// State tuples are (v, label, weight), fixpoint-keyed on (v, label).
+#ifndef REX_ALGOS_ADSORPTION_H_
+#define REX_ALGOS_ADSORPTION_H_
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+struct AdsorptionConfig {
+  /// Labels are injected at vertices 0..num_labels-1 (label = seed id).
+  int num_labels = 4;
+  double damping = 0.85;
+  double threshold = 1e-3;  // |Δweight| below this is absorbed silently
+  std::string name_suffix;
+};
+
+Status RegisterAdsorptionUdfs(UdfRegistry* registry,
+                              const AdsorptionConfig& config);
+
+/// Delta plan over graph/vertices tables (see algos/pagerank.h loaders).
+Result<PlanSpec> BuildAdsorptionDeltaPlan(const AdsorptionConfig& config);
+
+/// Dense result: weights[v][label].
+Result<std::vector<std::vector<double>>> AdsorptionFromState(
+    const std::vector<Tuple>& fixpoint_state, int64_t num_vertices,
+    int num_labels);
+
+/// Single-threaded reference (per-label damped diffusion).
+std::vector<std::vector<double>> ReferenceAdsorption(
+    const GraphData& graph, int num_labels, double damping = 0.85,
+    double tol = 1e-9, int max_iters = 200);
+
+}  // namespace rex
+
+#endif  // REX_ALGOS_ADSORPTION_H_

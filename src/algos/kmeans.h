@@ -1,0 +1,43 @@
+// K-means clustering with delta propagation (the paper's Listing 3).
+//
+// Tables: points(pid:int, x:double, y:double) partitioned by pid.
+//
+// The fixpoint holds the k centroids (the small mutable relation); each
+// stratum the *changed* centroids are broadcast to all workers, where the
+// KMJoin handler keeps per-point assignments in its point bucket (the
+// paper's nodeBucket, extended in place with cid/dist columns). Only
+// points that switch centroids emit (cid, ±x, ±y, ±1) adjustment deltas; a
+// persistent sum group-by maintains running per-centroid sums, and changed
+// centroids loop back. Termination: no point switches — no deltas.
+#ifndef REX_ALGOS_KMEANS_H_
+#define REX_ALGOS_KMEANS_H_
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+struct KMeansConfig {
+  int k = 8;
+  std::string name_suffix;
+};
+
+/// Registers the KMJoin join-state handler.
+Status RegisterKMeansUdfs(UdfRegistry* registry, const KMeansConfig& config);
+
+/// REX delta plan. Initial centroids are the points with pid < k (point
+/// ids are randomly permuted by the generator, so this is a uniform
+/// sample — the role of the paper's KMSampleAgg).
+Result<PlanSpec> BuildKMeansDeltaPlan(const KMeansConfig& config);
+
+/// Loads the points table.
+Status LoadPointsTable(Cluster* cluster, std::vector<Tuple> points);
+
+/// Extracts (cid -> (x, y)) centroids from a run's fixpoint state.
+Result<std::vector<std::pair<double, double>>> CentroidsFromState(
+    const std::vector<Tuple>& fixpoint_state);
+
+}  // namespace rex
+
+#endif  // REX_ALGOS_KMEANS_H_

@@ -1,0 +1,65 @@
+// Delta-oriented PageRank (the paper's running example; Listing 1, Fig 1).
+//
+// Tables: graph(src:int, dst:int) partitioned by src;
+//         vertices(v:int) partitioned by v.
+//
+// Delta formulation: rank state lives in the fixpoint's while-handler
+// buckets; a delta (v, diff) adds diff to v's rank and — when |diff|
+// exceeds the propagation threshold — re-emits the diff, which the join
+// with the immutable graph fans out as damping*diff/outdeg(v) to each
+// out-neighbor; a per-target sum aggregates incoming diffs per stratum.
+// Starting from rank 0 with initial diffs of (1-damping), the fixpoint
+// converges to r = (1-d) + d * A^T (r/outdeg).
+//
+// No-delta formulation (the REX no-Δ configuration of §6): the fixpoint
+// holds (v, rank) in kFull mode — the entire mutable set is re-emitted
+// every stratum and re-joined with the graph, exactly the work a
+// Hadoop-style system performs each iteration.
+#ifndef REX_ALGOS_PAGERANK_H_
+#define REX_ALGOS_PAGERANK_H_
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+struct PageRankConfig {
+  double damping = 0.85;
+  /// Minimum |diff| that keeps propagating in delta mode; also the
+  /// "changed by more than this" explicit-termination threshold in
+  /// no-delta mode.
+  double threshold = 1e-4;
+  /// Interpret `threshold` relative to the page's current rank (the
+  /// paper's "changed by more than 1%" criterion: threshold = 0.01,
+  /// relative = true). Relative thresholds give the gradually shrinking
+  /// Δᵢ sets of Fig 2.
+  bool relative = false;
+  /// Pre-aggregate diff sums locally before the rehash (§5.2 combiner
+  /// pushdown; off for the ablation bench).
+  bool preaggregate = true;
+  /// Registry-name suffix, for hosting several configurations in one
+  /// cluster.
+  std::string name_suffix;
+};
+
+/// Registers PRFix / PRJoin / PRJoinFull (+suffix) handlers.
+Status RegisterPageRankUdfs(UdfRegistry* registry,
+                            const PageRankConfig& config);
+
+/// REX delta plan (Δ configuration).
+Result<PlanSpec> BuildPageRankDeltaPlan(const PageRankConfig& config);
+
+/// REX no-delta plan (no-Δ configuration): full mutable set per stratum.
+Result<PlanSpec> BuildPageRankFullPlan(const PageRankConfig& config);
+
+/// Loads `graph` and `vertices` tables into the cluster.
+Status LoadGraphTables(Cluster* cluster, const GraphData& graph);
+
+/// Extracts (vertex -> rank) from a run's fixpoint state.
+Result<std::vector<double>> RanksFromState(
+    const std::vector<Tuple>& fixpoint_state, int64_t num_vertices);
+
+}  // namespace rex
+
+#endif  // REX_ALGOS_PAGERANK_H_

@@ -1,0 +1,104 @@
+#include "algos/reference.h"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace rex {
+
+std::vector<double> ReferencePageRank(const GraphData& graph, double damping,
+                                      double tol, int max_iters) {
+  const auto n = static_cast<size_t>(graph.num_vertices);
+  std::vector<int64_t> outdeg = graph.OutDegrees();
+  std::vector<double> rank(n, 1.0 - damping);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < max_iters; ++it) {
+    std::fill(next.begin(), next.end(), 1.0 - damping);
+    for (const auto& [src, dst] : graph.edges) {
+      next[static_cast<size_t>(dst)] +=
+          damping * rank[static_cast<size_t>(src)] /
+          static_cast<double>(outdeg[static_cast<size_t>(src)]);
+    }
+    double max_change = 0;
+    for (size_t v = 0; v < n; ++v) {
+      max_change = std::max(max_change, std::fabs(next[v] - rank[v]));
+    }
+    rank.swap(next);
+    if (max_change <= tol) break;
+  }
+  return rank;
+}
+
+std::vector<int64_t> ReferenceSssp(const GraphData& graph, int64_t source) {
+  const auto n = static_cast<size_t>(graph.num_vertices);
+  std::vector<std::vector<int64_t>> adj(n);
+  for (const auto& [src, dst] : graph.edges) {
+    adj[static_cast<size_t>(src)].push_back(dst);
+  }
+  std::vector<int64_t> dist(n, -1);
+  std::deque<int64_t> frontier{source};
+  dist[static_cast<size_t>(source)] = 0;
+  while (!frontier.empty()) {
+    int64_t v = frontier.front();
+    frontier.pop_front();
+    for (int64_t u : adj[static_cast<size_t>(v)]) {
+      if (dist[static_cast<size_t>(u)] < 0) {
+        dist[static_cast<size_t>(u)] = dist[static_cast<size_t>(v)] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+KMeansResult ReferenceKMeans(
+    const std::vector<Tuple>& points,
+    std::vector<std::pair<double, double>> initial_centroids,
+    int max_iters) {
+  KMeansResult result;
+  result.centroids = std::move(initial_centroids);
+  result.assignment.assign(points.size(), -1);
+  for (int it = 0; it < max_iters; ++it) {
+    bool switched = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double x = points[i].field(1).AsDouble();
+      const double y = points[i].field(2).AsDouble();
+      int best = -1;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        const double dx = x - result.centroids[c].first;
+        const double dy = y - result.centroids[c].second;
+        const double d = dx * dx + dy * dy;
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (best != result.assignment[i]) {
+        result.assignment[i] = best;
+        switched = true;
+      }
+    }
+    result.iterations = it + 1;
+    if (!switched && it > 0) break;
+    std::vector<double> sx(result.centroids.size(), 0);
+    std::vector<double> sy(result.centroids.size(), 0);
+    std::vector<int64_t> cnt(result.centroids.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      auto c = static_cast<size_t>(result.assignment[i]);
+      sx[c] += points[i].field(1).AsDouble();
+      sy[c] += points[i].field(2).AsDouble();
+      cnt[c] += 1;
+    }
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      if (cnt[c] > 0) {
+        result.centroids[c] = {sx[c] / static_cast<double>(cnt[c]),
+                               sy[c] / static_cast<double>(cnt[c])};
+      }
+    }
+    if (!switched) break;
+  }
+  return result;
+}
+
+}  // namespace rex

@@ -1,0 +1,39 @@
+// Single-threaded reference implementations used as ground truth by the
+// test suite (never by the engine).
+#ifndef REX_ALGOS_REFERENCE_H_
+#define REX_ALGOS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/generators.h"
+
+namespace rex {
+
+/// Jacobi power iteration for r = (1-d) + d * A^T (r / outdeg), iterated
+/// until no rank changes by more than `tol`.
+std::vector<double> ReferencePageRank(const GraphData& graph,
+                                      double damping = 0.85,
+                                      double tol = 1e-9,
+                                      int max_iters = 200);
+
+/// BFS distances (unweighted single-source shortest path); -1 means
+/// unreachable.
+std::vector<int64_t> ReferenceSssp(const GraphData& graph, int64_t source);
+
+struct KMeansResult {
+  std::vector<std::pair<double, double>> centroids;
+  std::vector<int> assignment;  // per point, index into centroids
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm from the given initial centroids until no point
+/// switches clusters.
+KMeansResult ReferenceKMeans(
+    const std::vector<Tuple>& points,  // (pid, x, y)
+    std::vector<std::pair<double, double>> initial_centroids,
+    int max_iters = 200);
+
+}  // namespace rex
+
+#endif  // REX_ALGOS_REFERENCE_H_

@@ -1,0 +1,256 @@
+#include "cluster/cluster.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace rex {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+Cluster::Cluster(EngineConfig config) : config_(config) {
+  network_ = std::make_unique<Network>(config_.num_workers);
+  failed_.assign(static_cast<size_t>(config_.num_workers), false);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerNode>(
+        i, network_.get(), &storage_, &udfs_, &votes_, &checkpoints_,
+        &config_));
+  }
+  Status st = RegisterBuiltins(&udfs_);
+  if (!st.ok()) REX_LOG(Error) << "builtin registration: " << st.ToString();
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+Status Cluster::Start() {
+  if (started_) return Status::OK();
+  for (auto& w : workers_) w->Start();
+  started_ = true;
+  return Status::OK();
+}
+
+void Cluster::Shutdown() {
+  for (auto& w : workers_) w->Stop();
+  started_ = false;
+}
+
+std::vector<int> Cluster::LiveWorkers() const {
+  std::vector<int> live;
+  for (int i = 0; i < num_workers(); ++i) {
+    if (!failed_[static_cast<size_t>(i)]) live.push_back(i);
+  }
+  return live;
+}
+
+Status Cluster::CreateTable(const std::string& name, Schema schema,
+                            int key_column, std::vector<Tuple> rows) {
+  auto table = std::make_shared<DistributedTable>(name, std::move(schema),
+                                                  key_column);
+  table->AppendRows(std::move(rows));
+  return storage_.AddTable(std::move(table));
+}
+
+Status Cluster::Broadcast(const ControlMsg& c,
+                          const std::vector<int>& targets) {
+  for (int w : targets) {
+    REX_RETURN_NOT_OK(network_->Send(Message::Control(w, c)));
+  }
+  return Status::OK();
+}
+
+Status Cluster::CheckWorkerErrors(const std::vector<int>& live) const {
+  for (int w : live) {
+    const Status& st = workers_[static_cast<size_t>(w)]->error();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+const PartitionMap* Cluster::PushPartitionMap(std::vector<int> live) {
+  pmap_history_.push_back(std::make_unique<PartitionMap>(
+      std::move(live), config_.replication, config_.vnodes_per_worker));
+  return pmap_history_.back().get();
+}
+
+Status Cluster::KillWorker(int w) {
+  REX_LOG(Info) << "injecting failure of worker " << w;
+  failed_[static_cast<size_t>(w)] = true;
+  network_->MarkFailed(w);
+  workers_[static_cast<size_t>(w)]->Stop();
+  return Status::OK();
+}
+
+Status Cluster::ReviveFailedWorkers() {
+  for (int i = 0; i < num_workers(); ++i) {
+    if (!failed_[static_cast<size_t>(i)]) continue;
+    // Destroy the dead node FIRST: its destructor closes the inbox, which
+    // must happen before Restore() reopens it for the replacement.
+    workers_[static_cast<size_t>(i)] = std::make_unique<WorkerNode>(
+        i, network_.get(), &storage_, &udfs_, &votes_, &checkpoints_,
+        &config_);
+    network_->Restore(i);
+    if (started_) workers_[static_cast<size_t>(i)]->Start();
+    failed_[static_cast<size_t>(i)] = false;
+  }
+  return Status::OK();
+}
+
+Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
+                                    const QueryOptions& options) {
+  if (!started_) REX_RETURN_NOT_OK(Start());
+  REX_RETURN_NOT_OK(spec.Validate());
+
+  QueryRunResult out;
+  const auto t_query = std::chrono::steady_clock::now();
+  const int max_strata =
+      options.max_strata > 0 ? options.max_strata : config_.max_strata;
+
+  votes_.Reset();
+  checkpoints_.Clear();
+
+  std::vector<int> live = LiveWorkers();
+  if (live.empty()) return Status::NodeFailure("no live workers");
+  const PartitionMap* pmap = PushPartitionMap(live);
+  for (int w : live) {
+    REX_RETURN_NOT_OK(
+        workers_[static_cast<size_t>(w)]->InstallPlan(spec, pmap));
+  }
+
+  bool has_fixpoint = false;
+  for (const PlanNodeSpec& n : spec.nodes()) {
+    if (n.type == PlanNodeSpec::Type::kFixpoint) has_fixpoint = true;
+  }
+
+  FailureInjection failure = options.failure;
+  int stratum = 0;
+  while (true) {
+    if (failure.worker >= 0 && failure.before_stratum == stratum &&
+        !failed_[static_cast<size_t>(failure.worker)]) {
+      // ---- node failure + recovery (§4.3, §6.6) --------------------------
+      REX_RETURN_NOT_OK(KillWorker(failure.worker));
+      out.recovered = true;
+      const PartitionMap* old_pmap = pmap;
+      live = LiveWorkers();
+      if (live.empty()) return Status::NodeFailure("all workers failed");
+      pmap = PushPartitionMap(live);
+
+      if (failure.strategy == RecoveryStrategy::kRestart) {
+        // Discard everything; re-run from stratum 0 on the survivors.
+        votes_.Reset();
+        checkpoints_.Clear();
+        for (int w : live) {
+          REX_RETURN_NOT_OK(
+              workers_[static_cast<size_t>(w)]->InstallPlan(spec, pmap));
+        }
+        stratum = 0;
+      } else {
+        // Incremental: phase 1 — new snapshot, reset transient state,
+        // restore fixpoint state from checkpoints of strata [0, k-1].
+        const int last_complete = stratum - 1;
+        for (int w : live) {
+          workers_[static_cast<size_t>(w)]->StageRecovery(pmap, old_pmap,
+                                                          last_complete);
+        }
+        ControlMsg prep;
+        prep.kind = ControlMsg::Kind::kRecoverPrepare;
+        REX_RETURN_NOT_OK(Broadcast(prep, live));
+        network_->WaitQuiescent();
+        REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+        // Phase 2 — stream the failed range's immutable rows to the
+        // takeover nodes.
+        ControlMsg reload;
+        reload.kind = ControlMsg::Kind::kRecoverReload;
+        REX_RETURN_NOT_OK(Broadcast(reload, live));
+        network_->WaitQuiescent();
+        REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+        // Resume at stratum k with the restored pending Δ set.
+      }
+      failure.worker = -1;  // injected once
+    }
+
+    const auto t_stratum = std::chrono::steady_clock::now();
+    const int64_t bytes_before = network_->TotalBytesSent();
+
+    ControlMsg start;
+    start.kind = ControlMsg::Kind::kStartStratum;
+    start.stratum = stratum;
+    REX_RETURN_NOT_OK(Broadcast(start, live));
+    network_->WaitQuiescent();
+    REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+
+    StratumReport report;
+    report.stratum = stratum;
+    report.stats = votes_.TotalForStratum(stratum);
+    report.seconds = SecondsSince(t_stratum);
+    report.bytes_sent = network_->TotalBytesSent() - bytes_before;
+    out.strata.push_back(report);
+    out.strata_executed += 1;
+
+    bool stop = false;
+    if (!has_fixpoint) {
+      stop = true;  // a single non-recursive wave
+    } else if (options.terminate) {
+      stop = options.terminate(stratum, report.stats);
+    } else {
+      stop = report.stats.new_tuples == 0;  // implicit fixpoint
+    }
+    if (stop) break;
+    ++stratum;
+    if (stratum >= max_strata) {
+      REX_LOG(Warn) << "query hit max_strata=" << max_strata;
+      break;
+    }
+  }
+
+  // Collect results at the requestor: union of per-node sink outputs and
+  // fixpoint state relations (safe: network is quiescent).
+  for (int w : live) {
+    LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
+    for (SinkOp* sink : plan->sinks()) {
+      for (const Tuple& t : sink->results()) out.results.push_back(t);
+    }
+    for (FixpointOp* fp : plan->fixpoints()) {
+      for (Tuple& t : fp->StateTuples()) {
+        out.fixpoint_state.push_back(std::move(t));
+      }
+    }
+  }
+  out.total_seconds = SecondsSince(t_query);
+  out.total_bytes_sent = network_->TotalBytesSent();
+  return out;
+}
+
+Result<UdfCostProfile> Cluster::MeasuredUdfProfile(
+    const std::string& udf_name, const NodeCalibration& calib) const {
+  const int64_t in = WorkerMetric("udf." + udf_name + ".in");
+  if (in <= 0) {
+    return Status::NotFound("UDF '" + udf_name +
+                            "' has not executed; no runtime profile");
+  }
+  const int64_t nanos = WorkerMetric("udf." + udf_name + ".nanos");
+  const int64_t out = WorkerMetric("udf." + udf_name + ".out");
+  UdfCostProfile profile;
+  const double secs_per_tuple =
+      static_cast<double>(nanos) / 1e9 / static_cast<double>(in);
+  profile.cost_per_tuple = secs_per_tuple * calib.cpu_tuples_per_sec;
+  profile.fanout = static_cast<double>(out) / static_cast<double>(in);
+  profile.selectivity =
+      std::min(1.0, static_cast<double>(out) / static_cast<double>(in));
+  auto def = udfs_.GetTable(udf_name);
+  if (def.ok()) profile.deterministic = (*def)->deterministic;
+  return profile;
+}
+
+int64_t Cluster::WorkerMetric(const std::string& name) const {
+  int64_t total = 0;
+  for (const auto& w : workers_) total += w->metrics()->Value(name);
+  return total;
+}
+
+}  // namespace rex

@@ -1,0 +1,129 @@
+// The Cluster: REX's shared-nothing runtime in one process.
+//
+// Owns the network, the worker threads, shared storage, the UDF registry,
+// the checkpoint store, and the query-requestor logic: stratified recursion
+// with per-stratum quiescence barriers, fixpoint vote collection, implicit
+// and explicit termination conditions, failure injection, and both recovery
+// strategies of §6.6 (restart and incremental).
+#ifndef REX_CLUSTER_CLUSTER_H_
+#define REX_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/worker.h"
+#include "optimizer/stats.h"
+#include "storage/spill.h"
+
+namespace rex {
+
+/// How a query run should react to (injected) node failures.
+enum class RecoveryStrategy {
+  kRestart,      // discard all work, re-run on the survivors
+  kIncremental,  // restore from checkpointed Δ sets and resume (§4.3)
+};
+
+/// Deterministic failure injection: kill `worker` at the boundary just
+/// before `before_stratum` begins.
+struct FailureInjection {
+  int worker = -1;  // -1 = no failure
+  int before_stratum = -1;
+  RecoveryStrategy strategy = RecoveryStrategy::kIncremental;
+};
+
+struct QueryOptions {
+  /// Explicit termination condition (§3.4): called after each stratum with
+  /// its aggregated vote; return true to stop. Null = implicit fixpoint
+  /// termination (stop when no new tuples were derived).
+  std::function<bool(int stratum, const VoteStats&)> terminate;
+  int max_strata = -1;  // -1: use EngineConfig::max_strata
+  FailureInjection failure;
+};
+
+struct StratumReport {
+  int stratum = 0;
+  VoteStats stats;
+  double seconds = 0;
+  int64_t bytes_sent = 0;  // network bytes during this stratum
+};
+
+struct QueryRunResult {
+  /// Union of sink results across workers (non-recursive output).
+  std::vector<Tuple> results;
+  /// Union of fixpoint state relations across workers (recursive output).
+  std::vector<Tuple> fixpoint_state;
+  std::vector<StratumReport> strata;
+  int strata_executed = 0;
+  double total_seconds = 0;
+  int64_t total_bytes_sent = 0;
+  bool recovered = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(EngineConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Spawns the worker threads. Call once before Run.
+  Status Start();
+  void Shutdown();
+
+  const EngineConfig& config() const { return config_; }
+  StorageCatalog* storage() { return &storage_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  Network* network() { return network_.get(); }
+  CheckpointStore* checkpoints() { return &checkpoints_; }
+  WorkerNode* worker(int i) { return workers_[static_cast<size_t>(i)].get(); }
+  int num_workers() const { return config_.num_workers; }
+  std::vector<int> LiveWorkers() const;
+
+  /// Creates and registers a table partitioned on `key_column`.
+  Status CreateTable(const std::string& name, Schema schema, int key_column,
+                     std::vector<Tuple> rows);
+
+  /// Optimizes nothing — executes the given physical plan (the optimizer
+  /// and RQL layers produce PlanSpecs; algorithms may hand-build them).
+  Result<QueryRunResult> Run(const PlanSpec& spec,
+                             const QueryOptions& options = {});
+
+  /// Brings previously failed workers back (fresh, empty state) so the
+  /// same cluster can run further experiments.
+  Status ReviveFailedWorkers();
+
+  /// Sum of per-worker metric `name` across all workers.
+  int64_t WorkerMetric(const std::string& name) const;
+
+  /// Runtime monitoring (§5.1): the measured cost profile of a table UDF
+  /// from its execution counters — per-tuple cost expressed in the cost
+  /// model's work units (basic-tuple equivalents under `calib`), and its
+  /// observed fanout. NotFound until the UDF has actually run.
+  Result<UdfCostProfile> MeasuredUdfProfile(
+      const std::string& udf_name, const NodeCalibration& calib) const;
+
+ private:
+  Status Broadcast(const ControlMsg& c, const std::vector<int>& targets);
+  Status CheckWorkerErrors(const std::vector<int>& live) const;
+  Status KillWorker(int w);
+  const PartitionMap* PushPartitionMap(std::vector<int> live);
+
+  EngineConfig config_;
+  std::unique_ptr<Network> network_;
+  StorageCatalog storage_;
+  UdfRegistry udfs_;
+  VoteBoard votes_;
+  CheckpointStore checkpoints_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::vector<bool> failed_;
+  /// Partition snapshots must outlive every worker context that references
+  /// them, so superseded maps are retained for the cluster's lifetime.
+  std::vector<std::unique_ptr<PartitionMap>> pmap_history_;
+  bool started_ = false;
+};
+
+}  // namespace rex
+
+#endif  // REX_CLUSTER_CLUSTER_H_

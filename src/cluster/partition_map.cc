@@ -1,0 +1,72 @@
+#include "cluster/partition_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace rex {
+
+PartitionMap::PartitionMap(std::vector<int> workers, int replication,
+                           int vnodes_per_worker)
+    : workers_(std::move(workers)),
+      replication_(replication),
+      vnodes_per_worker_(vnodes_per_worker) {
+  assert(!workers_.empty());
+  ring_.reserve(workers_.size() * static_cast<size_t>(vnodes_per_worker_));
+  for (int w : workers_) {
+    for (int v = 0; v < vnodes_per_worker_; ++v) {
+      // Stable per-(worker, vnode) ring points: a worker's vnodes do not
+      // depend on cluster membership, so removing a node leaves everyone
+      // else's ranges in place.
+      uint64_t point = HashCombine(HashMix(static_cast<uint64_t>(w) + 1),
+                                   HashMix(static_cast<uint64_t>(v) + 101));
+      ring_.push_back(VNode{point, w});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t PartitionMap::RingStart(uint64_t key_hash) const {
+  VNode probe{key_hash, -1};
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), probe);
+  if (it == ring_.end()) it = ring_.begin();
+  return static_cast<size_t>(it - ring_.begin());
+}
+
+int PartitionMap::PrimaryOwner(uint64_t key_hash) const {
+  assert(!ring_.empty());
+  return ring_[RingStart(key_hash)].worker;
+}
+
+std::vector<int> PartitionMap::Owners(uint64_t key_hash) const {
+  std::vector<int> owners;
+  const int want = std::min<int>(replication_, num_workers());
+  owners.reserve(static_cast<size_t>(want));
+  size_t idx = RingStart(key_hash);
+  for (size_t step = 0;
+       step < ring_.size() && static_cast<int>(owners.size()) < want;
+       ++step) {
+    int w = ring_[(idx + step) % ring_.size()].worker;
+    if (std::find(owners.begin(), owners.end(), w) == owners.end()) {
+      owners.push_back(w);
+    }
+  }
+  return owners;
+}
+
+bool PartitionMap::IsOwner(int worker, uint64_t key_hash) const {
+  auto owners = Owners(key_hash);
+  return std::find(owners.begin(), owners.end(), worker) != owners.end();
+}
+
+PartitionMap PartitionMap::WithoutWorker(int failed) const {
+  std::vector<int> survivors;
+  survivors.reserve(workers_.size());
+  for (int w : workers_) {
+    if (w != failed) survivors.push_back(w);
+  }
+  return PartitionMap(std::move(survivors), replication_, vnodes_per_worker_);
+}
+
+}  // namespace rex

@@ -1,0 +1,72 @@
+// Consistent-hash data partitioning with replication (§4.1).
+//
+// Keys map to points on a 64-bit hash ring populated with virtual nodes;
+// a key's owners are the first `replication` distinct workers encountered
+// clockwise from the key's point. Every query carries an immutable snapshot
+// of this map, so data is routed identically on every node even as the
+// cluster changes; recovery builds a new map over the surviving workers and
+// — by the adjacency property of consistent hashing — the new primary for a
+// failed range is one of its previous replicas.
+#ifndef REX_CLUSTER_PARTITION_MAP_H_
+#define REX_CLUSTER_PARTITION_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rex {
+
+class PartitionMap {
+ public:
+  PartitionMap() = default;
+
+  /// Builds a ring over `workers` with `vnodes_per_worker` virtual nodes
+  /// each. `replication` is the total number of copies (primary included).
+  PartitionMap(std::vector<int> workers, int replication,
+               int vnodes_per_worker = 16);
+
+  /// The worker that owns (is primary for) the key hash.
+  int PrimaryOwner(uint64_t key_hash) const;
+  int PrimaryOwnerOf(const Value& key) const {
+    return PrimaryOwner(key.Hash());
+  }
+
+  /// Primary followed by replicas: `replication` distinct workers (fewer if
+  /// the cluster is smaller than the replication factor).
+  std::vector<int> Owners(uint64_t key_hash) const;
+  std::vector<int> OwnersOf(const Value& key) const {
+    return Owners(key.Hash());
+  }
+
+  bool IsOwner(int worker, uint64_t key_hash) const;
+
+  const std::vector<int>& workers() const { return workers_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int replication() const { return replication_; }
+
+  /// A new map over the surviving workers, same ring geometry for the
+  /// survivors (their virtual nodes do not move, so only the failed
+  /// worker's ranges are reassigned).
+  PartitionMap WithoutWorker(int failed) const;
+
+ private:
+  struct VNode {
+    uint64_t point;
+    int worker;
+    bool operator<(const VNode& other) const { return point < other.point; }
+  };
+
+  /// Index into ring_ of the first vnode at or after the hash (wrapping).
+  size_t RingStart(uint64_t key_hash) const;
+
+  std::vector<int> workers_;
+  int replication_ = 1;
+  int vnodes_per_worker_ = 16;
+  std::vector<VNode> ring_;
+};
+
+}  // namespace rex
+
+#endif  // REX_CLUSTER_PARTITION_MAP_H_

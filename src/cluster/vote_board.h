@@ -1,0 +1,84 @@
+// Fixpoint voting (§4.2): at the end of a stratum, every fixpoint operator
+// reports the number of tuples it derived to the query requestor, which
+// decides whether the implicit (or explicit) termination condition holds.
+// In this in-process cluster the "requestor" is the driver thread; votes
+// are reported synchronously during message processing, so once the network
+// is quiescent all votes for the stratum are in.
+#ifndef REX_CLUSTER_VOTE_BOARD_H_
+#define REX_CLUSTER_VOTE_BOARD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace rex {
+
+/// Per-fixpoint, per-stratum statistics backing termination decisions.
+struct VoteStats {
+  int64_t new_tuples = 0;      // Δᵢ set size: tuples derived this stratum
+  int64_t changed_tuples = 0;  // tuples whose value changed (for explicit
+                               // conditions like "changed by more than 1%")
+  double max_change = 0.0;     // largest numeric change observed
+  int64_t state_size = 0;      // mutable-set size after this stratum
+
+  VoteStats& Merge(const VoteStats& other) {
+    new_tuples += other.new_tuples;
+    changed_tuples += other.changed_tuples;
+    max_change = std::max(max_change, other.max_change);
+    state_size += other.state_size;
+    return *this;
+  }
+};
+
+class VoteBoard {
+ public:
+  void Report(int worker, int fixpoint_id, int stratum,
+              const VoteStats& stats) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    votes_[{fixpoint_id, stratum}].emplace_back(worker, stats);
+  }
+
+  /// Aggregated stats for one fixpoint's stratum.
+  VoteStats Total(int fixpoint_id, int stratum) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VoteStats total;
+    auto it = votes_.find({fixpoint_id, stratum});
+    if (it == votes_.end()) return total;
+    for (const auto& [worker, stats] : it->second) total.Merge(stats);
+    return total;
+  }
+
+  /// Aggregated stats across all fixpoints for a stratum.
+  VoteStats TotalForStratum(int stratum) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VoteStats total;
+    for (const auto& [key, entries] : votes_) {
+      if (key.second != stratum) continue;
+      for (const auto& [worker, stats] : entries) total.Merge(stats);
+    }
+    return total;
+  }
+
+  int NumVotes(int fixpoint_id, int stratum) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = votes_.find({fixpoint_id, stratum});
+    return it == votes_.end() ? 0 : static_cast<int>(it->second.size());
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    votes_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  // (fixpoint, stratum) -> [(worker, stats)]
+  std::map<std::pair<int, int>, std::vector<std::pair<int, VoteStats>>>
+      votes_;
+};
+
+}  // namespace rex
+
+#endif  // REX_CLUSTER_VOTE_BOARD_H_

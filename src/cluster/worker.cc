@@ -1,0 +1,110 @@
+#include "cluster/worker.h"
+
+#include "common/logging.h"
+
+namespace rex {
+
+WorkerNode::WorkerNode(int id, Network* network, StorageCatalog* storage,
+                       UdfRegistry* udfs, VoteBoard* votes,
+                       CheckpointStore* checkpoints,
+                       const EngineConfig* config)
+    : id_(id), network_(network) {
+  ctx_.worker_id = id;
+  ctx_.network = network;
+  ctx_.storage = storage;
+  ctx_.udfs = udfs;
+  ctx_.metrics = &metrics_;
+  ctx_.votes = votes;
+  ctx_.checkpoints = checkpoints;
+  ctx_.config = config;
+}
+
+WorkerNode::~WorkerNode() { Stop(); }
+
+Status WorkerNode::InstallPlan(const PlanSpec& spec,
+                               const PartitionMap* pmap) {
+  ctx_.pmap = pmap;
+  ctx_.old_pmap = nullptr;
+  ctx_.current_stratum = 0;
+  REX_ASSIGN_OR_RETURN(plan_, LocalPlan::Instantiate(spec, &ctx_));
+  error_ = Status::OK();
+  return Status::OK();
+}
+
+void WorkerNode::StageRecovery(const PartitionMap* new_pmap,
+                               const PartitionMap* old_pmap,
+                               int last_stratum) {
+  staged_pmap_ = new_pmap;
+  staged_old_pmap_ = old_pmap;
+  staged_last_stratum_ = last_stratum;
+}
+
+void WorkerNode::Start() {
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void WorkerNode::Stop() {
+  network_->channel(id_)->Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void WorkerNode::RunLoop() {
+  Channel* inbox = network_->channel(id_);
+  while (true) {
+    std::optional<Message> msg = inbox->Pop();
+    if (!msg.has_value()) return;  // closed and drained
+    if (error_.ok()) {
+      Status st = Dispatch(*msg);
+      if (!st.ok()) {
+        // Record the first failure and keep draining so the driver's
+        // quiescence wait terminates; it surfaces the error afterwards.
+        error_ = st;
+        REX_LOG(Error) << "worker " << id_ << ": " << st.ToString();
+      }
+    }
+    network_->OnMessageProcessed();
+  }
+}
+
+Status WorkerNode::Dispatch(Message& msg) {
+  switch (msg.kind) {
+    case Message::Kind::kControl:
+      return HandleControl(msg.control);
+    case Message::Kind::kData:
+      if (plan_ == nullptr) return Status::Internal("data before plan");
+      return plan_->op(msg.target_op)
+          ->Consume(msg.target_port, std::move(msg.deltas));
+    case Message::Kind::kPunctuation:
+      if (plan_ == nullptr) return Status::Internal("punct before plan");
+      return plan_->op(msg.target_op)->OnPunct(msg.target_port, msg.punct);
+  }
+  return Status::Internal("unknown message kind");
+}
+
+Status WorkerNode::HandleControl(const ControlMsg& c) {
+  switch (c.kind) {
+    case ControlMsg::Kind::kStartStratum:
+      ctx_.current_stratum = c.stratum;
+      return plan_->StartStratum(c.stratum);
+    case ControlMsg::Kind::kRecoverPrepare: {
+      ctx_.pmap = staged_pmap_;
+      ctx_.old_pmap = staged_old_pmap_;
+      REX_RETURN_NOT_OK(plan_->OnMembershipChange());
+      REX_RETURN_NOT_OK(plan_->ResetTransientState());
+      for (FixpointOp* fp : plan_->fixpoints()) {
+        REX_RETURN_NOT_OK(fp->RestoreFromCheckpoints(staged_last_stratum_));
+      }
+      return Status::OK();
+    }
+    case ControlMsg::Kind::kRecoverReload: {
+      REX_RETURN_NOT_OK(plan_->RecoveryReload());
+      ctx_.old_pmap = nullptr;  // reload done; back to normal routing
+      return Status::OK();
+    }
+    case ControlMsg::Kind::kNone:
+      return Status::OK();
+  }
+  return Status::Internal("unknown control kind");
+}
+
+}  // namespace rex

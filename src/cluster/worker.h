@@ -1,0 +1,69 @@
+// A worker node: one thread consuming its network inbox and driving its
+// LocalPlan. All operator state is touched only from the worker thread
+// (driver-side mutations happen strictly while the network is quiescent and
+// are published through the inbox channel's mutex).
+#ifndef REX_CLUSTER_WORKER_H_
+#define REX_CLUSTER_WORKER_H_
+
+#include <memory>
+#include <thread>
+
+#include "engine/local_plan.h"
+
+namespace rex {
+
+class WorkerNode {
+ public:
+  WorkerNode(int id, Network* network, StorageCatalog* storage,
+             UdfRegistry* udfs, VoteBoard* votes,
+             CheckpointStore* checkpoints, const EngineConfig* config);
+  ~WorkerNode();
+
+  int id() const { return id_; }
+
+  /// Instantiates the plan against this worker's context. Must be called
+  /// while the network is quiescent (driver thread).
+  Status InstallPlan(const PlanSpec& spec, const PartitionMap* pmap);
+
+  /// Publishes new partition snapshots for an upcoming kRecoverPrepare.
+  /// Driver thread, network quiescent.
+  void StageRecovery(const PartitionMap* new_pmap,
+                     const PartitionMap* old_pmap, int last_stratum);
+
+  void Start();
+  /// Closes the inbox and joins the thread (both for failure simulation
+  /// and orderly shutdown).
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  /// First operator/dispatch error observed (Status::OK if none). Driver
+  /// thread, network quiescent.
+  const Status& error() const { return error_; }
+  void ClearError() { error_ = Status::OK(); }
+
+  LocalPlan* plan() { return plan_.get(); }
+  MetricsRegistry* metrics() { return &metrics_; }
+  ExecContext* ctx() { return &ctx_; }
+
+ private:
+  void RunLoop();
+  Status Dispatch(Message& msg);
+  Status HandleControl(const ControlMsg& c);
+
+  int id_;
+  Network* network_;
+  MetricsRegistry metrics_;
+  ExecContext ctx_;
+  std::unique_ptr<LocalPlan> plan_;
+  std::thread thread_;
+  Status error_;
+
+  // Staged recovery parameters (read inside kRecoverPrepare handling).
+  const PartitionMap* staged_pmap_ = nullptr;
+  const PartitionMap* staged_old_pmap_ = nullptr;
+  int staged_last_stratum_ = -1;
+};
+
+}  // namespace rex
+
+#endif  // REX_CLUSTER_WORKER_H_

@@ -1,0 +1,42 @@
+#include "common/delta.h"
+
+namespace rex {
+
+const char* DeltaOpName(DeltaOp op) {
+  switch (op) {
+    case DeltaOp::kInsert:
+      return "+";
+    case DeltaOp::kDelete:
+      return "-";
+    case DeltaOp::kReplace:
+      return "->";
+    case DeltaOp::kUpdate:
+      return "δ";
+  }
+  return "?";
+}
+
+Delta Delta::WithTuple(Tuple t) const {
+  Delta d = *this;
+  d.tuple = std::move(t);
+  return d;
+}
+
+std::string Delta::ToString() const {
+  std::string out = DeltaOpName(op);
+  out += tuple.ToString();
+  if (op == DeltaOp::kReplace) {
+    out += " was ";
+    out += old_tuple.ToString();
+  }
+  return out;
+}
+
+DeltaVec AsInsertions(std::vector<Tuple> tuples) {
+  DeltaVec out;
+  out.reserve(tuples.size());
+  for (Tuple& t : tuples) out.push_back(Delta::Insert(std::move(t)));
+  return out;
+}
+
+}  // namespace rex

@@ -1,0 +1,79 @@
+// Deltas: annotated tuples, the unit of incremental computation in REX.
+//
+// Definition 1 of the paper: a delta is a pair (α, t) where t is a tuple and
+// α is one of
+//   +()      insert t into operator state
+//   -()      delete t from operator state
+//   ->(t')   t replaces existing tuple t'
+//   δ(E)     an arbitrary programmable update, interpreted by user-defined
+//            delta handlers in downstream stateful operators
+//
+// Stateless operators propagate annotations unchanged; stateful operators
+// (join, group-by, while/fixpoint) revise their internal state per the rules
+// in §3.3 or via the four delta-handler hooks (see exec/uda.h).
+#ifndef REX_COMMON_DELTA_H_
+#define REX_COMMON_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace rex {
+
+/// The annotation α of Definition 1.
+enum class DeltaOp : uint8_t {
+  kInsert = 0,   // +()
+  kDelete = 1,   // -()
+  kReplace = 2,  // ->(t')
+  kUpdate = 3,   // δ(E)
+};
+
+const char* DeltaOpName(DeltaOp op);
+
+/// An annotated tuple.
+struct Delta {
+  DeltaOp op = DeltaOp::kInsert;
+  /// The tuple t: the inserted tuple, the tuple to delete, the replacement
+  /// value, or — for δ(E) — the key plus the update payload E encoded as
+  /// ordinary fields (the payload's meaning is owned by the delta handler
+  /// that interprets it).
+  Tuple tuple;
+  /// For kReplace only: the existing tuple t' being replaced.
+  Tuple old_tuple;
+
+  static Delta Insert(Tuple t) {
+    return Delta{DeltaOp::kInsert, std::move(t), {}};
+  }
+  static Delta Delete(Tuple t) {
+    return Delta{DeltaOp::kDelete, std::move(t), {}};
+  }
+  static Delta Replace(Tuple old_t, Tuple new_t) {
+    return Delta{DeltaOp::kReplace, std::move(new_t), std::move(old_t)};
+  }
+  static Delta Update(Tuple t) {
+    return Delta{DeltaOp::kUpdate, std::move(t), {}};
+  }
+
+  /// Returns a copy with the same annotation but a different tuple
+  /// (stateless operators transform t and keep α; §3.3).
+  Delta WithTuple(Tuple t) const;
+
+  bool operator==(const Delta& other) const {
+    return op == other.op && tuple == other.tuple &&
+           old_tuple == other.old_tuple;
+  }
+
+  std::string ToString() const;
+  size_t ByteSize() const { return 1 + tuple.ByteSize() + old_tuple.ByteSize(); }
+};
+
+using DeltaVec = std::vector<Delta>;
+
+/// Wraps plain tuples as insertions (the base, non-incremental case).
+DeltaVec AsInsertions(std::vector<Tuple> tuples);
+
+}  // namespace rex
+
+#endif  // REX_COMMON_DELTA_H_

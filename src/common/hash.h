@@ -1,0 +1,38 @@
+// Hashing primitives shared by value hashing, partitioning, and the
+// consistent-hash ring.
+#ifndef REX_COMMON_HASH_H_
+#define REX_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rex {
+
+/// SplitMix64 finalizer; a strong 64-bit integer mixer.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte range, finalized through HashMix.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return HashMix(h);
+}
+
+/// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashMix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace rex
+
+#endif  // REX_COMMON_HASH_H_

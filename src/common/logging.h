@@ -1,0 +1,57 @@
+// Minimal leveled logging. Thread-safe; defaults to WARN so tests and
+// benches stay quiet unless REX_LOG_LEVEL or SetLogLevel raises verbosity.
+#ifndef REX_COMMON_LOGGING_H_
+#define REX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and emits it (with level tag and timestamp) on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace rex
+
+// Usage: REX_LOG(Info) << "loaded " << n << " tuples";
+// The streamed expressions are not evaluated when the level is disabled.
+#define REX_LOG(level)                                        \
+  if (static_cast<int>(::rex::LogLevel::k##level) <           \
+      static_cast<int>(::rex::GetLogLevel()))                 \
+    ;                                                         \
+  else                                                        \
+    ::rex::internal::LogMessage(::rex::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // REX_COMMON_LOGGING_H_

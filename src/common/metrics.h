@@ -1,0 +1,73 @@
+// Lightweight metrics: named atomic counters grouped into registries.
+//
+// Each worker node and the network layer own a MetricsRegistry; benches read
+// them to report tuples processed, bytes shipped, strata executed, UDF
+// invocations, checkpoint volume, etc. (these back Figure 11's bandwidth
+// numbers and the Δ-set reporting for Figure 3).
+#ifndef REX_COMMON_METRICS_H_
+#define REX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rex {
+
+/// A monotonically increasing (or explicitly settable) 64-bit counter.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe name -> Counter map. Counter pointers remain valid for the
+/// registry's lifetime, so hot paths can cache them.
+class MetricsRegistry {
+ public:
+  /// Returns (creating if needed) the counter with the given name.
+  Counter* GetCounter(const std::string& name);
+
+  /// Current value, 0 if the counter does not exist.
+  int64_t Value(const std::string& name) const;
+
+  /// Snapshot of all counters, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  /// Resets every counter to zero (between benchmark runs).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+/// Common counter names used across the engine.
+namespace metrics {
+inline constexpr const char kTuplesSent[] = "net.tuples_sent";
+inline constexpr const char kBytesSent[] = "net.bytes_sent";
+inline constexpr const char kMessagesSent[] = "net.messages_sent";
+inline constexpr const char kTuplesProcessed[] = "exec.tuples_processed";
+inline constexpr const char kUdfCalls[] = "exec.udf_calls";
+inline constexpr const char kUdfCacheHits[] = "exec.udf_cache_hits";
+inline constexpr const char kStrataExecuted[] = "exec.strata";
+inline constexpr const char kDeltaTuples[] = "exec.delta_tuples";
+inline constexpr const char kCheckpointBytes[] = "recovery.checkpoint_bytes";
+inline constexpr const char kCheckpointTuples[] = "recovery.checkpoint_tuples";
+inline constexpr const char kSpillBytes[] = "storage.spill_bytes";
+inline constexpr const char kMapInputRecords[] = "mr.map_input_records";
+inline constexpr const char kReduceInputRecords[] = "mr.reduce_input_records";
+inline constexpr const char kShuffleBytes[] = "mr.shuffle_bytes";
+}  // namespace metrics
+
+}  // namespace rex
+
+#endif  // REX_COMMON_METRICS_H_

@@ -1,0 +1,191 @@
+#include "common/serde.h"
+
+#include <cstring>
+
+namespace rex {
+
+void BufferWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BufferWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+void BufferWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(v.AsString());
+      break;
+    case ValueType::kList: {
+      const auto& items = v.AsList();
+      PutU32(static_cast<uint32_t>(items.size()));
+      for (const Value& item : items) PutValue(item);
+      break;
+    }
+  }
+}
+
+void BufferWriter::PutTuple(const Tuple& t) {
+  PutU32(static_cast<uint32_t>(t.size()));
+  for (const Value& v : t.fields()) PutValue(v);
+}
+
+Status BufferReader::Need(size_t n) {
+  if (pos_ + n > len_) {
+    return Status::OutOfRange("truncated input: need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(pos_) +
+                              " of " + std::to_string(len_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BufferReader::GetU8() {
+  REX_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BufferReader::GetU32() {
+  REX_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> BufferReader::GetU64() {
+  REX_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<int64_t> BufferReader::GetI64() {
+  REX_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BufferReader::GetDouble() {
+  REX_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<std::string> BufferReader::GetString() {
+  REX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  REX_RETURN_NOT_OK(Need(n));
+  std::string s(data_ + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Result<Value> BufferReader::GetValue() {
+  REX_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  if (tag > static_cast<uint8_t>(ValueType::kList)) {
+    return Status::TypeError("bad value tag " + std::to_string(tag));
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      REX_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+      return Value(b != 0);
+    }
+    case ValueType::kInt: {
+      REX_ASSIGN_OR_RETURN(int64_t i, GetI64());
+      return Value(i);
+    }
+    case ValueType::kDouble: {
+      REX_ASSIGN_OR_RETURN(double d, GetDouble());
+      return Value(d);
+    }
+    case ValueType::kString: {
+      REX_ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value(std::move(s));
+    }
+    case ValueType::kList: {
+      REX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+      std::vector<Value> items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        REX_ASSIGN_OR_RETURN(Value v, GetValue());
+        items.push_back(std::move(v));
+      }
+      return Value::List(std::move(items));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Tuple> BufferReader::GetTuple() {
+  REX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  std::vector<Value> fields;
+  fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    REX_ASSIGN_OR_RETURN(Value v, GetValue());
+    fields.push_back(std::move(v));
+  }
+  return Tuple(std::move(fields));
+}
+
+std::string SerializeTuple(const Tuple& t) {
+  BufferWriter w;
+  w.PutTuple(t);
+  return w.TakeBytes();
+}
+
+Result<Tuple> DeserializeTuple(const std::string& bytes) {
+  BufferReader r(bytes);
+  REX_ASSIGN_OR_RETURN(Tuple t, r.GetTuple());
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after tuple");
+  return t;
+}
+
+std::string SerializeTuples(const std::vector<Tuple>& tuples) {
+  BufferWriter w;
+  w.PutU32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) w.PutTuple(t);
+  return w.TakeBytes();
+}
+
+Result<std::vector<Tuple>> DeserializeTuples(const std::string& bytes) {
+  BufferReader r(bytes);
+  REX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    REX_ASSIGN_OR_RETURN(Tuple t, r.GetTuple());
+    out.push_back(std::move(t));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after tuples");
+  return out;
+}
+
+}  // namespace rex

@@ -1,0 +1,137 @@
+#include "common/tuple.h"
+
+#include <algorithm>
+
+namespace rex {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out;
+  out.reserve(fields_.size() + other.fields_.size());
+  out.insert(out.end(), fields_.begin(), fields_.end());
+  out.insert(out.end(), other.fields_.begin(), other.fields_.end());
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Project(const std::vector<int>& indexes) const {
+  std::vector<Value> out;
+  out.reserve(indexes.size());
+  for (int i : indexes) out.push_back(fields_[static_cast<size_t>(i)]);
+  return Tuple(std::move(out));
+}
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const Value& v : fields_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+uint64_t Tuple::HashFields(const std::vector<int>& indexes) const {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (int i : indexes) {
+    h = HashCombine(h, fields_[static_cast<size_t>(i)].Hash());
+  }
+  return h;
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  return fields_.size() == other.fields_.size() &&
+         std::equal(fields_.begin(), fields_.end(), other.fields_.begin());
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  return std::lexicographical_compare(fields_.begin(), fields_.end(),
+                                      other.fields_.begin(),
+                                      other.fields_.end());
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  bool first = true;
+  for (const Value& v : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += v.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::ByteSize() const {
+  size_t n = 4;
+  for (const Value& v : fields_) n += v.ByteSize();
+  return n;
+}
+
+uint64_t PartitionHash(const Tuple& t, const std::vector<int>& key_fields) {
+  if (key_fields.size() == 1) {
+    return t.field(static_cast<size_t>(key_fields[0])).Hash();
+  }
+  return t.HashFields(key_fields);
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no column named '" + name + "' in schema " +
+                          ToString());
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Schema Schema::Concat(const Schema& right,
+                      const std::string& right_prefix) const {
+  std::vector<Field> out = fields_;
+  out.reserve(fields_.size() + right.size());
+  for (const Field& f : right.fields()) {
+    Field g = f;
+    if (Contains(g.name)) g.name = right_prefix + g.name;
+    out.push_back(std::move(g));
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::Project(const std::vector<int>& indexes) const {
+  std::vector<Field> out;
+  out.reserve(indexes.size());
+  for (int i : indexes) out.push_back(fields_[static_cast<size_t>(i)]);
+  return Schema(std::move(out));
+}
+
+Status Schema::Validate(const Tuple& t) const {
+  if (t.size() != fields_.size()) {
+    return Status::TypeError("tuple arity " + std::to_string(t.size()) +
+                             " does not match schema " + ToString());
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Value& v = t.field(i);
+    if (v.is_null()) continue;
+    if (v.type() == fields_[i].type) continue;
+    if (fields_[i].type == ValueType::kDouble &&
+        v.type() == ValueType::kInt) {
+      continue;  // implicit numeric widening
+    }
+    return Status::TypeError("field '" + fields_[i].name + "' expects " +
+                             ValueTypeName(fields_[i].type) + ", got " +
+                             ValueTypeName(v.type()));
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Field& f : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += f.name;
+    out += ":";
+    out += ValueTypeName(f.type);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rex

@@ -1,0 +1,115 @@
+// Tuples and schemas: the unit of data flowing between operators.
+#ifndef REX_COMMON_TUPLE_H_
+#define REX_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rex {
+
+/// A row: an ordered list of Values. Field meaning is positional; names and
+/// types live in the accompanying Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> fields) : fields_(std::move(fields)) {}
+  Tuple(std::initializer_list<Value> fields) : fields_(fields) {}
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const Value& field(size_t i) const { return fields_[i]; }
+  Value& field(size_t i) { return fields_[i]; }
+  const Value& operator[](size_t i) const { return fields_[i]; }
+  Value& operator[](size_t i) { return fields_[i]; }
+
+  const std::vector<Value>& fields() const { return fields_; }
+  void Append(Value v) { fields_.push_back(std::move(v)); }
+
+  /// Concatenation of this tuple's fields followed by `other`'s (join
+  /// output construction).
+  Tuple Concat(const Tuple& other) const;
+
+  /// Projection onto the given field indexes, in order.
+  Tuple Project(const std::vector<int>& indexes) const;
+
+  uint64_t Hash() const;
+  /// Hash over a subset of fields (grouping / partitioning keys).
+  uint64_t HashFields(const std::vector<int>& indexes) const;
+
+  bool operator==(const Tuple& other) const;
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  /// Lexicographic order over fields (for sort-merge shuffle, tests).
+  bool operator<(const Tuple& other) const;
+
+  std::string ToString() const;
+
+  /// Approximate wire size in bytes.
+  size_t ByteSize() const;
+
+ private:
+  std::vector<Value> fields_;
+};
+
+/// Canonical partitioning hash over a tuple's key fields. Every placement
+/// decision in the system — base-table partitioning, rehash routing,
+/// checkpoint range ownership — MUST use this same function so that
+/// co-partitioned state actually co-locates: a single-field key hashes to
+/// exactly Value::Hash() of that field.
+uint64_t PartitionHash(const Tuple& t, const std::vector<int>& key_fields);
+
+/// One column of a Schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered, named, typed description of a tuple layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+
+  size_t size() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given name, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Schema for the concatenation of two tuples (join output); columns
+  /// from `right` that collide by name get the `right_prefix` prepended.
+  Schema Concat(const Schema& right,
+                const std::string& right_prefix = "r.") const;
+
+  Schema Project(const std::vector<int>& indexes) const;
+
+  /// Verifies a tuple matches this schema's arity and types (Null allowed
+  /// anywhere; int accepted where double is declared).
+  Status Validate(const Tuple& t) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace rex
+
+#endif  // REX_COMMON_TUPLE_H_

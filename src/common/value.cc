@@ -1,0 +1,207 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace rex {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kList:
+      return "LIST";
+  }
+  return "UNKNOWN";
+}
+
+Result<ValueType> ValueTypeFromName(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "integer" || lower == "int" || lower == "long") {
+    return ValueType::kInt;
+  }
+  if (lower == "double" || lower == "float" || lower == "real") {
+    return ValueType::kDouble;
+  }
+  if (lower == "boolean" || lower == "bool") return ValueType::kBool;
+  if (lower == "string" || lower == "varchar" || lower == "text") {
+    return ValueType::kString;
+  }
+  if (lower == "list" || lower == "bag") return ValueType::kList;
+  if (lower == "null") return ValueType::kNull;
+  return Status::TypeError("unknown type name: " + name);
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               ValueTypeName(type()) + " to DOUBLE");
+  }
+}
+
+Result<int64_t> Value::ToInt() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return AsInt();
+    case ValueType::kDouble:
+      return static_cast<int64_t>(AsDouble());
+    case ValueType::kBool:
+      return static_cast<int64_t>(AsBool());
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               ValueTypeName(type()) + " to INTEGER");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kList: {
+      std::string out = "[";
+      bool first = true;
+      for (const Value& v : AsList()) {
+        if (!first) out += ", ";
+        first = false;
+        out += v.ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+double NumericOf(const Value& v) {
+  return v.type() == ValueType::kInt ? static_cast<double>(v.AsInt())
+                                     : v.AsDouble();
+}
+
+}  // namespace
+
+bool Value::SlowEquals(const Value& other) const {
+  switch (type()) {
+    case ValueType::kString:
+      return AsString() == other.AsString();
+    case ValueType::kList: {
+      const auto& a = AsList();
+      const auto& b = other.AsList();
+      return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+    }
+    default:
+      return false;
+  }
+}
+
+bool Value::MixedEquals(const Value& other) const {
+  if (IsNumeric(type()) && IsNumeric(other.type())) {
+    return NumericOf(*this) == NumericOf(other);
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (IsNumeric(type()) && IsNumeric(other.type())) {
+    return NumericOf(*this) < NumericOf(other);
+  }
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type());
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return AsBool() < other.AsBool();
+    case ValueType::kInt:
+      return AsInt() < other.AsInt();
+    case ValueType::kDouble:
+      return AsDouble() < other.AsDouble();
+    case ValueType::kString:
+      return AsString() < other.AsString();
+    case ValueType::kList: {
+      const auto& a = AsList();
+      const auto& b = other.AsList();
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    }
+  }
+  return false;
+}
+
+uint64_t Value::SlowHash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return HashMix(AsBool() ? 1 : 2);
+    case ValueType::kString:
+      return HashBytes(AsString().data(), AsString().size());
+    case ValueType::kList: {
+      uint64_t h = 0x51ed270b8d6a68bbULL;
+      for (const Value& v : AsList()) h = HashCombine(h, v.Hash());
+      return h;
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 2;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 9;
+    case ValueType::kString:
+      return 5 + AsString().size();
+    case ValueType::kList: {
+      size_t n = 5;
+      for (const Value& v : AsList()) n += v.ByteSize();
+      return n;
+    }
+  }
+  return 1;
+}
+
+}  // namespace rex

@@ -1,0 +1,158 @@
+// The dynamically typed scalar Value used by tuples throughout the engine.
+//
+// The original REX represents data as Java objects; here a compact
+// std::variant plays that role. RQL's base datatypes (§3.3) map onto these
+// alternatives: Integer -> int64_t, Double -> double, Boolean -> bool,
+// String -> std::string, plus Null and a nested List for collection-valued
+// attributes (the SQL-99 gap REX fills, §2).
+#ifndef REX_COMMON_VALUE_H_
+#define REX_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace rex {
+
+class Value;
+
+/// Collection-valued attribute payload (shared so Values stay cheap to copy).
+using ValueList = std::shared_ptr<std::vector<Value>>;
+
+/// Type tags for Value alternatives; order must match the variant below.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kList = 5,
+};
+
+/// Returns "NULL", "BOOLEAN", "INTEGER", "DOUBLE", "STRING" or "LIST".
+const char* ValueTypeName(ValueType t);
+
+/// Parses a type name as used in UDA inTypes/outTypes declarations
+/// ("Integer", "Double", "Boolean", "String", "List"); case-insensitive.
+Result<ValueType> ValueTypeFromName(const std::string& name);
+
+/// A dynamically typed scalar (or list) value.
+class Value {
+ public:
+  Value() : var_(std::monostate{}) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(bool v) : var_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(int64_t v) : var_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(int v) : var_(static_cast<int64_t>(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(double v) : var_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(std::string v) : var_(std::move(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(const char* v) : var_(std::string(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(ValueList v) : var_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value List(std::vector<Value> items) {
+    return Value(std::make_shared<std::vector<Value>>(std::move(items)));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(var_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Unchecked accessors; precondition: matching type().
+  bool AsBool() const { return std::get<bool>(var_); }
+  int64_t AsInt() const { return std::get<int64_t>(var_); }
+  double AsDouble() const { return std::get<double>(var_); }
+  const std::string& AsString() const { return std::get<std::string>(var_); }
+  const std::vector<Value>& AsList() const {
+    return *std::get<ValueList>(var_);
+  }
+
+  /// Numeric coercion: int and double both convert; others are errors.
+  Result<double> ToDouble() const;
+  Result<int64_t> ToInt() const;
+
+  /// SQL-ish display form ("3", "1.25", "'abc'", "NULL", "[1, 2]").
+  std::string ToString() const;
+
+  /// Structural equality. Int and double compare cross-type numerically
+  /// (so 1 == 1.0), matching RQL's numeric semantics. Inline: this is the
+  /// hottest call in the engine (key probes).
+  bool operator==(const Value& other) const {
+    if (type() == other.type()) {
+      switch (type()) {
+        case ValueType::kNull:
+          return true;
+        case ValueType::kBool:
+          return AsBool() == other.AsBool();
+        case ValueType::kInt:
+          return AsInt() == other.AsInt();
+        case ValueType::kDouble:
+          return AsDouble() == other.AsDouble();
+        default:
+          return SlowEquals(other);
+      }
+    }
+    return MixedEquals(other);
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for sorting / min / max. NULL sorts first; values of
+  /// different non-numeric types order by type tag.
+  bool operator<(const Value& other) const;
+
+  /// 64-bit hash consistent with operator== (numeric cross-type equal
+  /// values hash identically). Inline: partitioning and keyed-state
+  /// lookups hash every tuple.
+  uint64_t Hash() const {
+    switch (type()) {
+      case ValueType::kInt: {
+        // Ints hash through their double representation when exactly
+        // representable so 1 and 1.0 (which compare equal) hash equal.
+        int64_t i = AsInt();
+        double d = static_cast<double>(i);
+        if (static_cast<int64_t>(d) == i) {
+          uint64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          return HashMix(bits);
+        }
+        return HashMix(static_cast<uint64_t>(i));
+      }
+      case ValueType::kDouble: {
+        double d = AsDouble();
+        if (d == 0.0) d = 0.0;  // normalize -0.0
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        return HashMix(bits);
+      }
+      default:
+        return SlowHash();
+    }
+  }
+
+  /// Approximate in-memory footprint in bytes, used by the cost model and
+  /// the network byte meter.
+  size_t ByteSize() const;
+
+ private:
+  bool SlowEquals(const Value& other) const;   // string/list same-type
+  bool MixedEquals(const Value& other) const;  // cross-type numeric
+  uint64_t SlowHash() const;  // null/bool/string/list
+
+  std::variant<std::monostate, bool, int64_t, double, std::string, ValueList>
+      var_;
+};
+
+}  // namespace rex
+
+#endif  // REX_COMMON_VALUE_H_

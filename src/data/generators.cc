@@ -1,0 +1,179 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rex {
+
+std::vector<Tuple> GraphData::EdgeRows() const {
+  std::vector<Tuple> rows;
+  rows.reserve(edges.size());
+  for (const auto& [src, dst] : edges) {
+    rows.push_back(Tuple{Value(src), Value(dst)});
+  }
+  return rows;
+}
+
+std::vector<Tuple> GraphData::VertexRows() const {
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(num_vertices));
+  for (int64_t v = 0; v < num_vertices; ++v) rows.push_back(Tuple{Value(v)});
+  return rows;
+}
+
+std::vector<int64_t> GraphData::OutDegrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_vertices), 0);
+  for (const auto& [src, dst] : edges) deg[static_cast<size_t>(src)] += 1;
+  return deg;
+}
+
+GraphData GenerateRmatGraph(const GraphGenOptions& options) {
+  GraphData g;
+  g.num_vertices = options.num_vertices;
+  Rng rng(options.seed);
+
+  // Number of quadrant-recursion levels covering num_vertices.
+  int levels = 1;
+  while ((int64_t{1} << levels) < options.num_vertices) ++levels;
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(options.num_edges) * 2);
+  g.edges.reserve(static_cast<size_t>(options.num_edges));
+
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  int64_t attempts = 0;
+  const int64_t max_attempts = options.num_edges * 20;
+  while (static_cast<int64_t>(g.edges.size()) < options.num_edges &&
+         attempts++ < max_attempts) {
+    int64_t src = 0, dst = 0;
+    for (int l = 0; l < levels; ++l) {
+      double r = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < options.a) {
+        // top-left: neither bit set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src >= options.num_vertices || dst >= options.num_vertices) continue;
+    if (src == dst) continue;
+    uint64_t key = (static_cast<uint64_t>(src) << 32) |
+                   static_cast<uint64_t>(dst);
+    if (!seen.insert(key).second) continue;
+    g.edges.emplace_back(src, dst);
+  }
+
+  // Guarantee out-degree >= 1: dangling vertices get a wrap edge, so
+  // PageRank mass is conserved and SSSP frontiers cannot strand.
+  std::vector<bool> has_out(static_cast<size_t>(options.num_vertices), false);
+  for (const auto& [src, dst] : g.edges) {
+    has_out[static_cast<size_t>(src)] = true;
+  }
+  for (int64_t v = 0; v < options.num_vertices; ++v) {
+    if (!has_out[static_cast<size_t>(v)]) {
+      g.edges.emplace_back(v, (v + 1) % options.num_vertices);
+    }
+  }
+  return g;
+}
+
+GraphData GenerateDbpediaLike(double scale, uint64_t seed) {
+  GraphGenOptions opt;
+  opt.num_vertices = std::max<int64_t>(64, static_cast<int64_t>(33000 * scale));
+  opt.num_edges = static_cast<int64_t>(480000 * scale);
+  opt.a = 0.57;
+  opt.b = 0.19;
+  opt.c = 0.19;
+  opt.seed = seed;
+  return GenerateRmatGraph(opt);
+}
+
+GraphData GenerateTwitterLike(double scale, uint64_t seed) {
+  GraphGenOptions opt;
+  opt.num_vertices = std::max<int64_t>(64, static_cast<int64_t>(41000 * scale));
+  opt.num_edges = static_cast<int64_t>(1400000 * scale);
+  opt.a = 0.65;  // heavier skew: celebrity-follower structure
+  opt.b = 0.15;
+  opt.c = 0.15;
+  opt.seed = seed;
+  return GenerateRmatGraph(opt);
+}
+
+std::vector<std::pair<double, double>> GeoClusterCenters(
+    const GeoGenOptions& options) {
+  Rng rng(options.seed * 31 + 5);
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(static_cast<size_t>(options.num_clusters));
+  for (int c = 0; c < options.num_clusters; ++c) {
+    // Well-separated grid-jittered centers in [-10, 10]^2.
+    centers.emplace_back(rng.NextDouble(-10, 10), rng.NextDouble(-10, 10));
+  }
+  return centers;
+}
+
+std::vector<Tuple> GenerateGeoPoints(const GeoGenOptions& options) {
+  Rng rng(options.seed);
+  auto centers = GeoClusterCenters(options);
+
+  const int64_t copies = 1 + options.enlargement;
+  const int64_t total = options.num_base_points * copies;
+
+  // Random permutation of ids so "pid < k" samples uniformly.
+  std::vector<int64_t> ids(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) ids[static_cast<size_t>(i)] = i;
+  for (int64_t i = total - 1; i > 0; --i) {
+    std::swap(ids[static_cast<size_t>(i)],
+              ids[static_cast<size_t>(rng.NextBelow(
+                  static_cast<uint64_t>(i + 1)))]);
+  }
+
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(total));
+  int64_t next = 0;
+  for (int64_t b = 0; b < options.num_base_points; ++b) {
+    const auto& [cx, cy] =
+        centers[static_cast<size_t>(b) % centers.size()];
+    const double x = cx + options.cluster_stddev * rng.NextGaussian();
+    const double y = cy + options.cluster_stddev * rng.NextGaussian();
+    for (int64_t j = 0; j < copies; ++j) {
+      const double jx =
+          j == 0 ? 0.0 : options.jitter_stddev * rng.NextGaussian();
+      const double jy =
+          j == 0 ? 0.0 : options.jitter_stddev * rng.NextGaussian();
+      rows.push_back(Tuple{Value(ids[static_cast<size_t>(next++)]),
+                           Value(x + jx), Value(y + jy)});
+    }
+  }
+  return rows;
+}
+
+std::vector<Tuple> GenerateLineitem(const LineitemGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(options.num_rows));
+  int64_t orderkey = 1;
+  int linenumber = 1;
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    if (linenumber > 7 || rng.NextBool(0.3)) {
+      ++orderkey;
+      linenumber = 1;
+    }
+    const double quantity = 1 + static_cast<double>(rng.NextBelow(50));
+    const double price = quantity * rng.NextDouble(900.0, 11000.0) / 10.0;
+    const double tax = 0.01 * static_cast<double>(rng.NextBelow(9));
+    rows.push_back(Tuple{Value(orderkey), Value(int64_t{linenumber}),
+                         Value(quantity), Value(price), Value(tax)});
+    ++linenumber;
+  }
+  return rows;
+}
+
+}  // namespace rex

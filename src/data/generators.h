@@ -1,0 +1,88 @@
+// Deterministic synthetic dataset generators standing in for the paper's
+// datasets (see DESIGN.md "Substitutions"):
+//
+//   DBPedia link graph   -> RMAT scale-free graph, moderate skew
+//   Twitter follower     -> RMAT with heavier skew and higher edge/vertex
+//                           ratio
+//   DBPedia geo points   -> mixture-of-Gaussians 2-D points, optionally
+//                           "enlarged" by jittered copies (the paper's
+//                           simulated 1000 extra points per coordinate)
+//   TPC-H lineitem (10GB)-> lineitem-like rows (linenumber, tax, ...)
+//
+// All generators are pure functions of their seed.
+#ifndef REX_DATA_GENERATORS_H_
+#define REX_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/tuple.h"
+
+namespace rex {
+
+struct GraphData {
+  int64_t num_vertices = 0;
+  /// (src, dst) pairs; every vertex has out-degree >= 1 (dangling vertices
+  /// get a wrap-around edge so PageRank mass is conserved).
+  std::vector<std::pair<int64_t, int64_t>> edges;
+
+  /// Rows for a (src:int, dst:int) edge table.
+  std::vector<Tuple> EdgeRows() const;
+  /// Rows for a (v:int) vertex table.
+  std::vector<Tuple> VertexRows() const;
+  std::vector<int64_t> OutDegrees() const;
+};
+
+struct GraphGenOptions {
+  int64_t num_vertices = 1000;
+  int64_t num_edges = 8000;
+  /// RMAT quadrant probabilities; heavier a = heavier skew.
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  uint64_t seed = 0x9e1u;
+};
+
+/// R-MAT recursive-quadrant generator (deduplicated, no self loops except
+/// the degree-1 guarantee wrap edges).
+GraphData GenerateRmatGraph(const GraphGenOptions& options);
+
+/// "DBPedia-like": 3.3M vertices / 48M edges in the paper; scaled by
+/// `scale` (scale=1.0 gives ~33K vertices / ~480K edges so benches run in
+/// seconds; the ratio edge/vertex ≈ 14.5 matches the paper's dataset).
+GraphData GenerateDbpediaLike(double scale = 1.0, uint64_t seed = 17);
+
+/// "Twitter-like": heavier tail, edge/vertex ≈ 34 (1.4B / 41M).
+GraphData GenerateTwitterLike(double scale = 1.0, uint64_t seed = 23);
+
+struct GeoGenOptions {
+  int64_t num_base_points = 1000;
+  int num_clusters = 8;
+  /// Jittered copies per base point (the paper enlarges 328K coordinates
+  /// to 382M tuples this way).
+  int enlargement = 0;
+  double cluster_stddev = 0.5;
+  double jitter_stddev = 0.01;
+  uint64_t seed = 0x6e07u;
+};
+
+/// Rows for a (pid:int, x:double, y:double) geo point table, drawn from a
+/// mixture of Gaussians. Point ids are a random permutation so "pid < k"
+/// is a uniform random sample (used for centroid seeding).
+std::vector<Tuple> GenerateGeoPoints(const GeoGenOptions& options);
+/// The ground-truth cluster centers used by the mixture.
+std::vector<std::pair<double, double>> GeoClusterCenters(
+    const GeoGenOptions& options);
+
+struct LineitemGenOptions {
+  int64_t num_rows = 100000;
+  uint64_t seed = 0x7c9u;
+};
+
+/// Rows for a lineitem-like table:
+/// (orderkey:int, linenumber:int, quantity:double, extendedprice:double,
+///  tax:double). linenumber is 1..7 (so "linenumber > 1" passes ~6/7).
+std::vector<Tuple> GenerateLineitem(const LineitemGenOptions& options);
+
+}  // namespace rex
+
+#endif  // REX_DATA_GENERATORS_H_

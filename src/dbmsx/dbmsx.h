@@ -1,0 +1,48 @@
+// The "DBMS X" baseline (§6.4): recursive SQL on a single node.
+//
+// SQL-99 recursion ACCUMULATES answers — it cannot revise them (§1, §2).
+// We reproduce exactly that execution model with the engine's kAccumulate
+// fixpoint on a one-worker cluster: every iteration's (vertex, rank,
+// iteration) tuples are appended to the recursive relation, nothing is
+// ever replaced, duplicate derivations are eliminated against the ENTIRE
+// accumulated store, and the final answer is the last iteration's slice.
+// The growing state and the re-derivation of every tuple every iteration
+// are the inefficiencies REX's refinement-of-state model removes.
+#ifndef REX_DBMSX_DBMSX_H_
+#define REX_DBMSX_DBMSX_H_
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+struct DbmsXConfig {
+  double damping = 0.85;
+  int iterations = 20;
+  std::string name_suffix;
+};
+
+/// Registers the XJoinPR handler (rank distribution with an iteration
+/// counter attribute, the paper's §3.2 optimization note).
+Status RegisterDbmsXUdfs(UdfRegistry* registry, const DbmsXConfig& config);
+
+/// Recursive-SQL PageRank plan over graph/vertices tables.
+Result<PlanSpec> BuildDbmsXPageRankPlan(const DbmsXConfig& config);
+
+struct DbmsXRun {
+  std::vector<double> ranks;
+  /// Total tuples retained by the recursive relation at the end — grows
+  /// with the iteration count (accumulation, not refinement).
+  int64_t accumulated_tuples = 0;
+  double total_seconds = 0;
+  std::vector<StratumReport> strata;
+};
+
+/// Runs recursive-SQL PageRank on a single-node cluster.
+Result<DbmsXRun> RunDbmsXPageRank(const GraphData& graph,
+                                  const DbmsXConfig& config);
+
+}  // namespace rex
+
+#endif  // REX_DBMSX_DBMSX_H_

@@ -1,0 +1,108 @@
+#include "engine/local_plan.h"
+
+#include <map>
+
+namespace rex {
+
+Result<std::unique_ptr<LocalPlan>> LocalPlan::Instantiate(
+    const PlanSpec& spec, ExecContext* ctx) {
+  REX_RETURN_NOT_OK(spec.Validate());
+  auto plan = std::unique_ptr<LocalPlan>(new LocalPlan());
+
+  for (const PlanNodeSpec& n : spec.nodes()) {
+    std::unique_ptr<Operator> op;
+    switch (n.type) {
+      case PlanNodeSpec::Type::kScan:
+        op = std::make_unique<ScanOp>(n.id, n.scan);
+        break;
+      case PlanNodeSpec::Type::kFilter:
+        op = std::make_unique<FilterOp>(n.id, n.predicate);
+        break;
+      case PlanNodeSpec::Type::kProject:
+        op = std::make_unique<ProjectOp>(n.id, n.exprs);
+        break;
+      case PlanNodeSpec::Type::kApplyFn:
+        op = std::make_unique<ApplyFnOp>(n.id, n.fn_name);
+        break;
+      case PlanNodeSpec::Type::kHashJoin:
+        op = std::make_unique<HashJoinOp>(n.id, n.join);
+        break;
+      case PlanNodeSpec::Type::kGroupBy:
+        op = std::make_unique<GroupByOp>(n.id, n.group_by);
+        break;
+      case PlanNodeSpec::Type::kRehash:
+        op = std::make_unique<RehashOp>(n.id, n.rehash);
+        break;
+      case PlanNodeSpec::Type::kFixpoint:
+        op = std::make_unique<FixpointOp>(n.id, n.fixpoint);
+        break;
+      case PlanNodeSpec::Type::kUnion:
+        op = std::make_unique<UnionOp>(n.id, n.union_inputs);
+        break;
+      case PlanNodeSpec::Type::kSink:
+        op = std::make_unique<SinkOp>(n.id);
+        break;
+    }
+    plan->ops_.push_back(std::move(op));
+  }
+
+  // Wire edges and derive expected punctuation counts from local fan-in.
+  std::map<std::pair<int, int>, int> fan_in;  // (node, port) -> edge count
+  for (const PlanNodeSpec& n : spec.nodes()) {
+    for (const auto& e : n.inputs) {
+      plan->ops_[static_cast<size_t>(e.from)]->AddOutput(
+          plan->ops_[static_cast<size_t>(n.id)].get(), e.to_port);
+      fan_in[{n.id, e.to_port}] += 1;
+    }
+  }
+  for (const auto& [key, count] : fan_in) {
+    Operator* op = plan->ops_[static_cast<size_t>(key.first)].get();
+    if (key.second >= op->num_ports()) {
+      return Status::InvalidArgument(
+          "edge targets port " + std::to_string(key.second) + " of node " +
+          std::to_string(key.first) + " which has only " +
+          std::to_string(op->num_ports()) + " ports");
+    }
+    op->SetExpectedPuncts(key.second, count);
+  }
+
+  for (auto& op : plan->ops_) {
+    // Open after wiring: RehashOp overrides its network port's expectation.
+    REX_RETURN_NOT_OK(op->Open(ctx));
+    if (auto* fp = dynamic_cast<FixpointOp*>(op.get())) {
+      plan->fixpoints_.push_back(fp);
+    } else if (auto* sink = dynamic_cast<SinkOp*>(op.get())) {
+      plan->sinks_.push_back(sink);
+    } else if (auto* scan = dynamic_cast<ScanOp*>(op.get())) {
+      plan->scans_.push_back(scan);
+    }
+  }
+  return plan;
+}
+
+Status LocalPlan::StartStratum(int stratum) {
+  for (auto& op : ops_) REX_RETURN_NOT_OK(op->StartStratum(stratum));
+  return Status::OK();
+}
+
+Status LocalPlan::ResetTransientState() {
+  for (auto& op : ops_) REX_RETURN_NOT_OK(op->ResetTransientState());
+  return Status::OK();
+}
+
+Status LocalPlan::OnMembershipChange() {
+  for (auto& op : ops_) REX_RETURN_NOT_OK(op->OnMembershipChange());
+  return Status::OK();
+}
+
+Status LocalPlan::RecoveryReload() {
+  for (auto& op : ops_) REX_RETURN_NOT_OK(op->RecoveryReload());
+  return Status::OK();
+}
+
+Status LocalPlan::Close() {
+  for (auto& op : ops_) REX_RETURN_NOT_OK(op->Close());
+  return Status::OK();
+}
+
+}  // namespace rex

@@ -1,0 +1,47 @@
+// Per-worker instantiation of a PlanSpec: one Operator per node, wired by
+// the spec's edges, with per-port expected punctuation counts derived from
+// the edge fan-in.
+#ifndef REX_ENGINE_LOCAL_PLAN_H_
+#define REX_ENGINE_LOCAL_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+class LocalPlan {
+ public:
+  /// Builds, wires, and Open()s every operator against `ctx`.
+  static Result<std::unique_ptr<LocalPlan>> Instantiate(const PlanSpec& spec,
+                                                        ExecContext* ctx);
+
+  Operator* op(int id) { return ops_[static_cast<size_t>(id)].get(); }
+  int size() const { return static_cast<int>(ops_.size()); }
+
+  const std::vector<FixpointOp*>& fixpoints() const { return fixpoints_; }
+  const std::vector<SinkOp*>& sinks() const { return sinks_; }
+  const std::vector<ScanOp*>& scans() const { return scans_; }
+
+  /// Calls StartStratum on every operator (scans act in stratum 0,
+  /// fixpoints in later strata).
+  Status StartStratum(int stratum);
+
+  Status ResetTransientState();
+  Status OnMembershipChange();
+  Status RecoveryReload();
+  Status Close();
+
+ private:
+  LocalPlan() = default;
+
+  std::vector<std::unique_ptr<Operator>> ops_;
+  std::vector<FixpointOp*> fixpoints_;
+  std::vector<SinkOp*> sinks_;
+  std::vector<ScanOp*> scans_;
+};
+
+}  // namespace rex
+
+#endif  // REX_ENGINE_LOCAL_PLAN_H_

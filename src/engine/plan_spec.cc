@@ -1,0 +1,191 @@
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+int PlanSpec::Add(PlanNodeSpec node) {
+  node.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+int PlanSpec::AddScan(ScanOp::Params params) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kScan;
+  n.scan = std::move(params);
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddFilter(int input, ExprPtr predicate) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kFilter;
+  n.predicate = std::move(predicate);
+  n.inputs.push_back({input, 0});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddProject(int input, std::vector<ExprPtr> exprs) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kProject;
+  n.exprs = std::move(exprs);
+  n.inputs.push_back({input, 0});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddApplyFn(int input, std::string fn_name) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kApplyFn;
+  n.fn_name = std::move(fn_name);
+  n.inputs.push_back({input, 0});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddHashJoin(int left, int right, HashJoinOp::Params params) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kHashJoin;
+  n.join = std::move(params);
+  n.inputs.push_back({left, 0});
+  n.inputs.push_back({right, 1});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddGroupBy(int input, GroupByOp::Params params) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kGroupBy;
+  n.group_by = std::move(params);
+  n.inputs.push_back({input, 0});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddRehash(int input, RehashOp::Params params) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kRehash;
+  n.rehash = std::move(params);
+  n.inputs.push_back({input, 0});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddFixpoint(int base, FixpointOp::Params params) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kFixpoint;
+  n.fixpoint = std::move(params);
+  n.inputs.push_back({base, FixpointOp::kBasePort});
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddUnion(std::vector<int> inputs) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kUnion;
+  n.union_inputs = static_cast<int>(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    n.inputs.push_back({inputs[i], static_cast<int>(i)});
+  }
+  return Add(std::move(n));
+}
+
+int PlanSpec::AddSink(int input) {
+  PlanNodeSpec n;
+  n.type = PlanNodeSpec::Type::kSink;
+  n.inputs.push_back({input, 0});
+  return Add(std::move(n));
+}
+
+void PlanSpec::ConnectRecursive(int fixpoint, int recursive_tail) {
+  nodes_[static_cast<size_t>(fixpoint)].inputs.push_back(
+      {recursive_tail, FixpointOp::kRecursivePort});
+}
+
+void PlanSpec::AddEdge(int from, int to, int to_port) {
+  nodes_[static_cast<size_t>(to)].inputs.push_back({from, to_port});
+}
+
+Status PlanSpec::Validate() const {
+  for (const PlanNodeSpec& n : nodes_) {
+    for (const auto& e : n.inputs) {
+      if (e.from < 0 || e.from >= size()) {
+        return Status::InvalidArgument("plan node " + std::to_string(n.id) +
+                                       " has edge from missing node " +
+                                       std::to_string(e.from));
+      }
+      if (e.to_port < 0) {
+        return Status::InvalidArgument("negative input port");
+      }
+    }
+    switch (n.type) {
+      case PlanNodeSpec::Type::kScan:
+        if (n.scan.table.empty()) {
+          return Status::InvalidArgument("scan without table name");
+        }
+        if (!n.inputs.empty()) {
+          return Status::InvalidArgument("scan must have no inputs");
+        }
+        break;
+      case PlanNodeSpec::Type::kFilter:
+        if (!n.predicate) {
+          return Status::InvalidArgument("filter without predicate");
+        }
+        break;
+      case PlanNodeSpec::Type::kProject:
+        if (n.exprs.empty()) {
+          return Status::InvalidArgument("project without expressions");
+        }
+        break;
+      case PlanNodeSpec::Type::kApplyFn:
+        if (n.fn_name.empty()) {
+          return Status::InvalidArgument("applyFn without function name");
+        }
+        break;
+      case PlanNodeSpec::Type::kHashJoin:
+        if (n.join.left_keys.size() != n.join.right_keys.size()) {
+          return Status::InvalidArgument("join key arity mismatch");
+        }
+        break;
+      case PlanNodeSpec::Type::kGroupBy:
+        if (n.group_by.aggs.empty() && n.group_by.uda.empty()) {
+          return Status::InvalidArgument(
+              "group-by without aggregates or UDA");
+        }
+        break;
+      case PlanNodeSpec::Type::kRehash:
+        // Empty key fields are allowed: the constant hash gathers all
+        // tuples onto one worker (global aggregation).
+        break;
+      case PlanNodeSpec::Type::kFixpoint:
+        if (n.fixpoint.key_fields.empty() &&
+            n.fixpoint.while_handler.empty() &&
+            n.fixpoint.mode != FixpointOp::Mode::kAccumulate) {
+          return Status::InvalidArgument("fixpoint without key fields");
+        }
+        break;
+      case PlanNodeSpec::Type::kUnion:
+      case PlanNodeSpec::Type::kSink:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string PlanSpec::ToString() const {
+  static const char* kNames[] = {"scan",   "filter",  "project", "applyFn",
+                                 "join",   "groupBy", "rehash",  "fixpoint",
+                                 "union",  "sink"};
+  std::string out;
+  for (const PlanNodeSpec& n : nodes_) {
+    out += std::to_string(n.id);
+    out += ": ";
+    out += kNames[static_cast<int>(n.type)];
+    if (n.type == PlanNodeSpec::Type::kScan) out += "(" + n.scan.table + ")";
+    if (!n.inputs.empty()) {
+      out += " <- [";
+      for (size_t i = 0; i < n.inputs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(n.inputs[i].from) + "@p" +
+               std::to_string(n.inputs[i].to_port);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rex

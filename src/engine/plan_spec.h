@@ -1,0 +1,105 @@
+// Serializable physical plan descriptions.
+//
+// The optimizer (or a hand-written plan builder) produces a PlanSpec; the
+// driver disseminates it to every worker, which instantiates a LocalPlan —
+// one Operator instance per node — exactly as REX ships the optimized plan
+// plus referenced user-code names to all workers (§4). User code is
+// referenced by registry name, never embedded.
+#ifndef REX_ENGINE_PLAN_SPEC_H_
+#define REX_ENGINE_PLAN_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/fixpoint.h"
+#include "exec/group_by.h"
+#include "exec/hash_join.h"
+#include "exec/operators.h"
+
+namespace rex {
+
+struct PlanNodeSpec {
+  enum class Type : uint8_t {
+    kScan,
+    kFilter,
+    kProject,
+    kApplyFn,
+    kHashJoin,
+    kGroupBy,
+    kRehash,
+    kFixpoint,
+    kUnion,
+    kSink,
+  };
+
+  /// A dataflow edge: node `from`'s output feeds this node's `to_port`.
+  struct Edge {
+    int from;
+    int to_port;
+  };
+
+  int id = -1;
+  Type type = Type::kScan;
+  std::vector<Edge> inputs;
+
+  // Exactly one of the following is meaningful, per `type`.
+  ScanOp::Params scan;
+  ExprPtr predicate;             // kFilter
+  std::vector<ExprPtr> exprs;    // kProject
+  std::string fn_name;           // kApplyFn
+  HashJoinOp::Params join;
+  GroupByOp::Params group_by;
+  RehashOp::Params rehash;
+  FixpointOp::Params fixpoint;
+  int union_inputs = 2;          // kUnion
+};
+
+/// A whole physical plan. Node ids are indexes into `nodes`.
+class PlanSpec {
+ public:
+  const std::vector<PlanNodeSpec>& nodes() const { return nodes_; }
+  const PlanNodeSpec& node(int id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // -- builder API ----------------------------------------------------------
+  int AddScan(ScanOp::Params params);
+  int AddFilter(int input, ExprPtr predicate);
+  int AddProject(int input, std::vector<ExprPtr> exprs);
+  int AddApplyFn(int input, std::string fn_name);
+  /// `left` feeds port 0, `right` feeds port 1.
+  int AddHashJoin(int left, int right, HashJoinOp::Params params);
+  int AddGroupBy(int input, GroupByOp::Params params);
+  int AddRehash(int input, RehashOp::Params params);
+  /// `base` feeds the base port. Wire the recursive case afterwards with
+  /// ConnectRecursive (the loop cannot be expressed in one call).
+  int AddFixpoint(int base, FixpointOp::Params params);
+  int AddUnion(std::vector<int> inputs);
+  int AddSink(int input);
+
+  /// Adds the loop edge: `recursive_tail`'s output feeds the fixpoint's
+  /// recursive port. The fixpoint's own output edges are declared by the
+  /// recursive sub-plan's entry node listing the fixpoint as an input.
+  void ConnectRecursive(int fixpoint, int recursive_tail);
+
+  /// Adds an extra input edge to an existing node (loop entries).
+  void AddEdge(int from, int to, int to_port);
+
+  /// Structural sanity: edge targets exist, port ranges valid, exactly one
+  /// param set per node type.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  int Add(PlanNodeSpec node);
+
+  std::vector<PlanNodeSpec> nodes_;
+};
+
+}  // namespace rex
+
+#endif  // REX_ENGINE_PLAN_SPEC_H_

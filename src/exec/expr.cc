@@ -1,0 +1,288 @@
+#include "exec/expr.h"
+
+#include <cmath>
+
+namespace rex {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Column(int index, std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = index;
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCall;
+  e->fn_name = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNot;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column_name.empty() ? "$" + std::to_string(column)
+                                 : column_name;
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpName(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = fn_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "NOT " + args[0]->ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Value> EvalBinary(BinOp op, const Value& a, const Value& b) {
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    if (a.type() != ValueType::kBool || b.type() != ValueType::kBool) {
+      return Status::TypeError("AND/OR require boolean operands");
+    }
+    return Value(op == BinOp::kAnd ? (a.AsBool() && b.AsBool())
+                                   : (a.AsBool() || b.AsBool()));
+  }
+  if (IsComparison(op)) {
+    switch (op) {
+      case BinOp::kEq:
+        return Value(a == b);
+      case BinOp::kNe:
+        return Value(a != b);
+      case BinOp::kLt:
+        return Value(a < b);
+      case BinOp::kLe:
+        return Value(!(b < a));
+      case BinOp::kGt:
+        return Value(b < a);
+      case BinOp::kGe:
+        return Value(!(a < b));
+      default:
+        break;
+    }
+  }
+  // Arithmetic: integer op integer stays integer (except /), otherwise
+  // evaluate in double.
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt &&
+      op != BinOp::kDiv) {
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value(x + y);
+      case BinOp::kSub:
+        return Value(x - y);
+      case BinOp::kMul:
+        return Value(x * y);
+      case BinOp::kMod:
+        if (y == 0) return Status::InvalidArgument("modulo by zero");
+        return Value(x % y);
+      default:
+        break;
+    }
+  }
+  REX_ASSIGN_OR_RETURN(double x, a.ToDouble());
+  REX_ASSIGN_OR_RETURN(double y, b.ToDouble());
+  switch (op) {
+    case BinOp::kAdd:
+      return Value(x + y);
+    case BinOp::kSub:
+      return Value(x - y);
+    case BinOp::kMul:
+      return Value(x * y);
+    case BinOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(x / y);
+    case BinOp::kMod:
+      return Value(std::fmod(x, y));
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const Tuple& tuple,
+                       const UdfRegistry* registry) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn:
+      if (expr.column < 0 ||
+          static_cast<size_t>(expr.column) >= tuple.size()) {
+        return Status::OutOfRange("column " + std::to_string(expr.column) +
+                                  " out of range for tuple of arity " +
+                                  std::to_string(tuple.size()));
+      }
+      return tuple.field(static_cast<size_t>(expr.column));
+    case Expr::Kind::kConst:
+      return expr.constant;
+    case Expr::Kind::kBinary: {
+      REX_ASSIGN_OR_RETURN(Value a, EvalExpr(*expr.lhs, tuple, registry));
+      // Short-circuit booleans.
+      if (expr.op == BinOp::kAnd && a.type() == ValueType::kBool &&
+          !a.AsBool()) {
+        return Value(false);
+      }
+      if (expr.op == BinOp::kOr && a.type() == ValueType::kBool &&
+          a.AsBool()) {
+        return Value(true);
+      }
+      REX_ASSIGN_OR_RETURN(Value b, EvalExpr(*expr.rhs, tuple, registry));
+      return EvalBinary(expr.op, a, b);
+    }
+    case Expr::Kind::kCall: {
+      if (registry == nullptr) {
+        return Status::InvalidArgument("UDF call '" + expr.fn_name +
+                                       "' without a registry");
+      }
+      REX_ASSIGN_OR_RETURN(const ScalarUdf* udf,
+                           registry->GetScalar(expr.fn_name));
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& a : expr.args) {
+        REX_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, tuple, registry));
+        args.push_back(std::move(v));
+      }
+      return udf->fn(args);
+    }
+    case Expr::Kind::kNot: {
+      REX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], tuple, registry));
+      if (v.type() != ValueType::kBool) {
+        return Status::TypeError("NOT requires a boolean operand");
+      }
+      return Value(!v.AsBool());
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Tuple& tuple,
+                           const UdfRegistry* registry) {
+  REX_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, tuple, registry));
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  return Status::TypeError("predicate evaluated to non-boolean " +
+                           v.ToString());
+}
+
+Result<ValueType> InferType(const Expr& expr, const Schema& schema,
+                            const UdfRegistry* registry) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn:
+      if (expr.column < 0 ||
+          static_cast<size_t>(expr.column) >= schema.size()) {
+        return Status::OutOfRange("column index out of schema range");
+      }
+      return schema.field(static_cast<size_t>(expr.column)).type;
+    case Expr::Kind::kConst:
+      return expr.constant.type();
+    case Expr::Kind::kBinary: {
+      REX_ASSIGN_OR_RETURN(ValueType lt,
+                           InferType(*expr.lhs, schema, registry));
+      REX_ASSIGN_OR_RETURN(ValueType rt,
+                           InferType(*expr.rhs, schema, registry));
+      if (IsComparison(expr.op) || expr.op == BinOp::kAnd ||
+          expr.op == BinOp::kOr) {
+        return ValueType::kBool;
+      }
+      if (expr.op == BinOp::kDiv) return ValueType::kDouble;
+      if (lt == ValueType::kInt && rt == ValueType::kInt) {
+        return ValueType::kInt;
+      }
+      return ValueType::kDouble;
+    }
+    case Expr::Kind::kCall: {
+      if (registry == nullptr) {
+        return Status::InvalidArgument("cannot type UDF without registry");
+      }
+      REX_ASSIGN_OR_RETURN(const ScalarUdf* udf,
+                           registry->GetScalar(expr.fn_name));
+      return udf->out_type;
+    }
+    case Expr::Kind::kNot:
+      return ValueType::kBool;
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace rex

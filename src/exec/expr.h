@@ -1,0 +1,84 @@
+// Scalar expression trees evaluated over tuples: column references,
+// literals, arithmetic/comparison/boolean operators, and scalar UDF calls.
+// Used by filter predicates, projections, and RQL lowering.
+#ifndef REX_EXEC_EXPR_H_
+#define REX_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/udf_registry.h"
+
+namespace rex {
+
+enum class BinOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinOpName(BinOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable expression node.
+struct Expr {
+  enum class Kind : uint8_t { kColumn, kConst, kBinary, kCall, kNot };
+
+  Kind kind;
+
+  // kColumn
+  int column = -1;
+  std::string column_name;  // for display / late binding in RQL
+
+  // kConst
+  Value constant;
+
+  // kBinary
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kCall (scalar UDF by name) — args also used by kNot (args[0])
+  std::string fn_name;
+  std::vector<ExprPtr> args;
+
+  std::string ToString() const;
+
+  static ExprPtr Column(int index, std::string name = "");
+  static ExprPtr Const(Value v);
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+  static ExprPtr Not(ExprPtr e);
+};
+
+/// Evaluates `expr` against `tuple`. `registry` resolves UDF calls and may
+/// be null when the expression contains none.
+Result<Value> EvalExpr(const Expr& expr, const Tuple& tuple,
+                       const UdfRegistry* registry);
+
+/// Evaluates as a predicate: NULL and non-boolean-falsy results are false.
+Result<bool> EvalPredicate(const Expr& expr, const Tuple& tuple,
+                           const UdfRegistry* registry);
+
+/// Infers the result type given the input schema (for plan typechecking).
+Result<ValueType> InferType(const Expr& expr, const Schema& schema,
+                            const UdfRegistry* registry);
+
+}  // namespace rex
+
+#endif  // REX_EXEC_EXPR_H_

@@ -1,0 +1,280 @@
+#include "exec/fixpoint.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rex {
+
+namespace {
+
+uint64_t HashKey(const std::vector<Value>& key) {
+  uint64_t h = 0x853c49e6748fea9bULL;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+/// Checkpoint encoding: the delta op rides as a leading integer field so
+/// replay can reconstruct the exact annotation.
+Tuple EncodeCheckpoint(const Delta& d) {
+  Tuple t{Value(static_cast<int64_t>(d.op))};
+  return t.Concat(d.tuple);
+}
+
+Result<Delta> DecodeCheckpoint(const Tuple& t) {
+  if (t.size() < 1 || t.field(0).type() != ValueType::kInt) {
+    return Status::ParseError("malformed checkpoint tuple");
+  }
+  Delta d;
+  d.op = static_cast<DeltaOp>(t.field(0).AsInt());
+  std::vector<Value> fields(t.fields().begin() + 1, t.fields().end());
+  d.tuple = Tuple(std::move(fields));
+  return d;
+}
+
+}  // namespace
+
+Status FixpointOp::Open(ExecContext* ctx) {
+  REX_RETURN_NOT_OK(Operator::Open(ctx));
+  if (!params_.while_handler.empty()) {
+    REX_ASSIGN_OR_RETURN(handler_,
+                         ctx->udfs->GetWhileHandler(params_.while_handler));
+  }
+  return Status::OK();
+}
+
+std::vector<Value> FixpointOp::KeyOf(const Tuple& t) const {
+  std::vector<Value> key;
+  key.reserve(params_.key_fields.size());
+  for (int k : params_.key_fields) {
+    key.push_back(t.field(static_cast<size_t>(k)));
+  }
+  return key;
+}
+
+FixpointOp::Bucket* FixpointOp::FindOrCreate(const std::vector<Value>& key) {
+  auto& chain = state_.FindOrCreate(HashKey(key));
+  for (Bucket& b : chain) {
+    if (b.key == key) return &b;
+  }
+  chain.push_back(Bucket{key, TupleSet()});
+  return &chain.back();
+}
+
+FixpointOp::Bucket* FixpointOp::FindOrCreateFromTuple(const Tuple& t) {
+  uint64_t h = 0x853c49e6748fea9bULL;
+  if (params_.key_fields.empty()) {
+    // Keyless (kAccumulate) fixpoints deduplicate on the whole tuple;
+    // bucket by its full hash so the duplicate scan stays O(1) instead of
+    // degenerating into one gigantic chain.
+    h = HashCombine(h, t.Hash());
+  }
+  for (int k : params_.key_fields) {
+    h = HashCombine(h, t.field(static_cast<size_t>(k)).Hash());
+  }
+  auto& chain = state_.FindOrCreate(h);
+  for (Bucket& b : chain) {
+    bool match = b.key.size() == params_.key_fields.size();
+    for (size_t i = 0; match && i < b.key.size(); ++i) {
+      match = b.key[i] == t.field(static_cast<size_t>(params_.key_fields[i]));
+    }
+    if (match) return &b;
+  }
+  chain.push_back(Bucket{KeyOf(t), TupleSet()});
+  return &chain.back();
+}
+
+Status FixpointOp::Apply(const Delta& d) {
+  Bucket* b = FindOrCreateFromTuple(d.tuple);
+
+  if (handler_ != nullptr) {
+    const size_t before = b->tuples.size();
+    REX_ASSIGN_OR_RETURN(DeltaVec produced, handler_->update(&b->tuples, d));
+    state_size_ += b->tuples.size() - before;
+    if (!produced.empty()) {
+      stats_.new_tuples += static_cast<int64_t>(produced.size());
+      stats_.changed_tuples += static_cast<int64_t>(produced.size());
+      for (Delta& p : produced) pending_.push_back(std::move(p));
+    }
+    return Status::OK();
+  }
+
+  if (params_.mode == Mode::kAccumulate) {
+    // Recursive-SQL semantics: set-semantics on the whole tuple; nothing
+    // is ever revised, every distinct derivation accumulates.
+    for (const Tuple& existing : b->tuples) {
+      if (existing == d.tuple) return Status::OK();  // duplicate
+    }
+    b->tuples.Add(d.tuple);
+    ++state_size_;
+    stats_.new_tuples += 1;
+    pending_.push_back(Delta::Insert(d.tuple));
+    return Status::OK();
+  }
+
+  // kDelta / kFull: at most one state tuple per key (set semantics with
+  // in-place revision — the "refinement of state" of §3.2).
+  if (d.op == DeltaOp::kDelete) {
+    if (b->tuples.size() > 0) {
+      Tuple old = b->tuples.at(0);
+      b->tuples = TupleSet();
+      --state_size_;
+      stats_.new_tuples += 1;
+      stats_.changed_tuples += 1;
+      if (params_.mode == Mode::kDelta) {
+        pending_.push_back(Delta::Delete(std::move(old)));
+      }
+    }
+    return Status::OK();
+  }
+
+  if (b->tuples.empty()) {
+    b->tuples.Add(d.tuple);
+    ++state_size_;
+    stats_.new_tuples += 1;
+    if (params_.mode == Mode::kDelta) {
+      pending_.push_back(Delta::Insert(d.tuple));
+    }
+    return Status::OK();
+  }
+
+  Tuple& existing = b->tuples.at(0);
+  if (existing == d.tuple) return Status::OK();  // no observable change
+
+  double change = 0.0;
+  if (params_.value_field >= 0) {
+    auto vf = static_cast<size_t>(params_.value_field);
+    REX_ASSIGN_OR_RETURN(double new_v, d.tuple.field(vf).ToDouble());
+    REX_ASSIGN_OR_RETURN(double old_v, existing.field(vf).ToDouble());
+    change = std::fabs(new_v - old_v);
+    stats_.max_change = std::max(stats_.max_change, change);
+    const double cutoff = params_.change_threshold +
+                          params_.relative_threshold * std::fabs(old_v);
+    if (change <= cutoff) {
+      // Below threshold: revise state silently, do not propagate.
+      existing = d.tuple;
+      return Status::OK();
+    }
+  }
+  Tuple old = existing;
+  existing = d.tuple;
+  stats_.new_tuples += 1;
+  stats_.changed_tuples += 1;
+  if (params_.mode == Mode::kDelta) {
+    pending_.push_back(Delta::Replace(std::move(old), d.tuple));
+  }
+  return Status::OK();
+}
+
+Status FixpointOp::Consume(int /*port*/, DeltaVec deltas) {
+  tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
+  for (const Delta& d : deltas) REX_RETURN_NOT_OK(Apply(d));
+  return Status::OK();
+}
+
+Status FixpointOp::StartStratum(int stratum) {
+  if (stratum == 0) return Status::OK();  // base case feeds us instead
+  DeltaVec flush;
+  if (params_.mode == Mode::kFull) {
+    // No-delta: re-emit the entire mutable set.
+    for (const Tuple& t : StateTuples()) flush.push_back(Delta::Insert(t));
+    pending_.clear();
+  } else {
+    flush.swap(pending_);
+  }
+  ctx_->metrics->GetCounter(metrics::kDeltaTuples)
+      ->Add(static_cast<int64_t>(flush.size()));
+  REX_RETURN_NOT_OK(Emit(std::move(flush)));
+  Punctuation p;
+  p.kind = Punctuation::Kind::kEndOfStratum;
+  p.stratum = stratum;
+  return EmitPunct(p);
+}
+
+Status FixpointOp::CheckpointPending(int stratum) {
+  if (!ctx_->config->checkpoint_deltas || ctx_->checkpoints == nullptr) {
+    return Status::OK();
+  }
+  // Group the Δ set by the replica set of each tuple's key range so a
+  // takeover node can always read the entries for ranges it inherits.
+  const std::vector<int>& route_fields = params_.partition_fields.empty()
+                                             ? params_.key_fields
+                                             : params_.partition_fields;
+  std::map<std::vector<int>, std::vector<Tuple>> by_replicas;
+  for (const Delta& d : pending_) {
+    uint64_t h = PartitionHash(d.tuple, route_fields);
+    by_replicas[ctx_->pmap->Owners(h)].push_back(EncodeCheckpoint(d));
+  }
+  for (auto& [replicas, tuples] : by_replicas) {
+    ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id, replicas,
+                           tuples);
+  }
+  if (by_replicas.empty()) {
+    // An empty checkpoint still marks the stratum complete for this node.
+    ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id,
+                           ctx_->pmap->workers(), {});
+  }
+  return Status::OK();
+}
+
+Status FixpointOp::OnPortWaveComplete(int /*port*/, const Punctuation& p) {
+  // Never forward punctuation around the loop; vote to the requestor.
+  stats_.state_size = static_cast<int64_t>(state_size_);
+  REX_RETURN_NOT_OK(CheckpointPending(p.stratum));
+  ctx_->votes->Report(ctx_->worker_id, id(), p.stratum, stats_);
+  stats_ = VoteStats{};
+  // Rearm for the next stratum's wave (closed ports stay closed).
+  ResetWave();
+  return Status::OK();
+}
+
+Status FixpointOp::ResetTransientState() {
+  REX_RETURN_NOT_OK(Operator::ResetTransientState());
+  stats_ = VoteStats{};
+  return Status::OK();
+}
+
+std::vector<Tuple> FixpointOp::StateTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(state_size_);
+  for (const auto& [hash, chain] : state_) {
+    for (const Bucket& b : chain) {
+      for (const Tuple& t : b.tuples) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+size_t FixpointOp::StateSize() const { return state_size_; }
+
+Status FixpointOp::RestoreFromCheckpoints(int last_stratum) {
+  state_.Clear();
+  state_size_ = 0;
+  pending_.clear();
+  stats_ = VoteStats{};
+  for (int s = 0; s <= last_stratum; ++s) {
+    pending_.clear();  // only the final stratum's replay output survives
+    stats_ = VoteStats{};
+    REX_ASSIGN_OR_RETURN(
+        std::vector<Tuple> tuples,
+        ctx_->checkpoints->Read(id(), s, ctx_->worker_id));
+    for (const Tuple& enc : tuples) {
+      REX_ASSIGN_OR_RETURN(Delta d, DecodeCheckpoint(enc));
+      // Only replay keys this worker now owns (same routing hash as the
+      // rehash operators, so restored state lands where deltas arrive).
+      const std::vector<int>& route_fields =
+          params_.partition_fields.empty() ? params_.key_fields
+                                           : params_.partition_fields;
+      uint64_t h = PartitionHash(d.tuple, route_fields);
+      if (ctx_->pmap->PrimaryOwner(h) != ctx_->worker_id) continue;
+      REX_RETURN_NOT_OK(Apply(d));
+    }
+  }
+  stats_ = VoteStats{};
+  REX_LOG(Info) << "fixpoint " << id() << " on worker " << ctx_->worker_id
+                << " restored " << state_size_ << " state tuples, "
+                << pending_.size() << " pending from checkpoints";
+  return Status::OK();
+}
+
+}  // namespace rex

@@ -1,0 +1,192 @@
+#include "exec/hash_join.h"
+
+namespace rex {
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  REX_RETURN_NOT_OK(Operator::Open(ctx));
+  if (!params_.handler.empty()) {
+    REX_ASSIGN_OR_RETURN(handler_, ctx->udfs->GetJoinHandler(params_.handler));
+  } else if (params_.handler_owns_all) {
+    return Status::InvalidArgument(
+        "handler_owns_all requires a join handler name");
+  }
+  return Status::OK();
+}
+
+std::vector<Value> HashJoinOp::KeyValues(const Tuple& t, int port) const {
+  const auto& keys = KeysOf(port);
+  std::vector<Value> out;
+  out.reserve(keys.size());
+  for (int k : keys) out.push_back(t.field(static_cast<size_t>(k)));
+  return out;
+}
+
+namespace {
+constexpr uint64_t kJoinHashSeed = 0x2545f4914f6cdd1dULL;
+
+uint64_t HashKey(const std::vector<Value>& key) {
+  uint64_t h = kJoinHashSeed;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+}  // namespace
+
+uint64_t HashJoinOp::HashTupleKey(const Tuple& t, int port) const {
+  uint64_t h = kJoinHashSeed;
+  for (int k : KeysOf(port)) {
+    h = HashCombine(h, t.field(static_cast<size_t>(k)).Hash());
+  }
+  return h;
+}
+
+bool HashJoinOp::KeyMatches(const Bucket& b, const Tuple& t,
+                            int port) const {
+  const auto& keys = KeysOf(port);
+  if (b.key.size() != keys.size()) return false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!(b.key[i] == t.field(static_cast<size_t>(keys[i])))) return false;
+  }
+  return true;
+}
+
+HashJoinOp::Bucket* HashJoinOp::FindBucketFromTuple(const Tuple& t,
+                                                    int port) {
+  std::vector<Bucket>* chain = buckets_.Find(HashTupleKey(t, port));
+  if (chain == nullptr) return nullptr;
+  for (Bucket& b : *chain) {
+    if (KeyMatches(b, t, port)) return &b;
+  }
+  return nullptr;
+}
+
+HashJoinOp::Bucket* HashJoinOp::FindOrCreateFromTuple(const Tuple& t,
+                                                      int port) {
+  auto& chain = buckets_.FindOrCreate(HashTupleKey(t, port));
+  for (Bucket& b : chain) {
+    if (KeyMatches(b, t, port)) return &b;
+  }
+  chain.push_back(Bucket{KeyValues(t, port), {}});
+  return &chain.back();
+}
+
+HashJoinOp::Bucket* HashJoinOp::FindBucket(const std::vector<Value>& key,
+                                           uint64_t hash) {
+  std::vector<Bucket>* chain = buckets_.Find(hash);
+  if (chain == nullptr) return nullptr;
+  for (Bucket& b : *chain) {
+    if (b.key == key) return &b;
+  }
+  return nullptr;
+}
+
+HashJoinOp::Bucket* HashJoinOp::FindOrCreate(const std::vector<Value>& key,
+                                             uint64_t hash) {
+  Bucket* b = FindBucket(key, hash);
+  if (b != nullptr) return b;
+  auto& chain = buckets_.FindOrCreate(hash);
+  chain.push_back(Bucket{key, {}});
+  return &chain.back();
+}
+
+Status HashJoinOp::Probe(int port, const Tuple& t, DeltaOp op,
+                         DeltaVec* out) {
+  Bucket* b = FindBucketFromTuple(t, port);
+  if (b == nullptr) return Status::OK();
+  const int other = 1 - port;
+  for (const Tuple& match : b->side[other]) {
+    Tuple joined = port == 0 ? t.Concat(match) : match.Concat(t);
+    Delta d;
+    d.op = op;
+    d.tuple = std::move(joined);
+    out->push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
+  const bool immutable_side = params_.immutable[port];
+  switch (d.op) {
+    case DeltaOp::kInsert:
+    case DeltaOp::kUpdate: {
+      // δ(E) with no handler: "propagate the annotation as if it were
+      // another (hidden) attribute of the tuple" — plain insert semantics
+      // with the annotation preserved on outputs.
+      Bucket* b = FindOrCreateFromTuple(d.tuple, port);
+      b->side[port].Add(d.tuple);
+      if (!immutable_side) {
+        REX_RETURN_NOT_OK(Probe(port, d.tuple, d.op, out));
+      }
+      return Status::OK();
+    }
+    case DeltaOp::kDelete: {
+      Bucket* b = FindBucketFromTuple(d.tuple, port);
+      if (b != nullptr) b->side[port].Remove(d.tuple);
+      if (!immutable_side) {
+        REX_RETURN_NOT_OK(Probe(port, d.tuple, DeltaOp::kDelete, out));
+      }
+      return Status::OK();
+    }
+    case DeltaOp::kReplace: {
+      std::vector<Value> new_key = KeyValues(d.tuple, port);
+      std::vector<Value> old_key = KeyValues(d.old_tuple, port);
+      if (new_key == old_key) {
+        Bucket* b = FindOrCreate(new_key, HashKey(new_key));
+        b->side[port].Replace(d.old_tuple, d.tuple);
+        // Matches see a replacement of the joined tuple.
+        const int other = 1 - port;
+        for (const Tuple& match : b->side[other]) {
+          Delta rd;
+          rd.op = DeltaOp::kReplace;
+          rd.tuple =
+              port == 0 ? d.tuple.Concat(match) : match.Concat(d.tuple);
+          rd.old_tuple = port == 0 ? d.old_tuple.Concat(match)
+                                   : match.Concat(d.old_tuple);
+          out->push_back(std::move(rd));
+        }
+        return Status::OK();
+      }
+      // Key changed: a deletion-insertion sequence (§3.3).
+      REX_RETURN_NOT_OK(
+          ApplyStandard(port, Delta::Delete(d.old_tuple), out));
+      return ApplyStandard(port, Delta::Insert(d.tuple), out);
+    }
+  }
+  return Status::Internal("unhandled delta op in join");
+}
+
+Status HashJoinOp::ApplyHandler(int port, const Delta& d, DeltaVec* out) {
+  Bucket* b = FindOrCreateFromTuple(d.tuple, port);
+  // The handler sees the bucket its delta arrived into first, then the
+  // opposite side (the paper's LEFTBUCKET/RIGHTBUCKET convention).
+  REX_ASSIGN_OR_RETURN(DeltaVec produced,
+                       handler_->update(&b->side[port], &b->side[1 - port],
+                                        d));
+  for (Delta& p : produced) out->push_back(std::move(p));
+  return Status::OK();
+}
+
+Status HashJoinOp::Consume(int port, DeltaVec deltas) {
+  tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
+  DeltaVec out;
+  for (Delta& d : deltas) {
+    const bool use_handler =
+        handler_ != nullptr && !params_.immutable[port] &&
+        (params_.handler_owns_all || d.op == DeltaOp::kUpdate);
+    if (use_handler) {
+      REX_RETURN_NOT_OK(ApplyHandler(port, d, &out));
+    } else {
+      REX_RETURN_NOT_OK(ApplyStandard(port, std::move(d), &out));
+    }
+  }
+  return Emit(std::move(out));
+}
+
+size_t HashJoinOp::StateSize() const {
+  size_t n = 0;
+  for (const auto& [hash, chain] : buckets_) {
+    for (const Bucket& b : chain) n += b.side[0].size() + b.side[1].size();
+  }
+  return n;
+}
+
+}  // namespace rex

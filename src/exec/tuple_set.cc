@@ -1,0 +1,61 @@
+#include "exec/tuple_set.h"
+
+namespace rex {
+
+bool TupleSet::Remove(const Tuple& t) {
+  for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+    if (*it == t) {
+      tuples_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TupleSet::Replace(const Tuple& old_t, Tuple new_t) {
+  for (Tuple& existing : tuples_) {
+    if (existing == old_t) {
+      existing = std::move(new_t);
+      return true;
+    }
+  }
+  tuples_.push_back(std::move(new_t));
+  return false;
+}
+
+const Tuple* TupleSet::Find(const Value& key, int key_field) const {
+  for (const Tuple& t : tuples_) {
+    if (t.size() > static_cast<size_t>(key_field) &&
+        t.field(static_cast<size_t>(key_field)) == key) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+Tuple* TupleSet::Find(const Value& key, int key_field) {
+  return const_cast<Tuple*>(
+      static_cast<const TupleSet*>(this)->Find(key, key_field));
+}
+
+std::optional<Value> TupleSet::Get(const Value& key, int value_field,
+                                   int key_field) const {
+  const Tuple* t = Find(key, key_field);
+  if (t == nullptr || t->size() <= static_cast<size_t>(value_field)) {
+    return std::nullopt;
+  }
+  return t->field(static_cast<size_t>(value_field));
+}
+
+std::optional<Value> TupleSet::Put(const Value& key, Value value) {
+  Tuple* t = Find(key, 0);
+  if (t != nullptr && t->size() >= 2) {
+    Value old = t->field(1);
+    t->field(1) = std::move(value);
+    return old;
+  }
+  tuples_.push_back(Tuple{key, std::move(value)});
+  return std::nullopt;
+}
+
+}  // namespace rex

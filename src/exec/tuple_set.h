@@ -1,0 +1,65 @@
+// TupleSet: the bucket abstraction passed to delta handlers (§3.3).
+//
+// Join-state and while-state handlers receive TUPLESET arguments — the
+// bucket of tuples for a key (join) or the whole fixpoint relation slice.
+// Handlers mutate buckets in place (prBucket.put(...) in the paper's
+// PRAgg). For the common key->value layout (field 0 = key) the get/put
+// convenience accessors mirror the paper's pseudo-Java API.
+#ifndef REX_EXEC_TUPLE_SET_H_
+#define REX_EXEC_TUPLE_SET_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace rex {
+
+class TupleSet {
+ public:
+  TupleSet() = default;
+  explicit TupleSet(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& at(size_t i) const { return tuples_[i]; }
+  Tuple& at(size_t i) { return tuples_[i]; }
+
+  std::vector<Tuple>& tuples() { return tuples_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  /// Removes the first tuple equal to `t`; returns whether one was found.
+  bool Remove(const Tuple& t);
+
+  /// Replaces the first tuple equal to `old_t` with `new_t`; appends
+  /// `new_t` if `old_t` was absent. Returns whether a replacement happened.
+  bool Replace(const Tuple& old_t, Tuple new_t);
+
+  // -- key->value convenience layer (field `key_field` is the key) --------
+
+  /// First tuple whose `key_field` equals `key`, or nullptr.
+  const Tuple* Find(const Value& key, int key_field = 0) const;
+  Tuple* Find(const Value& key, int key_field = 0);
+
+  /// Value of field `value_field` for `key`, if present.
+  std::optional<Value> Get(const Value& key, int value_field = 1,
+                           int key_field = 0) const;
+
+  /// Upserts (key, value) as a two-field tuple; returns the previous value
+  /// if the key existed.
+  std::optional<Value> Put(const Value& key, Value value);
+
+  auto begin() { return tuples_.begin(); }
+  auto end() { return tuples_.end(); }
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace rex
+
+#endif  // REX_EXEC_TUPLE_SET_H_

@@ -1,0 +1,91 @@
+#include "exec/udf_registry.h"
+
+namespace rex {
+
+namespace {
+
+template <typename T>
+Status RegisterInto(std::map<std::string, std::shared_ptr<T>>* into, T def,
+                    const char* kind) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument(std::string(kind) + " with empty name");
+  }
+  // Copy the key first: evaluation order of emplace arguments is
+  // unspecified, and std::move(def) may gut def.name before it is read.
+  std::string name = def.name;
+  auto [it, inserted] =
+      into->emplace(std::move(name), std::make_shared<T>(std::move(def)));
+  if (!inserted) {
+    return Status::AlreadyExists(std::string(kind) + " '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Result<const T*> LookupIn(const std::map<std::string, std::shared_ptr<T>>& in,
+                          const std::string& name, const char* kind) {
+  auto it = in.find(name);
+  if (it == in.end()) {
+    return Status::NotFound(std::string("no ") + kind + " named '" + name +
+                            "'");
+  }
+  return static_cast<const T*>(it->second.get());
+}
+
+}  // namespace
+
+Status UdfRegistry::RegisterScalar(ScalarUdf udf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterInto(&scalars_, std::move(udf), "scalar UDF");
+}
+
+Status UdfRegistry::RegisterTable(TableUdf udf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterInto(&tables_, std::move(udf), "table UDF");
+}
+
+Status UdfRegistry::RegisterUda(Uda uda) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterInto(&udas_, std::move(uda), "UDA");
+}
+
+Status UdfRegistry::RegisterJoinHandler(JoinHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterInto(&join_handlers_, std::move(handler), "join handler");
+}
+
+Status UdfRegistry::RegisterWhileHandler(WhileHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterInto(&while_handlers_, std::move(handler), "while handler");
+}
+
+Result<const ScalarUdf*> UdfRegistry::GetScalar(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupIn(scalars_, name, "scalar UDF");
+}
+
+Result<const TableUdf*> UdfRegistry::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupIn(tables_, name, "table UDF");
+}
+
+Result<const Uda*> UdfRegistry::GetUda(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupIn(udas_, name, "UDA");
+}
+
+Result<const JoinHandler*> UdfRegistry::GetJoinHandler(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupIn(join_handlers_, name, "join handler");
+}
+
+Result<const WhileHandler*> UdfRegistry::GetWhileHandler(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupIn(while_handlers_, name, "while handler");
+}
+
+}  // namespace rex

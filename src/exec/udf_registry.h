@@ -1,0 +1,54 @@
+// Name -> user-defined-code registry shared by all workers of an engine.
+//
+// Mirrors REX's direct use of Java class files: user code is registered
+// once under a name and plans reference it by name; workers resolve at
+// Open() time, as the JVM resolves shipped class names.
+#ifndef REX_EXEC_UDF_REGISTRY_H_
+#define REX_EXEC_UDF_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "exec/uda.h"
+
+namespace rex {
+
+class UdfRegistry {
+ public:
+  Status RegisterScalar(ScalarUdf udf);
+  Status RegisterTable(TableUdf udf);
+  Status RegisterUda(Uda uda);
+  Status RegisterJoinHandler(JoinHandler handler);
+  Status RegisterWhileHandler(WhileHandler handler);
+
+  Result<const ScalarUdf*> GetScalar(const std::string& name) const;
+  Result<const TableUdf*> GetTable(const std::string& name) const;
+  Result<const Uda*> GetUda(const std::string& name) const;
+  Result<const JoinHandler*> GetJoinHandler(const std::string& name) const;
+  Result<const WhileHandler*> GetWhileHandler(const std::string& name) const;
+
+  bool HasScalar(const std::string& name) const {
+    return GetScalar(name).ok();
+  }
+  bool HasUda(const std::string& name) const { return GetUda(name).ok(); }
+  bool HasTable(const std::string& name) const { return GetTable(name).ok(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ScalarUdf>> scalars_;
+  std::map<std::string, std::shared_ptr<TableUdf>> tables_;
+  std::map<std::string, std::shared_ptr<Uda>> udas_;
+  std::map<std::string, std::shared_ptr<JoinHandler>> join_handlers_;
+  std::map<std::string, std::shared_ptr<WhileHandler>> while_handlers_;
+};
+
+/// Registers the built-in general-purpose UDAs and UDFs that ship with the
+/// engine (ArgMin, ArgMax, numeric mult functions, ...). Called by Engine.
+Status RegisterBuiltins(UdfRegistry* registry);
+
+}  // namespace rex
+
+#endif  // REX_EXEC_UDF_REGISTRY_H_

@@ -1,0 +1,393 @@
+#include "mapreduce/mr_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "common/serde.h"
+#include "common/tuple.h"
+
+namespace rex {
+
+namespace {
+
+void BurnStartupCost(double ms) {
+  if (ms <= 0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double, std::milli>(ms);
+  volatile uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    sink = sink + 1;
+  }
+}
+
+bool KeyLess(const KeyValue& a, const KeyValue& b) {
+  return a.key < b.key;
+}
+
+/// Groups a key-sorted run and applies `fn` per group.
+Status ForEachGroup(const std::vector<KeyValue>& sorted,
+                    const std::function<Status(const Value&,
+                                               const std::vector<Value>&)>&
+                        fn) {
+  size_t i = 0;
+  std::vector<Value> values;
+  while (i < sorted.size()) {
+    size_t j = i;
+    values.clear();
+    while (j < sorted.size() && sorted[j].key == sorted[i].key) {
+      values.push_back(sorted[j].value);
+      ++j;
+    }
+    REX_RETURN_NOT_OK(fn(sorted[i].key, values));
+    i = j;
+  }
+  return Status::OK();
+}
+
+/// Text-form encoding for job-boundary materialization: a printable
+/// hex-line per record (stands in for TextOutputFormat/TextInputFormat;
+/// costs the same linear character encode/decode work, losslessly).
+std::string ToTextForm(const std::vector<KeyValue>& records) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  BufferWriter w;
+  for (const KeyValue& kv : records) {
+    w.PutValue(kv.key);
+    w.PutValue(kv.value);
+    const std::string& bytes = w.bytes();
+    out.reserve(out.size() + bytes.size() * 2 + 1);
+    for (unsigned char c : bytes) {
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    }
+    out += '\n';
+    w = BufferWriter();
+  }
+  return out;
+}
+
+Result<std::vector<KeyValue>> FromTextForm(const std::string& text) {
+  std::vector<KeyValue> out;
+  size_t i = 0;
+  std::string bytes;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  while (i < text.size()) {
+    size_t j = text.find('\n', i);
+    if (j == std::string::npos) j = text.size();
+    bytes.clear();
+    bytes.reserve((j - i) / 2);
+    for (size_t k = i; k + 1 < j + 1 && k + 1 < text.size() && k < j;
+         k += 2) {
+      int hi = nibble(text[k]);
+      int lo = nibble(text[k + 1]);
+      if (hi < 0 || lo < 0) {
+        return Status::ParseError("bad text-form record");
+      }
+      bytes += static_cast<char>((hi << 4) | lo);
+    }
+    if (!bytes.empty()) {
+      BufferReader r(bytes);
+      KeyValue kv;
+      REX_ASSIGN_OR_RETURN(kv.key, r.GetValue());
+      REX_ASSIGN_OR_RETURN(kv.value, r.GetValue());
+      out.push_back(std::move(kv));
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::string SerializeRun(const std::vector<KeyValue>& run) {
+  BufferWriter w;
+  w.PutU32(static_cast<uint32_t>(run.size()));
+  for (const KeyValue& kv : run) {
+    w.PutValue(kv.key);
+    w.PutValue(kv.value);
+  }
+  return w.TakeBytes();
+}
+
+Result<std::vector<KeyValue>> DeserializeRun(const std::string& bytes) {
+  BufferReader r(bytes);
+  REX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  std::vector<KeyValue> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KeyValue kv;
+    REX_ASSIGN_OR_RETURN(kv.key, r.GetValue());
+    REX_ASSIGN_OR_RETURN(kv.value, r.GetValue());
+    out.push_back(std::move(kv));
+  }
+  return out;
+}
+
+/// A temp-file store for shuffle segments and job outputs.
+class SegmentStore {
+ public:
+  explicit SegmentStore(bool use_disk) : use_disk_(use_disk) {
+    if (use_disk_) file_ = std::tmpfile();
+  }
+  ~SegmentStore() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Write(const std::vector<KeyValue>& run, int* handle,
+               int64_t* bytes) {
+    std::string data = SerializeRun(run);
+    *bytes = static_cast<int64_t>(data.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!use_disk_ || file_ == nullptr) {
+      segments_.push_back(std::move(data));
+      *handle = static_cast<int>(segments_.size()) - 1;
+      return Status::OK();
+    }
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      return Status::IoError("fseek in shuffle store");
+    }
+    long offset = std::ftell(file_);
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IoError("short shuffle write");
+    }
+    offsets_.emplace_back(offset, data.size());
+    *handle = static_cast<int>(offsets_.size()) - 1;
+    return Status::OK();
+  }
+
+  Result<std::vector<KeyValue>> Read(int handle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!use_disk_ || file_ == nullptr) {
+      return DeserializeRun(segments_[static_cast<size_t>(handle)]);
+    }
+    auto [offset, length] = offsets_[static_cast<size_t>(handle)];
+    if (std::fseek(file_, offset, SEEK_SET) != 0) {
+      return Status::IoError("fseek reading shuffle segment");
+    }
+    std::string data(length, '\0');
+    if (std::fread(data.data(), 1, length, file_) != length) {
+      return Status::IoError("short shuffle read");
+    }
+    return DeserializeRun(data);
+  }
+
+ private:
+  bool use_disk_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  std::vector<std::string> segments_;           // in-memory fallback
+  std::vector<std::pair<long, size_t>> offsets_;
+};
+
+/// Runs `tasks` callables with at most `parallelism` threads; returns the
+/// first error.
+Status RunParallel(std::vector<std::function<Status()>> tasks,
+                   int parallelism) {
+  std::mutex mutex;
+  Status first_error;
+  size_t next = 0;
+  auto worker = [&] {
+    while (true) {
+      size_t mine;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (next >= tasks.size() || !first_error.ok()) return;
+        mine = next++;
+      }
+      Status st = tasks[mine]();
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  const int n = std::max(1, std::min<int>(parallelism,
+                                          static_cast<int>(tasks.size())));
+  threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return first_error;
+}
+
+Status ApplyCombiner(const ReduceFn& combine, std::vector<KeyValue>* run) {
+  std::vector<KeyValue> combined;
+  REX_RETURN_NOT_OK(ForEachGroup(
+      *run, [&combine, &combined](const Value& key,
+                                  const std::vector<Value>& values) {
+        return combine(key, values, &combined);
+      }));
+  std::sort(combined.begin(), combined.end(), KeyLess);
+  run->swap(combined);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<KeyValue> MakeRecords(
+    std::vector<std::pair<Value, Value>> kvs) {
+  std::vector<KeyValue> out;
+  out.reserve(kvs.size());
+  for (auto& [k, v] : kvs) out.push_back(KeyValue{std::move(k), std::move(v)});
+  return out;
+}
+
+Result<std::vector<KeyValue>> RunMrJob(const MrJob& job,
+                                       const std::vector<KeyValue>& input,
+                                       const MrConfig& config) {
+  BurnStartupCost(config.startup_cost_ms);
+  if (config.metrics != nullptr) {
+    config.metrics->GetCounter(mr_metrics::kJobs)->Increment();
+    config.metrics->GetCounter(metrics::kMapInputRecords)
+        ->Add(static_cast<int64_t>(input.size()));
+  }
+
+  const int m = std::max(1, config.num_map_tasks);
+  const int r = std::max(1, config.num_reduce_tasks);
+  SegmentStore shuffle(config.materialize_to_disk);
+
+  // segment_handles[map][reduce] -> shuffle segment.
+  std::vector<std::vector<int>> segment_handles(
+      static_cast<size_t>(m), std::vector<int>(static_cast<size_t>(r), -1));
+  std::mutex metrics_mutex;
+  int64_t shuffle_bytes = 0;
+
+  // ---- map phase: map, partition, sort, combine, spill ------------------
+  std::vector<std::function<Status()>> map_tasks;
+  for (int t = 0; t < m; ++t) {
+    map_tasks.push_back([&, t]() -> Status {
+      const size_t begin = input.size() * static_cast<size_t>(t) /
+                           static_cast<size_t>(m);
+      const size_t end = input.size() * static_cast<size_t>(t + 1) /
+                         static_cast<size_t>(m);
+      std::vector<std::vector<KeyValue>> partitions(static_cast<size_t>(r));
+      std::vector<KeyValue> mapped;
+      for (size_t i = begin; i < end; ++i) {
+        mapped.clear();
+        REX_RETURN_NOT_OK(job.map(input[i], &mapped));
+        for (KeyValue& kv : mapped) {
+          const auto p =
+              static_cast<size_t>(kv.key.Hash() % static_cast<uint64_t>(r));
+          partitions[p].push_back(std::move(kv));
+        }
+      }
+      for (int p = 0; p < r; ++p) {
+        auto& part = partitions[static_cast<size_t>(p)];
+        if (part.empty()) continue;
+        std::sort(part.begin(), part.end(), KeyLess);
+        if (job.combine) REX_RETURN_NOT_OK(ApplyCombiner(job.combine, &part));
+        int handle = -1;
+        int64_t bytes = 0;
+        REX_RETURN_NOT_OK(shuffle.Write(part, &handle, &bytes));
+        segment_handles[static_cast<size_t>(t)][static_cast<size_t>(p)] =
+            handle;
+        std::lock_guard<std::mutex> lock(metrics_mutex);
+        shuffle_bytes += bytes;
+      }
+      return Status::OK();
+    });
+  }
+  REX_RETURN_NOT_OK(RunParallel(std::move(map_tasks), config.parallelism));
+  if (config.metrics != nullptr) {
+    config.metrics->GetCounter(metrics::kShuffleBytes)->Add(shuffle_bytes);
+  }
+
+  // ---- reduce phase: fetch, merge, group, reduce -------------------------
+  std::vector<std::vector<KeyValue>> reduce_outputs(static_cast<size_t>(r));
+  int64_t reduce_input_records = 0;
+  std::vector<std::function<Status()>> reduce_tasks;
+  for (int p = 0; p < r; ++p) {
+    reduce_tasks.push_back([&, p]() -> Status {
+      // K-way merge of the sorted segments.
+      std::vector<std::vector<KeyValue>> runs;
+      for (int t = 0; t < m; ++t) {
+        int handle =
+            segment_handles[static_cast<size_t>(t)][static_cast<size_t>(p)];
+        if (handle < 0) continue;
+        REX_ASSIGN_OR_RETURN(std::vector<KeyValue> run,
+                             shuffle.Read(handle));
+        runs.push_back(std::move(run));
+      }
+      std::vector<KeyValue> merged;
+      {
+        std::vector<size_t> pos(runs.size(), 0);
+        while (true) {
+          int best = -1;
+          for (size_t i = 0; i < runs.size(); ++i) {
+            if (pos[i] >= runs[i].size()) continue;
+            if (best < 0 ||
+                KeyLess(runs[i][pos[i]],
+                        runs[static_cast<size_t>(best)]
+                            [pos[static_cast<size_t>(best)]])) {
+              best = static_cast<int>(i);
+            }
+          }
+          if (best < 0) break;
+          merged.push_back(
+              std::move(runs[static_cast<size_t>(best)]
+                            [pos[static_cast<size_t>(best)]]));
+          ++pos[static_cast<size_t>(best)];
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex);
+        reduce_input_records += static_cast<int64_t>(merged.size());
+      }
+      auto& out = reduce_outputs[static_cast<size_t>(p)];
+      return ForEachGroup(merged,
+                          [&job, &out](const Value& key,
+                                       const std::vector<Value>& values) {
+                            return job.reduce(key, values, &out);
+                          });
+    });
+  }
+  REX_RETURN_NOT_OK(RunParallel(std::move(reduce_tasks),
+                                config.parallelism));
+  if (config.metrics != nullptr) {
+    config.metrics->GetCounter(metrics::kReduceInputRecords)
+        ->Add(reduce_input_records);
+  }
+
+  // ---- output materialization (the per-job HDFS checkpoint) -------------
+  std::vector<KeyValue> output;
+  for (auto& part : reduce_outputs) {
+    for (KeyValue& kv : part) output.push_back(std::move(kv));
+  }
+  if (config.materialize_to_disk) {
+    if (config.text_io) {
+      // Text-form the records before the HDFS write and parse them back
+      // after the read (default TextOutputFormat/TextInputFormat costs).
+      std::string text = ToTextForm(output);
+      SegmentStore hdfs(true);
+      std::vector<KeyValue> one{
+          KeyValue{Value(int64_t{0}), Value(std::move(text))}};
+      int handle = -1;
+      int64_t bytes = 0;
+      REX_RETURN_NOT_OK(hdfs.Write(one, &handle, &bytes));
+      REX_ASSIGN_OR_RETURN(std::vector<KeyValue> back, hdfs.Read(handle));
+      if (back.size() != 1) return Status::Internal("hdfs readback");
+      REX_ASSIGN_OR_RETURN(output, FromTextForm(back[0].value.AsString()));
+      if (config.metrics != nullptr) {
+        config.metrics->GetCounter(mr_metrics::kHdfsBytes)->Add(bytes);
+      }
+    } else {
+      SegmentStore hdfs(true);
+      int handle = -1;
+      int64_t bytes = 0;
+      REX_RETURN_NOT_OK(hdfs.Write(output, &handle, &bytes));
+      REX_ASSIGN_OR_RETURN(output, hdfs.Read(handle));
+      if (config.metrics != nullptr) {
+        config.metrics->GetCounter(mr_metrics::kHdfsBytes)->Add(bytes);
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace rex

@@ -1,0 +1,85 @@
+// A miniature Hadoop: the general-purpose cloud baseline the paper
+// evaluates against (§2, §6).
+//
+// Faithful to the cost structure that matters for the comparison:
+//  - per-job startup cost (the JVM/task-scheduling overhead that dominates
+//    short iterations),
+//  - map -> combine -> partition -> SORT -> disk-materialized shuffle ->
+//    merge -> reduce,
+//  - per-job output materialization (the checkpoint-everything durability
+//    model),
+//  - stateless tasks: every iteration reprocesses its whole input.
+//
+// Tasks run in parallel on a thread pool sized like the simulated cluster.
+#ifndef REX_MAPREDUCE_MR_ENGINE_H_
+#define REX_MAPREDUCE_MR_ENGINE_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rex {
+
+/// A Hadoop-style record.
+struct KeyValue {
+  Value key;
+  Value value;
+};
+
+/// map(k, v) -> [(k', v')]
+using MapFn =
+    std::function<Status(const KeyValue& record, std::vector<KeyValue>* out)>;
+/// reduce(k, [v]) -> [(k', v')]; also the combiner signature.
+using ReduceFn = std::function<Status(
+    const Value& key, const std::vector<Value>& values,
+    std::vector<KeyValue>* out)>;
+
+struct MrJob {
+  MapFn map;
+  ReduceFn reduce;
+  /// Optional pre-aggregation before the shuffle (Hadoop combiner).
+  ReduceFn combine;
+  const char* name = "job";
+};
+
+struct MrConfig {
+  int num_map_tasks = 4;
+  int num_reduce_tasks = 4;
+  /// Concurrently running tasks (the cluster's total cores).
+  int parallelism = 4;
+  /// Fixed per-job overhead, busy-executed (task scheduling, JVM spin-up;
+  /// Hadoop's "substantial startup and tear-down overhead", §6.7).
+  double startup_cost_ms = 20.0;
+  /// Write map outputs and job outputs through temp files (the shuffle
+  /// and HDFS materialization). Disable only for unit tests.
+  bool materialize_to_disk = true;
+  /// Encode each job's HDFS output in text form and parse it back on the
+  /// next job's input — Hadoop's default TextInputFormat reality, and the
+  /// per-job-boundary transformation cost §6.3 identifies as the reason
+  /// REX-wrap outruns HaLoop on recursive queries.
+  bool text_io = true;
+  /// Metrics sink (may be null): mr.shuffle_bytes, mr.map_input_records,
+  /// mr.reduce_input_records, mr.hdfs_bytes, mr.jobs.
+  MetricsRegistry* metrics = nullptr;
+};
+
+namespace mr_metrics {
+inline constexpr const char kJobs[] = "mr.jobs";
+inline constexpr const char kHdfsBytes[] = "mr.hdfs_bytes";
+}  // namespace mr_metrics
+
+/// Executes one MapReduce job over `input`, returning the reduce output.
+Result<std::vector<KeyValue>> RunMrJob(const MrJob& job,
+                                       const std::vector<KeyValue>& input,
+                                       const MrConfig& config);
+
+/// Helpers for building record lists.
+std::vector<KeyValue> MakeRecords(std::vector<std::pair<Value, Value>> kvs);
+
+}  // namespace rex
+
+#endif  // REX_MAPREDUCE_MR_ENGINE_H_

@@ -1,0 +1,521 @@
+#include "mapreduce/mr_jobs.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+namespace rex {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Snapshot-diff of the per-iteration metrics.
+class IterationMeter {
+ public:
+  explicit IterationMeter(MetricsRegistry* metrics) : metrics_(metrics) {}
+
+  void Begin() {
+    start_ = std::chrono::steady_clock::now();
+    shuffle_ = metrics_->Value(metrics::kShuffleBytes);
+    inputs_ = metrics_->Value(metrics::kMapInputRecords);
+  }
+
+  MrIterationReport End(int iteration) {
+    MrIterationReport r;
+    r.iteration = iteration;
+    r.seconds = SecondsSince(start_);
+    r.shuffle_bytes = metrics_->Value(metrics::kShuffleBytes) - shuffle_;
+    r.map_input_records =
+        metrics_->Value(metrics::kMapInputRecords) - inputs_;
+    return r;
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t shuffle_ = 0;
+  int64_t inputs_ = 0;
+};
+
+using Adjacency = std::unordered_map<int64_t, std::vector<int64_t>>;
+
+std::shared_ptr<Adjacency> BuildAdjacency(const GraphData& graph) {
+  auto adj = std::make_shared<Adjacency>();
+  for (const auto& [src, dst] : graph.edges) (*adj)[src].push_back(dst);
+  return adj;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- PageRank --
+
+MrJob MakeHadoopPageRankJob(double damping) {
+  const double teleport = 1.0 - damping;
+  MrJob job;
+  job.name = "pagerank-hadoop";
+  // Classic stateless formulation: the adjacency list rides in every
+  // record and is re-shuffled every iteration.
+  job.map = [damping](const KeyValue& rec,
+                      std::vector<KeyValue>* out) -> Status {
+    const auto& payload = rec.value.AsList();
+    REX_ASSIGN_OR_RETURN(double rank, payload[0].ToDouble());
+    const auto& nbrs = payload[1].AsList();
+    out->push_back(KeyValue{rec.key, payload[1]});  // structure marker
+    if (!nbrs.empty()) {
+      const double share = damping * rank / static_cast<double>(nbrs.size());
+      for (const Value& n : nbrs) {
+        out->push_back(KeyValue{n, Value(share)});
+      }
+    }
+    return Status::OK();
+  };
+  job.reduce = [teleport](const Value& key, const std::vector<Value>& values,
+                          std::vector<KeyValue>* out) -> Status {
+    double sum = 0;
+    Value structure = Value::List({});
+    for (const Value& v : values) {
+      if (v.type() == ValueType::kList) {
+        structure = v;
+      } else {
+        REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        sum += d;
+      }
+    }
+    out->push_back(
+        KeyValue{key, Value::List({Value(teleport + sum), structure})});
+    return Status::OK();
+  };
+  job.combine = [](const Value& key, const std::vector<Value>& values,
+                   std::vector<KeyValue>* out) -> Status {
+    double sum = 0;
+    bool has_sum = false;
+    for (const Value& v : values) {
+      if (v.type() == ValueType::kList) {
+        out->push_back(KeyValue{key, v});
+      } else {
+        REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        sum += d;
+        has_sum = true;
+      }
+    }
+    if (has_sum) out->push_back(KeyValue{key, Value(sum)});
+    return Status::OK();
+  };
+  return job;
+}
+
+Result<MrPageRankRun> RunMrPageRank(const GraphData& graph,
+                                    const MrPageRankOptions& options) {
+  MrConfig config = options.config;
+  MetricsRegistry local_metrics;
+  if (config.metrics == nullptr) config.metrics = &local_metrics;
+  const double damping = options.damping;
+  const double teleport = 1.0 - damping;
+  MrPageRankRun run;
+  const auto t_total = std::chrono::steady_clock::now();
+
+  auto adj = BuildAdjacency(graph);  // zero-time for HaLoop cache; Hadoop
+                                     // carries it in the records instead
+
+  std::vector<KeyValue> state;  // Hadoop: (v, [rank, adjList]);
+                                // HaLoop: (v, rank)
+  state.reserve(static_cast<size_t>(graph.num_vertices));
+  for (int64_t v = 0; v < graph.num_vertices; ++v) {
+    if (options.haloop) {
+      state.push_back(KeyValue{Value(v), Value(1.0)});
+    } else {
+      std::vector<Value> nbrs;
+      auto it = adj->find(v);
+      if (it != adj->end()) {
+        for (int64_t n : it->second) nbrs.push_back(Value(n));
+      }
+      state.push_back(KeyValue{
+          Value(v), Value::List({Value(1.0), Value::List(nbrs)})});
+    }
+  }
+
+  MrJob job;
+  job.name = options.haloop ? "pagerank-haloop" : "pagerank-hadoop";
+  if (options.haloop) {
+    // Mutable-only stage: adjacency comes from the (zero-cost) reducer
+    // input cache, so only ranks are scanned and only contributions are
+    // shuffled.
+    job.map = [adj, damping](const KeyValue& rec,
+                             std::vector<KeyValue>* out) -> Status {
+      REX_ASSIGN_OR_RETURN(int64_t v, rec.key.ToInt());
+      REX_ASSIGN_OR_RETURN(double rank, rec.value.ToDouble());
+      auto it = adj->find(v);
+      if (it != adj->end() && !it->second.empty()) {
+        const double share =
+            damping * rank / static_cast<double>(it->second.size());
+        for (int64_t n : it->second) {
+          out->push_back(KeyValue{Value(n), Value(share)});
+        }
+      }
+      out->push_back(KeyValue{rec.key, Value(0.0)});  // keep v alive
+      return Status::OK();
+    };
+    job.reduce = [teleport](const Value& key,
+                            const std::vector<Value>& values,
+                            std::vector<KeyValue>* out) -> Status {
+      double sum = 0;
+      for (const Value& v : values) {
+        REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        sum += d;
+      }
+      out->push_back(KeyValue{key, Value(teleport + sum)});
+      return Status::OK();
+    };
+    job.combine = [](const Value& key, const std::vector<Value>& values,
+                     std::vector<KeyValue>* out) -> Status {
+      double sum = 0;
+      for (const Value& v : values) {
+        REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        sum += d;
+      }
+      out->push_back(KeyValue{key, Value(sum)});
+      return Status::OK();
+    };
+  } else {
+    job = MakeHadoopPageRankJob(damping);
+  }
+
+  IterationMeter meter(config.metrics);
+  for (int it = 0; it < options.iterations; ++it) {
+    meter.Begin();
+    REX_ASSIGN_OR_RETURN(state, RunMrJob(job, state, config));
+    run.iterations.push_back(meter.End(it));
+    // Convergence test: executed by the paper's LB emulation in zero time
+    // (our harnesses run a fixed iteration count instead).
+  }
+
+  run.ranks.assign(static_cast<size_t>(graph.num_vertices), 0.0);
+  for (const KeyValue& rec : state) {
+    REX_ASSIGN_OR_RETURN(int64_t v, rec.key.ToInt());
+    double rank = 0;
+    if (options.haloop) {
+      REX_ASSIGN_OR_RETURN(rank, rec.value.ToDouble());
+    } else {
+      REX_ASSIGN_OR_RETURN(rank, rec.value.AsList()[0].ToDouble());
+    }
+    run.ranks[static_cast<size_t>(v)] = rank;
+  }
+  run.total_seconds = SecondsSince(t_total);
+  return run;
+}
+
+// ----------------------------------------------------------------- SSSP --
+
+Result<MrSsspRun> RunMrSssp(const GraphData& graph,
+                            const MrSsspOptions& options) {
+  MrConfig config = options.config;
+  MetricsRegistry local_metrics;
+  if (config.metrics == nullptr) config.metrics = &local_metrics;
+  MrSsspRun run;
+  const auto t_total = std::chrono::steady_clock::now();
+  auto adj = BuildAdjacency(graph);
+
+  // Records: Hadoop (v, [dist, adjList]); HaLoop (v, dist). dist -1 =
+  // unreached. Frontier expansion keys off dist == iteration - 1
+  // (relation-level Δᵢ).
+  std::vector<KeyValue> state;
+  state.reserve(static_cast<size_t>(graph.num_vertices));
+  for (int64_t v = 0; v < graph.num_vertices; ++v) {
+    const int64_t d = v == options.source ? 0 : -1;
+    if (options.haloop) {
+      state.push_back(KeyValue{Value(v), Value(d)});
+    } else {
+      std::vector<Value> nbrs;
+      auto it = adj->find(v);
+      if (it != adj->end()) {
+        for (int64_t n : it->second) nbrs.push_back(Value(n));
+      }
+      state.push_back(
+          KeyValue{Value(v), Value::List({Value(d), Value::List(nbrs)})});
+    }
+  }
+
+  // Combiner: min over the candidate distances, adjacency lists pass
+  // through untouched (they must reach the reducer in map-output form).
+  auto min_combine = [](const Value& key, const std::vector<Value>& values,
+                        std::vector<KeyValue>* out) -> Status {
+    int64_t best = -1;
+    for (const Value& v : values) {
+      if (v.type() == ValueType::kList) {
+        out->push_back(KeyValue{key, v});
+        continue;
+      }
+      REX_ASSIGN_OR_RETURN(int64_t d, v.ToInt());
+      if (d >= 0 && (best < 0 || d < best)) best = d;
+    }
+    out->push_back(KeyValue{key, Value(best)});
+    return Status::OK();
+  };
+  // Reducer: min-merge; the Hadoop variant reassembles (dist, adjacency)
+  // records, the HaLoop variant keeps bare distances.
+  const bool haloop = options.haloop;
+  auto min_reduce = [haloop](const Value& key,
+                             const std::vector<Value>& values,
+                             std::vector<KeyValue>* out) -> Status {
+    int64_t best = -1;
+    Value structure = Value::List({});
+    for (const Value& v : values) {
+      if (v.type() == ValueType::kList) {
+        structure = v;
+        continue;
+      }
+      REX_ASSIGN_OR_RETURN(int64_t d, v.ToInt());
+      if (d >= 0 && (best < 0 || d < best)) best = d;
+    }
+    if (haloop) {
+      out->push_back(KeyValue{key, Value(best)});
+    } else {
+      out->push_back(KeyValue{key, Value::List({Value(best), structure})});
+    }
+    return Status::OK();
+  };
+
+  IterationMeter meter(config.metrics);
+  for (int it = 1; it <= options.iterations; ++it) {
+    MrJob job;
+    job.name = options.haloop ? "sssp-haloop" : "sssp-hadoop";
+    const int64_t frontier_dist = it - 1;
+    if (options.haloop) {
+      job.map = [adj, frontier_dist](const KeyValue& rec,
+                                     std::vector<KeyValue>* out) -> Status {
+        REX_ASSIGN_OR_RETURN(int64_t d, rec.value.ToInt());
+        out->push_back(rec);  // carry state
+        if (d == frontier_dist) {
+          REX_ASSIGN_OR_RETURN(int64_t v, rec.key.ToInt());
+          auto a = adj->find(v);
+          if (a != adj->end()) {
+            for (int64_t n : a->second) {
+              out->push_back(KeyValue{Value(n), Value(d + 1)});
+            }
+          }
+        }
+        return Status::OK();
+      };
+    } else {
+      job.map = [frontier_dist](const KeyValue& rec,
+                                std::vector<KeyValue>* out) -> Status {
+        const auto& payload = rec.value.AsList();
+        REX_ASSIGN_OR_RETURN(int64_t d, payload[0].ToInt());
+        // The full record — distance and adjacency — re-shuffles every
+        // iteration (the stateless-task cost REX avoids).
+        out->push_back(KeyValue{rec.key, Value(d)});
+        out->push_back(KeyValue{rec.key, payload[1]});
+        if (d == frontier_dist) {
+          for (const Value& n : payload[1].AsList()) {
+            out->push_back(KeyValue{n, Value(d + 1)});
+          }
+        }
+        return Status::OK();
+      };
+    }
+    job.reduce = min_reduce;
+    job.combine = min_combine;
+
+    meter.Begin();
+    REX_ASSIGN_OR_RETURN(state, RunMrJob(job, state, config));
+    run.iterations.push_back(meter.End(it));
+  }
+
+  run.distances.assign(static_cast<size_t>(graph.num_vertices), -1);
+  for (const KeyValue& rec : state) {
+    REX_ASSIGN_OR_RETURN(int64_t v, rec.key.ToInt());
+    int64_t d = -1;
+    if (options.haloop) {
+      REX_ASSIGN_OR_RETURN(d, rec.value.ToInt());
+    } else {
+      REX_ASSIGN_OR_RETURN(d, rec.value.AsList()[0].ToInt());
+    }
+    run.distances[static_cast<size_t>(v)] = d;
+  }
+  run.total_seconds = SecondsSince(t_total);
+  return run;
+}
+
+// --------------------------------------------------------------- K-means --
+
+Result<MrKMeansRun> RunMrKMeans(const std::vector<Tuple>& points,
+                                const MrKMeansOptions& options) {
+  MrConfig config = options.config;
+  MetricsRegistry local_metrics;
+  if (config.metrics == nullptr) config.metrics = &local_metrics;
+  MrKMeansRun run;
+  const auto t_total = std::chrono::steady_clock::now();
+
+  // Points as records once; centroids travel via the "distributed cache".
+  std::vector<KeyValue> input;
+  input.reserve(points.size());
+  for (const Tuple& p : points) {
+    input.push_back(KeyValue{
+        p.field(0), Value::List({p.field(1), p.field(2)})});
+  }
+
+  // Seed centroids: points with pid < k (same sample as the REX plan).
+  auto centroids = std::make_shared<std::vector<std::pair<double, double>>>();
+  centroids->resize(static_cast<size_t>(options.k), {0, 0});
+  for (const Tuple& p : points) {
+    int64_t pid = p.field(0).AsInt();
+    if (pid < options.k) {
+      (*centroids)[static_cast<size_t>(pid)] = {p.field(1).AsDouble(),
+                                                p.field(2).AsDouble()};
+    }
+  }
+
+  auto partial_sum = [](const Value& key, const std::vector<Value>& values,
+                        std::vector<KeyValue>* out) -> Status {
+    double sx = 0, sy = 0, n = 0;
+    for (const Value& v : values) {
+      const auto& list = v.AsList();
+      REX_ASSIGN_OR_RETURN(double x, list[0].ToDouble());
+      REX_ASSIGN_OR_RETURN(double y, list[1].ToDouble());
+      REX_ASSIGN_OR_RETURN(double w, list[2].ToDouble());
+      sx += x;
+      sy += y;
+      n += w;
+    }
+    out->push_back(
+        KeyValue{key, Value::List({Value(sx), Value(sy), Value(n)})});
+    return Status::OK();
+  };
+
+  IterationMeter meter(config.metrics);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    MrJob job;
+    job.name = "kmeans";
+    auto current = std::make_shared<std::vector<std::pair<double, double>>>(
+        *centroids);
+    job.map = [current](const KeyValue& rec,
+                        std::vector<KeyValue>* out) -> Status {
+      const auto& xy = rec.value.AsList();
+      REX_ASSIGN_OR_RETURN(double x, xy[0].ToDouble());
+      REX_ASSIGN_OR_RETURN(double y, xy[1].ToDouble());
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < current->size(); ++c) {
+        const double dx = x - (*current)[c].first;
+        const double dy = y - (*current)[c].second;
+        const double d = dx * dx + dy * dy;
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      out->push_back(KeyValue{
+          Value(int64_t{best}),
+          Value::List({Value(x), Value(y), Value(1.0)})});
+      return Status::OK();
+    };
+    job.combine = partial_sum;
+    job.reduce = [](const Value& key, const std::vector<Value>& values,
+                    std::vector<KeyValue>* out) -> Status {
+      double sx = 0, sy = 0, n = 0;
+      for (const Value& v : values) {
+        const auto& list = v.AsList();
+        REX_ASSIGN_OR_RETURN(double x, list[0].ToDouble());
+        REX_ASSIGN_OR_RETURN(double y, list[1].ToDouble());
+        REX_ASSIGN_OR_RETURN(double w, list[2].ToDouble());
+        sx += x;
+        sy += y;
+        n += w;
+      }
+      if (n > 0) {
+        out->push_back(KeyValue{
+            key, Value::List({Value(sx / n), Value(sy / n)})});
+      }
+      return Status::OK();
+    };
+
+    meter.Begin();
+    REX_ASSIGN_OR_RETURN(std::vector<KeyValue> result,
+                         RunMrJob(job, input, config));
+    run.iterations.push_back(meter.End(it));
+
+    bool moved = false;
+    for (const KeyValue& rec : result) {
+      REX_ASSIGN_OR_RETURN(int64_t c, rec.key.ToInt());
+      const auto& xy = rec.value.AsList();
+      REX_ASSIGN_OR_RETURN(double x, xy[0].ToDouble());
+      REX_ASSIGN_OR_RETURN(double y, xy[1].ToDouble());
+      auto& slot = (*centroids)[static_cast<size_t>(c)];
+      if (slot.first != x || slot.second != y) moved = true;
+      slot = {x, y};
+    }
+    // Convergence test: zero-time under the LB emulation.
+    if (!moved) break;
+  }
+
+  run.centroids = *centroids;
+  run.total_seconds = SecondsSince(t_total);
+  return run;
+}
+
+// ------------------------------------------------------- Fig 4 aggregate --
+
+Result<MrAggregationRun> RunMrAggregation(const std::vector<Tuple>& lineitem,
+                                          const MrConfig& config_in) {
+  MrConfig config = config_in;
+  MetricsRegistry local_metrics;
+  if (config.metrics == nullptr) config.metrics = &local_metrics;
+  const auto t_total = std::chrono::steady_clock::now();
+
+  // Records: key = orderkey, value = [linenumber, tax].
+  std::vector<KeyValue> input;
+  input.reserve(lineitem.size());
+  for (const Tuple& row : lineitem) {
+    input.push_back(KeyValue{
+        row.field(0), Value::List({row.field(1), row.field(4)})});
+  }
+
+  MrJob job;
+  job.name = "tpch-agg";
+  job.map = [](const KeyValue& rec, std::vector<KeyValue>* out) -> Status {
+    const auto& cols = rec.value.AsList();
+    REX_ASSIGN_OR_RETURN(int64_t linenumber, cols[0].ToInt());
+    if (linenumber > 1) {
+      out->push_back(KeyValue{
+          Value(int64_t{0}),
+          Value::List({cols[1], Value(int64_t{1})})});
+    }
+    return Status::OK();
+  };
+  auto sum_pair = [](const Value& key, const std::vector<Value>& values,
+                     std::vector<KeyValue>* out) -> Status {
+    double tax = 0;
+    int64_t count = 0;
+    for (const Value& v : values) {
+      const auto& pair = v.AsList();
+      REX_ASSIGN_OR_RETURN(double t, pair[0].ToDouble());
+      REX_ASSIGN_OR_RETURN(int64_t c, pair[1].ToInt());
+      tax += t;
+      count += c;
+    }
+    out->push_back(KeyValue{key, Value::List({Value(tax), Value(count)})});
+    return Status::OK();
+  };
+  job.combine = sum_pair;
+  job.reduce = sum_pair;
+
+  REX_ASSIGN_OR_RETURN(std::vector<KeyValue> result,
+                       RunMrJob(job, input, config));
+  MrAggregationRun run;
+  if (result.size() == 1) {
+    const auto& pair = result[0].value.AsList();
+    REX_ASSIGN_OR_RETURN(run.sum_tax, pair[0].ToDouble());
+    REX_ASSIGN_OR_RETURN(run.count, pair[1].ToInt());
+  }
+  run.total_seconds = SecondsSince(t_total);
+  return run;
+}
+
+}  // namespace rex

@@ -1,0 +1,98 @@
+// Iterative MapReduce implementations of the paper's workloads — the
+// Hadoop and HaLoop baselines of §6.
+//
+// Hadoop variants are the classic stateless formulations: every iteration
+// re-maps and re-shuffles the complete record set (state rides along as
+// record payload). HaLoop variants emulate [4] exactly as the paper does —
+// as a LOWER BOUND: reducer-input-cache construction and the recursive
+// stages over immutable data execute in zero time, which here means the
+// adjacency cache is built outside the timed jobs and immutable data never
+// enters an iteration's map input or shuffle. Convergence tests and final
+// result formatting are likewise excluded (zero time) for both.
+#ifndef REX_MAPREDUCE_MR_JOBS_H_
+#define REX_MAPREDUCE_MR_JOBS_H_
+
+#include <vector>
+
+#include "data/generators.h"
+#include "mapreduce/mr_engine.h"
+
+namespace rex {
+
+struct MrIterationReport {
+  int iteration = 0;
+  double seconds = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t map_input_records = 0;
+};
+
+struct MrPageRankOptions {
+  int iterations = 20;
+  bool haloop = false;
+  double damping = 0.85;
+  MrConfig config;
+};
+
+struct MrPageRankRun {
+  std::vector<double> ranks;
+  std::vector<MrIterationReport> iterations;
+  double total_seconds = 0;
+};
+
+Result<MrPageRankRun> RunMrPageRank(const GraphData& graph,
+                                    const MrPageRankOptions& options);
+
+/// The classic stateless Hadoop PageRank job over (v, [rank, adjacency])
+/// records. Exposed so the wrap configuration (§4.4) can run the exact
+/// same "compiled Hadoop classes" inside REX.
+MrJob MakeHadoopPageRankJob(double damping);
+
+struct MrSsspOptions {
+  int64_t source = 0;
+  int iterations = 6;  // the paper runs Hadoop/HaLoop to 99% reachability
+  bool haloop = false;
+  MrConfig config;
+};
+
+struct MrSsspRun {
+  std::vector<int64_t> distances;  // -1 = not reached within `iterations`
+  std::vector<MrIterationReport> iterations;
+  double total_seconds = 0;
+};
+
+/// Frontier-based ("relation-level Δᵢ", §6.3) shortest path.
+Result<MrSsspRun> RunMrSssp(const GraphData& graph,
+                            const MrSsspOptions& options);
+
+struct MrKMeansOptions {
+  int k = 8;
+  int max_iterations = 100;
+  MrConfig config;
+};
+
+struct MrKMeansRun {
+  std::vector<std::pair<double, double>> centroids;
+  std::vector<MrIterationReport> iterations;
+  double total_seconds = 0;
+};
+
+/// Classic Hadoop k-means: centroids in the distributed cache, every
+/// iteration re-maps every point. (The paper omits HaLoop here: with no
+/// immutable relation in the shuffle, HaLoop ≡ Hadoop, §6.2.)
+Result<MrKMeansRun> RunMrKMeans(const std::vector<Tuple>& points,
+                                const MrKMeansOptions& options);
+
+struct MrAggregationRun {
+  double sum_tax = 0;
+  int64_t count = 0;
+  double total_seconds = 0;
+};
+
+/// Fig 4's query as one MapReduce job:
+/// SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1.
+Result<MrAggregationRun> RunMrAggregation(const std::vector<Tuple>& lineitem,
+                                          const MrConfig& config);
+
+}  // namespace rex
+
+#endif  // REX_MAPREDUCE_MR_JOBS_H_

@@ -1,0 +1,56 @@
+#include "net/channel.h"
+
+namespace rex {
+
+bool Channel::Push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Message> Channel::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Channel::TryPop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+void Channel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Channel::Reopen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = false;
+  queue_.clear();
+}
+
+size_t Channel::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool Channel::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace rex

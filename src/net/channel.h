@@ -1,0 +1,46 @@
+// Blocking multi-producer single-consumer channel: each worker node's inbox.
+// Per-sender FIFO order is guaranteed (a single mutex-protected deque), which
+// the punctuation protocol relies on.
+#ifndef REX_NET_CHANNEL_H_
+#define REX_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "net/message.h"
+
+namespace rex {
+
+class Channel {
+ public:
+  /// Enqueues a message. Returns false if the channel is closed.
+  bool Push(Message msg);
+
+  /// Blocks until a message is available or the channel is closed and
+  /// drained; returns nullopt in the latter case.
+  std::optional<Message> Pop();
+
+  /// Non-blocking pop; nullopt if empty (does not wait).
+  std::optional<Message> TryPop();
+
+  /// Wakes all blocked consumers; subsequent Push calls fail.
+  void Close();
+
+  /// Re-opens a closed, drained channel (worker restart in recovery tests).
+  void Reopen();
+
+  size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace rex
+
+#endif  // REX_NET_CHANNEL_H_

@@ -1,0 +1,98 @@
+// Messages exchanged between worker nodes (and between the driver and
+// workers). REX passes batched messages over per-destination channels; a
+// message addresses a specific operator input port in the receiver's plan.
+#ifndef REX_NET_MESSAGE_H_
+#define REX_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/delta.h"
+
+namespace rex {
+
+/// Punctuation (Tucker & Maier): marker tuples informing operators that the
+/// current stratum — or the whole query / an input stream — has ended.
+struct Punctuation {
+  enum class Kind : uint8_t {
+    kEndOfStratum = 0,  // current recursive step finished
+    kEndOfQuery = 1,    // termination condition met; drain and finish
+    kEndOfStream = 2,   // a non-recursive input is exhausted
+  };
+  Kind kind = Kind::kEndOfStratum;
+  int stratum = 0;
+
+  std::string ToString() const;
+};
+
+/// Driver -> worker control verbs.
+struct ControlMsg {
+  enum class Kind : uint8_t {
+    kStartStratum = 0,  // begin stratum `stratum`: sources emit, then punct
+    /// Incremental recovery phase 1: install the new partition snapshot,
+    /// reset transient operator state, restore fixpoint state from
+    /// checkpoints up to `stratum` (the last completed stratum).
+    kRecoverPrepare = 1,
+    /// Incremental recovery phase 2: scans re-emit rows whose ownership
+    /// moved, rebuilding immutable state on takeover nodes.
+    kRecoverReload = 2,
+    kNone = 255,
+  };
+  Kind kind = Kind::kNone;
+  int stratum = 0;
+};
+
+/// One unit of inter-node communication.
+struct Message {
+  enum class Kind : uint8_t { kData = 0, kPunctuation = 1, kControl = 2 };
+
+  Kind kind = Kind::kData;
+  int from_worker = -1;
+  int to_worker = -1;
+  /// Target operator id within the receiving worker's plan (kData /
+  /// kPunctuation); -1 for control messages, which address the worker.
+  int target_op = -1;
+  /// Input port of the target operator.
+  int target_port = 0;
+
+  DeltaVec deltas;   // kData payload
+  Punctuation punct;  // kPunctuation payload
+  ControlMsg control;  // kControl payload
+
+  static Message Data(int from, int to, int op, int port, DeltaVec d) {
+    Message m;
+    m.kind = Kind::kData;
+    m.from_worker = from;
+    m.to_worker = to;
+    m.target_op = op;
+    m.target_port = port;
+    m.deltas = std::move(d);
+    return m;
+  }
+
+  static Message Punct(int from, int to, int op, int port, Punctuation p) {
+    Message m;
+    m.kind = Kind::kPunctuation;
+    m.from_worker = from;
+    m.to_worker = to;
+    m.target_op = op;
+    m.target_port = port;
+    m.punct = p;
+    return m;
+  }
+
+  static Message Control(int to, ControlMsg c) {
+    Message m;
+    m.kind = Kind::kControl;
+    m.to_worker = to;
+    m.control = c;
+    return m;
+  }
+
+  /// Approximate wire size: payload plus a fixed header.
+  size_t ByteSize() const;
+};
+
+}  // namespace rex
+
+#endif  // REX_NET_MESSAGE_H_

@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include "common/logging.h"
+
+namespace rex {
+
+Network::Network(int num_workers)
+    : failed_(num_workers), bytes_by_sender_(num_workers) {
+  channels_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+    failed_[i].store(false);
+    bytes_by_sender_[i].store(0);
+  }
+}
+
+Status Network::Send(Message msg) {
+  const int to = msg.to_worker;
+  if (to < 0 || to >= num_workers()) {
+    return Status::NetworkError("bad destination worker " +
+                                std::to_string(to));
+  }
+  if (failed_[to].load(std::memory_order_acquire)) {
+    return Status::OK();  // dropped on the floor, like a crashed peer
+  }
+  if (msg.from_worker >= 0 && msg.from_worker != to &&
+      msg.kind != Message::Kind::kControl) {
+    const auto bytes = static_cast<int64_t>(msg.ByteSize());
+    bytes_by_sender_[msg.from_worker].fetch_add(bytes,
+                                                std::memory_order_relaxed);
+    metrics_.GetCounter(metrics::kBytesSent)->Add(bytes);
+    metrics_.GetCounter(metrics::kMessagesSent)->Increment();
+    metrics_.GetCounter(metrics::kTuplesSent)
+        ->Add(static_cast<int64_t>(msg.deltas.size()));
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!channels_[to]->Push(std::move(msg))) {
+    // Channel closed concurrently with the failure check; treat as dropped.
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(quiesce_mutex_);
+      quiesce_cv_.notify_all();
+    }
+  }
+  return Status::OK();
+}
+
+void Network::MarkFailed(int worker) {
+  failed_[worker].store(true, std::memory_order_release);
+  channels_[worker]->Close();
+  // Drain whatever was queued; each drained message counts as processed.
+  while (channels_[worker]->TryPop().has_value()) {
+    OnMessageProcessed();
+  }
+}
+
+bool Network::IsFailed(int worker) const {
+  return failed_[worker].load(std::memory_order_acquire);
+}
+
+void Network::Restore(int worker) {
+  channels_[worker]->Reopen();
+  failed_[worker].store(false, std::memory_order_release);
+}
+
+std::vector<int> Network::LiveWorkers() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_workers(); ++i) {
+    if (!IsFailed(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void Network::OnMessageProcessed() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void Network::WaitQuiescent() {
+  std::unique_lock<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+int64_t Network::BytesSentBy(int worker) const {
+  return bytes_by_sender_[worker].load(std::memory_order_relaxed);
+}
+
+int64_t Network::TotalBytesSent() const {
+  int64_t total = 0;
+  for (const auto& b : bytes_by_sender_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Network::ResetByteCounts() {
+  for (auto& b : bytes_by_sender_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rex

@@ -1,0 +1,75 @@
+// The simulated cluster interconnect.
+//
+// Stands in for REX's TCP layer: per-worker inbox channels, batched
+// messages, per-node byte metering (backing Figure 11), failure simulation
+// (sends to failed nodes are dropped, mirroring connection loss), and global
+// in-flight accounting used by the driver to detect stratum quiescence.
+#ifndef REX_NET_NETWORK_H_
+#define REX_NET_NETWORK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/channel.h"
+
+namespace rex {
+
+class Network {
+ public:
+  explicit Network(int num_workers);
+
+  int num_workers() const { return static_cast<int>(channels_.size()); }
+
+  /// Routes a message to its destination inbox. Cross-worker data is
+  /// metered; messages to failed workers are dropped (returns OK, like a
+  /// TCP send racing a crash). Returns NetworkError only if the
+  /// destination id is out of range.
+  Status Send(Message msg);
+
+  Channel* channel(int worker) { return channels_[worker].get(); }
+
+  /// Marks a worker failed: closes its inbox, drains queued messages (they
+  /// are lost, as on a crash) and adjusts the in-flight count.
+  void MarkFailed(int worker);
+  bool IsFailed(int worker) const;
+  /// Clears the failed flag and reopens the inbox (node replacement).
+  void Restore(int worker);
+  std::vector<int> LiveWorkers() const;
+
+  /// Called by a worker after it has fully processed one message (all sends
+  /// that processing triggered have already been counted).
+  void OnMessageProcessed();
+
+  /// Blocks until no messages are queued or being processed anywhere.
+  /// Precondition for correctness: new messages are only created while
+  /// processing existing ones, so a zero count is a stable global state.
+  void WaitQuiescent();
+
+  /// Bytes sent over the (simulated) wire by each worker. Loopback traffic
+  /// is not counted, matching "data sent by each node" in §6.5.
+  int64_t BytesSentBy(int worker) const;
+  int64_t TotalBytesSent() const;
+  void ResetByteCounts();
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::atomic<bool>> failed_;
+  std::vector<std::atomic<int64_t>> bytes_by_sender_;
+
+  MetricsRegistry metrics_;
+
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+  std::atomic<int64_t> in_flight_{0};
+};
+
+}  // namespace rex
+
+#endif  // REX_NET_NETWORK_H_

@@ -1,0 +1,26 @@
+// Calibration queries measuring a node's CPU / disk / network rates for
+// the optimizer's cost model (§5).
+#ifndef REX_OPTIMIZER_CALIBRATION_H_
+#define REX_OPTIMIZER_CALIBRATION_H_
+
+#include "optimizer/stats.h"
+
+namespace rex {
+
+struct CalibrationOptions {
+  int64_t cpu_tuples = 2'000'000;   // tuples hashed for the CPU probe
+  int64_t disk_bytes = 8 << 20;     // bytes written+read for the disk probe
+  int64_t net_bytes = 64 << 20;     // bytes copied for the transfer probe
+};
+
+/// Measures this machine's rates with real micro-workloads.
+Result<NodeCalibration> RunNodeCalibration(
+    const CalibrationOptions& options = {});
+
+/// Calibration for an in-process cluster (all workers share the machine).
+Result<ClusterCalibration> RunClusterCalibration(
+    int num_workers, const CalibrationOptions& options = {});
+
+}  // namespace rex
+
+#endif  // REX_OPTIMIZER_CALIBRATION_H_

@@ -1,0 +1,68 @@
+#include "optimizer/cost_model.h"
+
+#include <sstream>
+
+namespace rex {
+
+std::string ResourceVector::ToString() const {
+  std::ostringstream os;
+  os << "{cpu=" << cpu << "s, disk=" << disk << "s, net=" << net << "s}";
+  return os.str();
+}
+
+NodeCalibration ClusterCalibration::Slowest() const {
+  NodeCalibration slowest;
+  bool first = true;
+  for (const NodeCalibration& n : nodes) {
+    if (first) {
+      slowest = n;
+      first = false;
+      continue;
+    }
+    slowest.cpu_tuples_per_sec =
+        std::min(slowest.cpu_tuples_per_sec, n.cpu_tuples_per_sec);
+    slowest.disk_mb_per_sec =
+        std::min(slowest.disk_mb_per_sec, n.disk_mb_per_sec);
+    slowest.net_mb_per_sec =
+        std::min(slowest.net_mb_per_sec, n.net_mb_per_sec);
+  }
+  return slowest;
+}
+
+ResourceVector CostModel::ScanWork(double rows, double row_bytes) const {
+  ResourceVector w;
+  const double per_node_rows = rows / num_nodes_;
+  w.disk = per_node_rows * row_bytes / (1024.0 * 1024.0) /
+           calib_.disk_mb_per_sec;
+  w.cpu = per_node_rows / calib_.cpu_tuples_per_sec;
+  return w;
+}
+
+ResourceVector CostModel::CpuWork(double rows, double per_tuple) const {
+  ResourceVector w;
+  w.cpu = rows / num_nodes_ * per_tuple / calib_.cpu_tuples_per_sec;
+  return w;
+}
+
+ResourceVector CostModel::RehashWork(double rows, double row_bytes) const {
+  ResourceVector w;
+  const double per_node_rows = rows / num_nodes_;
+  const double cross_fraction =
+      num_nodes_ <= 1 ? 0.0
+                      : static_cast<double>(num_nodes_ - 1) / num_nodes_;
+  w.net = per_node_rows * cross_fraction * row_bytes / (1024.0 * 1024.0) /
+          calib_.net_mb_per_sec;
+  w.cpu = per_node_rows / calib_.cpu_tuples_per_sec;
+  return w;
+}
+
+ResourceVector CostModel::UdfWork(double rows,
+                                  const UdfCostProfile& profile) const {
+  ResourceVector w;
+  const double per_tuple =
+      profile.EffectiveCostPerTuple(rows, caching_enabled_);
+  w.cpu = rows / num_nodes_ * per_tuple / calib_.cpu_tuples_per_sec;
+  return w;
+}
+
+}  // namespace rex

@@ -1,0 +1,99 @@
+// Resource-vector cost model with CPU / disk / network overlap (§5).
+//
+// Rather than summing operator times, REX models each pipelined (sub)plan
+// as a vector of per-resource utilization and takes, as the plan's runtime,
+// the smallest time at which every resource's combined utilization stays
+// under 100% — for fully pipelined execution that is the bottleneck
+// resource's total work. Two subplans that use disjoint resources thus
+// combine to max(t1, t2) rather than t1 + t2.
+#ifndef REX_OPTIMIZER_COST_MODEL_H_
+#define REX_OPTIMIZER_COST_MODEL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "optimizer/stats.h"
+
+namespace rex {
+
+/// Seconds of exclusive use of each resource class.
+struct ResourceVector {
+  double cpu = 0;
+  double disk = 0;
+  double net = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    cpu += o.cpu;
+    disk += o.disk;
+    net += o.net;
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a,
+                                  const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+
+  /// Runtime of a pipeline with this utilization: the bottleneck resource
+  /// (overlapped execution keeps the others busy "for free").
+  double BottleneckTime() const {
+    return std::max(cpu, std::max(disk, net));
+  }
+
+  /// Non-overlapped (barrier-separated) combination: phases execute one
+  /// after another.
+  static double SequentialTime(const ResourceVector& a,
+                               const ResourceVector& b) {
+    return a.BottleneckTime() + b.BottleneckTime();
+  }
+
+  std::string ToString() const;
+};
+
+/// Cost and output-shape estimate for a (sub)plan.
+struct CostEstimate {
+  ResourceVector work;
+  double output_rows = 0;
+  double output_row_bytes = 32;
+
+  double Time() const { return work.BottleneckTime(); }
+  double OutputMb() const {
+    return output_rows * output_row_bytes / (1024.0 * 1024.0);
+  }
+};
+
+/// Primitive per-operator work estimators, all per-node-normalized using
+/// the slowest node's calibration (worst-case completion, §5).
+class CostModel {
+ public:
+  CostModel(const ClusterCalibration& calibration, bool caching_enabled)
+      : calib_(calibration.Slowest()),
+        num_nodes_(std::max(1, calibration.num_nodes())),
+        caching_enabled_(caching_enabled) {}
+
+  int num_nodes() const { return num_nodes_; }
+  bool caching_enabled() const { return caching_enabled_; }
+
+  /// Scanning `rows` of `row_bytes` each, spread across the cluster.
+  ResourceVector ScanWork(double rows, double row_bytes) const;
+
+  /// CPU work of processing `rows` through an operator with the given
+  /// per-tuple work factor.
+  ResourceVector CpuWork(double rows, double per_tuple = 1.0) const;
+
+  /// Network work of rehashing `rows`; a (n-1)/n fraction crosses the
+  /// wire.
+  ResourceVector RehashWork(double rows, double row_bytes) const;
+
+  /// A UDF applied to `rows`, honoring calibration, hints, and caching.
+  ResourceVector UdfWork(double rows, const UdfCostProfile& profile) const;
+
+ private:
+  NodeCalibration calib_;
+  int num_nodes_;
+  bool caching_enabled_;
+};
+
+}  // namespace rex
+
+#endif  // REX_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,913 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace rex {
+
+double PredicateRank(double cost_per_tuple, double selectivity) {
+  const double drop = std::max(1e-9, 1.0 - selectivity);
+  return cost_per_tuple / drop;
+}
+
+ExprPtr ShiftExprColumns(const ExprPtr& expr, int offset) {
+  if (!expr) return expr;
+  auto out = std::make_shared<Expr>(*expr);
+  switch (expr->kind) {
+    case Expr::Kind::kColumn:
+      out->column += offset;
+      break;
+    case Expr::Kind::kBinary:
+      out->lhs = ShiftExprColumns(expr->lhs, offset);
+      out->rhs = ShiftExprColumns(expr->rhs, offset);
+      break;
+    case Expr::Kind::kCall:
+    case Expr::Kind::kNot: {
+      out->args.clear();
+      for (const ExprPtr& a : expr->args) {
+        out->args.push_back(ShiftExprColumns(a, offset));
+      }
+      break;
+    }
+    case Expr::Kind::kConst:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Internal enumeration structures
+// --------------------------------------------------------------------------
+
+struct PlacedPredicate {
+  const PredicateSpec* spec;
+  double selectivity;
+  double cost_per_tuple;  // CPU work units per input tuple
+  double rank;
+};
+
+/// A join tree node produced by enumeration (lowered to a PlanSpec later).
+struct TreeNode {
+  bool leaf = false;
+  int table = -1;  // leaf
+  std::shared_ptr<TreeNode> left, right;
+  const JoinPredSpec* pred = nullptr;
+  bool rehash_left = false;
+  bool rehash_right = false;
+};
+using TreePtr = std::shared_ptr<TreeNode>;
+
+/// Memo entry: the best plan found for a subset of tables.
+struct SubPlan {
+  double rows = 0;
+  double row_bytes = 0;
+  ResourceVector work;
+  TreePtr tree;
+  /// Partitioning property: (table, column) the output is hashed on.
+  int part_table = -1;
+  std::string part_column;
+  bool valid = false;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const QueryBlock& query, const StatsCatalog& stats,
+             const CostModel& model, OptimizerDecisions* decisions)
+      : query_(query), stats_(stats), model_(model), decisions_(decisions) {
+    n_ = static_cast<int>(query.tables.size());
+  }
+
+  /// `pushed[t]` — predicates applied at table t's scan (in rank order).
+  Result<SubPlan> Best(const std::vector<std::vector<PlacedPredicate>>&
+                           pushed) {
+    pushed_ = &pushed;
+    memo_.clear();
+    REX_ASSIGN_OR_RETURN(SubPlan root, Solve((1u << n_) - 1));
+    if (!root.valid) {
+      return Status::InvalidArgument(
+          "query block's join graph is disconnected (cross products are "
+          "not enumerated)");
+    }
+    return root;
+  }
+
+ private:
+  Result<SubPlan> Leaf(int t) {
+    const TableRef& table = query_.tables[static_cast<size_t>(t)];
+    REX_ASSIGN_OR_RETURN(TableStats ts, stats_.GetTableStats(table.name));
+    SubPlan plan;
+    plan.rows = static_cast<double>(ts.rows);
+    plan.row_bytes = ts.avg_row_bytes;
+    plan.work = model_.ScanWork(plan.rows, plan.row_bytes);
+    double in_rows = plan.rows;
+    for (const PlacedPredicate& p : (*pushed_)[static_cast<size_t>(t)]) {
+      plan.work += model_.CpuWork(in_rows, p.cost_per_tuple);
+      in_rows *= p.selectivity;
+    }
+    plan.rows = std::max(1.0, in_rows);
+    plan.tree = std::make_shared<TreeNode>();
+    plan.tree->leaf = true;
+    plan.tree->table = t;
+    plan.part_table = t;
+    plan.part_column = table.partition_column;
+    plan.valid = true;
+    return plan;
+  }
+
+  /// Distinct-value count of a join column after predicates.
+  double DistinctOf(int t, const std::string& column, double rows) const {
+    const TableRef& table = query_.tables[static_cast<size_t>(t)];
+    auto ts = stats_.GetTableStats(table.name);
+    if (!ts.ok()) return std::max(1.0, rows);
+    return std::min<double>(std::max<int64_t>(1, ts->DistinctOf(column)),
+                            std::max(1.0, rows));
+  }
+
+  int TableIndex(const std::string& name) const {
+    for (int t = 0; t < n_; ++t) {
+      if (query_.tables[static_cast<size_t>(t)].name == name) return t;
+    }
+    return -1;
+  }
+
+  /// Join predicates connecting `left_set` and `right_set`.
+  std::vector<const JoinPredSpec*> Connecting(uint32_t left_set,
+                                              uint32_t right_set) const {
+    std::vector<const JoinPredSpec*> out;
+    for (const JoinPredSpec& j : query_.joins) {
+      const int lt = TableIndex(j.left_table);
+      const int rt = TableIndex(j.right_table);
+      if (lt < 0 || rt < 0) continue;
+      const uint32_t lbit = 1u << lt;
+      const uint32_t rbit = 1u << rt;
+      if (((left_set & lbit) && (right_set & rbit)) ||
+          ((left_set & rbit) && (right_set & lbit))) {
+        out.push_back(&j);
+      }
+    }
+    return out;
+  }
+
+  Result<SubPlan> Solve(uint32_t set) {
+    auto it = memo_.find(set);
+    if (it != memo_.end()) return it->second;
+    SubPlan best;
+
+    if ((set & (set - 1)) == 0) {  // single table
+      int t = 0;
+      while (!(set & (1u << t))) ++t;
+      REX_ASSIGN_OR_RETURN(best, Leaf(t));
+      memo_[set] = best;
+      return best;
+    }
+
+    // Enumerate proper splits; the canonical half contains the lowest bit.
+    const uint32_t low = set & (uint32_t)(-(int32_t)set);
+    for (uint32_t sub = (set - 1) & set; sub != 0; sub = (sub - 1) & set) {
+      if (!(sub & low)) continue;  // canonical side holds the lowest bit
+      const uint32_t other = set & ~sub;
+      if (other == 0) continue;
+      auto preds = Connecting(sub, other);
+      if (preds.empty()) continue;  // avoid cross products
+      decisions_->plans_considered += 1;
+
+      REX_ASSIGN_OR_RETURN(SubPlan lhs, Solve(sub));
+      if (!lhs.valid) continue;  // that subset has no connected plan
+      // Branch-and-bound: the left side alone already losing? prune.
+      if (best.valid &&
+          lhs.work.BottleneckTime() >= best.work.BottleneckTime()) {
+        decisions_->plans_pruned += 1;
+        continue;
+      }
+      REX_ASSIGN_OR_RETURN(SubPlan rhs, Solve(other));
+      if (!rhs.valid) continue;
+
+      const JoinPredSpec* pred = preds[0];
+      // Resolve which side of the predicate is in lhs.
+      int lt = TableIndex(pred->left_table);
+      std::string lcol = pred->left_column;
+      int rt = TableIndex(pred->right_table);
+      std::string rcol = pred->right_column;
+      if (!(sub & (1u << lt))) {
+        std::swap(lt, rt);
+        std::swap(lcol, rcol);
+      }
+
+      SubPlan plan;
+      plan.tree = std::make_shared<TreeNode>();
+      plan.tree->left = lhs.tree;
+      plan.tree->right = rhs.tree;
+      plan.tree->pred = pred;
+      plan.work = lhs.work + rhs.work;
+      // Rehash any side not already partitioned on its join column.
+      plan.tree->rehash_left =
+          !(lhs.part_table == lt && lhs.part_column == lcol);
+      plan.tree->rehash_right =
+          !(rhs.part_table == rt && rhs.part_column == rcol);
+      if (plan.tree->rehash_left) {
+        plan.work += model_.RehashWork(lhs.rows, lhs.row_bytes);
+      }
+      if (plan.tree->rehash_right) {
+        plan.work += model_.RehashWork(rhs.rows, rhs.row_bytes);
+      }
+      // Pipelined symmetric hash join: build+probe CPU on both inputs.
+      plan.work += model_.CpuWork(lhs.rows + rhs.rows, 2.0);
+
+      const double dl = DistinctOf(lt, lcol, lhs.rows);
+      const double dr = DistinctOf(rt, rcol, rhs.rows);
+      plan.rows =
+          std::max(1.0, lhs.rows * rhs.rows / std::max(dl, dr));
+      // Additional predicates between the same sides filter further.
+      for (size_t p = 1; p < preds.size(); ++p) {
+        plan.rows = std::max(1.0, plan.rows * 0.1);
+      }
+      plan.row_bytes = lhs.row_bytes + rhs.row_bytes;
+      plan.part_table = lt;
+      plan.part_column = lcol;
+      plan.valid = true;
+
+      if (!best.valid ||
+          plan.work.BottleneckTime() < best.work.BottleneckTime()) {
+        best = plan;
+      }
+    }
+    // An unjoinable subset is simply not a candidate (valid=false); only
+    // the caller of Best() treats a plan-less ROOT as an error.
+    memo_[set] = best;
+    return best;
+  }
+
+  const QueryBlock& query_;
+  const StatsCatalog& stats_;
+  const CostModel& model_;
+  OptimizerDecisions* decisions_;
+  int n_ = 0;
+  const std::vector<std::vector<PlacedPredicate>>* pushed_ = nullptr;
+  std::map<uint32_t, SubPlan> memo_;
+};
+
+std::string TreeToString(const QueryBlock& query, const TreePtr& tree) {
+  if (tree->leaf) {
+    return query.tables[static_cast<size_t>(tree->table)].name;
+  }
+  return "(" + TreeToString(query, tree->left) + " ⋈ " +
+         TreeToString(query, tree->right) + ")";
+}
+
+// --------------------------------------------------------------------------
+// Lowering
+// --------------------------------------------------------------------------
+
+/// Tracks, for a lowered subplan, which node produced it and where each
+/// base table's columns start in its output tuple.
+struct Lowered {
+  int node = -1;
+  std::map<int, int> offsets;  // table idx -> column offset
+  int width = 0;
+};
+
+class Lowerer {
+ public:
+  Lowerer(const QueryBlock& query, const StatsCatalog& stats,
+          PlanSpec* plan)
+      : query_(query), stats_(stats), plan_(plan) {}
+
+  int TableIndex(const std::string& name) const {
+    for (size_t t = 0; t < query_.tables.size(); ++t) {
+      if (query_.tables[t].name == name) return static_cast<int>(t);
+    }
+    return -1;
+  }
+
+  Result<int> ColumnOffset(const Lowered& sub, const std::string& table,
+                           const std::string& column) const {
+    const int t = TableIndex(table);
+    if (t < 0) return Status::NotFound("unknown table " + table);
+    auto it = sub.offsets.find(t);
+    if (it == sub.offsets.end()) {
+      return Status::Internal("table " + table + " not in subplan");
+    }
+    REX_ASSIGN_OR_RETURN(
+        int idx, query_.tables[static_cast<size_t>(t)].schema.IndexOf(column));
+    return it->second + idx;
+  }
+
+  /// Builds Filter nodes for the predicate at the given column offset base.
+  Result<int> ApplyPredicate(int input, const PredicateSpec& pred,
+                             int offset) {
+    if (pred.expr) {
+      return plan_->AddFilter(input, ShiftExprColumns(pred.expr, offset));
+    }
+    const int t = TableIndex(pred.table);
+    std::vector<ExprPtr> args;
+    for (const std::string& col : pred.udf_args) {
+      REX_ASSIGN_OR_RETURN(
+          int idx,
+          query_.tables[static_cast<size_t>(t)].schema.IndexOf(col));
+      args.push_back(Expr::Column(idx + offset, col));
+    }
+    return plan_->AddFilter(input, Expr::Call(pred.udf, std::move(args)));
+  }
+
+  Result<Lowered> Lower(const TreePtr& tree,
+                        const std::vector<std::vector<PlacedPredicate>>&
+                            pushed) {
+    if (tree->leaf) {
+      const int t = tree->table;
+      const TableRef& table = query_.tables[static_cast<size_t>(t)];
+      ScanOp::Params scan;
+      scan.table = table.name;
+      Lowered out;
+      out.node = plan_->AddScan(scan);
+      for (const PlacedPredicate& p : pushed[static_cast<size_t>(t)]) {
+        REX_ASSIGN_OR_RETURN(out.node,
+                             ApplyPredicate(out.node, *p.spec, 0));
+      }
+      out.offsets[t] = 0;
+      out.width = static_cast<int>(table.schema.size());
+      return out;
+    }
+
+    REX_ASSIGN_OR_RETURN(Lowered lhs, Lower(tree->left, pushed));
+    REX_ASSIGN_OR_RETURN(Lowered rhs, Lower(tree->right, pushed));
+    const JoinPredSpec* pred = tree->pred;
+
+    // Resolve predicate sides against the actual subtrees.
+    std::string ltab = pred->left_table, lcol = pred->left_column;
+    std::string rtab = pred->right_table, rcol = pred->right_column;
+    if (lhs.offsets.count(TableIndex(ltab)) == 0) {
+      std::swap(ltab, rtab);
+      std::swap(lcol, rcol);
+    }
+    REX_ASSIGN_OR_RETURN(int lkey, ColumnOffset(lhs, ltab, lcol));
+    REX_ASSIGN_OR_RETURN(int rkey, ColumnOffset(rhs, rtab, rcol));
+
+    int lnode = lhs.node;
+    int rnode = rhs.node;
+    if (tree->rehash_left) {
+      RehashOp::Params rh;
+      rh.key_fields = {lkey};
+      lnode = plan_->AddRehash(lnode, rh);
+    }
+    if (tree->rehash_right) {
+      RehashOp::Params rh;
+      rh.key_fields = {rkey};
+      rnode = plan_->AddRehash(rnode, rh);
+    }
+    HashJoinOp::Params jp;
+    jp.left_keys = {lkey};
+    jp.right_keys = {rkey};
+    Lowered out;
+    out.node = plan_->AddHashJoin(lnode, rnode, jp);
+    out.offsets = lhs.offsets;
+    for (const auto& [t, off] : rhs.offsets) {
+      out.offsets[t] = off + lhs.width;
+    }
+    out.width = lhs.width + rhs.width;
+    return out;
+  }
+
+ private:
+  const QueryBlock& query_;
+  const StatsCatalog& stats_;
+  PlanSpec* plan_;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Optimizer
+// --------------------------------------------------------------------------
+
+std::pair<CostEstimate, int> Optimizer::EstimateRecursive(
+    const CostEstimate& base,
+    const std::function<CostEstimate(double input_rows)>& step,
+    int max_iters) {
+  CostEstimate total = base;
+  double card = base.output_rows;
+  double prev_card = card;
+  double prev_time = std::numeric_limits<double>::infinity();
+  int iters = 0;
+  for (int i = 0; i < max_iters && card >= 1.0; ++i) {
+    CostEstimate st = step(card);
+    // §5.3 capping: a step's cardinality and cost never exceed the
+    // previous step's (convergent algorithms + duplicate elimination).
+    double next_card = std::min(st.output_rows, prev_card);
+    double time = std::min(st.work.BottleneckTime(), prev_time);
+    ResourceVector scaled = st.work;
+    if (st.work.BottleneckTime() > 0) {
+      const double scale = time / st.work.BottleneckTime();
+      scaled.cpu *= scale;
+      scaled.disk *= scale;
+      scaled.net *= scale;
+    }
+    total.work += scaled;
+    prev_card = next_card;
+    prev_time = time;
+    card = next_card;
+    ++iters;
+  }
+  total.output_rows = card;
+  return {total, iters};
+}
+
+Result<std::optional<OptimizedQuery>> Optimizer::TryAggBelowJoinPushdown(
+    const QueryBlock& query, double no_push_time) const {
+  // Pattern gate: two tables, one equi-join, built-in aggregates whose
+  // inputs and grouping columns all come from one side, no expensive
+  // predicates (those interact with migration), pushdown enabled.
+  if (!options_.enable_preagg || !query.agg.has_value() ||
+      query.tables.size() != 2 || query.joins.size() != 1 ||
+      !query.agg->uda.empty()) {
+    return std::optional<OptimizedQuery>{};
+  }
+  for (const PredicateSpec& p : query.predicates) {
+    if (!p.udf.empty()) return std::optional<OptimizedQuery>{};
+  }
+  const AggQuerySpec& agg = *query.agg;
+  for (const AggQuerySpec::Item& item : agg.items) {
+    if (item.kind == AggKind::kAvg) return std::optional<OptimizedQuery>{};
+  }
+  // Identify the aggregated side S: every named column must come from it.
+  std::string s_name;
+  for (const AggQuerySpec::Item& item : agg.items) {
+    if (item.column.empty()) continue;
+    if (s_name.empty()) s_name = item.table;
+    if (item.table != s_name) return std::optional<OptimizedQuery>{};
+  }
+  for (const auto& [tab, col] : agg.group_by) {
+    if (s_name.empty()) s_name = tab;
+    if (tab != s_name) return std::optional<OptimizedQuery>{};
+  }
+  if (s_name.empty()) s_name = query.tables[0].name;  // count(*)-only
+
+  const int s_idx = query.tables[0].name == s_name ? 0 : 1;
+  const TableRef& s_table = query.tables[static_cast<size_t>(s_idx)];
+  const TableRef& t_table = query.tables[static_cast<size_t>(1 - s_idx)];
+  const JoinPredSpec& jp = query.joins[0];
+  const std::string s_join_col =
+      jp.left_table == s_table.name ? jp.left_column : jp.right_column;
+  const std::string t_join_col =
+      jp.left_table == s_table.name ? jp.right_column : jp.left_column;
+  if ((jp.left_table != s_table.name && jp.right_table != s_table.name) ||
+      (jp.left_table != t_table.name && jp.right_table != t_table.name)) {
+    return std::optional<OptimizedQuery>{};
+  }
+  const std::string t_key_side =
+      jp.left_table == t_table.name ? "left" : "right";
+  const bool key_fk = jp.key_side == t_key_side;  // T unique on join key
+  // A multiplicative join needs multiply compensation, which requires the
+  // aggregates to be composable built-ins (they are) — min/max pass
+  // through, multiplicity-sensitive ones multiply by the T-group count.
+  const bool needs_multiply = !key_fk;
+
+  CostModel model(calibration_, options_.caching_enabled);
+  REX_ASSIGN_OR_RETURN(TableStats s_stats,
+                       stats_->GetTableStats(s_table.name));
+  REX_ASSIGN_OR_RETURN(TableStats t_stats,
+                       stats_->GetTableStats(t_table.name));
+  double s_rows = static_cast<double>(s_stats.rows);
+  double t_rows = static_cast<double>(t_stats.rows);
+  for (const PredicateSpec& p : query.predicates) {
+    (p.table == s_table.name ? s_rows : t_rows) *= p.selectivity;
+  }
+  double s_groups = std::min(
+      s_rows, static_cast<double>(s_stats.DistinctOf(s_join_col)) * 8);
+  double t_groups = std::min(
+      t_rows, static_cast<double>(t_stats.DistinctOf(t_join_col)));
+
+  ResourceVector push_work = model.ScanWork(s_rows, s_stats.avg_row_bytes) +
+                             model.ScanWork(t_rows, t_stats.avg_row_bytes);
+  push_work += model.CpuWork(s_rows + t_rows, 1.5);  // partial aggs
+  push_work += model.RehashWork(s_groups + t_groups, 24);
+  push_work += model.CpuWork(s_groups + t_groups, 2.0);  // join + merge
+  if (push_work.BottleneckTime() >= no_push_time) {
+    return std::optional<OptimizedQuery>{};
+  }
+
+  // ---- lowering -----------------------------------------------------------
+  OptimizedQuery out;
+  out.decisions.preagg_below_join = true;
+  out.decisions.multiply_compensation = needs_multiply;
+  out.decisions.join_tree =
+      "(γ(" + s_table.name + ") ⋈ γcount(" + t_table.name + "))";
+  out.cost.work = push_work;
+  out.cost.output_rows = s_groups;
+
+  auto scan_with_preds = [&](const TableRef& table) -> Result<int> {
+    ScanOp::Params scan;
+    scan.table = table.name;
+    int node = out.spec.AddScan(scan);
+    for (const PredicateSpec& p : query.predicates) {
+      if (p.table != table.name || !p.expr) continue;
+      node = out.spec.AddFilter(node, p.expr);
+    }
+    return node;
+  };
+
+  // S side: partial aggregates grouped by (group cols..., join col).
+  REX_ASSIGN_OR_RETURN(int s_node, scan_with_preds(s_table));
+  GroupByOp::Params s_partial;
+  for (const auto& [tab, col] : agg.group_by) {
+    REX_ASSIGN_OR_RETURN(int idx, s_table.schema.IndexOf(col));
+    s_partial.key_fields.push_back(idx);
+  }
+  REX_ASSIGN_OR_RETURN(int s_join_idx, s_table.schema.IndexOf(s_join_col));
+  s_partial.key_fields.push_back(s_join_idx);
+  std::vector<PreAggSpec> pre_specs;
+  for (const AggQuerySpec::Item& item : agg.items) {
+    GroupByOp::AggSpec spec;
+    PreAggSpec pre = GetPreAggSpec(item.kind);
+    pre_specs.push_back(pre);
+    spec.kind = pre.partial;
+    spec.output_name = item.output_name;
+    if (item.column.empty()) {
+      spec.input_field = -1;
+    } else {
+      REX_ASSIGN_OR_RETURN(spec.input_field,
+                           s_table.schema.IndexOf(item.column));
+    }
+    s_partial.aggs.push_back(spec);
+  }
+  s_partial.mode = GroupByOp::Mode::kStratum;
+  s_node = out.spec.AddGroupBy(s_node, s_partial);
+  const int g = static_cast<int>(agg.group_by.size());
+  const int p = static_cast<int>(agg.items.size());
+  // S' layout: (g0..g_{G-1}, j, p0..p_{P-1}); rehash by the join key.
+  RehashOp::Params s_rh;
+  s_rh.key_fields = {g};
+  s_node = out.spec.AddRehash(s_node, s_rh);
+
+  // T side: per-join-key count(*) (the transparently added count of
+  // §5.2); key-FK joins have count 1 per key, so T rows pass directly.
+  REX_ASSIGN_OR_RETURN(int t_node, scan_with_preds(t_table));
+  REX_ASSIGN_OR_RETURN(int t_join_idx, t_table.schema.IndexOf(t_join_col));
+  int t_key_for_join = t_join_idx;
+  if (needs_multiply) {
+    GroupByOp::Params t_count;
+    t_count.key_fields = {t_join_idx};
+    t_count.aggs = {GroupByOp::AggSpec{AggKind::kCount, -1, "cnt"}};
+    t_count.mode = GroupByOp::Mode::kStratum;
+    t_node = out.spec.AddGroupBy(t_node, t_count);
+    t_key_for_join = 0;  // layout (j, cnt)
+    RehashOp::Params t_rh;
+    t_rh.key_fields = {0};
+    t_node = out.spec.AddRehash(t_node, t_rh);
+  } else if (t_table.partition_column != t_join_col) {
+    RehashOp::Params t_rh;
+    t_rh.key_fields = {t_join_idx};
+    t_node = out.spec.AddRehash(t_node, t_rh);
+  }
+
+  HashJoinOp::Params join;
+  join.left_keys = {g};
+  join.right_keys = {t_key_for_join};
+  int join_node = out.spec.AddHashJoin(s_node, t_node, join);
+
+  // Compensation projection: group cols, then each partial — multiplied
+  // by the opposite group's cardinality when multiplicity-sensitive.
+  std::vector<ExprPtr> exprs;
+  for (int i = 0; i < g; ++i) exprs.push_back(Expr::Column(i));
+  const int t_width =
+      needs_multiply ? 2 : static_cast<int>(t_table.schema.size());
+  (void)t_width;
+  const int cnt_col = g + 1 + p + 1;  // (S' fields) + (j, cnt)'s cnt
+  for (int i = 0; i < p; ++i) {
+    ExprPtr partial = Expr::Column(g + 1 + i);
+    if (needs_multiply && IsMultiplicitySensitive(agg.items[
+                              static_cast<size_t>(i)].kind)) {
+      partial = Expr::Binary(BinOp::kMul, partial, Expr::Column(cnt_col));
+    }
+    exprs.push_back(std::move(partial));
+  }
+  int top = out.spec.AddProject(join_node, std::move(exprs));
+
+  // Final merge: rehash by group columns, merge partials.
+  RehashOp::Params final_rh;
+  for (int i = 0; i < g; ++i) final_rh.key_fields.push_back(i);
+  top = out.spec.AddRehash(top, final_rh);
+  GroupByOp::Params merge;
+  for (int i = 0; i < g; ++i) merge.key_fields.push_back(i);
+  for (int i = 0; i < p; ++i) {
+    GroupByOp::AggSpec spec;
+    spec.kind = pre_specs[static_cast<size_t>(i)].merge;
+    spec.input_field = g + i;
+    spec.output_name = agg.items[static_cast<size_t>(i)].output_name;
+    merge.aggs.push_back(spec);
+  }
+  merge.mode = GroupByOp::Mode::kStratum;
+  top = out.spec.AddGroupBy(top, merge);
+  out.spec.AddSink(top);
+  REX_RETURN_NOT_OK(out.spec.Validate());
+  return std::optional<OptimizedQuery>(std::move(out));
+}
+
+Result<OptimizedQuery> Optimizer::Optimize(const QueryBlock& query) const {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query block with no tables");
+  }
+  if (static_cast<int>(query.tables.size()) > options_.max_tables) {
+    return Status::Unsupported("too many tables for enumeration");
+  }
+  CostModel model(calibration_, options_.caching_enabled);
+  OptimizedQuery out;
+
+  // ---- predicate analysis: costs, selectivities, ranks ------------------
+  const int n = static_cast<int>(query.tables.size());
+  auto table_index = [&](const std::string& name) {
+    for (int t = 0; t < n; ++t) {
+      if (query.tables[static_cast<size_t>(t)].name == name) return t;
+    }
+    return -1;
+  };
+  std::vector<PlacedPredicate> all_preds;
+  for (const PredicateSpec& p : query.predicates) {
+    if (table_index(p.table) < 0) {
+      return Status::NotFound("predicate references unknown table " +
+                              p.table);
+    }
+    PlacedPredicate placed;
+    placed.spec = &p;
+    if (!p.udf.empty()) {
+      UdfCostProfile prof = stats_->GetUdfProfile(p.udf);
+      placed.cost_per_tuple =
+          prof.EffectiveCostPerTuple(0, options_.caching_enabled);
+      placed.selectivity = prof.selectivity;
+    } else {
+      placed.cost_per_tuple = 1.0;
+      placed.selectivity = p.selectivity;
+    }
+    placed.rank = PredicateRank(placed.cost_per_tuple, placed.selectivity);
+    all_preds.push_back(placed);
+  }
+  // Rank order within each table ([13]: increasing rank).
+  std::stable_sort(all_preds.begin(), all_preds.end(),
+                   [](const PlacedPredicate& a, const PlacedPredicate& b) {
+                     return a.rank < b.rank;
+                   });
+  for (const PlacedPredicate& p : all_preds) {
+    out.decisions.rank_order.push_back(
+        p.spec->udf.empty() ? p.spec->expr->ToString() : p.spec->udf);
+  }
+
+  // ---- predicate migration (§5.1): pushdown vs after-joins --------------
+  // Start fully pushed; greedily pull up any expensive predicate whose
+  // post-join application is cheaper (fewer tuples reach it).
+  std::vector<bool> pulled(all_preds.size(), false);
+  auto build_pushed = [&](const std::vector<bool>& pulled_now) {
+    std::vector<std::vector<PlacedPredicate>> pushed(
+        static_cast<size_t>(n));
+    for (size_t i = 0; i < all_preds.size(); ++i) {
+      if (pulled_now[i]) continue;
+      pushed[static_cast<size_t>(table_index(all_preds[i].spec->table))]
+          .push_back(all_preds[i]);
+    }
+    return pushed;
+  };
+  auto total_cost = [&](const std::vector<bool>& pulled_now)
+      -> Result<std::pair<SubPlan, double>> {
+    OptimizerDecisions scratch;
+    Enumerator enumerator(query, *stats_, model, &scratch);
+    REX_ASSIGN_OR_RETURN(SubPlan plan,
+                         enumerator.Best(build_pushed(pulled_now)));
+    out.decisions.plans_considered += scratch.plans_considered;
+    out.decisions.plans_pruned += scratch.plans_pruned;
+    ResourceVector work = plan.work;
+    double rows = plan.rows;
+    for (size_t i = 0; i < all_preds.size(); ++i) {
+      if (!pulled_now[i]) continue;
+      work += model.CpuWork(rows, all_preds[i].cost_per_tuple);
+      rows *= all_preds[i].selectivity;
+    }
+    return std::make_pair(plan, work.BottleneckTime());
+  };
+
+  REX_ASSIGN_OR_RETURN(auto best, total_cost(pulled));
+  if (options_.enable_predicate_migration) {
+    // Highest rank first: the most expensive-per-dropped-tuple predicates
+    // benefit most from seeing fewer tuples.
+    std::vector<size_t> order(all_preds.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return all_preds[a].rank > all_preds[b].rank;
+    });
+    for (size_t i : order) {
+      if (all_preds[i].spec->udf.empty()) continue;  // cheap stays pushed
+      std::vector<bool> trial = pulled;
+      trial[i] = true;
+      REX_ASSIGN_OR_RETURN(auto alt, total_cost(trial));
+      if (alt.second < best.second) {
+        pulled = trial;
+        best = alt;
+      }
+    }
+  }
+  for (size_t i = 0; i < all_preds.size(); ++i) {
+    if (all_preds[i].spec->udf.empty()) continue;
+    out.decisions.predicate_placement.emplace_back(
+        all_preds[i].spec->udf,
+        pulled[i] ? "after-joins" : "pushdown:" + all_preds[i].spec->table);
+  }
+
+  SubPlan chosen = best.first;
+  out.decisions.join_tree = TreeToString(query, chosen.tree);
+  out.cost.work = chosen.work;
+  out.cost.output_rows = chosen.rows;
+  out.cost.output_row_bytes = chosen.row_bytes;
+
+  // ---- lowering ----------------------------------------------------------
+  Lowerer lowerer(query, *stats_, &out.spec);
+  REX_ASSIGN_OR_RETURN(Lowered lowered,
+                       lowerer.Lower(chosen.tree, build_pushed(pulled)));
+  int top = lowered.node;
+  double top_rows = chosen.rows;
+  for (size_t i = 0; i < all_preds.size(); ++i) {
+    if (!pulled[i]) continue;
+    const int t = table_index(all_preds[i].spec->table);
+    auto off_it = lowered.offsets.find(t);
+    if (off_it == lowered.offsets.end()) {
+      return Status::Internal("pulled predicate's table missing");
+    }
+    REX_ASSIGN_OR_RETURN(
+        top, lowerer.ApplyPredicate(top, *all_preds[i].spec,
+                                    off_it->second));
+    top_rows *= all_preds[i].selectivity;
+  }
+
+  // ---- aggregation with pre-aggregation decisions (§5.2) ----------------
+  if (query.agg.has_value()) {
+    const AggQuerySpec& agg = *query.agg;
+    std::vector<int> key_fields;
+    for (const auto& [tab, col] : agg.group_by) {
+      REX_ASSIGN_OR_RETURN(int off, lowerer.ColumnOffset(lowered, tab, col));
+      key_fields.push_back(off);
+    }
+    std::vector<GroupByOp::AggSpec> partial;
+    std::vector<GroupByOp::AggSpec> merge;
+    if (!agg.uda.empty()) {
+      return Status::Unsupported(
+          "UDA lowering goes through the RQL layer; the optimizer costs "
+          "it but lowers built-in aggregates only");
+    }
+    for (const AggQuerySpec::Item& item : agg.items) {
+      GroupByOp::AggSpec spec;
+      spec.kind = item.kind;
+      spec.output_name = item.output_name;
+      if (item.column.empty()) {
+        spec.input_field = -1;
+      } else {
+        REX_ASSIGN_OR_RETURN(
+            int off, lowerer.ColumnOffset(lowered, item.table, item.column));
+        spec.input_field = off;
+      }
+      partial.push_back(spec);
+      merge.push_back(spec);
+    }
+    // Rewrite merge aggregates over partial outputs: after a combiner the
+    // input layout is (keys..., partials...) and each aggregate merges its
+    // partial column (sum of sums, min of mins, sum of counts; avg splits
+    // into sum+count companions).
+    bool combiner_ok = true;
+    std::vector<GroupByOp::AggSpec> partial2;
+    std::vector<GroupByOp::AggSpec> merge2;
+    std::vector<std::pair<int, int>> avg_fixups;  // (sum idx, count idx)
+    for (size_t i = 0; i < partial.size() && combiner_ok; ++i) {
+      PreAggSpec pre = GetPreAggSpec(partial[i].kind);
+      if (!pre.available) {
+        combiner_ok = false;
+        break;
+      }
+      GroupByOp::AggSpec p = partial[i];
+      p.kind = pre.partial;
+      GroupByOp::AggSpec m;
+      m.kind = pre.merge;
+      m.output_name = partial[i].output_name;
+      m.input_field =
+          static_cast<int>(key_fields.size() + partial2.size());
+      if (pre.needs_count_companion) {
+        // avg -> (sum, count) partials; final avg = sum(sum)/sum(count).
+        GroupByOp::AggSpec cnt = partial[i];
+        cnt.kind = AggKind::kCount;
+        cnt.output_name = partial[i].output_name + "_n";
+        GroupByOp::AggSpec mcnt;
+        mcnt.kind = AggKind::kSum;
+        mcnt.output_name = cnt.output_name;
+        mcnt.input_field = m.input_field + 1;
+        avg_fixups.emplace_back(static_cast<int>(merge2.size()),
+                                static_cast<int>(merge2.size() + 1));
+        partial2.push_back(p);
+        partial2.push_back(cnt);
+        merge2.push_back(m);
+        merge2.push_back(mcnt);
+      } else {
+        partial2.push_back(p);
+        merge2.push_back(m);
+      }
+    }
+
+    // Cost the two physical alternatives.
+    const double groups = std::max(
+        1.0, std::min(top_rows, std::pow(64.0, static_cast<double>(
+                                                   key_fields.size()))));
+    const double per_node_groups = groups;  // every node can hold any group
+    ResourceVector no_comb = model.RehashWork(top_rows, 24) +
+                             model.CpuWork(top_rows, 1.5);
+    ResourceVector with_comb =
+        model.CpuWork(top_rows, 1.5) +
+        model.RehashWork(per_node_groups * model.num_nodes(), 24) +
+        model.CpuWork(per_node_groups * model.num_nodes(), 1.5);
+    const bool use_combiner =
+        options_.enable_preagg && combiner_ok &&
+        with_comb.BottleneckTime() < no_comb.BottleneckTime();
+    out.decisions.preagg_combiner = use_combiner;
+    out.cost.work += use_combiner ? with_comb : no_comb;
+
+    if (use_combiner) {
+      GroupByOp::Params local;
+      local.key_fields = key_fields;
+      local.aggs = partial2;
+      local.mode = GroupByOp::Mode::kStratum;
+      top = out.spec.AddGroupBy(top, local);
+      // Combiner output layout: keys then partials.
+      std::vector<int> new_keys;
+      for (size_t k = 0; k < key_fields.size(); ++k) {
+        new_keys.push_back(static_cast<int>(k));
+      }
+      RehashOp::Params rh;
+      rh.key_fields = new_keys;  // empty = gather onto one worker
+      top = out.spec.AddRehash(top, rh);
+      GroupByOp::Params final_agg;
+      final_agg.key_fields = new_keys;
+      final_agg.aggs = merge2;
+      final_agg.mode = GroupByOp::Mode::kStratum;
+      top = out.spec.AddGroupBy(top, final_agg);
+      if (!avg_fixups.empty()) {
+        // Project final averages: keys, then per requested aggregate its
+        // value (sum/count for avgs).
+        std::vector<ExprPtr> exprs;
+        for (size_t k = 0; k < key_fields.size(); ++k) {
+          exprs.push_back(Expr::Column(static_cast<int>(k)));
+        }
+        size_t m_idx = 0;
+        while (m_idx < merge2.size()) {
+          bool is_avg_pair = false;
+          for (auto& [s, c] : avg_fixups) {
+            if (static_cast<size_t>(s) == m_idx) is_avg_pair = true;
+          }
+          const int base = static_cast<int>(key_fields.size() + m_idx);
+          if (is_avg_pair) {
+            exprs.push_back(Expr::Binary(BinOp::kDiv, Expr::Column(base),
+                                         Expr::Column(base + 1)));
+            m_idx += 2;
+          } else {
+            exprs.push_back(Expr::Column(base));
+            m_idx += 1;
+          }
+        }
+        top = out.spec.AddProject(top, std::move(exprs));
+      }
+    } else {
+      RehashOp::Params rh;
+      rh.key_fields = key_fields;  // empty = gather onto one worker
+      top = out.spec.AddRehash(top, rh);
+      GroupByOp::Params final_agg;
+      final_agg.key_fields = key_fields;
+      final_agg.aggs = partial;
+      final_agg.mode = GroupByOp::Mode::kStratum;
+      top = out.spec.AddGroupBy(top, final_agg);
+    }
+  }
+
+  if (!query.agg.has_value() && !query.project.empty()) {
+    std::vector<ExprPtr> exprs;
+    for (const auto& [tab, col] : query.project) {
+      REX_ASSIGN_OR_RETURN(int off, lowerer.ColumnOffset(lowered, tab, col));
+      exprs.push_back(Expr::Column(off, col));
+    }
+    top = out.spec.AddProject(top, std::move(exprs));
+  }
+
+  out.spec.AddSink(top);
+  REX_RETURN_NOT_OK(out.spec.Validate());
+
+  // §5.2: consider pushing the aggregation below the join entirely (with
+  // multiply compensation on multiplicative joins); adopt it when the
+  // cost model prefers it over the plan built above.
+  REX_ASSIGN_OR_RETURN(auto pushed_down,
+                       TryAggBelowJoinPushdown(query, out.cost.Time()));
+  if (pushed_down.has_value()) {
+    pushed_down->decisions.plans_considered =
+        out.decisions.plans_considered + 1;
+    pushed_down->decisions.plans_pruned = out.decisions.plans_pruned;
+    pushed_down->decisions.rank_order = out.decisions.rank_order;
+    return std::move(*pushed_down);
+  }
+  return out;
+}
+
+}  // namespace rex

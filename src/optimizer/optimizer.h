@@ -1,0 +1,164 @@
+// The REX query optimizer (§5).
+//
+// Top-down plan enumeration with branch-and-bound over a query block:
+//  - join-order enumeration (linear and bushy) with memoization, costed
+//    under the CPU/disk/network overlap model and partitioning-aware
+//    (rehash inserted only when a subplan is not already partitioned on
+//    the join key),
+//  - interleaving of expensive UDF predicates with joins, ordered by rank
+//    (cost per tuple / selectivity) following Hellerstein-Stonebraker
+//    predicate migration [13] extended with the resource-vector model,
+//  - UDA pre-aggregation pushdown (§5.2): a single maximally-pushed
+//    pre-aggregate, through arbitrary joins for composable UDAs (with
+//    multiply compensation on multiplicative joins when a multFn is
+//    supplied), under key-foreign-key joins otherwise,
+//  - deterministic-function caching reflected in cost estimates,
+//  - recursive query costing (§5.3) by simulated iteration with
+//    cardinality/cost capping.
+#ifndef REX_OPTIMIZER_OPTIMIZER_H_
+#define REX_OPTIMIZER_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/plan_spec.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/stats.h"
+
+namespace rex {
+
+/// A base relation in the FROM clause.
+struct TableRef {
+  std::string name;
+  Schema schema;
+  /// Column the stored table is partitioned on (empty = unpartitioned).
+  std::string partition_column;
+};
+
+/// An equi-join predicate between two base tables.
+struct JoinPredSpec {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  /// The join key is unique on this side (primary key), making the join
+  /// key-foreign-key; "" = neither (a multiplicative join).
+  std::string key_side;  // "left", "right", or ""
+};
+
+/// A single-table predicate: either a cheap expression or an expensive UDF
+/// call whose cost/selectivity come from the stats catalog.
+struct PredicateSpec {
+  std::string table;
+  /// Cheap predicate, bound to the table's schema. Null when udf set.
+  ExprPtr expr;
+  /// Expensive scalar-UDF predicate by registry name.
+  std::string udf;
+  std::vector<std::string> udf_args;  // column names on `table`
+  double selectivity = 0.5;           // cheap-predicate estimate
+};
+
+/// Aggregation on top of the join result.
+struct AggQuerySpec {
+  struct Item {
+    AggKind kind = AggKind::kSum;
+    std::string table;   // input column's table ("" for count(*))
+    std::string column;  // "" for count(*)
+    std::string output_name;
+  };
+  std::vector<std::pair<std::string, std::string>> group_by;  // (table, col)
+  std::vector<Item> items;
+  /// Alternatively a UDA (by name); its composability/multFn come from
+  /// the registry via the catalog profile.
+  std::string uda;
+  bool uda_composable = false;
+  bool uda_has_mult_fn = false;
+};
+
+struct QueryBlock {
+  std::vector<TableRef> tables;
+  std::vector<JoinPredSpec> joins;
+  std::vector<PredicateSpec> predicates;
+  std::optional<AggQuerySpec> agg;
+  /// Output projection for non-aggregate queries: (table, column) pairs.
+  /// Empty = all columns in join order.
+  std::vector<std::pair<std::string, std::string>> project;
+};
+
+/// What the optimizer decided, for EXPLAIN output and tests.
+struct OptimizerDecisions {
+  std::string join_tree;  // e.g. "((a ⋈ b) ⋈ c)"
+  /// (udf name, placement) with placement "pushdown:<table>" or
+  /// "after-joins".
+  std::vector<std::pair<std::string, std::string>> predicate_placement;
+  /// Per-table order in which pushed predicates apply (rank order).
+  std::vector<std::string> rank_order;
+  bool preagg_combiner = false;   // partial agg before the final rehash
+  bool preagg_below_join = false;  // §5.2 pushdown under a join
+  bool multiply_compensation = false;
+  int plans_considered = 0;
+  int plans_pruned = 0;
+};
+
+struct OptimizedQuery {
+  PlanSpec spec;
+  CostEstimate cost;
+  OptimizerDecisions decisions;
+};
+
+struct OptimizerOptions {
+  bool enable_preagg = true;
+  bool enable_predicate_migration = true;
+  bool caching_enabled = true;
+  int max_tables = 12;  // bitmask enumeration bound
+};
+
+class Optimizer {
+ public:
+  Optimizer(const StatsCatalog* stats, ClusterCalibration calibration,
+            OptimizerOptions options = {})
+      : stats_(stats),
+        calibration_(std::move(calibration)),
+        options_(options) {}
+
+  /// Optimizes a query block into an executable PlanSpec (ending in a
+  /// sink) plus the cost estimate and decision record.
+  Result<OptimizedQuery> Optimize(const QueryBlock& query) const;
+
+  /// §5.2's below-join pre-aggregation, including multiply compensation on
+  /// multiplicative (non key-FK) joins: for a two-table join-aggregate
+  /// where every grouping column and aggregate input comes from one side,
+  /// both sides pre-aggregate per join key and each partial is multiplied
+  /// by the opposite group's cardinality (count(*) added transparently).
+  /// Returns the lowered plan when the pattern applies AND the cost model
+  /// prefers it; nullopt otherwise.
+  Result<std::optional<OptimizedQuery>> TryAggBelowJoinPushdown(
+      const QueryBlock& query, double no_push_time) const;
+
+  /// §5.3: simulated-iteration costing of a recursive query. `step` maps
+  /// an input cardinality to the recursive case's (cost, output rows);
+  /// cardinalities and costs are capped by the previous iteration's to
+  /// tame divergent estimates. Returns (total cost, iterations estimated).
+  static std::pair<CostEstimate, int> EstimateRecursive(
+      const CostEstimate& base,
+      const std::function<CostEstimate(double input_rows)>& step,
+      int max_iters = 100);
+
+ private:
+  const StatsCatalog* stats_;
+  ClusterCalibration calibration_;
+  OptimizerOptions options_;
+};
+
+/// Rank of a predicate per [13]: cost-per-tuple / (1 - selectivity).
+/// Lower rank applies first.
+double PredicateRank(double cost_per_tuple, double selectivity);
+
+/// Rebinds an expression's column indexes by a fixed offset (used when a
+/// table-level predicate is applied above a join).
+ExprPtr ShiftExprColumns(const ExprPtr& expr, int offset);
+
+}  // namespace rex
+
+#endif  // REX_OPTIMIZER_OPTIMIZER_H_

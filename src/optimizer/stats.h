@@ -1,0 +1,113 @@
+// Statistics and calibration inputs to the optimizer (§5).
+//
+// REX assumes each node has run an initial calibration providing relative
+// CPU and disk speeds and pairwise network bandwidths; the optimizer costs
+// each operator with the lowest combined estimate across nodes —
+// effectively the worst-case completion time. UDF costs come from
+// calibration queries plus optional programmer-supplied "big-O" hints.
+#ifndef REX_OPTIMIZER_STATS_H_
+#define REX_OPTIMIZER_STATS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rex {
+
+struct TableStats {
+  int64_t rows = 0;
+  double avg_row_bytes = 32;
+  /// Distinct values per column name (for join selectivity estimation).
+  std::map<std::string, int64_t> distinct;
+
+  int64_t DistinctOf(const std::string& column) const {
+    auto it = distinct.find(column);
+    return it == distinct.end() ? std::max<int64_t>(rows, 1) : it->second;
+  }
+};
+
+/// Per-node relative speeds from the calibration run. Values are rates:
+/// tuples/sec of CPU work, MB/s of disk and network.
+struct NodeCalibration {
+  double cpu_tuples_per_sec = 5e6;
+  double disk_mb_per_sec = 100.0;
+  double net_mb_per_sec = 100.0;
+};
+
+struct ClusterCalibration {
+  std::vector<NodeCalibration> nodes;
+
+  static ClusterCalibration Uniform(int n, NodeCalibration calib = {}) {
+    ClusterCalibration c;
+    c.nodes.assign(static_cast<size_t>(n), calib);
+    return c;
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+
+  /// The optimizer uses the slowest node's rates: the worst-case
+  /// completion estimate of §5 ("the lowest combined cost estimate across
+  /// all nodes ... estimates the worst-case completion time").
+  NodeCalibration Slowest() const;
+};
+
+/// Programmer-supplied cost hint (§5.1): the "big-O shape" of a function's
+/// cost as a function of its main input parameter; the optimizer combines
+/// it with calibrated coefficients.
+using CostHint = std::function<double(double input_magnitude)>;
+
+/// Calibrated + hinted properties of one user-defined function.
+struct UdfCostProfile {
+  double cost_per_tuple = 1.0;  // CPU work units per input tuple
+  double selectivity = 0.5;     // when used as a predicate
+  double fanout = 1.0;          // outputs per input (table UDFs)
+  bool deterministic = true;    // cacheable (§5.1 caching)
+  CostHint hint;                // optional; scales cost_per_tuple
+  /// Distinct-input ratio for cache-hit estimation: fraction of inputs
+  /// expected to be distinct (1.0 = no repeats, caching useless).
+  double distinct_input_ratio = 1.0;
+
+  double EffectiveCostPerTuple(double input_magnitude,
+                               bool caching_enabled) const {
+    double c = cost_per_tuple;
+    if (hint) c *= hint(input_magnitude);
+    if (deterministic && caching_enabled) {
+      // Only distinct inputs pay; repeats hit the cache.
+      c *= distinct_input_ratio;
+    }
+    return c;
+  }
+};
+
+class StatsCatalog {
+ public:
+  void SetTableStats(const std::string& table, TableStats stats) {
+    tables_[table] = stats;
+  }
+  Result<TableStats> GetTableStats(const std::string& table) const {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::NotFound("no statistics for table '" + table + "'");
+    }
+    return it->second;
+  }
+
+  void SetUdfProfile(const std::string& name, UdfCostProfile profile) {
+    udfs_[name] = std::move(profile);
+  }
+  UdfCostProfile GetUdfProfile(const std::string& name) const {
+    auto it = udfs_.find(name);
+    return it == udfs_.end() ? UdfCostProfile{} : it->second;
+  }
+
+ private:
+  std::map<std::string, TableStats> tables_;
+  std::map<std::string, UdfCostProfile> udfs_;
+};
+
+}  // namespace rex
+
+#endif  // REX_OPTIMIZER_STATS_H_

@@ -1,0 +1,69 @@
+#include "rql/ast.h"
+
+namespace rex {
+namespace rql {
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + args[0]->ToString();
+    case Kind::kCall: {
+      std::string out = name + "(";
+      if (is_star) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].delta_cols.empty()) {
+      out += ".{";
+      for (size_t j = 0; j < items[i].delta_cols.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += items[i].delta_cols[j];
+      }
+      out += "}";
+    }
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (from[i].subquery) {
+      out += "(" + from[i].subquery->ToString() + ")";
+    } else {
+      out += from[i].table;
+    }
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace rql
+}  // namespace rex

@@ -1,0 +1,98 @@
+// RQL abstract syntax (§3): SQL-99-style query blocks with nested
+// subqueries, plus recursion via
+//   WITH R (cols) AS ( base ) UNION [ALL] UNTIL FIXPOINT BY key ( step )
+// and delta-producing UDA invocations `F(args).{out1, out2}`.
+#ifndef REX_RQL_AST_H_
+#define REX_RQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace rex {
+namespace rql {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// Scalar/boolean expression; `op` uses the token spelling ("+", "<=",
+/// "AND", ...).
+struct AstExpr {
+  enum class Kind : uint8_t {
+    kColumn,   // [qualifier.]name
+    kLiteral,
+    kBinary,
+    kNot,
+    kCall,     // fn(args) — scalar UDF or aggregate, resolved by analyzer
+  };
+  Kind kind = Kind::kLiteral;
+
+  std::string qualifier;  // kColumn: table or alias; may be empty
+  std::string name;       // kColumn column name / kCall function name
+  Value literal;          // kLiteral
+  std::string op;         // kBinary
+  AstExprPtr lhs, rhs;    // kBinary
+  std::vector<AstExprPtr> args;  // kCall / kNot (args[0])
+  bool is_star = false;   // count(*)
+
+  std::string ToString() const;
+};
+
+/// One SELECT item: an expression, or a UDA invocation with the
+/// `.{out1, out2}` delta projection.
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;                    // AS name
+  std::vector<std::string> delta_cols;  // non-empty for F(...).{a, b}
+};
+
+struct SelectStmt;
+using SelectStmtPtr = std::shared_ptr<SelectStmt>;
+
+/// FROM entry: a base table, the recursive relation, or a subquery.
+struct FromItem {
+  std::string table;       // empty if subquery
+  SelectStmtPtr subquery;  // nested query block
+  std::string alias;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  AstExprPtr where;  // null = none
+  std::vector<AstExprPtr> group_by;
+
+  std::string ToString() const;
+};
+
+/// WITH R (cols) AS (base)
+/// UNION [ALL] UNTIL FIXPOINT BY key [USING handler] (step).
+///
+/// USING is a REX extension naming the registered while-state delta
+/// handler that merges deltas into the fixpoint relation (§3.3); without
+/// it the fixpoint applies key-based set semantics with replacement.
+struct RecursiveQuery {
+  std::string relation;              // R
+  std::vector<std::string> columns;  // declared column names
+  SelectStmtPtr base;
+  bool union_all = false;
+  std::string fixpoint_key;    // BY <column>
+  std::string while_handler;   // USING <handler>, may be empty
+  SelectStmtPtr step;
+};
+
+/// A parsed RQL statement: either a plain query block or a recursive one.
+struct Query {
+  SelectStmtPtr select;                    // non-recursive
+  std::shared_ptr<RecursiveQuery> recursive;  // or recursive
+
+  bool IsRecursive() const { return recursive != nullptr; }
+};
+
+}  // namespace rql
+}  // namespace rex
+
+#endif  // REX_RQL_AST_H_

@@ -1,0 +1,916 @@
+#include "rql/compiler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rql/parser.h"
+
+namespace rex {
+namespace rql {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Name resolution
+// --------------------------------------------------------------------------
+
+struct ScopeEntry {
+  std::string binding;  // alias or table name
+  std::string table;    // underlying base table ("" for derived)
+  Schema schema;
+  int offset = 0;  // column offset in the combined row
+};
+
+struct Scope {
+  std::vector<ScopeEntry> entries;
+
+  Result<std::pair<int, int>> Resolve(const std::string& qualifier,
+                                      const std::string& name) const {
+    int found_entry = -1;
+    int found_col = -1;
+    for (size_t e = 0; e < entries.size(); ++e) {
+      if (!qualifier.empty() && entries[e].binding != qualifier) continue;
+      auto idx = entries[e].schema.IndexOf(name);
+      if (!idx.ok()) continue;
+      if (found_entry >= 0) {
+        return Status::InvalidArgument("ambiguous column '" + name + "'");
+      }
+      found_entry = static_cast<int>(e);
+      found_col = *idx;
+    }
+    if (found_entry < 0) {
+      return Status::NotFound(
+          "unknown column '" +
+          (qualifier.empty() ? name : qualifier + "." + name) + "'");
+    }
+    return std::make_pair(found_entry, found_col);
+  }
+};
+
+Result<BinOp> BinOpFromToken(const std::string& op) {
+  if (op == "+") return BinOp::kAdd;
+  if (op == "-") return BinOp::kSub;
+  if (op == "*") return BinOp::kMul;
+  if (op == "/") return BinOp::kDiv;
+  if (op == "%") return BinOp::kMod;
+  if (op == "=") return BinOp::kEq;
+  if (op == "<>") return BinOp::kNe;
+  if (op == "<") return BinOp::kLt;
+  if (op == "<=") return BinOp::kLe;
+  if (op == ">") return BinOp::kGt;
+  if (op == ">=") return BinOp::kGe;
+  if (op == "AND") return BinOp::kAnd;
+  if (op == "OR") return BinOp::kOr;
+  return Status::ParseError("unknown operator '" + op + "'");
+}
+
+/// Binds an AST expression against a scope; column indexes are
+/// entry-offset + column (so a single-entry scope with offset 0 produces
+/// table-local indexes). Scalar UDF calls must exist in the registry.
+Result<ExprPtr> BindExpr(const AstExpr& e, const Scope& scope,
+                         const UdfRegistry* udfs) {
+  switch (e.kind) {
+    case AstExpr::Kind::kColumn: {
+      REX_ASSIGN_OR_RETURN(auto loc, scope.Resolve(e.qualifier, e.name));
+      return Expr::Column(scope.entries[static_cast<size_t>(loc.first)].offset +
+                              loc.second,
+                          e.name);
+    }
+    case AstExpr::Kind::kLiteral:
+      return Expr::Const(e.literal);
+    case AstExpr::Kind::kBinary: {
+      REX_ASSIGN_OR_RETURN(BinOp op, BinOpFromToken(e.op));
+      REX_ASSIGN_OR_RETURN(ExprPtr lhs, BindExpr(*e.lhs, scope, udfs));
+      REX_ASSIGN_OR_RETURN(ExprPtr rhs, BindExpr(*e.rhs, scope, udfs));
+      return Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    case AstExpr::Kind::kNot: {
+      REX_ASSIGN_OR_RETURN(ExprPtr inner, BindExpr(*e.args[0], scope, udfs));
+      return Expr::Not(std::move(inner));
+    }
+    case AstExpr::Kind::kCall: {
+      if (udfs == nullptr || !udfs->HasScalar(e.name)) {
+        return Status::NotFound("no scalar UDF named '" + e.name + "'");
+      }
+      std::vector<ExprPtr> args;
+      for (const AstExprPtr& a : e.args) {
+        REX_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(*a, scope, udfs));
+        args.push_back(std::move(bound));
+      }
+      return Expr::Call(e.name, std::move(args));
+    }
+  }
+  return Status::Internal("unbound expression kind");
+}
+
+void SplitConjuncts(const AstExprPtr& e, std::vector<AstExprPtr>* out) {
+  if (e->kind == AstExpr::Kind::kBinary && e->op == "AND") {
+    SplitConjuncts(e->lhs, out);
+    SplitConjuncts(e->rhs, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Entries referenced by an expression (via column refs).
+Status CollectEntries(const AstExpr& e, const Scope& scope,
+                      std::set<int>* entries) {
+  switch (e.kind) {
+    case AstExpr::Kind::kColumn: {
+      REX_ASSIGN_OR_RETURN(auto loc, scope.Resolve(e.qualifier, e.name));
+      entries->insert(loc.first);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kLiteral:
+      return Status::OK();
+    case AstExpr::Kind::kBinary:
+      REX_RETURN_NOT_OK(CollectEntries(*e.lhs, scope, entries));
+      return CollectEntries(*e.rhs, scope, entries);
+    case AstExpr::Kind::kNot:
+    case AstExpr::Kind::kCall:
+      for (const AstExprPtr& a : e.args) {
+        REX_RETURN_NOT_OK(CollectEntries(*a, scope, entries));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+bool IsBuiltinAggName(const std::string& name) {
+  return AggKindFromName(name).ok();
+}
+
+/// Finds the unique aggregate call inside an item expression; replaces it
+/// conceptually with a placeholder. Returns null if none.
+const AstExpr* FindAggCall(const AstExpr& e) {
+  if (e.kind == AstExpr::Kind::kCall && IsBuiltinAggName(e.name)) return &e;
+  const AstExpr* found = nullptr;
+  auto visit = [&found](const AstExpr& child) {
+    const AstExpr* f = FindAggCall(child);
+    if (f != nullptr) found = f;
+  };
+  if (e.lhs) visit(*e.lhs);
+  if (e.rhs) visit(*e.rhs);
+  for (const AstExprPtr& a : e.args) visit(*a);
+  return found;
+}
+
+/// Binds an item expression where the aggregate call is replaced by a
+/// column reference to `agg_column`.
+Result<ExprPtr> BindWithAggPlaceholder(const AstExpr& e,
+                                       const AstExpr* agg_call,
+                                       int agg_column, const Scope& scope,
+                                       const UdfRegistry* udfs) {
+  if (&e == agg_call) return Expr::Column(agg_column, "agg");
+  switch (e.kind) {
+    case AstExpr::Kind::kColumn:
+    case AstExpr::Kind::kLiteral:
+      return BindExpr(e, scope, udfs);
+    case AstExpr::Kind::kBinary: {
+      REX_ASSIGN_OR_RETURN(BinOp op, BinOpFromToken(e.op));
+      REX_ASSIGN_OR_RETURN(
+          ExprPtr lhs,
+          BindWithAggPlaceholder(*e.lhs, agg_call, agg_column, scope, udfs));
+      REX_ASSIGN_OR_RETURN(
+          ExprPtr rhs,
+          BindWithAggPlaceholder(*e.rhs, agg_call, agg_column, scope, udfs));
+      return Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    case AstExpr::Kind::kNot: {
+      REX_ASSIGN_OR_RETURN(ExprPtr inner,
+                           BindWithAggPlaceholder(*e.args[0], agg_call,
+                                                  agg_column, scope, udfs));
+      return Expr::Not(std::move(inner));
+    }
+    case AstExpr::Kind::kCall: {
+      std::vector<ExprPtr> args;
+      for (const AstExprPtr& a : e.args) {
+        REX_ASSIGN_OR_RETURN(ExprPtr bound,
+                             BindWithAggPlaceholder(*a, agg_call, agg_column,
+                                                    scope, udfs));
+        args.push_back(std::move(bound));
+      }
+      return Expr::Call(e.name, std::move(args));
+    }
+  }
+  return Status::Internal("unbound expression kind");
+}
+
+/// Synthesizes table statistics from the storage layer when the caller
+/// provides none.
+StatsCatalog SynthesizeStats(const std::vector<TableRef>& tables,
+                             const StorageCatalog& storage) {
+  StatsCatalog stats;
+  for (const TableRef& t : tables) {
+    TableStats ts;
+    auto table = storage.GetTable(t.name);
+    if (table.ok()) {
+      ts.rows = static_cast<int64_t>((*table)->num_rows());
+      if (!(*table)->rows().empty()) {
+        ts.avg_row_bytes =
+            static_cast<double>((*table)->rows().front().ByteSize());
+      }
+    }
+    stats.SetTableStats(t.name, ts);
+  }
+  return stats;
+}
+
+// --------------------------------------------------------------------------
+// Flat queries
+// --------------------------------------------------------------------------
+
+class FlatCompiler {
+ public:
+  FlatCompiler(const SelectStmt& stmt, const CompileContext& ctx)
+      : stmt_(stmt), ctx_(ctx) {}
+
+  Result<CompiledQuery> Compile() {
+    REX_RETURN_NOT_OK(BuildScope());
+    REX_RETURN_NOT_OK(ClassifyWhere());
+    // Does the select list use a UDA?
+    for (const SelectItem& item : stmt_.items) {
+      if (item.expr->kind == AstExpr::Kind::kCall &&
+          ctx_.udfs->HasUda(item.expr->name)) {
+        return CompileFlatUda();
+      }
+    }
+    REX_RETURN_NOT_OK(ClassifySelect());
+    StatsCatalog synth;
+    const StatsCatalog* stats = ctx_.stats;
+    if (stats == nullptr) {
+      synth = SynthesizeStats(block_.tables, *ctx_.storage);
+      stats = &synth;
+    }
+    Optimizer optimizer(stats, ctx_.calibration, ctx_.optimizer_options);
+    REX_ASSIGN_OR_RETURN(OptimizedQuery optimized,
+                         optimizer.Optimize(block_));
+    CompiledQuery out;
+    out.spec = std::move(optimized.spec);
+    out.decisions = std::move(optimized.decisions);
+    out.output_schema = output_schema_;
+    return out;
+  }
+
+ private:
+  Status BuildScope() {
+    int offset = 0;
+    for (const FromItem& item : stmt_.from) {
+      if (item.subquery) {
+        return Status::Unsupported(
+            "nested subqueries are supported in recursive steps only");
+      }
+      REX_ASSIGN_OR_RETURN(auto table, ctx_.storage->GetTable(item.table));
+      ScopeEntry entry;
+      entry.binding = item.alias.empty() ? item.table : item.alias;
+      entry.table = item.table;
+      entry.schema = table->schema();
+      entry.offset = offset;
+      offset += static_cast<int>(entry.schema.size());
+      scope_.entries.push_back(entry);
+
+      TableRef ref;
+      ref.name = item.table;
+      ref.schema = table->schema();
+      ref.partition_column =
+          table->schema().field(static_cast<size_t>(table->key_column()))
+              .name;
+      block_.tables.push_back(std::move(ref));
+    }
+    return Status::OK();
+  }
+
+  Status ClassifyWhere() {
+    if (!stmt_.where) return Status::OK();
+    std::vector<AstExprPtr> conjuncts;
+    SplitConjuncts(stmt_.where, &conjuncts);
+    for (const AstExprPtr& c : conjuncts) {
+      // Equi-join between two different tables?
+      if (c->kind == AstExpr::Kind::kBinary && c->op == "=" &&
+          c->lhs->kind == AstExpr::Kind::kColumn &&
+          c->rhs->kind == AstExpr::Kind::kColumn) {
+        REX_ASSIGN_OR_RETURN(auto l,
+                             scope_.Resolve(c->lhs->qualifier, c->lhs->name));
+        REX_ASSIGN_OR_RETURN(auto r,
+                             scope_.Resolve(c->rhs->qualifier, c->rhs->name));
+        if (l.first != r.first) {
+          JoinPredSpec j;
+          j.left_table = scope_.entries[static_cast<size_t>(l.first)].table;
+          j.left_column = c->lhs->name;
+          j.right_table = scope_.entries[static_cast<size_t>(r.first)].table;
+          j.right_column = c->rhs->name;
+          block_.joins.push_back(std::move(j));
+          continue;
+        }
+      }
+      // Single-table predicate.
+      std::set<int> entries;
+      REX_RETURN_NOT_OK(CollectEntries(*c, scope_, &entries));
+      if (entries.size() != 1) {
+        return Status::Unsupported(
+            "WHERE conjunct must be an equi-join or single-table "
+            "predicate: " +
+            c->ToString());
+      }
+      const ScopeEntry& entry =
+          scope_.entries[static_cast<size_t>(*entries.begin())];
+      PredicateSpec pred;
+      pred.table = entry.table;
+      if (c->kind == AstExpr::Kind::kCall && ctx_.udfs->HasScalar(c->name)) {
+        // Expensive UDF predicate: leave placement to the optimizer.
+        pred.udf = c->name;
+        for (const AstExprPtr& a : c->args) {
+          if (a->kind != AstExpr::Kind::kColumn) {
+            return Status::Unsupported(
+                "UDF predicate arguments must be columns");
+          }
+          pred.udf_args.push_back(a->name);
+        }
+      } else {
+        // Bind table-locally (offset 0).
+        Scope local;
+        ScopeEntry le = entry;
+        le.offset = 0;
+        local.entries.push_back(le);
+        REX_ASSIGN_OR_RETURN(pred.expr, BindExpr(*c, local, ctx_.udfs));
+        REX_ASSIGN_OR_RETURN(ValueType vt,
+                             InferType(*pred.expr, entry.schema,
+                                       ctx_.udfs));
+        if (vt != ValueType::kBool) {
+          return Status::TypeError("WHERE predicate is not boolean: " +
+                                   c->ToString());
+        }
+        pred.selectivity = c->op == "=" ? 0.1 : 0.4;
+      }
+      block_.predicates.push_back(std::move(pred));
+    }
+    return Status::OK();
+  }
+
+  Status ClassifySelect() {
+    bool has_agg = false;
+    for (const SelectItem& item : stmt_.items) {
+      if (FindAggCall(*item.expr) != nullptr) has_agg = true;
+    }
+    if (!has_agg && stmt_.group_by.empty()) {
+      // Pure projection.
+      std::vector<Field> fields;
+      for (const SelectItem& item : stmt_.items) {
+        if (item.expr->kind != AstExpr::Kind::kColumn) {
+          return Status::Unsupported(
+              "non-aggregate select items must be plain columns");
+        }
+        REX_ASSIGN_OR_RETURN(
+            auto loc, scope_.Resolve(item.expr->qualifier, item.expr->name));
+        const ScopeEntry& e = scope_.entries[static_cast<size_t>(loc.first)];
+        block_.project.emplace_back(e.table, item.expr->name);
+        Field f;
+        f.name = item.alias.empty() ? item.expr->name : item.alias;
+        f.type = e.schema.field(static_cast<size_t>(loc.second)).type;
+        fields.push_back(f);
+      }
+      output_schema_ = Schema(std::move(fields));
+      return Status::OK();
+    }
+
+    AggQuerySpec agg;
+    std::vector<Field> fields;
+    for (const AstExprPtr& g : stmt_.group_by) {
+      if (g->kind != AstExpr::Kind::kColumn) {
+        return Status::Unsupported("GROUP BY must list plain columns");
+      }
+      REX_ASSIGN_OR_RETURN(auto loc, scope_.Resolve(g->qualifier, g->name));
+      const ScopeEntry& e = scope_.entries[static_cast<size_t>(loc.first)];
+      agg.group_by.emplace_back(e.table, g->name);
+    }
+    for (const SelectItem& item : stmt_.items) {
+      const AstExpr& e = *item.expr;
+      if (e.kind == AstExpr::Kind::kColumn) {
+        // Must be a grouping column.
+        REX_ASSIGN_OR_RETURN(auto loc, scope_.Resolve(e.qualifier, e.name));
+        const ScopeEntry& entry =
+            scope_.entries[static_cast<size_t>(loc.first)];
+        bool is_key = false;
+        for (const auto& [tab, col] : agg.group_by) {
+          if (tab == entry.table && col == e.name) is_key = true;
+        }
+        if (!is_key) {
+          return Status::InvalidArgument(
+              "non-aggregate select column must appear in GROUP BY: " +
+              e.name);
+        }
+        Field f;
+        f.name = item.alias.empty() ? e.name : item.alias;
+        f.type = entry.schema.field(static_cast<size_t>(loc.second)).type;
+        fields.push_back(f);
+        continue;
+      }
+      if (e.kind != AstExpr::Kind::kCall || !IsBuiltinAggName(e.name)) {
+        return Status::Unsupported(
+            "flat aggregate queries support built-in aggregates and "
+            "grouping columns; got " +
+            e.ToString());
+      }
+      AggQuerySpec::Item agg_item;
+      REX_ASSIGN_OR_RETURN(agg_item.kind, AggKindFromName(e.name));
+      if (e.is_star) {
+        agg_item.table = "";
+        agg_item.column = "";
+      } else {
+        if (e.args.size() != 1 ||
+            e.args[0]->kind != AstExpr::Kind::kColumn) {
+          return Status::Unsupported(
+              "aggregate arguments must be a single column");
+        }
+        REX_ASSIGN_OR_RETURN(
+            auto loc,
+            scope_.Resolve(e.args[0]->qualifier, e.args[0]->name));
+        agg_item.table = scope_.entries[static_cast<size_t>(loc.first)].table;
+        agg_item.column = e.args[0]->name;
+      }
+      agg_item.output_name =
+          item.alias.empty() ? e.ToString() : item.alias;
+      Field f;
+      f.name = agg_item.output_name;
+      f.type = agg_item.kind == AggKind::kCount ? ValueType::kInt
+                                                : ValueType::kDouble;
+      fields.push_back(f);
+      agg.items.push_back(std::move(agg_item));
+    }
+    block_.agg = std::move(agg);
+    output_schema_ = Schema(std::move(fields));
+    return Status::OK();
+  }
+
+  /// Single-table UDA aggregation (Fig 4's "REX UDF" configuration):
+  /// scan -> filters -> local UDA -> rehash -> merge UDA -> sink. The UDA
+  /// must be composable (its output feeds a second instance of itself).
+  Result<CompiledQuery> CompileFlatUda() {
+    if (scope_.entries.size() != 1 || !block_.joins.empty()) {
+      return Status::Unsupported("UDA queries support a single table");
+    }
+    const SelectItem* uda_item = nullptr;
+    for (const SelectItem& item : stmt_.items) {
+      if (item.expr->kind == AstExpr::Kind::kCall &&
+          ctx_.udfs->HasUda(item.expr->name)) {
+        if (uda_item != nullptr) {
+          return Status::Unsupported("one UDA per query block");
+        }
+        uda_item = &item;
+      }
+    }
+    REX_ASSIGN_OR_RETURN(const Uda* uda,
+                         ctx_.udfs->GetUda(uda_item->expr->name));
+    const ScopeEntry& entry = scope_.entries[0];
+
+    // Typecheck the UDA arguments against its declared inTypes (§3.3).
+    std::vector<int> input_fields;
+    for (size_t i = 0; i < uda_item->expr->args.size(); ++i) {
+      const AstExprPtr& a = uda_item->expr->args[i];
+      if (a->kind != AstExpr::Kind::kColumn) {
+        return Status::Unsupported("UDA arguments must be columns");
+      }
+      REX_ASSIGN_OR_RETURN(auto loc, scope_.Resolve(a->qualifier, a->name));
+      if (i < uda->in_schema.size()) {
+        ValueType declared = uda->in_schema.field(i).type;
+        ValueType actual =
+            entry.schema.field(static_cast<size_t>(loc.second)).type;
+        if (declared != ValueType::kNull && actual != declared &&
+            !(declared == ValueType::kDouble && actual == ValueType::kInt)) {
+          return Status::TypeError(
+              "UDA " + uda->name + " argument " + std::to_string(i) +
+              " expects " + ValueTypeName(declared) + ", got " +
+              ValueTypeName(actual));
+        }
+      }
+      input_fields.push_back(loc.second);
+    }
+
+    CompiledQuery out;
+    ScanOp::Params scan;
+    scan.table = entry.table;
+    int top = out.spec.AddScan(scan);
+    for (const PredicateSpec& pred : block_.predicates) {
+      if (pred.expr) {
+        top = out.spec.AddFilter(top, pred.expr);
+      } else {
+        std::vector<ExprPtr> args;
+        for (const std::string& col : pred.udf_args) {
+          REX_ASSIGN_OR_RETURN(int idx, entry.schema.IndexOf(col));
+          args.push_back(Expr::Column(idx, col));
+        }
+        top = out.spec.AddFilter(top, Expr::Call(pred.udf, std::move(args)));
+      }
+    }
+    // Local partial aggregation, then merge on one worker.
+    const std::string partial_name =
+        uda->pre_agg.empty() ? uda->name : uda->pre_agg;
+    GroupByOp::Params local;
+    local.uda = partial_name;
+    local.uda_input_fields = input_fields;
+    local.mode = GroupByOp::Mode::kStratum;
+    top = out.spec.AddGroupBy(top, local);
+    RehashOp::Params gather;  // empty keys: all partials to one worker
+    top = out.spec.AddRehash(top, gather);
+    GroupByOp::Params merge;
+    merge.uda = uda->name;
+    merge.mode = GroupByOp::Mode::kStratum;
+    top = out.spec.AddGroupBy(top, merge);
+    out.spec.AddSink(top);
+    REX_RETURN_NOT_OK(out.spec.Validate());
+    out.output_schema = uda->out_schema;
+    return out;
+  }
+
+  const SelectStmt& stmt_;
+  const CompileContext& ctx_;
+  Scope scope_;
+  QueryBlock block_;
+  Schema output_schema_;
+};
+
+// --------------------------------------------------------------------------
+// Recursive queries (the Listing 1 pattern)
+// --------------------------------------------------------------------------
+
+class RecursiveCompiler {
+ public:
+  RecursiveCompiler(const RecursiveQuery& rec, const CompileContext& ctx)
+      : rec_(rec), ctx_(ctx) {}
+
+  Result<CompiledQuery> Compile() {
+    if (rec_.columns.empty()) {
+      return Status::InvalidArgument(
+          "recursive relation must declare its columns");
+    }
+    key_index_ = -1;
+    for (size_t i = 0; i < rec_.columns.size(); ++i) {
+      if (rec_.columns[i] == rec_.fixpoint_key) {
+        key_index_ = static_cast<int>(i);
+      }
+    }
+    if (key_index_ < 0) {
+      return Status::InvalidArgument("FIXPOINT BY column '" +
+                                     rec_.fixpoint_key +
+                                     "' is not a declared column");
+    }
+    if (!rec_.while_handler.empty()) {
+      REX_RETURN_NOT_OK(
+          ctx_.udfs->GetWhileHandler(rec_.while_handler).status());
+    }
+
+    CompiledQuery out;
+    REX_ASSIGN_OR_RETURN(int base, LowerBase(&out.spec));
+
+    FixpointOp::Params fp;
+    fp.key_fields = {key_index_};
+    fp.while_handler = rec_.while_handler;
+    if (rec_.columns.size() == 2) fp.value_field = 1 - key_index_;
+    fixpoint_ = out.spec.AddFixpoint(base, fp);
+
+    REX_ASSIGN_OR_RETURN(int tail, LowerStep(&out.spec));
+    out.spec.ConnectRecursive(fixpoint_, tail);
+    REX_RETURN_NOT_OK(out.spec.Validate());
+
+    out.recursive = true;
+    std::vector<Field> fields;
+    for (const std::string& col : rec_.columns) {
+      fields.push_back(Field{col, ValueType::kNull});
+    }
+    out.output_schema = Schema(std::move(fields));
+    return out;
+  }
+
+ private:
+  /// Base case: SELECT exprs FROM table [WHERE pred], rehashed by the
+  /// fixpoint key.
+  Result<int> LowerBase(PlanSpec* spec) {
+    const SelectStmt& base = *rec_.base;
+    if (base.from.size() != 1 || base.from[0].subquery) {
+      return Status::Unsupported(
+          "recursive base case must select from one base table");
+    }
+    if (base.items.size() != rec_.columns.size()) {
+      return Status::InvalidArgument(
+          "base case arity does not match declared columns");
+    }
+    REX_ASSIGN_OR_RETURN(auto table,
+                         ctx_.storage->GetTable(base.from[0].table));
+    Scope scope;
+    ScopeEntry entry;
+    entry.binding =
+        base.from[0].alias.empty() ? base.from[0].table : base.from[0].alias;
+    entry.table = base.from[0].table;
+    entry.schema = table->schema();
+    scope.entries.push_back(entry);
+
+    ScanOp::Params scan;
+    scan.table = base.from[0].table;
+    int top = spec->AddScan(scan);
+    if (base.where) {
+      REX_ASSIGN_OR_RETURN(ExprPtr pred,
+                           BindExpr(*base.where, scope, ctx_.udfs));
+      top = spec->AddFilter(top, pred);
+    }
+    std::vector<ExprPtr> exprs;
+    for (const SelectItem& item : base.items) {
+      REX_ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*item.expr, scope, ctx_.udfs));
+      exprs.push_back(std::move(e));
+    }
+    top = spec->AddProject(top, std::move(exprs));
+    RehashOp::Params rh;
+    rh.key_fields = {key_index_};
+    return spec->AddRehash(top, rh);
+  }
+
+  /// Recursive step: outer aggregation over an inner delta-join subquery.
+  Result<int> LowerStep(PlanSpec* spec) {
+    const SelectStmt& outer = *rec_.step;
+    const SelectStmt* inner = nullptr;
+    if (outer.from.size() == 1 && outer.from[0].subquery) {
+      inner = outer.from[0].subquery.get();
+    } else {
+      return Status::Unsupported(
+          "recursive step must aggregate over a nested delta-join "
+          "subquery (Listing 1 pattern)");
+    }
+    REX_ASSIGN_OR_RETURN(auto join_out, LowerInnerJoin(*inner, spec));
+    auto [join_node, handler_cols] = join_out;
+
+    // Outer: SELECT g, <expr around agg(x)> ... GROUP BY g.
+    if (outer.group_by.size() != 1 ||
+        outer.group_by[0]->kind != AstExpr::Kind::kColumn) {
+      return Status::Unsupported(
+          "recursive step requires GROUP BY a single column");
+    }
+    const std::string& gcol = outer.group_by[0]->name;
+    int gcol_idx = IndexIn(handler_cols, gcol);
+    if (gcol_idx < 0) {
+      return Status::NotFound("GROUP BY column '" + gcol +
+                              "' is not produced by the delta join");
+    }
+    if (outer.items.size() != rec_.columns.size()) {
+      return Status::InvalidArgument(
+          "recursive step arity does not match declared columns");
+    }
+    if (outer.items[0].expr->kind != AstExpr::Kind::kColumn ||
+        outer.items[0].expr->name != gcol) {
+      return Status::Unsupported(
+          "first item of the recursive step must be the grouping column");
+    }
+
+    // Aggregates (+ optional wrapping expressions).
+    std::vector<GroupByOp::AggSpec> aggs;
+    struct Wrapper {
+      const AstExpr* expr;
+      const AstExpr* agg_call;
+    };
+    std::vector<Wrapper> wrappers;
+    bool needs_project = false;
+    for (size_t i = 1; i < outer.items.size(); ++i) {
+      const AstExpr& e = *outer.items[i].expr;
+      const AstExpr* call = FindAggCall(e);
+      if (call == nullptr) {
+        return Status::Unsupported(
+            "recursive step items after the key must aggregate");
+      }
+      GroupByOp::AggSpec spec_item;
+      REX_ASSIGN_OR_RETURN(spec_item.kind, AggKindFromName(call->name));
+      if (call->is_star) {
+        spec_item.input_field = -1;
+      } else {
+        if (call->args.size() != 1 ||
+            call->args[0]->kind != AstExpr::Kind::kColumn) {
+          return Status::Unsupported("aggregate argument must be a column");
+        }
+        spec_item.input_field = IndexIn(handler_cols, call->args[0]->name);
+        if (spec_item.input_field < 0) {
+          return Status::NotFound("aggregate input '" + call->args[0]->name +
+                                  "' is not produced by the delta join");
+        }
+      }
+      spec_item.output_name = rec_.columns[i];
+      if (&e != call) needs_project = true;
+      wrappers.push_back(Wrapper{&e, call});
+      aggs.push_back(spec_item);
+    }
+
+    int tail = join_node;
+    // Combiner before the rehash (pre-aggregation pushdown; min/max/sum/
+    // count are composable — avg would need the companion rewrite).
+    bool composable = true;
+    for (const auto& a : aggs) {
+      if (a.kind == AggKind::kAvg) composable = false;
+    }
+    if (ctx_.recursive_preaggregate && composable) {
+      GroupByOp::Params pre;
+      pre.key_fields = {gcol_idx};
+      pre.aggs = aggs;
+      pre.mode = GroupByOp::Mode::kStratum;
+      tail = spec->AddGroupBy(tail, pre);
+      // Partial layout: (g, partials...): rebase the final aggregates.
+      RehashOp::Params rh;
+      rh.key_fields = {0};
+      tail = spec->AddRehash(tail, rh);
+      GroupByOp::Params fin;
+      fin.key_fields = {0};
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        GroupByOp::AggSpec merged = aggs[i];
+        PreAggSpec pre_spec = GetPreAggSpec(aggs[i].kind);
+        merged.kind = pre_spec.merge;
+        merged.input_field = static_cast<int>(1 + i);
+        fin.aggs.push_back(merged);
+      }
+      fin.mode = GroupByOp::Mode::kStratum;
+      tail = spec->AddGroupBy(tail, fin);
+    } else {
+      RehashOp::Params rh;
+      rh.key_fields = {gcol_idx};
+      tail = spec->AddRehash(tail, rh);
+      GroupByOp::Params fin;
+      fin.key_fields = {gcol_idx};
+      fin.aggs = aggs;
+      fin.mode = GroupByOp::Mode::kStratum;
+      tail = spec->AddGroupBy(tail, fin);
+    }
+
+    if (needs_project) {
+      // Final layout: (g, agg results...). Apply wrapper expressions.
+      std::vector<ExprPtr> exprs;
+      exprs.push_back(Expr::Column(0, gcol));
+      Scope empty;
+      for (size_t i = 0; i < wrappers.size(); ++i) {
+        REX_ASSIGN_OR_RETURN(
+            ExprPtr e, BindWithAggPlaceholder(*wrappers[i].expr,
+                                              wrappers[i].agg_call,
+                                              static_cast<int>(1 + i), empty,
+                                              ctx_.udfs));
+        exprs.push_back(std::move(e));
+      }
+      tail = spec->AddProject(tail, std::move(exprs));
+    }
+    return tail;
+  }
+
+  /// Inner block: SELECT H(args).{o1, o2} FROM t, R WHERE t.a = R.b
+  /// [GROUP BY k] — a delta join between an immutable base table and the
+  /// recursive relation, with H's join-state handler owning propagation.
+  Result<std::pair<int, std::vector<std::string>>> LowerInnerJoin(
+      const SelectStmt& inner, PlanSpec* spec) {
+    if (inner.items.size() != 1 || inner.items[0].delta_cols.empty() ||
+        inner.items[0].expr->kind != AstExpr::Kind::kCall) {
+      return Status::Unsupported(
+          "inner block must be a single H(args).{cols} delta invocation");
+    }
+    const AstExpr& call = *inner.items[0].expr;
+    REX_ASSIGN_OR_RETURN(const JoinHandler* handler,
+                         ctx_.udfs->GetJoinHandler(call.name));
+    if (handler->out_schema.size() > 0 &&
+        handler->out_schema.size() != inner.items[0].delta_cols.size()) {
+      return Status::TypeError(
+          "handler " + call.name + " declares " +
+          std::to_string(handler->out_schema.size()) +
+          " output columns; query projects " +
+          std::to_string(inner.items[0].delta_cols.size()));
+    }
+
+    // FROM t, R (either order).
+    if (inner.from.size() != 2 || inner.from[0].subquery ||
+        inner.from[1].subquery) {
+      return Status::Unsupported(
+          "inner block must join one base table with the recursive "
+          "relation");
+    }
+    int rec_pos = -1;
+    for (int i = 0; i < 2; ++i) {
+      if (inner.from[static_cast<size_t>(i)].table == rec_.relation) {
+        rec_pos = i;
+      }
+    }
+    if (rec_pos < 0) {
+      return Status::NotFound("inner block does not reference recursive "
+                              "relation " +
+                              rec_.relation);
+    }
+    const FromItem& table_item = inner.from[static_cast<size_t>(1 - rec_pos)];
+    REX_ASSIGN_OR_RETURN(auto table,
+                         ctx_.storage->GetTable(table_item.table));
+
+    // WHERE t.a = R.b.
+    if (!inner.where || inner.where->kind != AstExpr::Kind::kBinary ||
+        inner.where->op != "=" ||
+        inner.where->lhs->kind != AstExpr::Kind::kColumn ||
+        inner.where->rhs->kind != AstExpr::Kind::kColumn) {
+      return Status::Unsupported(
+          "inner block WHERE must be a single equi-join condition");
+    }
+    auto resolve_side =
+        [&](const AstExpr& col) -> Result<std::pair<bool, int>> {
+      // Returns (is_recursive_side, column index).
+      const std::string binding_r =
+          inner.from[static_cast<size_t>(rec_pos)].alias.empty()
+              ? rec_.relation
+              : inner.from[static_cast<size_t>(rec_pos)].alias;
+      const std::string binding_t =
+          table_item.alias.empty() ? table_item.table : table_item.alias;
+      if (col.qualifier == binding_r ||
+          (col.qualifier.empty() &&
+           IndexIn(rec_.columns, col.name) >= 0)) {
+        int idx = IndexIn(rec_.columns, col.name);
+        if (idx < 0) {
+          return Status::NotFound("column " + col.name + " not in " +
+                                  rec_.relation);
+        }
+        return std::make_pair(true, idx);
+      }
+      if (col.qualifier.empty() || col.qualifier == binding_t) {
+        REX_ASSIGN_OR_RETURN(int idx, table->schema().IndexOf(col.name));
+        return std::make_pair(false, idx);
+      }
+      return Status::NotFound("cannot resolve join column " + col.name);
+    };
+    REX_ASSIGN_OR_RETURN(auto lhs, resolve_side(*inner.where->lhs));
+    REX_ASSIGN_OR_RETURN(auto rhs, resolve_side(*inner.where->rhs));
+    if (lhs.first == rhs.first) {
+      return Status::Unsupported(
+          "inner join must relate the base table to the recursive "
+          "relation");
+    }
+    const int table_key = lhs.first ? rhs.second : lhs.second;
+    const int rec_key = lhs.first ? lhs.second : rhs.second;
+
+    // Handler arguments must be the recursive relation's columns, in
+    // declaration order (the engine passes the R-layout delta through).
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      if (call.args[i]->kind != AstExpr::Kind::kColumn ||
+          IndexIn(rec_.columns, call.args[i]->name) !=
+              static_cast<int>(i)) {
+        return Status::Unsupported(
+            "handler arguments must be the recursive relation's columns "
+            "in order");
+      }
+    }
+
+    ScanOp::Params scan;
+    scan.table = table_item.table;
+    scan.feeds_immutable = true;
+    int t_node = spec->AddScan(scan);
+    if (table->key_column() != table_key) {
+      RehashOp::Params rh;
+      rh.key_fields = {table_key};
+      t_node = spec->AddRehash(t_node, rh);
+    }
+    int r_node = fixpoint_;
+    if (rec_key != key_index_) {
+      RehashOp::Params rh;
+      rh.key_fields = {rec_key};
+      r_node = spec->AddRehash(r_node, rh);
+    }
+    HashJoinOp::Params jp;
+    jp.left_keys = {table_key};
+    jp.right_keys = {rec_key};
+    jp.immutable[0] = true;
+    jp.handler = call.name;
+    jp.handler_owns_all = true;
+    int join = spec->AddHashJoin(t_node, r_node, jp);
+    return std::make_pair(join, inner.items[0].delta_cols);
+  }
+
+  static int IndexIn(const std::vector<std::string>& cols,
+                     const std::string& name) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  const RecursiveQuery& rec_;
+  const CompileContext& ctx_;
+  int key_index_ = -1;
+  int fixpoint_ = -1;
+};
+
+}  // namespace
+
+Result<CompiledQuery> CompileQuery(const Query& query,
+                                   const CompileContext& ctx) {
+  if (ctx.storage == nullptr || ctx.udfs == nullptr) {
+    return Status::InvalidArgument(
+        "compile context requires storage and UDF registry");
+  }
+  if (query.IsRecursive()) {
+    RecursiveCompiler compiler(*query.recursive, ctx);
+    return compiler.Compile();
+  }
+  FlatCompiler compiler(*query.select, ctx);
+  return compiler.Compile();
+}
+
+Result<CompiledQuery> CompileRql(const std::string& text,
+                                 const CompileContext& ctx) {
+  REX_ASSIGN_OR_RETURN(Query query, Parse(text));
+  return CompileQuery(query, ctx);
+}
+
+}  // namespace rql
+}  // namespace rex

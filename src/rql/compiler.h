@@ -1,0 +1,65 @@
+// The RQL compiler: semantic analysis, typechecking, and lowering to
+// executable PlanSpecs (§3, §5).
+//
+// Flat query blocks (SELECT-FROM-WHERE-GROUP BY over base tables) lower
+// through the cost-based optimizer: join ordering, rehash placement, UDF
+// predicate migration, and pre-aggregation pushdown all apply.
+//
+// Recursive queries follow the paper's pattern (Listing 1):
+//
+//   WITH R (c1, c2) AS ( <base block> )
+//   UNION [ALL] UNTIL FIXPOINT BY key [USING whileHandler] (
+//     SELECT g, <expr around agg(x)> FROM (
+//       SELECT H(args).{o1, o2} FROM t, R WHERE t.k = R.k GROUP BY k
+//     ) GROUP BY g )
+//
+// where H is a registered join-state delta handler (the paper's UDA join
+// form, e.g. PRAgg) whose per-key invocation produces the delta tuples
+// aggregated by the outer block and fed back through the fixpoint. The
+// optional USING clause names a while-state handler; otherwise the
+// fixpoint applies key-based set semantics with replacement.
+#ifndef REX_RQL_COMPILER_H_
+#define REX_RQL_COMPILER_H_
+
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "rql/ast.h"
+#include "storage/table.h"
+
+namespace rex {
+namespace rql {
+
+struct CompileContext {
+  const StorageCatalog* storage = nullptr;  // table schemas (required)
+  const UdfRegistry* udfs = nullptr;        // user code (required)
+  /// Optional statistics; when null, synthesized from table row counts.
+  const StatsCatalog* stats = nullptr;
+  ClusterCalibration calibration = ClusterCalibration::Uniform(4);
+  OptimizerOptions optimizer_options;
+  /// Insert a local pre-aggregation before the loop's rehash in recursive
+  /// plans (combiner pushdown).
+  bool recursive_preaggregate = true;
+};
+
+struct CompiledQuery {
+  PlanSpec spec;
+  /// Output column names (types where inferable).
+  Schema output_schema;
+  bool recursive = false;
+  /// Optimizer decision record (flat queries only).
+  OptimizerDecisions decisions;
+};
+
+/// Parses, analyzes, typechecks, optimizes, and lowers one RQL statement.
+Result<CompiledQuery> CompileRql(const std::string& text,
+                                 const CompileContext& ctx);
+
+/// Compiles an already-parsed query (used by tests).
+Result<CompiledQuery> CompileQuery(const Query& query,
+                                   const CompileContext& ctx);
+
+}  // namespace rql
+}  // namespace rex
+
+#endif  // REX_RQL_COMPILER_H_

@@ -1,0 +1,46 @@
+// RQL lexer: SQL-style tokens plus the delta-projection syntax
+// `F(args).{a, b}` of §3.5.
+#ifndef REX_RQL_LEXER_H_
+#define REX_RQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rex {
+namespace rql {
+
+enum class TokenType : uint8_t {
+  kKeyword,     // SELECT, FROM, WHERE, GROUP, BY, AS, WITH, UNION, ALL,
+                // UNTIL, FIXPOINT, AND, OR, NOT, NULL, TRUE, FALSE
+  kIdentifier,  // names (case-preserved)
+  kInteger,
+  kFloat,
+  kString,      // 'quoted'
+  kSymbol,      // ( ) , . { } * + - / % = < > <= >= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // uppercased for keywords, verbatim otherwise
+  int64_t int_value = 0;
+  double float_value = 0;
+  int position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes an RQL string. Comments (`-- ...`) are skipped.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace rql
+}  // namespace rex
+
+#endif  // REX_RQL_LEXER_H_

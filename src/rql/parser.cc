@@ -1,0 +1,331 @@
+#include "rql/parser.h"
+
+#include "rql/lexer.h"
+
+namespace rex {
+namespace rql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    if (Peek().IsKeyword("WITH")) {
+      REX_ASSIGN_OR_RETURN(auto rec, ParseRecursive());
+      q.recursive = std::make_shared<RecursiveQuery>(std::move(rec));
+    } else {
+      REX_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+      q.select = std::make_shared<SelectStmt>(std::move(sel));
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Err("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Accept(const char* symbol_or_kw) {
+    if (Peek().IsSymbol(symbol_or_kw) || Peek().IsKeyword(symbol_or_kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* what) {
+    if (Accept(what)) return Status::OK();
+    return Err(std::string("expected '") + what + "'");
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().position) + " ('" +
+                              Peek().text + "')");
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err("expected identifier");
+    }
+    return Next().text;
+  }
+
+  // WITH R (c1, c2) AS ( base ) UNION [ALL] UNTIL FIXPOINT BY k ( step )
+  Result<RecursiveQuery> ParseRecursive() {
+    RecursiveQuery rec;
+    REX_RETURN_NOT_OK(Expect("WITH"));
+    REX_ASSIGN_OR_RETURN(rec.relation, ExpectIdent());
+    if (Accept("(")) {
+      do {
+        REX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        rec.columns.push_back(std::move(col));
+      } while (Accept(","));
+      REX_RETURN_NOT_OK(Expect(")"));
+    }
+    REX_RETURN_NOT_OK(Expect("AS"));
+    REX_RETURN_NOT_OK(Expect("("));
+    REX_ASSIGN_OR_RETURN(SelectStmt base, ParseSelect());
+    rec.base = std::make_shared<SelectStmt>(std::move(base));
+    REX_RETURN_NOT_OK(Expect(")"));
+    REX_RETURN_NOT_OK(Expect("UNION"));
+    rec.union_all = Accept("ALL");
+    REX_RETURN_NOT_OK(Expect("UNTIL"));
+    REX_RETURN_NOT_OK(Expect("FIXPOINT"));
+    REX_RETURN_NOT_OK(Expect("BY"));
+    REX_ASSIGN_OR_RETURN(rec.fixpoint_key, ExpectIdent());
+    if (Accept("USING")) {
+      REX_ASSIGN_OR_RETURN(rec.while_handler, ExpectIdent());
+    }
+    REX_RETURN_NOT_OK(Expect("("));
+    REX_ASSIGN_OR_RETURN(SelectStmt step, ParseSelect());
+    rec.step = std::make_shared<SelectStmt>(std::move(step));
+    REX_RETURN_NOT_OK(Expect(")"));
+    return rec;
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    REX_RETURN_NOT_OK(Expect("SELECT"));
+    do {
+      REX_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+    } while (Accept(","));
+    REX_RETURN_NOT_OK(Expect("FROM"));
+    do {
+      REX_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+      stmt.from.push_back(std::move(item));
+    } while (Accept(","));
+    if (Accept("WHERE")) {
+      REX_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (Accept("GROUP")) {
+      REX_RETURN_NOT_OK(Expect("BY"));
+      do {
+        REX_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (Accept(","));
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    REX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    // Delta projection: F(args).{a, b}
+    if (Peek().IsSymbol(".") && Peek(1).IsSymbol("{")) {
+      if (item.expr->kind != AstExpr::Kind::kCall) {
+        return Err(".{...} projection requires a function call");
+      }
+      Next();  // .
+      Next();  // {
+      do {
+        REX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        item.delta_cols.push_back(std::move(col));
+      } while (Accept(","));
+      REX_RETURN_NOT_OK(Expect("}"));
+    }
+    if (Accept("AS")) {
+      REX_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    } else if (Peek().type == TokenType::kIdentifier &&
+               item.expr->kind == AstExpr::Kind::kColumn) {
+      // implicit alias: `col name`
+      item.alias = Next().text;
+    }
+    return item;
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    if (Accept("(")) {
+      REX_ASSIGN_OR_RETURN(SelectStmt sub, ParseSelect());
+      item.subquery = std::make_shared<SelectStmt>(std::move(sub));
+      REX_RETURN_NOT_OK(Expect(")"));
+    } else {
+      REX_ASSIGN_OR_RETURN(item.table, ExpectIdent());
+    }
+    if (Peek().type == TokenType::kIdentifier) {
+      item.alias = Next().text;
+    }
+    return item;
+  }
+
+  // Precedence: OR < AND < NOT < comparison < additive < multiplicative
+  // < unary < primary.
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    REX_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Next();
+      REX_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    REX_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Next();
+      REX_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Next();
+      REX_ASSIGN_OR_RETURN(AstExprPtr inner, ParseNot());
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExpr::Kind::kNot;
+      e->args.push_back(std::move(inner));
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    REX_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAdditive());
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (Peek().IsSymbol(op)) {
+        Next();
+        REX_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAdditive());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    REX_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      std::string op = Next().text;
+      REX_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op.c_str(), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    REX_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") ||
+           Peek().IsSymbol("%")) {
+      std::string op = Next().text;
+      REX_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op.c_str(), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Next();
+      REX_ASSIGN_OR_RETURN(AstExprPtr inner, ParseUnary());
+      auto zero = std::make_shared<AstExpr>();
+      zero->kind = AstExpr::Kind::kLiteral;
+      zero->literal = Value(int64_t{0});
+      return MakeBinary("-", std::move(zero), std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    auto e = std::make_shared<AstExpr>();
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger:
+        e->kind = AstExpr::Kind::kLiteral;
+        e->literal = Value(Next().int_value);
+        return e;
+      case TokenType::kFloat:
+        e->kind = AstExpr::Kind::kLiteral;
+        e->literal = Value(Next().float_value);
+        return e;
+      case TokenType::kString:
+        e->kind = AstExpr::Kind::kLiteral;
+        e->literal = Value(Next().text);
+        return e;
+      case TokenType::kKeyword:
+        if (tok.text == "NULL") {
+          Next();
+          e->kind = AstExpr::Kind::kLiteral;
+          e->literal = Value::Null();
+          return e;
+        }
+        if (tok.text == "TRUE" || tok.text == "FALSE") {
+          e->kind = AstExpr::Kind::kLiteral;
+          e->literal = Value(Next().text == "TRUE");
+          return e;
+        }
+        return Err("unexpected keyword in expression");
+      case TokenType::kSymbol:
+        if (Accept("(")) {
+          REX_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+          REX_RETURN_NOT_OK(Expect(")"));
+          return inner;
+        }
+        return Err("unexpected symbol in expression");
+      case TokenType::kIdentifier: {
+        std::string first = Next().text;
+        if (Accept("(")) {  // function call
+          e->kind = AstExpr::Kind::kCall;
+          e->name = first;
+          if (Peek().IsSymbol("*")) {
+            Next();
+            e->is_star = true;
+          } else if (!Peek().IsSymbol(")")) {
+            do {
+              REX_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+            } while (Accept(","));
+          }
+          REX_RETURN_NOT_OK(Expect(")"));
+          return e;
+        }
+        e->kind = AstExpr::Kind::kColumn;
+        // Qualified column t.c — but NOT t.{...} (delta projection).
+        if (Peek().IsSymbol(".") && Peek(1).type == TokenType::kIdentifier) {
+          Next();
+          e->qualifier = first;
+          e->name = Next().text;
+        } else {
+          e->name = first;
+        }
+        return e;
+      }
+      case TokenType::kEnd:
+        return Err("unexpected end of input in expression");
+    }
+    return Err("unparsable expression");
+  }
+
+  static AstExprPtr MakeBinary(const char* op, AstExprPtr lhs,
+                               AstExprPtr rhs) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(const std::string& input) {
+  REX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace rql
+}  // namespace rex

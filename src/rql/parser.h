@@ -1,0 +1,18 @@
+// Recursive-descent parser for RQL.
+#ifndef REX_RQL_PARSER_H_
+#define REX_RQL_PARSER_H_
+
+#include <string>
+
+#include "rql/ast.h"
+
+namespace rex {
+namespace rql {
+
+/// Parses one RQL statement.
+Result<Query> Parse(const std::string& input);
+
+}  // namespace rql
+}  // namespace rex
+
+#endif  // REX_RQL_PARSER_H_

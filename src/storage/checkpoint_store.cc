@@ -1,0 +1,85 @@
+#include "storage/checkpoint_store.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace rex {
+
+void CheckpointStore::Put(int fixpoint_id, int stratum, int owner,
+                          const std::vector<int>& replicas,
+                          const std::vector<Tuple>& delta_set) {
+  std::string bytes = SerializeTuples(delta_set);
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.GetCounter(metrics::kCheckpointBytes)
+      ->Add(static_cast<int64_t>(bytes.size()) *
+            static_cast<int64_t>(std::max<size_t>(replicas.size(), 1)));
+  metrics_.GetCounter(metrics::kCheckpointTuples)
+      ->Add(static_cast<int64_t>(delta_set.size()));
+  auto& slot = entries_[{fixpoint_id, stratum}];
+  // A worker checkpoints one entry per replica-group of its Δ set; a
+  // re-executed stratum overwrites its group rather than duplicating it.
+  for (Entry& e : slot) {
+    if (e.owner == owner && e.replicas == replicas) {
+      e.bytes = std::move(bytes);
+      return;
+    }
+  }
+  slot.push_back(Entry{owner, replicas, std::move(bytes)});
+}
+
+Result<std::vector<Tuple>> CheckpointStore::Read(int fixpoint_id, int stratum,
+                                                 int reader) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Tuple> out;
+  auto it = entries_.find({fixpoint_id, stratum});
+  if (it == entries_.end()) return out;
+  for (const Entry& e : it->second) {
+    const bool accessible =
+        e.owner == reader ||
+        std::find(e.replicas.begin(), e.replicas.end(), reader) !=
+            e.replicas.end();
+    if (!accessible) continue;
+    REX_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                         DeserializeTuples(e.bytes));
+    for (Tuple& t : tuples) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+int CheckpointStore::LastCompleteStratum(int fixpoint_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int last = -1;
+  for (const auto& [key, slot] : entries_) {
+    if (key.first != fixpoint_id) continue;
+    if (!slot.empty()) last = std::max(last, key.second);
+  }
+  return last;
+}
+
+void CheckpointStore::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+int64_t CheckpointStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [key, slot] : entries_) {
+    for (const Entry& e : slot) {
+      total += static_cast<int64_t>(e.bytes.size());
+    }
+  }
+  return total;
+}
+
+int64_t CheckpointStore::total_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [key, slot] : entries_) {
+    total += static_cast<int64_t>(slot.size());
+  }
+  return total;
+}
+
+}  // namespace rex

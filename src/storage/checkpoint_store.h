@@ -1,0 +1,69 @@
+// Incremental checkpoint store (§4.3).
+//
+// At the end of every stratum each worker replicates the Δᵢ set processed by
+// its local fixpoint to the replica workers of its range (replication factor
+// from the partition map). On failure, recovery replays the checkpointed Δ
+// sets from stratum 0 through the last completed stratum to reconstruct a
+// consistent mutable state, then the computation resumes — instead of
+// restarting from scratch.
+//
+// The store simulates the replicated DHT: entries are serialized (so
+// checkpoint byte volume is measured honestly) and a reader may only access
+// entries for which it holds a copy (it was the writer or one of the
+// writer's chosen replicas).
+#ifndef REX_STORAGE_CHECKPOINT_STORE_H_
+#define REX_STORAGE_CHECKPOINT_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace rex {
+
+class CheckpointStore {
+ public:
+  /// Replicates `delta_set` — the Δ tuples fixpoint `fixpoint_id` on
+  /// `owner` processed during `stratum` — to `replicas`.
+  void Put(int fixpoint_id, int stratum, int owner,
+           const std::vector<int>& replicas,
+           const std::vector<Tuple>& delta_set);
+
+  /// All Δ tuples for `fixpoint_id` in `stratum` that `reader` may access
+  /// (union over writers whose replica set includes the reader). The caller
+  /// filters by current key ownership.
+  Result<std::vector<Tuple>> Read(int fixpoint_id, int stratum,
+                                  int reader) const;
+
+  /// Highest stratum for which ALL live writers' checkpoints exist (i.e.
+  /// the last globally completed checkpoint), or -1 if none.
+  int LastCompleteStratum(int fixpoint_id) const;
+
+  /// Drops all entries (between queries / runs).
+  void Clear();
+
+  int64_t total_bytes() const;
+  int64_t total_entries() const;
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Entry {
+    int owner;
+    std::vector<int> replicas;
+    std::string bytes;  // serialized tuple vector
+  };
+  // (fixpoint, stratum) -> entries from each writer.
+  using Key = std::pair<int, int>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::vector<Entry>> entries_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace rex
+
+#endif  // REX_STORAGE_CHECKPOINT_STORE_H_

@@ -1,0 +1,92 @@
+#include "storage/spill.h"
+
+#include "common/serde.h"
+
+namespace rex {
+
+SpillableTupleBuffer::SpillableTupleBuffer(size_t memory_budget_bytes,
+                                           MetricsRegistry* metrics)
+    : memory_budget_(memory_budget_bytes), metrics_(metrics) {}
+
+SpillableTupleBuffer::~SpillableTupleBuffer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillableTupleBuffer::Append(Tuple t) {
+  memory_bytes_ += t.ByteSize();
+  memory_.push_back(std::move(t));
+  ++num_tuples_;
+  if (memory_bytes_ > memory_budget_) {
+    REX_RETURN_NOT_OK(SpillMemoryRun());
+  }
+  return Status::OK();
+}
+
+Status SpillableTupleBuffer::SpillMemoryRun() {
+  if (memory_.empty()) return Status::OK();
+  if (file_ == nullptr) {
+    file_ = std::tmpfile();
+    if (file_ == nullptr) {
+      return Status::IoError("tmpfile() failed for spill buffer");
+    }
+  }
+  std::string bytes = SerializeTuples(memory_);
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IoError("fseek failed on spill file");
+  }
+  long offset = std::ftell(file_);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IoError("short write to spill file");
+  }
+  runs_.emplace_back(offset, bytes.size());
+  spilled_bytes_ += static_cast<int64_t>(bytes.size());
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(metrics::kSpillBytes)
+        ->Add(static_cast<int64_t>(bytes.size()));
+  }
+  memory_.clear();
+  memory_bytes_ = 0;
+  return Status::OK();
+}
+
+Status SpillableTupleBuffer::ForEach(
+    const std::function<Status(const Tuple&)>& fn) const {
+  for (const auto& [offset, length] : runs_) {
+    if (std::fseek(file_, offset, SEEK_SET) != 0) {
+      return Status::IoError("fseek failed reading spill run");
+    }
+    std::string bytes(length, '\0');
+    if (std::fread(bytes.data(), 1, length, file_) != length) {
+      return Status::IoError("short read from spill file");
+    }
+    REX_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                         DeserializeTuples(bytes));
+    for (const Tuple& t : tuples) REX_RETURN_NOT_OK(fn(t));
+  }
+  for (const Tuple& t : memory_) REX_RETURN_NOT_OK(fn(t));
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> SpillableTupleBuffer::ToVector() const {
+  std::vector<Tuple> out;
+  out.reserve(num_tuples_);
+  REX_RETURN_NOT_OK(ForEach([&out](const Tuple& t) {
+    out.push_back(t);
+    return Status::OK();
+  }));
+  return out;
+}
+
+void SpillableTupleBuffer::Clear() {
+  memory_.clear();
+  memory_bytes_ = 0;
+  num_tuples_ = 0;
+  runs_.clear();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  spilled_bytes_ = 0;
+}
+
+}  // namespace rex

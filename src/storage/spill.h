@@ -1,0 +1,65 @@
+// Spill-to-disk buffering (§4: "the ability to spill overflow state to
+// local disks as necessary").
+//
+// A SpillableTupleBuffer keeps tuples in memory up to a budget, then writes
+// serialized runs to a temporary file. Scanning replays memory-resident
+// tuples followed by spilled runs. Used by operator state under a low
+// memory budget and by the mini-MapReduce shuffle's external sort.
+#ifndef REX_STORAGE_SPILL_H_
+#define REX_STORAGE_SPILL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace rex {
+
+class SpillableTupleBuffer {
+ public:
+  /// `memory_budget_bytes`: in-memory footprint before spilling begins.
+  /// 0 means spill every batch (for tests). `metrics` may be null.
+  explicit SpillableTupleBuffer(size_t memory_budget_bytes = 64 << 20,
+                                MetricsRegistry* metrics = nullptr);
+  ~SpillableTupleBuffer();
+
+  SpillableTupleBuffer(const SpillableTupleBuffer&) = delete;
+  SpillableTupleBuffer& operator=(const SpillableTupleBuffer&) = delete;
+
+  Status Append(Tuple t);
+
+  size_t num_tuples() const { return num_tuples_; }
+  bool spilled() const { return file_ != nullptr; }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+
+  /// Invokes `fn` for every buffered tuple: spilled runs first (in append
+  /// order), then memory-resident tuples.
+  Status ForEach(const std::function<Status(const Tuple&)>& fn) const;
+
+  /// Collects everything into one vector (test/small-data convenience).
+  Result<std::vector<Tuple>> ToVector() const;
+
+  /// Drops all contents (memory and disk) and resets.
+  void Clear();
+
+ private:
+  Status SpillMemoryRun();
+
+  size_t memory_budget_;
+  MetricsRegistry* metrics_;
+  std::vector<Tuple> memory_;
+  size_t memory_bytes_ = 0;
+  size_t num_tuples_ = 0;
+
+  std::FILE* file_ = nullptr;  // anonymous tmpfile; deleted on close
+  int64_t spilled_bytes_ = 0;
+  std::vector<std::pair<long, size_t>> runs_;  // (offset, byte length)
+};
+
+}  // namespace rex
+
+#endif  // REX_STORAGE_SPILL_H_

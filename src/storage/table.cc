@@ -1,0 +1,68 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace rex {
+
+void DistributedTable::AppendRows(std::vector<Tuple> rows) {
+  rows_.reserve(rows_.size() + rows.size());
+  for (Tuple& t : rows) rows_.push_back(std::move(t));
+}
+
+std::vector<Tuple> DistributedTable::PrimaryRows(
+    int worker, const PartitionMap& pmap) const {
+  std::vector<Tuple> out;
+  for (const Tuple& t : rows_) {
+    if (pmap.PrimaryOwner(KeyHash(t)) == worker) out.push_back(t);
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> DistributedTable::TakeoverRows(
+    int worker, const PartitionMap& old_pmap,
+    const PartitionMap& new_pmap) const {
+  std::vector<Tuple> out;
+  for (const Tuple& t : rows_) {
+    uint64_t h = KeyHash(t);
+    if (new_pmap.PrimaryOwner(h) != worker) continue;
+    if (old_pmap.PrimaryOwner(h) == worker) continue;  // already had it
+    if (!old_pmap.IsOwner(worker, h)) {
+      return Status::NodeFailure(
+          "worker " + std::to_string(worker) +
+          " has no replica of a row it must take over in table " + name_ +
+          "; replication factor too low for this failure");
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+Status StorageCatalog::AddTable(std::shared_ptr<DistributedTable> table) {
+  auto [it, inserted] = tables_.emplace(table->name(), table);
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + table->name() + "' exists");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<DistributedTable>> StorageCatalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool StorageCatalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> StorageCatalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rex

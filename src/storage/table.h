@@ -1,0 +1,79 @@
+// Partitioned, replicated base-table storage (§4: "input data resides on
+// partitioned replicated local storage").
+//
+// A DistributedTable is the shared storage substrate: each row is placed on
+// the `replication` owners of its partition-key hash. Workers may only read
+// rows physically present on them (primary or replica copies); the access
+// check keeps the simulation honest about data locality during recovery.
+#ifndef REX_STORAGE_TABLE_H_
+#define REX_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/partition_map.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace rex {
+
+class DistributedTable {
+ public:
+  DistributedTable(std::string name, Schema schema, int key_column)
+      : name_(std::move(name)), schema_(std::move(schema)),
+        key_column_(key_column) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int key_column() const { return key_column_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends rows; placement is computed lazily against a PartitionMap.
+  void AppendRows(std::vector<Tuple> rows);
+
+  /// All rows whose primary owner under `pmap` is `worker`. This is what a
+  /// normal table scan reads.
+  std::vector<Tuple> PrimaryRows(int worker, const PartitionMap& pmap) const;
+
+  /// Rows that `worker` newly owns under `new_pmap` but did not own under
+  /// `old_pmap` — the failed range streamed in during incremental recovery.
+  /// Verifies the worker physically holds a replica of each row under
+  /// `old_pmap` (consistent hashing guarantees this when the failure count
+  /// stays below the replication factor); returns NodeFailure otherwise.
+  Result<std::vector<Tuple>> TakeoverRows(int worker,
+                                          const PartitionMap& old_pmap,
+                                          const PartitionMap& new_pmap) const;
+
+  /// Hash of a row's partition key.
+  uint64_t KeyHash(const Tuple& row) const {
+    return row.field(static_cast<size_t>(key_column_)).Hash();
+  }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  int key_column_;
+  std::vector<Tuple> rows_;
+};
+
+/// Shared name -> table map (the storage layer all workers sit on).
+class StorageCatalog {
+ public:
+  Status AddTable(std::shared_ptr<DistributedTable> table);
+  Result<std::shared_ptr<DistributedTable>> GetTable(
+      const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<DistributedTable>> tables_;
+};
+
+}  // namespace rex
+
+#endif  // REX_STORAGE_TABLE_H_

@@ -1,0 +1,239 @@
+#include "wrap/hadoop_wrap.h"
+
+#include "common/serde.h"
+#include "mapreduce/mr_jobs.h"
+
+namespace rex {
+
+namespace {
+
+/// Wrapper-boundary overhead: a reflection-style dynamic dispatch cost per
+/// invocation. Crucially, records stay in native tuple form BETWEEN
+/// iterations — §6.3: "the overhead of transforming the input data ... is
+/// incurred only once in the beginning and in the end of the query", which
+/// is why wrap beats HaLoop on recursive queries. (Full text/binary
+/// marshalling happens at table load and result extraction, outside the
+/// loop; see SetupWrapPageRank.)
+thread_local uint64_t wrapper_overhead_sink = 0;
+
+void BurnWrapperOverhead(const Tuple& t) {
+  wrapper_overhead_sink += t.Hash();
+}
+
+struct ReduceWrapState : UdaState {
+  bool has_key = false;
+  Value key;
+  std::vector<Value> values;
+};
+
+Uda MakeReduceWrapUda(const std::string& name, ReduceFn reduce) {
+  Uda uda;
+  uda.name = name;
+  uda.in_schema = Schema{{"k", ValueType::kNull}, {"v", ValueType::kNull}};
+  uda.out_schema = uda.in_schema;
+  uda.init = [] { return std::make_unique<ReduceWrapState>(); };
+  uda.agg_state = [](UdaState* state, const Delta& d) -> Result<DeltaVec> {
+    auto* s = static_cast<ReduceWrapState*>(state);
+    if (d.tuple.size() < 2) {
+      return Status::InvalidArgument("ReduceWrap expects (k, v) tuples");
+    }
+    BurnWrapperOverhead(d.tuple);
+    if (!s->has_key) {
+      s->key = d.tuple.field(0);
+      s->has_key = true;
+    }
+    s->values.push_back(d.tuple.field(1));
+    return DeltaVec{};
+  };
+  uda.agg_result = [reduce](UdaState* state) -> Result<DeltaVec> {
+    auto* s = static_cast<ReduceWrapState*>(state);
+    DeltaVec out;
+    if (!s->has_key) return out;
+    std::vector<KeyValue> reduced;
+    REX_RETURN_NOT_OK(reduce(s->key, s->values, &reduced));
+    out.reserve(reduced.size());
+    for (KeyValue& kv : reduced) {
+      out.push_back(
+          Delta::Insert(Tuple{std::move(kv.key), std::move(kv.value)}));
+    }
+    s->has_key = false;
+    s->values.clear();
+    return out;
+  };
+  uda.cost_per_tuple = 1.5;  // wrapper overhead hint for the optimizer
+  return uda;
+}
+
+}  // namespace
+
+std::string MapWrapName(const std::string& hadoop_class) {
+  return "MapWrap:" + hadoop_class;
+}
+std::string ReduceWrapName(const std::string& hadoop_class) {
+  return "ReduceWrap:" + hadoop_class;
+}
+std::string CombineWrapName(const std::string& hadoop_class) {
+  return "CombineWrap:" + hadoop_class;
+}
+
+Status RegisterHadoopClass(UdfRegistry* registry, const std::string& name,
+                           MapFn map, ReduceFn reduce, ReduceFn combine) {
+  TableUdf map_wrap;
+  map_wrap.name = MapWrapName(name);
+  map_wrap.in_schema = Schema{{"k", ValueType::kNull}, {"v", ValueType::kNull}};
+  map_wrap.out_schema = map_wrap.in_schema;
+  map_wrap.deterministic = false;  // Hadoop code may not be; stay safe
+  map_wrap.fn = [map](const Delta& d) -> Result<DeltaVec> {
+    if (d.tuple.size() < 2) {
+      return Status::InvalidArgument("MapWrap expects (k, v) tuples");
+    }
+    BurnWrapperOverhead(d.tuple);
+    std::vector<KeyValue> mapped;
+    REX_RETURN_NOT_OK(
+        map(KeyValue{d.tuple.field(0), d.tuple.field(1)}, &mapped));
+    DeltaVec out;
+    out.reserve(mapped.size());
+    for (KeyValue& kv : mapped) {
+      out.push_back(
+          d.WithTuple(Tuple{std::move(kv.key), std::move(kv.value)}));
+    }
+    return out;
+  };
+  REX_RETURN_NOT_OK(registry->RegisterTable(std::move(map_wrap)));
+  REX_RETURN_NOT_OK(
+      registry->RegisterUda(MakeReduceWrapUda(ReduceWrapName(name), reduce)));
+  if (combine) {
+    REX_RETURN_NOT_OK(registry->RegisterUda(
+        MakeReduceWrapUda(CombineWrapName(name), combine)));
+  }
+  return Status::OK();
+}
+
+Result<PlanSpec> BuildWrapJobPlan(const WrapJobPlanOptions& options) {
+  PlanSpec plan;
+  ScanOp::Params scan;
+  scan.table = options.input_table;
+  int src = plan.AddScan(scan);
+
+  int fp = -1;
+  int upstream = src;
+  if (options.iterative) {
+    FixpointOp::Params fp_params;
+    fp_params.key_fields = {0};
+    fp_params.mode = FixpointOp::Mode::kFull;
+    fp = plan.AddFixpoint(src, fp_params);
+    upstream = fp;
+  }
+
+  int mapped = plan.AddApplyFn(upstream, MapWrapName(options.hadoop_class));
+  int tail = mapped;
+  if (options.use_combiner) {
+    GroupByOp::Params combine;
+    combine.key_fields = {0};
+    combine.uda = CombineWrapName(options.hadoop_class);
+    combine.mode = GroupByOp::Mode::kStratum;
+    tail = plan.AddGroupBy(tail, combine);
+  }
+  RehashOp::Params rh;
+  rh.key_fields = {0};
+  tail = plan.AddRehash(tail, rh);
+  GroupByOp::Params reduce;
+  reduce.key_fields = {0};
+  reduce.uda = ReduceWrapName(options.hadoop_class);
+  reduce.mode = GroupByOp::Mode::kStratum;
+  tail = plan.AddGroupBy(tail, reduce);
+
+  if (options.iterative) {
+    plan.ConnectRecursive(fp, tail);
+  } else {
+    plan.AddSink(tail);
+  }
+  REX_RETURN_NOT_OK(plan.Validate());
+  return plan;
+}
+
+Result<PlanSpec> BuildWrapChainPlan(
+    const std::string& input_table,
+    const std::vector<WrapChainStage>& stages) {
+  if (stages.empty()) {
+    return Status::InvalidArgument("wrap chain needs at least one stage");
+  }
+  PlanSpec plan;
+  ScanOp::Params scan;
+  scan.table = input_table;
+  int top = plan.AddScan(scan);
+  for (const WrapChainStage& stage : stages) {
+    top = plan.AddApplyFn(top, MapWrapName(stage.hadoop_class));
+    if (stage.use_combiner) {
+      GroupByOp::Params combine;
+      combine.key_fields = {0};
+      combine.uda = CombineWrapName(stage.hadoop_class);
+      combine.mode = GroupByOp::Mode::kStratum;
+      top = plan.AddGroupBy(top, combine);
+    }
+    RehashOp::Params rh;
+    rh.key_fields = {0};
+    top = plan.AddRehash(top, rh);
+    GroupByOp::Params reduce;
+    reduce.key_fields = {0};
+    reduce.uda = ReduceWrapName(stage.hadoop_class);
+    reduce.mode = GroupByOp::Mode::kStratum;
+    top = plan.AddGroupBy(top, reduce);
+  }
+  plan.AddSink(top);
+  REX_RETURN_NOT_OK(plan.Validate());
+  return plan;
+}
+
+Status SetupWrapPageRank(Cluster* cluster, const GraphData& graph,
+                         double damping) {
+  MrJob job = MakeHadoopPageRankJob(damping);
+  REX_RETURN_NOT_OK(RegisterHadoopClass(cluster->udfs(), "PageRankMR",
+                                        job.map, job.reduce, job.combine));
+  // The Hadoop record formulation: (v, [rank, adjacency list]).
+  auto adj = std::vector<std::vector<Value>>(
+      static_cast<size_t>(graph.num_vertices));
+  for (const auto& [src, dst] : graph.edges) {
+    adj[static_cast<size_t>(src)].push_back(Value(dst));
+  }
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(graph.num_vertices));
+  for (int64_t v = 0; v < graph.num_vertices; ++v) {
+    rows.push_back(Tuple{
+        Value(v),
+        Value::List({Value(1.0),
+                     Value::List(std::move(adj[static_cast<size_t>(v)]))})});
+  }
+  return cluster->CreateTable(
+      "wrap_input",
+      Schema{{"k", ValueType::kInt}, {"v", ValueType::kList}},
+      /*key_column=*/0, std::move(rows));
+}
+
+Result<PlanSpec> BuildWrapPageRankPlan() {
+  WrapJobPlanOptions options;
+  options.hadoop_class = "PageRankMR";
+  options.input_table = "wrap_input";
+  options.use_combiner = true;
+  options.iterative = true;
+  return BuildWrapJobPlan(options);
+}
+
+Result<std::vector<double>> WrapRanksFromState(
+    const std::vector<Tuple>& fixpoint_state, int64_t num_vertices) {
+  std::vector<double> ranks(static_cast<size_t>(num_vertices), 0.0);
+  for (const Tuple& t : fixpoint_state) {
+    if (t.size() < 2 || t.field(1).type() != ValueType::kList) {
+      return Status::Internal("bad wrap record");
+    }
+    REX_ASSIGN_OR_RETURN(int64_t v, t.field(0).ToInt());
+    REX_ASSIGN_OR_RETURN(double rank, t.field(1).AsList()[0].ToDouble());
+    if (v < 0 || v >= num_vertices) {
+      return Status::OutOfRange("vertex out of range in wrap state");
+    }
+    ranks[static_cast<size_t>(v)] = rank;
+  }
+  return ranks;
+}
+
+}  // namespace rex

@@ -1,0 +1,86 @@
+// Executing native Hadoop code inside REX (§4.4) — the paper's "wrap"
+// configuration.
+//
+// Hadoop mapper/reducer/combiner classes (here: the same MapFn/ReduceFn
+// functors the mini-MapReduce engine runs) are registered by class name and
+// invoked through specially designed wrapper UDFs/UDAs:
+//
+//   SELECT ReduceWrap('ReduceClass',
+//          MapWrap('MapClass', k, v).{k, v}).{k, v}
+//   FROM InputTable GROUP BY MapWrap('MapClass', k, v).k
+//
+// MapWrap is a table-valued UDF around the map class; ReduceWrap is a UDA
+// whose per-group state buffers the reducer's input values. Wrapping incurs
+// the paper's formatting overhead: every tuple crossing the wrapper
+// boundary is marshalled to Hadoop's record representation and back (we
+// marshal through the binary serde — the role text formatting plays in the
+// original; see DESIGN.md).
+//
+// Iterative Hadoop jobs become recursive REX queries: a kFull fixpoint
+// re-feeds the whole record set through MapWrap -> rehash -> ReduceWrap
+// each stratum, exactly like a driver program resubmitting the job — but
+// without per-job startup, sort-based shuffle, or HDFS materialization,
+// which is where wrap's speedup over Hadoop/HaLoop comes from (§6.3).
+#ifndef REX_WRAP_HADOOP_WRAP_H_
+#define REX_WRAP_HADOOP_WRAP_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "engine/plan_spec.h"
+#include "mapreduce/mr_engine.h"
+
+namespace rex {
+
+/// Registers MapWrap:<class> as a table UDF and ReduceWrap:<class> /
+/// CombineWrap:<class> as UDAs in `registry`. The combiner may be null.
+Status RegisterHadoopClass(UdfRegistry* registry, const std::string& name,
+                           MapFn map, ReduceFn reduce,
+                           ReduceFn combine = nullptr);
+
+/// Wrapper registry names.
+std::string MapWrapName(const std::string& hadoop_class);
+std::string ReduceWrapName(const std::string& hadoop_class);
+std::string CombineWrapName(const std::string& hadoop_class);
+
+struct WrapJobPlanOptions {
+  std::string hadoop_class;  // registered via RegisterHadoopClass
+  std::string input_table;   // (k, v) rows, key column 0
+  bool use_combiner = false;
+  /// Recursive wrap job: loop the reduce output back through the mapper
+  /// until the driver stops it (iterative Hadoop execution, §4.4).
+  bool iterative = false;
+};
+
+/// Builds the RQL template's physical plan: scan -> [fixpoint ->] MapWrap
+/// -> [CombineWrap ->] rehash(k) -> ReduceWrap [-> loop | -> sink].
+Result<PlanSpec> BuildWrapJobPlan(const WrapJobPlanOptions& options);
+
+/// One stage of a chained Hadoop workflow (§4.4: "chained or branched jobs
+/// can be expressed as nested subqueries within a compound driver query").
+struct WrapChainStage {
+  std::string hadoop_class;
+  bool use_combiner = false;
+};
+
+/// Chains N wrapped jobs: each stage's reduce output feeds the next
+/// stage's mapper directly — no HDFS materialization between jobs, one of
+/// wrap's structural advantages over a real Hadoop driver program.
+Result<PlanSpec> BuildWrapChainPlan(const std::string& input_table,
+                                    const std::vector<WrapChainStage>& stages);
+
+/// PageRank from the unmodified Hadoop-formulation mapper/reducer running
+/// inside REX (the REX-wrap series of Figs 4 and 6). Registers the class
+/// and loads the (v, [rank, adjacency]) record table "wrap_input".
+Status SetupWrapPageRank(Cluster* cluster, const GraphData& graph,
+                         double damping = 0.85);
+Result<PlanSpec> BuildWrapPageRankPlan();
+
+/// Extracts ranks from a wrap-PageRank run's fixpoint state.
+Result<std::vector<double>> WrapRanksFromState(
+    const std::vector<Tuple>& fixpoint_state, int64_t num_vertices);
+
+}  // namespace rex
+
+#endif  // REX_WRAP_HADOOP_WRAP_H_

@@ -1,0 +1,233 @@
+// End-to-end tests: the full cluster (threads, rehash, punctuation, votes)
+// executing the paper's three algorithms, validated against single-threaded
+// reference implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/kmeans.h"
+#include "algos/pagerank.h"
+#include "algos/reference.h"
+#include "algos/sssp.h"
+
+namespace rex {
+namespace {
+
+EngineConfig SmallConfig(int workers = 4) {
+  EngineConfig cfg;
+  cfg.num_workers = workers;
+  cfg.replication = 3;
+  cfg.network_batch_size = 64;
+  return cfg;
+}
+
+GraphData TestGraph(int64_t vertices = 400, int64_t edges = 2400,
+                    uint64_t seed = 11) {
+  GraphGenOptions opt;
+  opt.num_vertices = vertices;
+  opt.num_edges = edges;
+  opt.seed = seed;
+  return GenerateRmatGraph(opt);
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(PageRankE2E, DeltaMatchesReference) {
+  GraphData graph = TestGraph();
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 1e-7;
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->strata_executed, 3);
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 500);
+  EXPECT_LT(MaxAbsDiff(*ranks, ref), 1e-4);
+}
+
+TEST(PageRankE2E, FullModeMatchesReference) {
+  GraphData graph = TestGraph();
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 1e-7;
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankFullPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(ranks.ok());
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 500);
+  EXPECT_LT(MaxAbsDiff(*ranks, ref), 1e-4);
+}
+
+TEST(PageRankE2E, DeltaShipsFewerTuplesThanFull) {
+  GraphData graph = TestGraph(600, 4000, 5);
+  PageRankConfig cfg;
+  // The paper's convergence criterion: rank changed by more than 1%.
+  cfg.threshold = 0.01;
+  cfg.relative = true;
+
+  // Run both configurations for a fixed 30 iterations (explicit
+  // termination) and compare the communication volume of the tail
+  // iterations, where the Δᵢ set has emptied but the no-delta strategy
+  // still re-ships the whole mutable set (the Fig 6b phenomenon).
+  auto run_with = [&](bool delta) -> int64_t {
+    Cluster cluster(SmallConfig());
+    EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+    EXPECT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+    auto plan = delta ? BuildPageRankDeltaPlan(cfg)
+                      : BuildPageRankFullPlan(cfg);
+    EXPECT_TRUE(plan.ok());
+    QueryOptions options;
+    options.terminate = [](int stratum, const VoteStats&) {
+      return stratum >= 30;
+    };
+    auto run = cluster.Run(*plan, options);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    int64_t tail_bytes = 0;
+    for (const StratumReport& r : run->strata) {
+      if (r.stratum >= 22) tail_bytes += r.bytes_sent;
+    }
+    return tail_bytes;
+  };
+
+  int64_t delta_tail = run_with(true);
+  int64_t full_tail = run_with(false);
+  EXPECT_LT(delta_tail, full_tail / 5)
+      << "delta tail=" << delta_tail << " full tail=" << full_tail;
+}
+
+TEST(PageRankE2E, DeltaIterationsShrink) {
+  GraphData graph = TestGraph();
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 0.005;
+  cfg.relative = true;
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok());
+  // The Δᵢ set decreases over the tail of the computation (Fig 2).
+  ASSERT_GT(run->strata.size(), 4u);
+  const auto& strata = run->strata;
+  EXPECT_LT(strata[strata.size() - 2].stats.new_tuples,
+            strata[1].stats.new_tuples);
+}
+
+TEST(SsspE2E, DeltaMatchesBfs) {
+  GraphData graph = TestGraph(500, 2000, 77);
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig cfg;
+  cfg.source = 3;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  std::vector<int64_t> ref = ReferenceSssp(graph, cfg.source);
+  EXPECT_EQ(*dist, ref);
+}
+
+TEST(SsspE2E, FullModeMatchesBfs) {
+  GraphData graph = TestGraph(300, 1500, 99);
+  Cluster cluster(SmallConfig(3));
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig cfg;
+  cfg.source = 0;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspFullPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ReferenceSssp(graph, 0));
+}
+
+TEST(SsspE2E, DeltaRunsToFullReachabilityCheaply) {
+  GraphData graph = TestGraph(500, 1200, 13);
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig cfg;
+  cfg.source = 1;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok());
+  // Post-frontier strata derive nothing: the Δᵢ set goes to zero and the
+  // implicit fixpoint stops (§6.3 "Improved Accuracy").
+  EXPECT_EQ(run->strata.back().stats.new_tuples, 0);
+}
+
+TEST(KMeansE2E, MatchesLloydFixpoint) {
+  GeoGenOptions geo;
+  geo.num_base_points = 600;
+  geo.num_clusters = 5;
+  geo.cluster_stddev = 0.3;
+  geo.seed = 4242;
+  std::vector<Tuple> points = GenerateGeoPoints(geo);
+
+  KMeansConfig cfg;
+  cfg.k = 5;
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadPointsTable(&cluster, points).ok());
+  ASSERT_TRUE(RegisterKMeansUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildKMeansDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto centroids = CentroidsFromState(run->fixpoint_state);
+  ASSERT_TRUE(centroids.ok());
+  ASSERT_EQ(centroids->size(), 5u);
+
+  // The engine result must be a Lloyd fixed point: one more reference
+  // Lloyd step starting from these centroids must not move any point.
+  KMeansResult one_step = ReferenceKMeans(points, *centroids, 2);
+  for (size_t c = 0; c < centroids->size(); ++c) {
+    EXPECT_NEAR((*centroids)[c].first, one_step.centroids[c].first, 1e-9);
+    EXPECT_NEAR((*centroids)[c].second, one_step.centroids[c].second, 1e-9);
+  }
+}
+
+TEST(KMeansE2E, DeltaWorkShrinksAsItConverges) {
+  GeoGenOptions geo;
+  geo.num_base_points = 800;
+  geo.num_clusters = 6;
+  geo.seed = 99;
+  KMeansConfig cfg;
+  cfg.k = 6;
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadPointsTable(&cluster, GenerateGeoPoints(geo)).ok());
+  ASSERT_TRUE(RegisterKMeansUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildKMeansDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GE(run->strata.size(), 3u);
+  // Switching activity must shrink: the last working stratum moves far
+  // fewer points than the first assignment pass.
+  EXPECT_LT(run->strata[run->strata.size() - 2].stats.new_tuples,
+            run->strata[1].stats.new_tuples);
+}
+
+}  // namespace
+}  // namespace rex

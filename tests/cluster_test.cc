@@ -1,0 +1,232 @@
+// Cluster/engine behavior tests: error propagation from worker threads,
+// stratum caps, explicit termination conditions (§3.4), cluster reuse
+// across queries, and worker revival.
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.h"
+#include "algos/reference.h"
+#include "algos/sssp.h"
+
+namespace rex {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  return cfg;
+}
+
+TEST(ClusterTest, UdfErrorsPropagateToDriver) {
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(cluster
+                  .CreateTable("t", Schema{{"k", ValueType::kInt}}, 0,
+                               {Tuple{Value(1)}, Tuple{Value(2)}})
+                  .ok());
+  TableUdf bomb;
+  bomb.name = "bomb";
+  bomb.fn = [](const Delta& d) -> Result<DeltaVec> {
+    if (d.tuple.field(0) == Value(2)) {
+      return Status::Internal("user code exploded");
+    }
+    return DeltaVec{d};
+  };
+  ASSERT_TRUE(cluster.udfs()->RegisterTable(bomb).ok());
+
+  PlanSpec plan;
+  ScanOp::Params scan;
+  scan.table = "t";
+  int top = plan.AddScan(scan);
+  top = plan.AddApplyFn(top, "bomb");
+  plan.AddSink(top);
+  auto run = cluster.Run(plan);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().message().find("exploded"), std::string::npos);
+}
+
+TEST(ClusterTest, UnknownUdfFailsAtPlanInstall) {
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(cluster
+                  .CreateTable("t", Schema{{"k", ValueType::kInt}}, 0, {})
+                  .ok());
+  PlanSpec plan;
+  ScanOp::Params scan;
+  scan.table = "t";
+  int top = plan.AddScan(scan);
+  top = plan.AddApplyFn(top, "no_such_fn");
+  plan.AddSink(top);
+  auto run = cluster.Run(plan);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterTest, MaxStrataCapsDivergentQueries) {
+  GraphData graph = GenerateRmatGraph({});
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 0.0;  // propagate every change — effectively divergent
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  QueryOptions options;
+  options.max_strata = 7;
+  auto run = cluster.Run(*plan, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->strata_executed, 7);
+}
+
+TEST(ClusterTest, ExplicitTerminationCondition) {
+  // §3.4: "How many pages have their PageRank changed by more than 1%
+  // between iterations n and n-1?" — stop when fewer than 50 did.
+  GraphData graph = GenerateRmatGraph({});
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 0.01;
+  cfg.relative = true;
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  QueryOptions options;
+  options.terminate = [](int stratum, const VoteStats& stats) {
+    return stratum > 0 && stats.changed_tuples < 400;
+  };
+  auto run = cluster.Run(*plan, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LT(run->strata.back().stats.changed_tuples, 400);
+  // And it genuinely stopped early: an unconditional run goes further.
+  Cluster cluster2(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster2, graph).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster2.udfs(), cfg).ok());
+  auto full = cluster2.Run(*plan);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GT(full->strata_executed, run->strata_executed);
+}
+
+TEST(ClusterTest, BackToBackQueriesOnOneCluster) {
+  GraphData graph = GenerateRmatGraph({});
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig cfg;
+  cfg.source = 3;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  std::vector<int64_t> ref = ReferenceSssp(graph, 3);
+  for (int round = 0; round < 3; ++round) {
+    auto run = cluster.Run(*plan);
+    ASSERT_TRUE(run.ok()) << "round " << round;
+    auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+    ASSERT_TRUE(dist.ok());
+    EXPECT_EQ(*dist, ref) << "round " << round;
+  }
+}
+
+TEST(ClusterTest, ReviveFailedWorkersRestoresFullCluster) {
+  GraphData graph = GenerateRmatGraph({});
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig cfg;
+  cfg.source = 1;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+
+  QueryOptions with_failure;
+  with_failure.failure.worker = 0;
+  with_failure.failure.before_stratum = 2;
+  with_failure.failure.strategy = RecoveryStrategy::kIncremental;
+  auto run1 = cluster.Run(*plan, with_failure);
+  ASSERT_TRUE(run1.ok());
+  EXPECT_EQ(cluster.LiveWorkers().size(), 2u);
+
+  ASSERT_TRUE(cluster.ReviveFailedWorkers().ok());
+  EXPECT_EQ(cluster.LiveWorkers().size(), 3u);
+  auto run2 = cluster.Run(*plan);
+  ASSERT_TRUE(run2.ok());
+  auto dist = DistancesFromState(run2->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ReferenceSssp(graph, 1));
+}
+
+TEST(ClusterTest, RunOnEmptyTableTerminates) {
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(cluster
+                  .CreateTable("graph",
+                               Schema{{"src", ValueType::kInt},
+                                      {"dst", ValueType::kInt}},
+                               0, {})
+                  .ok());
+  ASSERT_TRUE(cluster
+                  .CreateTable("vertices", Schema{{"v", ValueType::kInt}},
+                               0, {})
+                  .ok());
+  SsspConfig cfg;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->fixpoint_state.empty());
+  EXPECT_EQ(run->strata_executed, 1);  // base case derives nothing
+}
+
+TEST(ClusterTest, RuntimeUdfMonitoringFeedsProfiles) {
+  Cluster cluster(SmallConfig());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 500; ++i) rows.push_back(Tuple{Value(i)});
+  ASSERT_TRUE(
+      cluster.CreateTable("t", Schema{{"k", ValueType::kInt}}, 0, rows)
+          .ok());
+  TableUdf fanout2;
+  fanout2.name = "fanout2";
+  fanout2.deterministic = false;
+  fanout2.fn = [](const Delta& d) -> Result<DeltaVec> {
+    return DeltaVec{d, d};  // two outputs per input
+  };
+  ASSERT_TRUE(cluster.udfs()->RegisterTable(fanout2).ok());
+
+  NodeCalibration calib;
+  EXPECT_FALSE(cluster.MeasuredUdfProfile("fanout2", calib).ok());
+
+  PlanSpec plan;
+  ScanOp::Params scan;
+  scan.table = "t";
+  int top = plan.AddScan(scan);
+  top = plan.AddApplyFn(top, "fanout2");
+  plan.AddSink(top);
+  ASSERT_TRUE(cluster.Run(plan).ok());
+
+  auto profile = cluster.MeasuredUdfProfile("fanout2", calib);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_NEAR(profile->fanout, 2.0, 1e-9);
+  EXPECT_GT(profile->cost_per_tuple, 0.0);
+  EXPECT_FALSE(profile->deterministic);
+}
+
+TEST(ClusterTest, PerStratumReportsAreConsistent) {
+  GraphData graph = GenerateRmatGraph({});
+  Cluster cluster(SmallConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 0.01;
+  cfg.relative = true;
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->strata.size(), static_cast<size_t>(run->strata_executed));
+  int64_t bytes = 0;
+  for (size_t i = 0; i < run->strata.size(); ++i) {
+    EXPECT_EQ(run->strata[i].stratum, static_cast<int>(i));
+    EXPECT_GE(run->strata[i].seconds, 0);
+    bytes += run->strata[i].bytes_sent;
+  }
+  EXPECT_EQ(bytes, run->total_bytes_sent);
+  EXPECT_EQ(run->strata.back().stats.new_tuples, 0);  // implicit fixpoint
+}
+
+}  // namespace
+}  // namespace rex

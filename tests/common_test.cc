@@ -1,0 +1,210 @@
+// Unit tests for the common kernel: Status/Result, Value, Tuple, Schema,
+// serde, hashing, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "common/delta.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace rex {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::TypeError("bad type");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_EQ(st.ToString(), "TypeError: bad type");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto ok = HalveEven(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  auto err = HalveEven(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  REX_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseAssignOrReturn(7, &out).ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  Value lst = Value::List({Value(1), Value(2)});
+  EXPECT_EQ(lst.AsList().size(), 2u);
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value(1.5));
+  EXPECT_EQ(Value(1).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value(2) < Value(1.5));
+}
+
+TEST(ValueTest, Coercions) {
+  EXPECT_DOUBLE_EQ(Value(3).ToDouble().value(), 3.0);
+  EXPECT_EQ(Value(3.7).ToInt().value(), 3);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+}
+
+TEST(ValueTest, TypeNameParsing) {
+  EXPECT_EQ(ValueTypeFromName("Integer").value(), ValueType::kInt);
+  EXPECT_EQ(ValueTypeFromName("double").value(), ValueType::kDouble);
+  EXPECT_EQ(ValueTypeFromName("STRING").value(), ValueType::kString);
+  EXPECT_FALSE(ValueTypeFromName("widget").ok());
+}
+
+TEST(TupleTest, ProjectAndConcat) {
+  Tuple t{Value(1), Value("a"), Value(2.5)};
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], Value(2.5));
+  EXPECT_EQ(p[1], Value(1));
+  Tuple c = t.Concat(Tuple{Value(9)});
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[3], Value(9));
+}
+
+TEST(TupleTest, HashFieldsConsistentWithEquality) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("y")};
+  EXPECT_EQ(a.HashFields({0}), b.HashFields({0}));
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(SchemaTest, IndexOfAndValidate) {
+  Schema s{{"id", ValueType::kInt}, {"score", ValueType::kDouble}};
+  EXPECT_EQ(s.IndexOf("score").value(), 1);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_TRUE(s.Validate(Tuple{Value(1), Value(2.5)}).ok());
+  EXPECT_TRUE(s.Validate(Tuple{Value(1), Value(2)}).ok());  // int widens
+  EXPECT_FALSE(s.Validate(Tuple{Value(1)}).ok());
+  EXPECT_FALSE(s.Validate(Tuple{Value("a"), Value(2.5)}).ok());
+}
+
+TEST(SchemaTest, ConcatRenamesCollisions) {
+  Schema l{{"id", ValueType::kInt}};
+  Schema r{{"id", ValueType::kInt}, {"v", ValueType::kDouble}};
+  Schema joined = l.Concat(r);
+  EXPECT_EQ(joined.field(1).name, "r.id");
+  EXPECT_EQ(joined.field(2).name, "v");
+}
+
+TEST(SerdeTest, ValueRoundTrip) {
+  std::vector<Value> values = {
+      Value::Null(), Value(true),  Value(int64_t{-7}),
+      Value(3.25),   Value("abc"), Value::List({Value(1), Value("x")})};
+  for (const Value& v : values) {
+    BufferWriter w;
+    w.PutValue(v);
+    BufferReader r(w.bytes());
+    auto back = r.GetValue();
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), v) << v.ToString();
+  }
+}
+
+TEST(SerdeTest, TupleRoundTrip) {
+  Tuple t{Value(1), Value(2.5), Value("s"), Value::Null()};
+  auto back = DeserializeTuple(SerializeTuple(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(SerdeTest, TuplesRoundTrip) {
+  std::vector<Tuple> ts = {Tuple{Value(1)}, Tuple{Value("a"), Value(2)}};
+  auto back = DeserializeTuples(SerializeTuples(ts));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[1], ts[1]);
+}
+
+TEST(SerdeTest, TruncationDetected) {
+  std::string bytes = SerializeTuple(Tuple{Value("hello")});
+  bytes.resize(bytes.size() - 2);
+  BufferReader r(bytes);
+  EXPECT_FALSE(r.GetTuple().ok());
+}
+
+TEST(SerdeTest, BadTagDetected) {
+  BufferWriter w;
+  w.PutU32(1);
+  w.PutU8(250);  // invalid value tag
+  BufferReader r(w.bytes());
+  EXPECT_FALSE(r.GetTuple().ok());
+}
+
+TEST(DeltaTest, FactoriesAndToString) {
+  Delta ins = Delta::Insert(Tuple{Value(1)});
+  EXPECT_EQ(ins.op, DeltaOp::kInsert);
+  Delta rep = Delta::Replace(Tuple{Value(1)}, Tuple{Value(2)});
+  EXPECT_EQ(rep.op, DeltaOp::kReplace);
+  EXPECT_EQ(rep.tuple, Tuple{Value(2)});
+  EXPECT_EQ(rep.old_tuple, Tuple{Value(1)});
+  EXPECT_NE(rep.ToString().find("was"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rex

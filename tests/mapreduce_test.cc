@@ -1,0 +1,250 @@
+// Tests for the mini-MapReduce engine and the Hadoop/HaLoop baseline jobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/reference.h"
+#include "mapreduce/mr_jobs.h"
+
+namespace rex {
+namespace {
+
+MrConfig FastConfig() {
+  MrConfig cfg;
+  cfg.startup_cost_ms = 0;  // keep unit tests quick
+  cfg.num_map_tasks = 3;
+  cfg.num_reduce_tasks = 3;
+  return cfg;
+}
+
+TEST(MrEngineTest, WordCount) {
+  std::vector<KeyValue> input = MakeRecords({{Value(1), Value("a b a")},
+                                             {Value(2), Value("b c")},
+                                             {Value(3), Value("a")}});
+  MrJob job;
+  job.map = [](const KeyValue& rec, std::vector<KeyValue>* out) -> Status {
+    const std::string& text = rec.value.AsString();
+    size_t i = 0;
+    while (i < text.size()) {
+      size_t j = text.find(' ', i);
+      if (j == std::string::npos) j = text.size();
+      if (j > i) {
+        out->push_back(
+            KeyValue{Value(text.substr(i, j - i)), Value(int64_t{1})});
+      }
+      i = j + 1;
+    }
+    return Status::OK();
+  };
+  auto sum = [](const Value& key, const std::vector<Value>& values,
+                std::vector<KeyValue>* out) -> Status {
+    int64_t total = 0;
+    for (const Value& v : values) total += v.AsInt();
+    out->push_back(KeyValue{key, Value(total)});
+    return Status::OK();
+  };
+  job.reduce = sum;
+  job.combine = sum;
+
+  auto result = RunMrJob(job, input, FastConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::string, int64_t> counts;
+  for (const KeyValue& kv : *result) {
+    counts[kv.key.AsString()] = kv.value.AsInt();
+  }
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+}
+
+TEST(MrEngineTest, ReducerSeesSortedGroupsOnce) {
+  // Every key must reach exactly one reduce invocation even across many
+  // map tasks and partitions.
+  std::vector<KeyValue> input;
+  for (int64_t i = 0; i < 500; ++i) {
+    input.push_back(KeyValue{Value(i % 50), Value(i)});
+  }
+  MrJob job;
+  job.map = [](const KeyValue& rec, std::vector<KeyValue>* out) -> Status {
+    out->push_back(rec);
+    return Status::OK();
+  };
+  int invocation_count = 0;
+  std::mutex m;
+  job.reduce = [&](const Value& key, const std::vector<Value>& values,
+                   std::vector<KeyValue>* out) -> Status {
+    std::lock_guard<std::mutex> lock(m);
+    ++invocation_count;
+    EXPECT_EQ(values.size(), 10u) << key.ToString();
+    out->push_back(KeyValue{key, Value(static_cast<int64_t>(values.size()))});
+    return Status::OK();
+  };
+  auto result = RunMrJob(job, input, FastConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(invocation_count, 50);
+  EXPECT_EQ(result->size(), 50u);
+}
+
+TEST(MrEngineTest, MapErrorsPropagate) {
+  MrJob job;
+  job.map = [](const KeyValue&, std::vector<KeyValue>*) -> Status {
+    return Status::Internal("map boom");
+  };
+  job.reduce = [](const Value&, const std::vector<Value>&,
+                  std::vector<KeyValue>*) -> Status { return Status::OK(); };
+  auto result =
+      RunMrJob(job, MakeRecords({{Value(1), Value(1)}}), FastConfig());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(MrEngineTest, MetricsCountShuffleAndJobs) {
+  MetricsRegistry metrics;
+  MrConfig cfg = FastConfig();
+  cfg.metrics = &metrics;
+  MrJob job;
+  job.map = [](const KeyValue& rec, std::vector<KeyValue>* out) -> Status {
+    out->push_back(rec);
+    return Status::OK();
+  };
+  job.reduce = [](const Value& key, const std::vector<Value>& values,
+                  std::vector<KeyValue>* out) -> Status {
+    out->push_back(KeyValue{key, values[0]});
+    return Status::OK();
+  };
+  std::vector<KeyValue> input;
+  for (int64_t i = 0; i < 100; ++i) input.push_back({Value(i), Value(i)});
+  ASSERT_TRUE(RunMrJob(job, input, cfg).ok());
+  EXPECT_EQ(metrics.Value(mr_metrics::kJobs), 1);
+  EXPECT_EQ(metrics.Value(metrics::kMapInputRecords), 100);
+  EXPECT_EQ(metrics.Value(metrics::kReduceInputRecords), 100);
+  EXPECT_GT(metrics.Value(metrics::kShuffleBytes), 0);
+  EXPECT_GT(metrics.Value(mr_metrics::kHdfsBytes), 0);
+}
+
+class MrPageRankTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MrPageRankTest, MatchesReferenceAfterFixedIterations) {
+  GraphGenOptions opt;
+  opt.num_vertices = 300;
+  opt.num_edges = 1800;
+  opt.seed = 61;
+  GraphData graph = GenerateRmatGraph(opt);
+
+  MrPageRankOptions options;
+  options.haloop = GetParam();
+  options.iterations = 40;
+  options.config = FastConfig();
+  auto run = RunMrPageRank(graph, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 400);
+  ASSERT_EQ(run->ranks.size(), ref.size());
+  for (size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(run->ranks[v], ref[v], 1e-6) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HadoopAndHaLoop, MrPageRankTest,
+                         ::testing::Values(false, true));
+
+TEST(MrPageRankTest, HaLoopShufflesLessThanHadoop) {
+  GraphGenOptions opt;
+  opt.num_vertices = 300;
+  opt.num_edges = 2400;
+  opt.seed = 62;
+  GraphData graph = GenerateRmatGraph(opt);
+  auto shuffle_with = [&](bool haloop) -> int64_t {
+    MetricsRegistry metrics;
+    MrPageRankOptions options;
+    options.haloop = haloop;
+    options.iterations = 5;
+    options.config = FastConfig();
+    options.config.metrics = &metrics;
+    EXPECT_TRUE(RunMrPageRank(graph, options).ok());
+    return metrics.Value(metrics::kShuffleBytes);
+  };
+  int64_t hadoop = shuffle_with(false);
+  int64_t haloop = shuffle_with(true);
+  // The immutable adjacency no longer re-shuffles each iteration.
+  EXPECT_LT(haloop, hadoop);
+}
+
+class MrSsspTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MrSsspTest, MatchesBfsWithinIterationBudget) {
+  GraphGenOptions opt;
+  opt.num_vertices = 200;
+  opt.num_edges = 900;
+  opt.seed = 63;
+  GraphData graph = GenerateRmatGraph(opt);
+
+  MrSsspOptions options;
+  options.source = 4;
+  options.iterations = 30;
+  options.haloop = GetParam();
+  options.config = FastConfig();
+  auto run = RunMrSssp(graph, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  std::vector<int64_t> ref = ReferenceSssp(graph, 4);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    if (ref[v] >= 0 && ref[v] <= options.iterations) {
+      EXPECT_EQ(run->distances[v], ref[v]) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HadoopAndHaLoop, MrSsspTest,
+                         ::testing::Values(false, true));
+
+TEST(MrKMeansTest, MatchesLloydReference) {
+  GeoGenOptions geo;
+  geo.num_base_points = 500;
+  geo.num_clusters = 4;
+  geo.cluster_stddev = 0.3;
+  geo.seed = 4242;
+  std::vector<Tuple> points = GenerateGeoPoints(geo);
+
+  MrKMeansOptions options;
+  options.k = 4;
+  options.config = FastConfig();
+  auto run = RunMrKMeans(points, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // Same seeding as the reference: points with pid < k.
+  std::vector<std::pair<double, double>> seeds(4);
+  for (const Tuple& p : points) {
+    if (p.field(0).AsInt() < 4) {
+      seeds[static_cast<size_t>(p.field(0).AsInt())] = {
+          p.field(1).AsDouble(), p.field(2).AsDouble()};
+    }
+  }
+  KMeansResult ref = ReferenceKMeans(points, seeds, 200);
+  ASSERT_EQ(run->centroids.size(), ref.centroids.size());
+  for (size_t c = 0; c < ref.centroids.size(); ++c) {
+    EXPECT_NEAR(run->centroids[c].first, ref.centroids[c].first, 1e-9);
+    EXPECT_NEAR(run->centroids[c].second, ref.centroids[c].second, 1e-9);
+  }
+}
+
+TEST(MrAggregationTest, MatchesDirectComputation) {
+  LineitemGenOptions opt;
+  opt.num_rows = 5000;
+  std::vector<Tuple> rows = GenerateLineitem(opt);
+  auto run = RunMrAggregation(rows, FastConfig());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  double sum = 0;
+  int64_t count = 0;
+  for (const Tuple& row : rows) {
+    if (row.field(1).AsInt() > 1) {
+      sum += row.field(4).AsDouble();
+      ++count;
+    }
+  }
+  EXPECT_NEAR(run->sum_tax, sum, 1e-9);
+  EXPECT_EQ(run->count, count);
+}
+
+}  // namespace
+}  // namespace rex

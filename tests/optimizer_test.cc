@@ -1,0 +1,447 @@
+// Optimizer tests (§5): cost model overlap, rank-based UDF ordering and
+// migration, join order and rehash placement, pre-aggregation pushdown,
+// recursive costing — plus end-to-end execution of optimized plans.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "optimizer/optimizer.h"
+
+namespace rex {
+namespace {
+
+TEST(CostModelTest, OverlapTakesBottleneck) {
+  ResourceVector a{1.0, 0.0, 0.0};
+  ResourceVector b{0.0, 2.0, 0.0};
+  // Disjoint resources: pipelined runtime = max, not sum (§5).
+  EXPECT_DOUBLE_EQ((a + b).BottleneckTime(), 2.0);
+  EXPECT_DOUBLE_EQ(ResourceVector::SequentialTime(a, b), 3.0);
+  ResourceVector c{1.5, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ((a + c).BottleneckTime(), 2.5);  // same resource adds
+}
+
+TEST(CostModelTest, SlowestNodeGovernsCalibration) {
+  ClusterCalibration calib;
+  calib.nodes.push_back(NodeCalibration{10e6, 200, 200});
+  calib.nodes.push_back(NodeCalibration{1e6, 50, 400});
+  NodeCalibration slow = calib.Slowest();
+  EXPECT_DOUBLE_EQ(slow.cpu_tuples_per_sec, 1e6);
+  EXPECT_DOUBLE_EQ(slow.disk_mb_per_sec, 50);
+  EXPECT_DOUBLE_EQ(slow.net_mb_per_sec, 200);
+}
+
+TEST(CostModelTest, CachingReducesUdfCost) {
+  UdfCostProfile profile;
+  profile.cost_per_tuple = 100;
+  profile.deterministic = true;
+  profile.distinct_input_ratio = 0.1;
+  EXPECT_DOUBLE_EQ(profile.EffectiveCostPerTuple(0, true), 10.0);
+  EXPECT_DOUBLE_EQ(profile.EffectiveCostPerTuple(0, false), 100.0);
+  profile.deterministic = false;
+  EXPECT_DOUBLE_EQ(profile.EffectiveCostPerTuple(0, true), 100.0);
+}
+
+TEST(CostModelTest, CostHintShapesCost) {
+  UdfCostProfile profile;
+  profile.cost_per_tuple = 2;
+  profile.hint = [](double magnitude) { return magnitude; };  // O(n)
+  EXPECT_DOUBLE_EQ(profile.EffectiveCostPerTuple(1000, false), 2000.0);
+}
+
+TEST(PredicateRankTest, CheapSelectiveFirst) {
+  // A cheap, highly selective predicate has the lowest rank.
+  EXPECT_LT(PredicateRank(1, 0.1), PredicateRank(1, 0.9));
+  EXPECT_LT(PredicateRank(1, 0.5), PredicateRank(100, 0.5));
+}
+
+QueryBlock TwoTableQuery() {
+  QueryBlock q;
+  TableRef orders;
+  orders.name = "orders";
+  orders.schema = Schema{{"oid", ValueType::kInt}, {"cid", ValueType::kInt}};
+  orders.partition_column = "oid";
+  TableRef customers;
+  customers.name = "customers";
+  customers.schema =
+      Schema{{"cid", ValueType::kInt}, {"region", ValueType::kInt}};
+  customers.partition_column = "cid";
+  q.tables = {orders, customers};
+  JoinPredSpec j;
+  j.left_table = "orders";
+  j.left_column = "cid";
+  j.right_table = "customers";
+  j.right_column = "cid";
+  j.key_side = "right";
+  q.joins = {j};
+  return q;
+}
+
+StatsCatalog TwoTableStats() {
+  StatsCatalog stats;
+  TableStats orders;
+  orders.rows = 100000;
+  orders.distinct["cid"] = 1000;
+  stats.SetTableStats("orders", orders);
+  TableStats customers;
+  customers.rows = 1000;
+  customers.distinct["cid"] = 1000;
+  stats.SetTableStats("customers", customers);
+  return stats;
+}
+
+TEST(OptimizerTest, JoinRehashesOnlyTheMisalignedSide) {
+  QueryBlock q = TwoTableQuery();
+  StatsCatalog stats = TwoTableStats();
+  Optimizer opt(&stats, ClusterCalibration::Uniform(4));
+  auto result = opt.Optimize(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // customers is partitioned on cid (the join key): no rehash needed on
+  // its side; orders (partitioned on oid) must move.
+  int rehash_count = 0;
+  for (const PlanNodeSpec& node : result->spec.nodes()) {
+    if (node.type == PlanNodeSpec::Type::kRehash) ++rehash_count;
+  }
+  EXPECT_EQ(rehash_count, 1);
+}
+
+TEST(OptimizerTest, ExpensivePredicateMigratesAboveJoin) {
+  QueryBlock q = TwoTableQuery();
+  StatsCatalog stats = TwoTableStats();
+  // A very expensive, non-selective UDF on orders: since the join with
+  // the 1000-row customers side keeps cardinality at ~100000, but stats
+  // say the join keeps only a fraction... make the join reducing: orders
+  // joining 10 customers.
+  TableStats few;
+  few.rows = 10;
+  few.distinct["cid"] = 1000;
+  stats.SetTableStats("customers", few);
+
+  PredicateSpec expensive;
+  expensive.table = "orders";
+  expensive.udf = "deep_model";
+  expensive.udf_args = {"oid"};
+  UdfCostProfile prof;
+  prof.cost_per_tuple = 1e5;
+  prof.selectivity = 0.99;  // drops almost nothing
+  stats.SetUdfProfile("deep_model", prof);
+  q.predicates = {expensive};
+
+  Optimizer opt(&stats, ClusterCalibration::Uniform(4));
+  auto result = opt.Optimize(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->decisions.predicate_placement.size(), 1u);
+  EXPECT_EQ(result->decisions.predicate_placement[0].second, "after-joins");
+
+  // A cheap, selective filter stays pushed.
+  PredicateSpec cheap;
+  cheap.table = "orders";
+  cheap.udf = "quick_check";
+  cheap.udf_args = {"oid"};
+  UdfCostProfile cheap_prof;
+  cheap_prof.cost_per_tuple = 0.5;
+  cheap_prof.selectivity = 0.1;
+  stats.SetUdfProfile("quick_check", cheap_prof);
+  q.predicates = {cheap};
+  auto result2 = opt.Optimize(q);
+  ASSERT_TRUE(result2.ok());
+  ASSERT_EQ(result2->decisions.predicate_placement.size(), 1u);
+  EXPECT_EQ(result2->decisions.predicate_placement[0].second,
+            "pushdown:orders");
+}
+
+TEST(OptimizerTest, RankOrdersPredicatesCheapSelectiveFirst) {
+  QueryBlock q = TwoTableQuery();
+  StatsCatalog stats = TwoTableStats();
+  PredicateSpec a;
+  a.table = "orders";
+  a.udf = "costly";
+  a.udf_args = {"oid"};
+  PredicateSpec b;
+  b.table = "orders";
+  b.udf = "cheap";
+  b.udf_args = {"oid"};
+  UdfCostProfile costly;
+  costly.cost_per_tuple = 50;
+  costly.selectivity = 0.5;
+  UdfCostProfile cheap;
+  cheap.cost_per_tuple = 1;
+  cheap.selectivity = 0.5;
+  stats.SetUdfProfile("costly", costly);
+  stats.SetUdfProfile("cheap", cheap);
+  q.predicates = {a, b};  // declared expensive-first
+
+  Optimizer opt(&stats, ClusterCalibration::Uniform(4));
+  auto result = opt.Optimize(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->decisions.rank_order.size(), 2u);
+  EXPECT_EQ(result->decisions.rank_order[0], "cheap");
+  EXPECT_EQ(result->decisions.rank_order[1], "costly");
+}
+
+TEST(OptimizerTest, BushyThreeWayJoinPicksSelectiveFirst) {
+  QueryBlock q;
+  for (const char* name : {"a", "b", "c"}) {
+    TableRef t;
+    t.name = name;
+    t.schema = Schema{{"k", ValueType::kInt}, {"v", ValueType::kInt}};
+    t.partition_column = "k";
+    q.tables.push_back(t);
+  }
+  JoinPredSpec ab;
+  ab.left_table = "a";
+  ab.left_column = "k";
+  ab.right_table = "b";
+  ab.right_column = "k";
+  JoinPredSpec bc;
+  bc.left_table = "b";
+  bc.left_column = "v";
+  bc.right_table = "c";
+  bc.right_column = "k";
+  q.joins = {ab, bc};
+
+  StatsCatalog stats;
+  TableStats big;
+  big.rows = 1000000;
+  big.distinct["k"] = 1000000;
+  big.distinct["v"] = 1000;
+  stats.SetTableStats("a", big);
+  TableStats mid;
+  mid.rows = 1000;
+  mid.distinct["k"] = 1000;
+  mid.distinct["v"] = 1000;
+  stats.SetTableStats("b", mid);
+  TableStats small;
+  small.rows = 100;
+  small.distinct["k"] = 100;
+  stats.SetTableStats("c", small);
+
+  Optimizer opt(&stats, ClusterCalibration::Uniform(4));
+  auto result = opt.Optimize(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // b ⋈ c first (tiny result) before touching the million-row a.
+  EXPECT_EQ(result->decisions.join_tree, "(a ⋈ (b ⋈ c))");
+  EXPECT_GT(result->decisions.plans_considered, 1);
+}
+
+TEST(OptimizerTest, DisconnectedJoinGraphRejected) {
+  QueryBlock q = TwoTableQuery();
+  q.joins.clear();
+  StatsCatalog stats = TwoTableStats();
+  Optimizer opt(&stats, ClusterCalibration::Uniform(4));
+  EXPECT_FALSE(opt.Optimize(q).ok());
+}
+
+TEST(OptimizerTest, RecursiveEstimationCapsDivergence) {
+  CostEstimate base;
+  base.output_rows = 1000;
+  base.work.cpu = 1.0;
+  // A (bogus) step estimate that doubles cardinality: §5.3's capping must
+  // hold it at the previous stratum's value rather than exploding.
+  auto diverging = [](double rows) {
+    CostEstimate st;
+    st.output_rows = rows * 2;
+    st.work.cpu = rows / 1000.0;
+    return st;
+  };
+  auto [cost, iters] = Optimizer::EstimateRecursive(base, diverging, 10);
+  EXPECT_EQ(iters, 10);
+  EXPECT_LE(cost.output_rows, 1000.0);
+  EXPECT_LE(cost.work.cpu, 1.0 + 10 * 1.0 + 1e-9);
+
+  // A converging step terminates before max_iters.
+  auto converging = [](double rows) {
+    CostEstimate st;
+    st.output_rows = rows / 4;
+    st.work.cpu = rows / 1000.0;
+    return st;
+  };
+  auto [cost2, iters2] = Optimizer::EstimateRecursive(base, converging, 100);
+  EXPECT_LT(iters2, 10);
+  EXPECT_LT(cost2.output_rows, 1.0);
+}
+
+// ---- end-to-end: optimized plans actually run correctly ------------------
+
+TEST(OptimizerExecTest, OptimizedJoinAggregateRunsCorrectly) {
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+
+  // orders(oid, cid, amount) partitioned by oid; customers(cid, region).
+  std::vector<Tuple> orders;
+  Rng rng(3);
+  std::vector<int64_t> expected_count(4, 0);
+  std::vector<int64_t> expected_sum(4, 0);
+  for (int64_t o = 0; o < 500; ++o) {
+    int64_t cid = static_cast<int64_t>(rng.NextBelow(40));
+    int64_t amount = static_cast<int64_t>(rng.NextBelow(100));
+    orders.push_back(Tuple{Value(o), Value(cid), Value(amount)});
+    int64_t region = cid % 4;
+    expected_count[static_cast<size_t>(region)] += 1;
+    expected_sum[static_cast<size_t>(region)] += amount;
+  }
+  std::vector<Tuple> customers;
+  for (int64_t c = 0; c < 40; ++c) {
+    customers.push_back(Tuple{Value(c), Value(c % 4)});
+  }
+  ASSERT_TRUE(cluster
+                  .CreateTable("orders",
+                               Schema{{"oid", ValueType::kInt},
+                                      {"cid", ValueType::kInt},
+                                      {"amount", ValueType::kInt}},
+                               0, orders)
+                  .ok());
+  ASSERT_TRUE(cluster
+                  .CreateTable("customers",
+                               Schema{{"cid", ValueType::kInt},
+                                      {"region", ValueType::kInt}},
+                               0, customers)
+                  .ok());
+
+  QueryBlock q;
+  TableRef ot;
+  ot.name = "orders";
+  ot.schema = Schema{{"oid", ValueType::kInt},
+                     {"cid", ValueType::kInt},
+                     {"amount", ValueType::kInt}};
+  ot.partition_column = "oid";
+  TableRef ct;
+  ct.name = "customers";
+  ct.schema = Schema{{"cid", ValueType::kInt}, {"region", ValueType::kInt}};
+  ct.partition_column = "cid";
+  q.tables = {ot, ct};
+  JoinPredSpec j;
+  j.left_table = "orders";
+  j.left_column = "cid";
+  j.right_table = "customers";
+  j.right_column = "cid";
+  j.key_side = "right";
+  q.joins = {j};
+  AggQuerySpec agg;
+  agg.group_by = {{"customers", "region"}};
+  agg.items = {{AggKind::kSum, "orders", "amount", "total"},
+               {AggKind::kCount, "", "", "n"}};
+  q.agg = agg;
+
+  StatsCatalog stats;
+  TableStats os;
+  os.rows = 500;
+  os.distinct["cid"] = 40;
+  stats.SetTableStats("orders", os);
+  TableStats cs;
+  cs.rows = 40;
+  cs.distinct["cid"] = 40;
+  cs.distinct["region"] = 4;
+  stats.SetTableStats("customers", cs);
+
+  Optimizer opt(&stats, ClusterCalibration::Uniform(3));
+  auto optimized = opt.Optimize(q);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+  auto run = cluster.Run(optimized->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 4u);
+  for (const Tuple& row : run->results) {
+    auto region = static_cast<size_t>(row.field(0).AsInt());
+    EXPECT_EQ(row.field(1).AsInt(), expected_sum[region]);
+    EXPECT_EQ(row.field(2).AsInt(), expected_count[region]);
+  }
+}
+
+TEST(OptimizerExecTest, GlobalAggregateGathersToOneWorker) {
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(cfg);
+  LineitemGenOptions opt;
+  opt.num_rows = 2000;
+  std::vector<Tuple> rows = GenerateLineitem(opt);
+  double expected_sum = 0;
+  int64_t expected_count = 0;
+  for (const Tuple& r : rows) {
+    if (r.field(1).AsInt() > 1) {
+      expected_sum += r.field(4).AsDouble();
+      ++expected_count;
+    }
+  }
+  Schema lineitem_schema{{"orderkey", ValueType::kInt},
+                         {"linenumber", ValueType::kInt},
+                         {"quantity", ValueType::kDouble},
+                         {"extendedprice", ValueType::kDouble},
+                         {"tax", ValueType::kDouble}};
+  ASSERT_TRUE(
+      cluster.CreateTable("lineitem", lineitem_schema, 0, rows).ok());
+
+  QueryBlock q;
+  TableRef li;
+  li.name = "lineitem";
+  li.schema = lineitem_schema;
+  li.partition_column = "orderkey";
+  q.tables = {li};
+  PredicateSpec pred;
+  pred.table = "lineitem";
+  pred.expr = Expr::Binary(BinOp::kGt, Expr::Column(1, "linenumber"),
+                           Expr::Const(Value(int64_t{1})));
+  pred.selectivity = 6.0 / 7.0;
+  q.predicates = {pred};
+  AggQuerySpec agg;
+  agg.items = {{AggKind::kSum, "lineitem", "tax", "sum_tax"},
+               {AggKind::kCount, "", "", "n"}};
+  q.agg = agg;
+
+  StatsCatalog stats;
+  TableStats ls;
+  ls.rows = 2000;
+  stats.SetTableStats("lineitem", ls);
+  Optimizer optimizer(&stats, ClusterCalibration::Uniform(4));
+  auto optimized = optimizer.Optimize(q);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  // The combiner should win: 2000 rows shrink to one partial per worker.
+  EXPECT_TRUE(optimized->decisions.preagg_combiner);
+
+  auto run = cluster.Run(optimized->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 1u);
+  EXPECT_NEAR(run->results[0].field(0).AsDouble(), expected_sum, 1e-9);
+  EXPECT_EQ(run->results[0].field(1).AsInt(), expected_count);
+}
+
+TEST(OptimizerExecTest, AvgSplitsIntoSumCountCompanion) {
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  std::vector<Tuple> rows;
+  double sum = 0;
+  for (int64_t i = 0; i < 99; ++i) {
+    rows.push_back(Tuple{Value(i), Value(static_cast<double>(i))});
+    sum += static_cast<double>(i);
+  }
+  Schema schema{{"k", ValueType::kInt}, {"v", ValueType::kDouble}};
+  ASSERT_TRUE(cluster.CreateTable("nums", schema, 0, rows).ok());
+
+  QueryBlock q;
+  TableRef t;
+  t.name = "nums";
+  t.schema = schema;
+  t.partition_column = "k";
+  q.tables = {t};
+  AggQuerySpec agg;
+  agg.items = {{AggKind::kAvg, "nums", "v", "avg_v"}};
+  q.agg = agg;
+
+  StatsCatalog stats;
+  TableStats ns;
+  ns.rows = 99;
+  stats.SetTableStats("nums", ns);
+  Optimizer optimizer(&stats, ClusterCalibration::Uniform(3));
+  auto optimized = optimizer.Optimize(q);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  ASSERT_TRUE(optimized->decisions.preagg_combiner);
+
+  auto run = cluster.Run(optimized->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 1u);
+  EXPECT_NEAR(run->results[0].field(0).AsDouble(), sum / 99.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rex

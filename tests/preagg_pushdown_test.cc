@@ -1,0 +1,186 @@
+// §5.2 below-join pre-aggregation tests: correctness of the rewrite on
+// both key-FK and multiplicative joins (with multiply compensation), and
+// the optimizer's decision logic.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+
+namespace rex {
+namespace {
+
+struct Fixture {
+  Cluster cluster{[] {
+    EngineConfig cfg;
+    cfg.num_workers = 3;
+    return cfg;
+  }()};
+  QueryBlock query;
+  StatsCatalog stats;
+
+  // sales(region, item, amount) — the aggregated side S;
+  // promos(item, kind) — the other side T, deliberately NON-unique on
+  // item (multiplicative join: every promo of an item pairs with every
+  // sale of it).
+  std::map<std::pair<int64_t, int64_t>, double> expected_sum;
+  std::map<std::pair<int64_t, int64_t>, int64_t> expected_count;
+
+  Status Setup(bool promos_unique) {
+    Rng rng(71);
+    std::vector<Tuple> sales;
+    std::vector<Tuple> promos;
+    std::map<int64_t, int64_t> promos_per_item;
+    const int64_t items = 30;
+    for (int64_t i = 0; i < items; ++i) {
+      const int64_t count =
+          promos_unique ? 1 : static_cast<int64_t>(rng.NextBelow(4));
+      promos_per_item[i] = count;
+      for (int64_t c = 0; c < count; ++c) {
+        promos.push_back(Tuple{Value(i), Value(c)});
+      }
+    }
+    for (int64_t s = 0; s < 4000; ++s) {
+      const int64_t region = static_cast<int64_t>(rng.NextBelow(4));
+      const int64_t item = static_cast<int64_t>(rng.NextBelow(items));
+      const double amount = static_cast<double>(rng.NextBelow(100));
+      sales.push_back(Tuple{Value(region), Value(item), Value(amount)});
+      // Ground truth over the join: each sale appears once per promo.
+      const int64_t mult = promos_per_item[item];
+      if (mult > 0) {
+        expected_sum[{region, 0}] += amount * static_cast<double>(mult);
+        expected_count[{region, 0}] += mult;
+      }
+    }
+    REX_RETURN_NOT_OK(cluster.CreateTable(
+        "sales",
+        Schema{{"region", ValueType::kInt},
+               {"item", ValueType::kInt},
+               {"amount", ValueType::kDouble}},
+        /*key_column=*/1, sales));
+    REX_RETURN_NOT_OK(cluster.CreateTable(
+        "promos",
+        Schema{{"item", ValueType::kInt}, {"kind", ValueType::kInt}},
+        /*key_column=*/0, promos));
+
+    TableRef s;
+    s.name = "sales";
+    s.schema = Schema{{"region", ValueType::kInt},
+                      {"item", ValueType::kInt},
+                      {"amount", ValueType::kDouble}};
+    s.partition_column = "item";
+    TableRef t;
+    t.name = "promos";
+    t.schema =
+        Schema{{"item", ValueType::kInt}, {"kind", ValueType::kInt}};
+    t.partition_column = "item";
+    query.tables = {s, t};
+    JoinPredSpec j;
+    j.left_table = "sales";
+    j.left_column = "item";
+    j.right_table = "promos";
+    j.right_column = "item";
+    j.key_side = promos_unique ? "right" : "";
+    query.joins = {j};
+    AggQuerySpec agg;
+    agg.group_by = {{"sales", "region"}};
+    agg.items = {{AggKind::kSum, "sales", "amount", "total"},
+                 {AggKind::kCount, "", "", "n"}};
+    query.agg = agg;
+
+    TableStats ss;
+    ss.rows = 4000;
+    ss.distinct["item"] = items;
+    ss.distinct["region"] = 4;
+    stats.SetTableStats("sales", ss);
+    TableStats ts;
+    ts.rows = static_cast<int64_t>(promos.size());
+    ts.distinct["item"] = items;
+    stats.SetTableStats("promos", ts);
+    return Status::OK();
+  }
+
+  void Verify(const QueryRunResult& run) {
+    ASSERT_EQ(run.results.size(), expected_sum.size());
+    for (const Tuple& row : run.results) {
+      auto key = std::make_pair(row.field(0).AsInt(), int64_t{0});
+      ASSERT_TRUE(expected_sum.count(key)) << row.ToString();
+      EXPECT_NEAR(row.field(1).ToDouble().value_or(-1), expected_sum[key],
+                  1e-6)
+          << row.ToString();
+      EXPECT_EQ(row.field(2).ToInt().value_or(-1), expected_count[key])
+          << row.ToString();
+    }
+  }
+};
+
+TEST(PreaggPushdownTest, MultiplicativeJoinWithCompensation) {
+  Fixture f;
+  ASSERT_TRUE(f.Setup(/*promos_unique=*/false).ok());
+  Optimizer opt(&f.stats, ClusterCalibration::Uniform(3));
+  auto result = opt.Optimize(f.query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 4000 sales shrink to ~120 (region, item) partials: pushdown must win.
+  ASSERT_TRUE(result->decisions.preagg_below_join);
+  EXPECT_TRUE(result->decisions.multiply_compensation);
+
+  auto run = f.cluster.Run(result->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  f.Verify(*run);
+}
+
+TEST(PreaggPushdownTest, KeyFkJoinSkipsCompensation) {
+  Fixture f;
+  ASSERT_TRUE(f.Setup(/*promos_unique=*/true).ok());
+  Optimizer opt(&f.stats, ClusterCalibration::Uniform(3));
+  auto result = opt.Optimize(f.query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->decisions.preagg_below_join);
+  EXPECT_FALSE(result->decisions.multiply_compensation);
+
+  auto run = f.cluster.Run(result->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  f.Verify(*run);
+}
+
+TEST(PreaggPushdownTest, MatchesNoPushdownPlanExactly) {
+  Fixture a;
+  ASSERT_TRUE(a.Setup(false).ok());
+  Optimizer with(&a.stats, ClusterCalibration::Uniform(3));
+  auto pushed = with.Optimize(a.query);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(pushed->decisions.preagg_below_join);
+  auto run_pushed = a.cluster.Run(pushed->spec);
+  ASSERT_TRUE(run_pushed.ok());
+
+  Fixture b;
+  ASSERT_TRUE(b.Setup(false).ok());
+  OptimizerOptions no_push;
+  no_push.enable_preagg = false;
+  Optimizer without(&b.stats, ClusterCalibration::Uniform(3), no_push);
+  auto flat = without.Optimize(b.query);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_FALSE(flat->decisions.preagg_below_join);
+  auto run_flat = b.cluster.Run(flat->spec);
+  ASSERT_TRUE(run_flat.ok());
+
+  // Same result set from both physical strategies.
+  auto normalize = [](std::vector<Tuple> rows) {
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(normalize(run_pushed->results), normalize(run_flat->results));
+}
+
+TEST(PreaggPushdownTest, AvgDisqualifiesPushdown) {
+  Fixture f;
+  ASSERT_TRUE(f.Setup(false).ok());
+  f.query.agg->items = {{AggKind::kAvg, "sales", "amount", "avg_amount"}};
+  Optimizer opt(&f.stats, ClusterCalibration::Uniform(3));
+  auto result = opt.Optimize(f.query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->decisions.preagg_below_join);
+}
+
+}  // namespace
+}  // namespace rex

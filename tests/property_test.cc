@@ -1,0 +1,263 @@
+// Property-style tests (parameterized sweeps over random seeds):
+//  - delta-join invariant: applying a random insert/delete stream through
+//    the pipelined symmetric join equals recomputing the join from the
+//    surviving tuples;
+//  - delta PageRank == no-delta PageRank == reference, across graphs;
+//  - delta SSSP == BFS across graphs and sources;
+//  - serde round-trips arbitrary nested values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "algos/pagerank.h"
+#include "algos/reference.h"
+#include "algos/sssp.h"
+#include "common/serde.h"
+#include "exec/hash_join.h"
+#include "exec/operators.h"
+
+namespace rex {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// ---------------------------------------------------------- join property --
+
+/// Applies deltas to a multiset and answers batch joins, as ground truth.
+class NaiveJoin {
+ public:
+  void Apply(int side, const Delta& d) {
+    auto& rel = rel_[side];
+    switch (d.op) {
+      case DeltaOp::kInsert:
+      case DeltaOp::kUpdate:
+        rel[d.tuple] += 1;
+        break;
+      case DeltaOp::kDelete: {
+        auto it = rel.find(d.tuple);
+        if (it != rel.end() && --it->second == 0) rel.erase(it);
+        break;
+      }
+      case DeltaOp::kReplace: {
+        Apply(side, Delta::Delete(d.old_tuple));
+        Apply(side, Delta::Insert(d.tuple));
+        break;
+      }
+    }
+  }
+
+  std::map<Tuple, int64_t> Join() const {
+    std::map<Tuple, int64_t> out;
+    for (const auto& [l, ln] : rel_[0]) {
+      for (const auto& [r, rn] : rel_[1]) {
+        if (l.field(0) == r.field(0)) out[l.Concat(r)] += ln * rn;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::map<Tuple, int64_t> rel_[2];
+};
+
+/// Accumulates the join's emitted deltas into a multiset.
+class MultisetSink : public Operator {
+ public:
+  explicit MultisetSink(int id) : Operator(id, 1) {}
+  const char* name() const override { return "msink"; }
+  Status Consume(int, DeltaVec deltas) override {
+    for (const Delta& d : deltas) {
+      switch (d.op) {
+        case DeltaOp::kInsert:
+        case DeltaOp::kUpdate:
+          contents[d.tuple] += 1;
+          break;
+        case DeltaOp::kDelete:
+          contents[d.tuple] -= 1;
+          break;
+        case DeltaOp::kReplace:
+          contents[d.old_tuple] -= 1;
+          contents[d.tuple] += 1;
+          break;
+      }
+    }
+    return Status::OK();
+  }
+  std::map<Tuple, int64_t> Normalized() const {
+    std::map<Tuple, int64_t> out;
+    for (const auto& [t, n] : contents) {
+      if (n != 0) out[t] = n;
+    }
+    return out;
+  }
+  std::map<Tuple, int64_t> contents;
+};
+
+TEST_P(SeedSweep, DeltaJoinEqualsBatchRecompute) {
+  Rng rng(GetParam());
+  Network network(1);
+  PartitionMap pmap({0}, 1);
+  UdfRegistry udfs;
+  StorageCatalog storage;
+  MetricsRegistry metrics;
+  VoteBoard votes;
+  CheckpointStore checkpoints;
+  EngineConfig config;
+  ExecContext ctx;
+  ctx.network = &network;
+  ctx.pmap = &pmap;
+  ctx.udfs = &udfs;
+  ctx.storage = &storage;
+  ctx.metrics = &metrics;
+  ctx.votes = &votes;
+  ctx.checkpoints = &checkpoints;
+  ctx.config = &config;
+
+  HashJoinOp::Params params;
+  params.left_keys = {0};
+  params.right_keys = {0};
+  HashJoinOp join(0, params);
+  MultisetSink sink(1);
+  join.AddOutput(&sink, 0);
+  ASSERT_TRUE(join.Open(&ctx).ok());
+  ASSERT_TRUE(sink.Open(&ctx).ok());
+
+  NaiveJoin naive;
+  // Track live tuples per side so deletes/replaces target real tuples.
+  std::vector<Tuple> live[2];
+  for (int step = 0; step < 400; ++step) {
+    const int side = static_cast<int>(rng.NextBelow(2));
+    Delta d;
+    const double roll = rng.NextDouble();
+    if (roll < 0.6 || live[side].empty()) {
+      d = Delta::Insert(Tuple{
+          Value(static_cast<int64_t>(rng.NextBelow(8))),
+          Value(static_cast<int64_t>(rng.NextBelow(1000)))});
+      live[side].push_back(d.tuple);
+    } else if (roll < 0.8) {
+      size_t pick = rng.NextBelow(live[side].size());
+      d = Delta::Delete(live[side][pick]);
+      live[side].erase(live[side].begin() + static_cast<long>(pick));
+    } else {
+      size_t pick = rng.NextBelow(live[side].size());
+      Tuple old_t = live[side][pick];
+      Tuple new_t{Value(static_cast<int64_t>(rng.NextBelow(8))),
+                  Value(static_cast<int64_t>(rng.NextBelow(1000)))};
+      d = Delta::Replace(old_t, new_t);
+      live[side][pick] = new_t;
+    }
+    naive.Apply(side, d);
+    ASSERT_TRUE(join.Consume(side, {d}).ok());
+  }
+  EXPECT_EQ(sink.Normalized(), naive.Join());
+}
+
+// ---------------------------------------------- algorithm equivalences ----
+
+TEST_P(SeedSweep, PageRankAllThreeWaysAgree) {
+  GraphGenOptions opt;
+  opt.num_vertices = 150 + static_cast<int64_t>(GetParam() % 100);
+  opt.num_edges = opt.num_vertices * 6;
+  opt.seed = GetParam();
+  GraphData graph = GenerateRmatGraph(opt);
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 500);
+
+  for (bool delta : {true, false}) {
+    EngineConfig cfg;
+    cfg.num_workers = 3;
+    Cluster cluster(cfg);
+    ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+    PageRankConfig pr;
+    pr.threshold = 1e-7;
+    ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), pr).ok());
+    auto plan = delta ? BuildPageRankDeltaPlan(pr)
+                      : BuildPageRankFullPlan(pr);
+    ASSERT_TRUE(plan.ok());
+    auto run = cluster.Run(*plan);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+    ASSERT_TRUE(ranks.ok());
+    for (size_t v = 0; v < ref.size(); ++v) {
+      ASSERT_NEAR((*ranks)[v], ref[v], 1e-4)
+          << (delta ? "delta" : "full") << " vertex " << v << " seed "
+          << GetParam();
+    }
+  }
+}
+
+TEST_P(SeedSweep, SsspMatchesBfsFromRandomSources) {
+  GraphGenOptions opt;
+  opt.num_vertices = 200;
+  opt.num_edges = 700 + static_cast<int64_t>(GetParam() % 500);
+  opt.seed = GetParam() * 3 + 1;
+  GraphData graph = GenerateRmatGraph(opt);
+  Rng rng(GetParam());
+  const auto source =
+      static_cast<int64_t>(rng.NextBelow(
+          static_cast<uint64_t>(graph.num_vertices)));
+
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig sp;
+  sp.source = source;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), sp).ok());
+  auto plan = BuildSsspDeltaPlan(sp);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ReferenceSssp(graph, source)) << "source " << source;
+}
+
+// --------------------------------------------------------- serde property --
+
+Value RandomValue(Rng* rng, int depth = 0) {
+  switch (rng->NextBelow(depth >= 2 ? 5 : 6)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value(rng->NextBool(0.5));
+    case 2:
+      return Value(static_cast<int64_t>(rng->Next()));
+    case 3:
+      return Value(rng->NextGaussian() * 1e6);
+    case 4: {
+      std::string s;
+      for (uint64_t i = rng->NextBelow(20); i > 0; --i) {
+        s += static_cast<char>('a' + rng->NextBelow(26));
+      }
+      return Value(std::move(s));
+    }
+    default: {
+      std::vector<Value> items;
+      for (uint64_t i = rng->NextBelow(5); i > 0; --i) {
+        items.push_back(RandomValue(rng, depth + 1));
+      }
+      return Value::List(std::move(items));
+    }
+  }
+}
+
+TEST_P(SeedSweep, SerdeRoundTripsArbitraryTuples) {
+  Rng rng(GetParam() * 7919);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Value> fields;
+    for (uint64_t f = rng.NextBelow(6); f > 0; --f) {
+      fields.push_back(RandomValue(&rng));
+    }
+    Tuple t(std::move(fields));
+    auto back = DeserializeTuple(SerializeTuple(t));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace rex

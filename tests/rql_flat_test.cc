@@ -1,0 +1,144 @@
+// Additional RQL flat-query coverage: projections, grouped join
+// aggregates, calibration-fed optimization, and alias handling.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "optimizer/calibration.h"
+#include "rql/compiler.h"
+
+namespace rex {
+namespace {
+
+using rql::CompileContext;
+using rql::CompileRql;
+
+class RqlFlatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig cfg;
+    cfg.num_workers = 3;
+    cluster_ = std::make_unique<Cluster>(cfg);
+    Rng rng(17);
+    std::vector<Tuple> orders;
+    for (int64_t o = 0; o < 300; ++o) {
+      orders.push_back(Tuple{Value(o),
+                             Value(static_cast<int64_t>(rng.NextBelow(20))),
+                             Value(static_cast<int64_t>(rng.NextBelow(50)))});
+    }
+    std::vector<Tuple> customers;
+    for (int64_t c = 0; c < 20; ++c) {
+      customers.push_back(Tuple{Value(c), Value(c % 3)});
+    }
+    ASSERT_TRUE(cluster_
+                    ->CreateTable("orders",
+                                  Schema{{"oid", ValueType::kInt},
+                                         {"cid", ValueType::kInt},
+                                         {"amount", ValueType::kInt}},
+                                  0, orders)
+                    .ok());
+    ASSERT_TRUE(cluster_
+                    ->CreateTable("customers",
+                                  Schema{{"cid", ValueType::kInt},
+                                         {"region", ValueType::kInt}},
+                                  0, customers)
+                    .ok());
+    ctx_.storage = cluster_->storage();
+    ctx_.udfs = cluster_->udfs();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  CompileContext ctx_;
+};
+
+TEST_F(RqlFlatTest, ProjectionQuery) {
+  auto q = CompileRql("SELECT oid, amount FROM orders WHERE amount > 45",
+                      ctx_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->output_schema.size(), 2u);
+  EXPECT_EQ(q->output_schema.field(0).name, "oid");
+  auto run = cluster_->Run(q->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->results.size(), 0u);
+  for (const Tuple& row : run->results) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_GT(row.field(1).AsInt(), 45);
+  }
+}
+
+TEST_F(RqlFlatTest, GroupedJoinAggregate) {
+  auto q = CompileRql(
+      "SELECT region, sum(amount) AS total, count(*) AS n "
+      "FROM orders, customers WHERE orders.cid = customers.cid "
+      "GROUP BY region",
+      ctx_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->output_schema.field(1).name, "total");
+  auto run = cluster_->Run(q->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 3u);
+  int64_t total_n = 0;
+  for (const Tuple& row : run->results) {
+    total_n += row.field(2).AsInt();
+  }
+  EXPECT_EQ(total_n, 300);
+}
+
+TEST_F(RqlFlatTest, TableAliasesResolve) {
+  auto q2 = CompileRql(
+      "SELECT region, count(*) FROM orders o, customers c "
+      "WHERE o.cid = c.cid AND region = 1 GROUP BY region",
+      ctx_);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  auto run = cluster_->Run(q2->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 1u);
+  EXPECT_EQ(run->results[0].field(0), Value(1));
+}
+
+TEST_F(RqlFlatTest, AmbiguousColumnRejected) {
+  auto q = CompileRql(
+      "SELECT cid, count(*) FROM orders, customers "
+      "WHERE orders.cid = customers.cid GROUP BY cid",
+      ctx_);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CalibrationTest, MeasuresPlausibleRates) {
+  CalibrationOptions opt;
+  opt.cpu_tuples = 200000;
+  opt.disk_bytes = 1 << 20;
+  opt.net_bytes = 8 << 20;
+  auto calib = RunNodeCalibration(opt);
+  ASSERT_TRUE(calib.ok()) << calib.status().ToString();
+  EXPECT_GT(calib->cpu_tuples_per_sec, 1e5);   // > 100K tuples/s
+  EXPECT_LT(calib->cpu_tuples_per_sec, 1e10);
+  EXPECT_GT(calib->disk_mb_per_sec, 1.0);
+  EXPECT_GT(calib->net_mb_per_sec, 10.0);
+
+  auto cluster_calib = RunClusterCalibration(4, opt);
+  ASSERT_TRUE(cluster_calib.ok());
+  EXPECT_EQ(cluster_calib->num_nodes(), 4);
+  // A calibrated context compiles and runs like a uniform one.
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster
+                  .CreateTable("t", Schema{{"k", ValueType::kInt}}, 0,
+                               {Tuple{Value(1)}, Tuple{Value(2)}})
+                  .ok());
+  rql::CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  ctx.calibration = *cluster_calib;
+  auto q = CompileRql("SELECT count(*) FROM t", ctx);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto run = cluster.Run(q->spec);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->results.size(), 1u);
+  EXPECT_EQ(run->results[0].field(0), Value(2));
+}
+
+}  // namespace
+}  // namespace rex

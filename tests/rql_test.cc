@@ -1,0 +1,350 @@
+// RQL front-end tests: lexer, parser (the paper's listing shapes),
+// typechecking, and compile-and-run through the optimizer and engine.
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.h"
+#include "algos/reference.h"
+#include "algos/sssp.h"
+#include "rql/compiler.h"
+#include "rql/lexer.h"
+#include "rql/parser.h"
+
+namespace rex {
+namespace {
+
+using rql::CompileContext;
+using rql::CompileRql;
+using rql::Lex;
+using rql::Parse;
+using rql::TokenType;
+
+TEST(RqlLexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT x, 3.5 FROM t WHERE a >= 'abc' -- comment\n");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[3].float_value, 3.5);
+  EXPECT_TRUE((*tokens)[8].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[9].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[9].text, "abc");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(RqlLexerTest, Errors) {
+  EXPECT_FALSE(Lex("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Lex("SELECT @").ok());
+}
+
+TEST(RqlParserTest, FlatAggregateQuery) {
+  auto q = Parse(
+      "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_FALSE(q->IsRecursive());
+  const auto& sel = *q->select;
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[0].expr->name, "sum");
+  EXPECT_TRUE(sel.items[1].expr->is_star);
+  ASSERT_TRUE(sel.where != nullptr);
+  EXPECT_EQ(sel.where->op, ">");
+}
+
+TEST(RqlParserTest, PageRankListingShape) {
+  // The shape of the paper's Listing 1.
+  auto q = Parse(
+      "WITH PR ( srcId, pr) AS ("
+      "  SELECT srcId, 1.0 AS pr FROM graph"
+      ") UNION UNTIL FIXPOINT BY srcId ("
+      "  SELECT nbr, 0.15 + 0.85 * sum(prDiff)"
+      "  FROM ( SELECT PRAgg(srcId, pr).{nbr, prDiff}"
+      "         FROM graph, PR"
+      "         WHERE graph.srcId = PR.srcId GROUP BY srcId)"
+      "  GROUP BY nbr)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->IsRecursive());
+  const auto& rec = *q->recursive;
+  EXPECT_EQ(rec.relation, "PR");
+  EXPECT_EQ(rec.columns, (std::vector<std::string>{"srcId", "pr"}));
+  EXPECT_EQ(rec.fixpoint_key, "srcId");
+  EXPECT_FALSE(rec.union_all);
+  ASSERT_EQ(rec.step->from.size(), 1u);
+  ASSERT_TRUE(rec.step->from[0].subquery != nullptr);
+  const auto& inner = *rec.step->from[0].subquery;
+  ASSERT_EQ(inner.items.size(), 1u);
+  EXPECT_EQ(inner.items[0].expr->name, "PRAgg");
+  EXPECT_EQ(inner.items[0].delta_cols,
+            (std::vector<std::string>{"nbr", "prDiff"}));
+}
+
+TEST(RqlParserTest, ShortestPathListingWithUsing) {
+  auto q = Parse(
+      "WITH SP (srcId, dist) AS ("
+      "  SELECT srcId, 0 FROM graph WHERE srcId = 5"
+      ") UNION ALL UNTIL FIXPOINT BY srcId USING SPFix ("
+      "  SELECT nbr, min(distOut) FROM ("
+      "    SELECT SPAgg(srcId, dist).{nbr, distOut}"
+      "    FROM graph, SP WHERE graph.srcId = SP.srcId GROUP BY srcId)"
+      "  GROUP BY nbr)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->IsRecursive());
+  EXPECT_TRUE(q->recursive->union_all);
+  EXPECT_EQ(q->recursive->while_handler, "SPFix");
+}
+
+TEST(RqlParserTest, Errors) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("WITH R AS (SELECT a FROM t) SELECT b FROM R").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra garbage ,").ok());
+}
+
+// ---- compile-and-run ------------------------------------------------------
+
+Schema LineitemSchema() {
+  return Schema{{"orderkey", ValueType::kInt},
+                {"linenumber", ValueType::kInt},
+                {"quantity", ValueType::kDouble},
+                {"extendedprice", ValueType::kDouble},
+                {"tax", ValueType::kDouble}};
+}
+
+TEST(RqlCompileTest, Fig4AggregationQueryRuns) {
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(cfg);
+  LineitemGenOptions opt;
+  opt.num_rows = 3000;
+  std::vector<Tuple> rows = GenerateLineitem(opt);
+  double expected_sum = 0;
+  int64_t expected_count = 0;
+  for (const Tuple& r : rows) {
+    if (r.field(1).AsInt() > 1) {
+      expected_sum += r.field(4).AsDouble();
+      ++expected_count;
+    }
+  }
+  ASSERT_TRUE(
+      cluster.CreateTable("lineitem", LineitemSchema(), 0, rows).ok());
+
+  CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  ctx.calibration = ClusterCalibration::Uniform(4);
+  auto compiled = CompileRql(
+      "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1", ctx);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_TRUE(compiled->decisions.preagg_combiner);
+
+  auto run = cluster.Run(compiled->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 1u);
+  EXPECT_NEAR(run->results[0].field(0).AsDouble(), expected_sum, 1e-9);
+  EXPECT_EQ(run->results[0].field(1).AsInt(), expected_count);
+}
+
+TEST(RqlCompileTest, UdaAggregationQueryRuns) {
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(cfg);
+  LineitemGenOptions opt;
+  opt.num_rows = 2000;
+  std::vector<Tuple> rows = GenerateLineitem(opt);
+  double expected_sum = 0;
+  int64_t expected_count = 0;
+  for (const Tuple& r : rows) {
+    if (r.field(1).AsInt() > 1) {
+      expected_sum += r.field(4).AsDouble();
+      ++expected_count;
+    }
+  }
+  ASSERT_TRUE(
+      cluster.CreateTable("lineitem", LineitemSchema(), 0, rows).ok());
+
+  // Fig 4's "REX UDF" configuration: the selection and both aggregations
+  // as user-defined code.
+  ScalarUdf gt_one;
+  gt_one.name = "gt_one";
+  gt_one.in_types = {ValueType::kInt};
+  gt_one.out_type = ValueType::kBool;
+  gt_one.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    REX_ASSIGN_OR_RETURN(int64_t x, args[0].ToInt());
+    return Value(x > 1);
+  };
+  ASSERT_TRUE(cluster.udfs()->RegisterScalar(gt_one).ok());
+
+  struct SumCountState : UdaState {
+    double sum = 0;
+    int64_t count = 0;
+  };
+  Uda sum_count;
+  sum_count.name = "SumCountTax";
+  sum_count.in_schema = Schema{{"tax", ValueType::kDouble}};
+  sum_count.out_schema = Schema{{"sum_tax", ValueType::kDouble},
+                                {"n", ValueType::kInt}};
+  sum_count.composable = true;
+  sum_count.init = [] { return std::make_unique<SumCountState>(); };
+  sum_count.agg_state = [](UdaState* state,
+                           const Delta& d) -> Result<DeltaVec> {
+    auto* s = static_cast<SumCountState*>(state);
+    REX_ASSIGN_OR_RETURN(double tax, d.tuple.field(0).ToDouble());
+    // Merging a partial (sum, count) pair or consuming a raw tax value.
+    if (d.tuple.size() >= 2) {
+      REX_ASSIGN_OR_RETURN(int64_t n, d.tuple.field(1).ToInt());
+      s->sum += tax;
+      s->count += n;
+    } else {
+      s->sum += tax;
+      s->count += 1;
+    }
+    return DeltaVec{};
+  };
+  sum_count.agg_result = [](UdaState* state) -> Result<DeltaVec> {
+    auto* s = static_cast<SumCountState*>(state);
+    DeltaVec out{Delta::Insert(Tuple{Value(s->sum), Value(s->count)})};
+    s->sum = 0;
+    s->count = 0;
+    return out;
+  };
+  ASSERT_TRUE(cluster.udfs()->RegisterUda(sum_count).ok());
+
+  CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  auto compiled = CompileRql(
+      "SELECT SumCountTax(tax) FROM lineitem WHERE gt_one(linenumber)",
+      ctx);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto run = cluster.Run(compiled->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->results.size(), 1u);
+  EXPECT_NEAR(run->results[0].field(0).AsDouble(), expected_sum, 1e-9);
+  EXPECT_EQ(run->results[0].field(1).AsInt(), expected_count);
+}
+
+TEST(RqlCompileTest, TypeErrorsSurface) {
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster
+                  .CreateTable("t",
+                               Schema{{"a", ValueType::kInt},
+                                      {"s", ValueType::kString}},
+                               0, {})
+                  .ok());
+  CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  // Non-boolean WHERE.
+  EXPECT_FALSE(CompileRql("SELECT a FROM t WHERE a + 1", ctx).ok());
+  // Unknown column / table / function.
+  EXPECT_FALSE(CompileRql("SELECT missing FROM t", ctx).ok());
+  EXPECT_FALSE(CompileRql("SELECT a FROM nope", ctx).ok());
+  EXPECT_FALSE(CompileRql("SELECT a FROM t WHERE mystery(a)", ctx).ok());
+}
+
+TEST(RqlCompileTest, RecursiveSsspCompilesAndMatchesBfs) {
+  GraphGenOptions opt;
+  opt.num_vertices = 300;
+  opt.num_edges = 1500;
+  opt.seed = 55;
+  GraphData graph = GenerateRmatGraph(opt);
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig scfg;
+  scfg.source = 7;
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), scfg).ok());
+
+  CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  auto compiled = CompileRql(
+      "WITH SP (v, dist) AS ("
+      "  SELECT v, 0 FROM vertices WHERE v = 7"
+      ") UNION UNTIL FIXPOINT BY v USING SPFix ("
+      "  SELECT nbr, min(cand) FROM ("
+      "    SELECT SPJoin(v, dist).{nbr, cand}"
+      "    FROM graph, SP WHERE graph.src = SP.v GROUP BY src)"
+      "  GROUP BY nbr)",
+      ctx);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_TRUE(compiled->recursive);
+
+  auto run = cluster.Run(compiled->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ReferenceSssp(graph, 7));
+}
+
+TEST(RqlCompileTest, RecursivePageRankCompilesAndMatchesReference) {
+  GraphGenOptions opt;
+  opt.num_vertices = 250;
+  opt.num_edges = 1500;
+  opt.seed = 56;
+  GraphData graph = GenerateRmatGraph(opt);
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig pcfg;
+  pcfg.threshold = 1e-7;
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), pcfg).ok());
+
+  CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  auto compiled = CompileRql(
+      "WITH PR (v, diff) AS ("
+      "  SELECT v, 0.15 FROM vertices"
+      ") UNION ALL UNTIL FIXPOINT BY v USING PRFix ("
+      "  SELECT nbr, sum(share) FROM ("
+      "    SELECT PRJoin(v, diff).{nbr, share}"
+      "    FROM graph, PR WHERE graph.src = PR.v GROUP BY src)"
+      "  GROUP BY nbr)",
+      ctx);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  auto run = cluster.Run(compiled->spec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(ranks.ok());
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 500);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], ref[v], 1e-4) << "vertex " << v;
+  }
+}
+
+TEST(RqlCompileTest, RecursivePatternErrors) {
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  GraphData graph = GenerateRmatGraph({});
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  CompileContext ctx;
+  ctx.storage = cluster.storage();
+  ctx.udfs = cluster.udfs();
+  // Fixpoint key not among declared columns.
+  EXPECT_FALSE(CompileRql(
+                   "WITH R (a, b) AS (SELECT v, 0 FROM vertices) "
+                   "UNION UNTIL FIXPOINT BY missing ("
+                   "SELECT a, min(b) FROM ("
+                   "SELECT ArgMin(a, b).{a, b} FROM graph, R "
+                   "WHERE graph.src = R.a GROUP BY src) GROUP BY a)",
+                   ctx)
+                   .ok());
+  // USING names an unregistered handler.
+  EXPECT_FALSE(CompileRql(
+                   "WITH R (a, b) AS (SELECT v, 0 FROM vertices) "
+                   "UNION UNTIL FIXPOINT BY a USING NoSuchHandler ("
+                   "SELECT a, min(b) FROM ("
+                   "SELECT ArgMin(a, b).{a, b} FROM graph, R "
+                   "WHERE graph.src = R.a GROUP BY src) GROUP BY a)",
+                   ctx)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rex

@@ -1,0 +1,205 @@
+// Tests for the Hadoop-in-REX wrap configuration (§4.4) and the DBMS X
+// accumulating recursive-SQL baseline (§6.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/reference.h"
+#include "dbmsx/dbmsx.h"
+#include "wrap/hadoop_wrap.h"
+
+namespace rex {
+namespace {
+
+TEST(WrapTest, SingleJobWordCountInsideRex) {
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+
+  // A word-count "Hadoop class".
+  MapFn map = [](const KeyValue& rec, std::vector<KeyValue>* out) -> Status {
+    const std::string& text = rec.value.AsString();
+    size_t i = 0;
+    while (i < text.size()) {
+      size_t j = text.find(' ', i);
+      if (j == std::string::npos) j = text.size();
+      if (j > i) {
+        out->push_back(
+            KeyValue{Value(text.substr(i, j - i)), Value(int64_t{1})});
+      }
+      i = j + 1;
+    }
+    return Status::OK();
+  };
+  ReduceFn reduce = [](const Value& key, const std::vector<Value>& values,
+                       std::vector<KeyValue>* out) -> Status {
+    int64_t total = 0;
+    for (const Value& v : values) total += v.AsInt();
+    out->push_back(KeyValue{key, Value(total)});
+    return Status::OK();
+  };
+  ASSERT_TRUE(
+      RegisterHadoopClass(cluster.udfs(), "WordCount", map, reduce, reduce)
+          .ok());
+
+  ASSERT_TRUE(cluster
+                  .CreateTable("docs",
+                               Schema{{"k", ValueType::kInt},
+                                      {"v", ValueType::kString}},
+                               0,
+                               {Tuple{Value(1), Value("a b a")},
+                                Tuple{Value(2), Value("b c")},
+                                Tuple{Value(3), Value("a")}})
+                  .ok());
+
+  WrapJobPlanOptions options;
+  options.hadoop_class = "WordCount";
+  options.input_table = "docs";
+  options.use_combiner = true;
+  auto plan = BuildWrapJobPlan(options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::map<std::string, int64_t> counts;
+  for (const Tuple& t : run->results) {
+    counts[t.field(0).AsString()] = t.field(1).AsInt();
+  }
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+}
+
+TEST(WrapTest, ChainedJobsFeedDirectlyWithoutMaterialization) {
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+
+  // Stage 1: word count. Stage 2: histogram of counts (count -> #words).
+  MapFn split = [](const KeyValue& rec,
+                   std::vector<KeyValue>* out) -> Status {
+    const std::string& text = rec.value.AsString();
+    size_t i = 0;
+    while (i < text.size()) {
+      size_t j = text.find(' ', i);
+      if (j == std::string::npos) j = text.size();
+      if (j > i) {
+        out->push_back(
+            KeyValue{Value(text.substr(i, j - i)), Value(int64_t{1})});
+      }
+      i = j + 1;
+    }
+    return Status::OK();
+  };
+  ReduceFn sum = [](const Value& key, const std::vector<Value>& values,
+                    std::vector<KeyValue>* out) -> Status {
+    int64_t total = 0;
+    for (const Value& v : values) total += v.AsInt();
+    out->push_back(KeyValue{key, Value(total)});
+    return Status::OK();
+  };
+  MapFn invert = [](const KeyValue& rec,
+                    std::vector<KeyValue>* out) -> Status {
+    out->push_back(KeyValue{rec.value, Value(int64_t{1})});
+    return Status::OK();
+  };
+  ASSERT_TRUE(
+      RegisterHadoopClass(cluster.udfs(), "WC", split, sum, sum).ok());
+  ASSERT_TRUE(
+      RegisterHadoopClass(cluster.udfs(), "Hist", invert, sum, sum).ok());
+
+  ASSERT_TRUE(cluster
+                  .CreateTable("docs",
+                               Schema{{"k", ValueType::kInt},
+                                      {"v", ValueType::kString}},
+                               0,
+                               {Tuple{Value(1), Value("a b a c")},
+                                Tuple{Value(2), Value("b c d d")},
+                                Tuple{Value(3), Value("a")}})
+                  .ok());
+  // Words: a=3, b=2, c=2, d=2 -> histogram: count 3 -> 1 word,
+  // count 2 -> 3 words.
+  auto plan = BuildWrapChainPlan(
+      "docs", {WrapChainStage{"WC", true}, WrapChainStage{"Hist", true}});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  std::map<int64_t, int64_t> histogram;
+  for (const Tuple& t : run->results) {
+    histogram[t.field(0).AsInt()] = t.field(1).AsInt();
+  }
+  EXPECT_EQ(histogram[3], 1);
+  EXPECT_EQ(histogram[2], 3);
+}
+
+TEST(WrapTest, IterativePageRankMatchesReference) {
+  GraphGenOptions opt;
+  opt.num_vertices = 200;
+  opt.num_edges = 1200;
+  opt.seed = 71;
+  GraphData graph = GenerateRmatGraph(opt);
+
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(SetupWrapPageRank(&cluster, graph).ok());
+  auto plan = BuildWrapPageRankPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  QueryOptions options;
+  options.terminate = [](int stratum, const VoteStats&) {
+    return stratum >= 40;  // wrap runs fixed iterations (§6: no
+                           // convergence testing in wrap mode)
+  };
+  auto run = cluster.Run(*plan, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto ranks = WrapRanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 400);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], ref[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(DbmsXTest, AccumulatesStateAndMatchesReference) {
+  GraphGenOptions opt;
+  opt.num_vertices = 150;
+  opt.num_edges = 900;
+  opt.seed = 81;
+  GraphData graph = GenerateRmatGraph(opt);
+
+  DbmsXConfig config;
+  config.iterations = 30;
+  auto run = RunDbmsXPageRank(graph, config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::vector<double> ref = ReferencePageRank(graph, 0.85, 1e-12, 300);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    EXPECT_NEAR(run->ranks[v], ref[v], 1e-5) << "vertex " << v;
+  }
+  // The hallmark inefficiency: the recursive relation retained roughly
+  // one tuple per vertex per iteration instead of one per vertex.
+  EXPECT_GT(run->accumulated_tuples, graph.num_vertices * 20);
+}
+
+TEST(DbmsXTest, StateGrowsLinearlyWithIterations) {
+  GraphGenOptions opt;
+  opt.num_vertices = 100;
+  opt.num_edges = 500;
+  opt.seed = 82;
+  GraphData graph = GenerateRmatGraph(opt);
+
+  DbmsXConfig short_run;
+  short_run.iterations = 5;
+  DbmsXConfig long_run;
+  long_run.iterations = 15;
+  auto a = RunDbmsXPageRank(graph, short_run);
+  auto b = RunDbmsXPageRank(graph, long_run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->accumulated_tuples, a->accumulated_tuples * 2);
+}
+
+}  // namespace
+}  // namespace rex
