@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preagg.dir/bench_ablation_preagg.cc.o"
+  "CMakeFiles/bench_ablation_preagg.dir/bench_ablation_preagg.cc.o.d"
+  "bench_ablation_preagg"
+  "bench_ablation_preagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pagerank_dbpedia.dir/bench_fig06_pagerank_dbpedia.cc.o"
+  "CMakeFiles/bench_fig06_pagerank_dbpedia.dir/bench_fig06_pagerank_dbpedia.cc.o.d"
+  "bench_fig06_pagerank_dbpedia"
+  "bench_fig06_pagerank_dbpedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pagerank_dbpedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

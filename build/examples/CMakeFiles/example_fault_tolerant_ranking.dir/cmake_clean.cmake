@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_tolerant_ranking.dir/fault_tolerant_ranking.cpp.o"
+  "CMakeFiles/example_fault_tolerant_ranking.dir/fault_tolerant_ranking.cpp.o.d"
+  "example_fault_tolerant_ranking"
+  "example_fault_tolerant_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_tolerant_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

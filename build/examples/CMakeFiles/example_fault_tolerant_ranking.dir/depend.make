@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fault_tolerant_ranking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_clustering.dir/geo_clustering.cpp.o"
+  "CMakeFiles/example_geo_clustering.dir/geo_clustering.cpp.o.d"
+  "example_geo_clustering"
+  "example_geo_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_road_network_reachability.dir/road_network_reachability.cpp.o"
+  "CMakeFiles/example_road_network_reachability.dir/road_network_reachability.cpp.o.d"
+  "example_road_network_reachability"
+  "example_road_network_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_road_network_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_influencers.dir/social_influencers.cpp.o"
+  "CMakeFiles/example_social_influencers.dir/social_influencers.cpp.o.d"
+  "example_social_influencers"
+  "example_social_influencers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_influencers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

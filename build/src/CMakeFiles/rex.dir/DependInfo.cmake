@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/adsorption.cc" "src/CMakeFiles/rex.dir/algos/adsorption.cc.o" "gcc" "src/CMakeFiles/rex.dir/algos/adsorption.cc.o.d"
+  "/root/repo/src/algos/kmeans.cc" "src/CMakeFiles/rex.dir/algos/kmeans.cc.o" "gcc" "src/CMakeFiles/rex.dir/algos/kmeans.cc.o.d"
+  "/root/repo/src/algos/pagerank.cc" "src/CMakeFiles/rex.dir/algos/pagerank.cc.o" "gcc" "src/CMakeFiles/rex.dir/algos/pagerank.cc.o.d"
+  "/root/repo/src/algos/reference.cc" "src/CMakeFiles/rex.dir/algos/reference.cc.o" "gcc" "src/CMakeFiles/rex.dir/algos/reference.cc.o.d"
+  "/root/repo/src/algos/sssp.cc" "src/CMakeFiles/rex.dir/algos/sssp.cc.o" "gcc" "src/CMakeFiles/rex.dir/algos/sssp.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/rex.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/rex.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/partition_map.cc" "src/CMakeFiles/rex.dir/cluster/partition_map.cc.o" "gcc" "src/CMakeFiles/rex.dir/cluster/partition_map.cc.o.d"
+  "/root/repo/src/cluster/worker.cc" "src/CMakeFiles/rex.dir/cluster/worker.cc.o" "gcc" "src/CMakeFiles/rex.dir/cluster/worker.cc.o.d"
+  "/root/repo/src/common/delta.cc" "src/CMakeFiles/rex.dir/common/delta.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/delta.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rex.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/rex.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/rex.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rex.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/status.cc.o.d"
+  "/root/repo/src/common/tuple.cc" "src/CMakeFiles/rex.dir/common/tuple.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/tuple.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/rex.dir/common/value.cc.o" "gcc" "src/CMakeFiles/rex.dir/common/value.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/rex.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/rex.dir/data/generators.cc.o.d"
+  "/root/repo/src/dbmsx/dbmsx.cc" "src/CMakeFiles/rex.dir/dbmsx/dbmsx.cc.o" "gcc" "src/CMakeFiles/rex.dir/dbmsx/dbmsx.cc.o.d"
+  "/root/repo/src/engine/local_plan.cc" "src/CMakeFiles/rex.dir/engine/local_plan.cc.o" "gcc" "src/CMakeFiles/rex.dir/engine/local_plan.cc.o.d"
+  "/root/repo/src/engine/plan_spec.cc" "src/CMakeFiles/rex.dir/engine/plan_spec.cc.o" "gcc" "src/CMakeFiles/rex.dir/engine/plan_spec.cc.o.d"
+  "/root/repo/src/exec/aggregates.cc" "src/CMakeFiles/rex.dir/exec/aggregates.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/aggregates.cc.o.d"
+  "/root/repo/src/exec/builtins.cc" "src/CMakeFiles/rex.dir/exec/builtins.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/builtins.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/rex.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/fixpoint.cc" "src/CMakeFiles/rex.dir/exec/fixpoint.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/fixpoint.cc.o.d"
+  "/root/repo/src/exec/group_by.cc" "src/CMakeFiles/rex.dir/exec/group_by.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/group_by.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/rex.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/rex.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/rex.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/tuple_set.cc" "src/CMakeFiles/rex.dir/exec/tuple_set.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/tuple_set.cc.o.d"
+  "/root/repo/src/exec/udf_registry.cc" "src/CMakeFiles/rex.dir/exec/udf_registry.cc.o" "gcc" "src/CMakeFiles/rex.dir/exec/udf_registry.cc.o.d"
+  "/root/repo/src/mapreduce/mr_engine.cc" "src/CMakeFiles/rex.dir/mapreduce/mr_engine.cc.o" "gcc" "src/CMakeFiles/rex.dir/mapreduce/mr_engine.cc.o.d"
+  "/root/repo/src/mapreduce/mr_jobs.cc" "src/CMakeFiles/rex.dir/mapreduce/mr_jobs.cc.o" "gcc" "src/CMakeFiles/rex.dir/mapreduce/mr_jobs.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/rex.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/rex.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/rex.dir/net/message.cc.o" "gcc" "src/CMakeFiles/rex.dir/net/message.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/rex.dir/net/network.cc.o" "gcc" "src/CMakeFiles/rex.dir/net/network.cc.o.d"
+  "/root/repo/src/optimizer/calibration.cc" "src/CMakeFiles/rex.dir/optimizer/calibration.cc.o" "gcc" "src/CMakeFiles/rex.dir/optimizer/calibration.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/rex.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/rex.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/rex.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/rex.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/rql/ast.cc" "src/CMakeFiles/rex.dir/rql/ast.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/ast.cc.o.d"
+  "/root/repo/src/rql/compiler.cc" "src/CMakeFiles/rex.dir/rql/compiler.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/compiler.cc.o.d"
+  "/root/repo/src/rql/lexer.cc" "src/CMakeFiles/rex.dir/rql/lexer.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/lexer.cc.o.d"
+  "/root/repo/src/rql/parser.cc" "src/CMakeFiles/rex.dir/rql/parser.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/parser.cc.o.d"
+  "/root/repo/src/storage/checkpoint_store.cc" "src/CMakeFiles/rex.dir/storage/checkpoint_store.cc.o" "gcc" "src/CMakeFiles/rex.dir/storage/checkpoint_store.cc.o.d"
+  "/root/repo/src/storage/spill.cc" "src/CMakeFiles/rex.dir/storage/spill.cc.o" "gcc" "src/CMakeFiles/rex.dir/storage/spill.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/rex.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/rex.dir/storage/table.cc.o.d"
+  "/root/repo/src/wrap/hadoop_wrap.cc" "src/CMakeFiles/rex.dir/wrap/hadoop_wrap.cc.o" "gcc" "src/CMakeFiles/rex.dir/wrap/hadoop_wrap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

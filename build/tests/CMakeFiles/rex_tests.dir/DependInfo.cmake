@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adsorption_test.cc" "tests/CMakeFiles/rex_tests.dir/adsorption_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/adsorption_test.cc.o.d"
+  "/root/repo/tests/algos_e2e_test.cc" "tests/CMakeFiles/rex_tests.dir/algos_e2e_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/algos_e2e_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/rex_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/rex_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/exec_operators_test.cc" "tests/CMakeFiles/rex_tests.dir/exec_operators_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/exec_operators_test.cc.o.d"
+  "/root/repo/tests/groupby_property_test.cc" "tests/CMakeFiles/rex_tests.dir/groupby_property_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/groupby_property_test.cc.o.d"
+  "/root/repo/tests/mapreduce_test.cc" "tests/CMakeFiles/rex_tests.dir/mapreduce_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/mapreduce_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/rex_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/preagg_pushdown_test.cc" "tests/CMakeFiles/rex_tests.dir/preagg_pushdown_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/preagg_pushdown_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/rex_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/rex_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/rql_flat_test.cc" "tests/CMakeFiles/rex_tests.dir/rql_flat_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/rql_flat_test.cc.o.d"
+  "/root/repo/tests/rql_test.cc" "tests/CMakeFiles/rex_tests.dir/rql_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/rql_test.cc.o.d"
+  "/root/repo/tests/substrate_test.cc" "tests/CMakeFiles/rex_tests.dir/substrate_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/substrate_test.cc.o.d"
+  "/root/repo/tests/wrap_dbmsx_test.cc" "tests/CMakeFiles/rex_tests.dir/wrap_dbmsx_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/wrap_dbmsx_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
