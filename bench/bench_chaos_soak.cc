@@ -1,0 +1,171 @@
+// Chaos soak: seeded multi-fault schedules (crashes mid-stratum and
+// during recovery, restores, drop/duplicate/reorder windows) swept against
+// the no-failure reference, for both recovery strategies. Reports the
+// mismatch count (must be 0), the fault mix the schedules exercised, and
+// the time overhead a faulted run pays over the clean baseline.
+//
+// REX_CHAOS_SOAK_SEEDS scales the sweep (default 25 seeds per strategy);
+// a reported failing seed reproduces deterministically via
+//   REX_CHAOS_SEEDS=1 REX_CHAOS_SEED_BASE=<seed> ./tests/rex_tests \
+//     --gtest_filter='ChaosSweep*'
+#include <cmath>
+#include <cstdlib>
+
+#include "algos/sssp.h"
+#include "sim/fault_schedule.h"
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+
+int SoakSeeds() {
+  const char* env = std::getenv("REX_CHAOS_SOAK_SEEDS");
+  if (env == nullptr) return 25;
+  int v = std::atoi(env);
+  return v > 0 ? v : 25;
+}
+
+GraphData& Graph() {
+  static GraphData graph = GenerateDbpediaLike(0.05 * BenchScale());
+  return graph;
+}
+
+EngineConfig SoakConfig() {
+  EngineConfig cfg = BenchEngineConfig(kWorkers);
+  cfg.verify_invariants = true;  // runtime invariant checkers stay on
+  return cfg;
+}
+
+struct SoakRun {
+  bool ok = false;
+  std::vector<int64_t> distances;
+  double seconds = 0;
+  ChaosStats chaos;
+  int recoveries = 0;
+};
+
+SoakRun RunOnce(const FaultSchedule& faults) {
+  SoakRun out;
+  Cluster cluster(SoakConfig());
+  if (!LoadGraphTables(&cluster, Graph()).ok()) return out;
+  SsspConfig cfg;
+  if (!RegisterSsspUdfs(cluster.udfs(), cfg).ok()) return out;
+  auto plan = BuildSsspDeltaPlan(cfg);
+  if (!plan.ok()) return out;
+  QueryOptions options;
+  options.faults = faults;
+  auto run = cluster.Run(*plan, options);
+  if (!run.ok()) return out;
+  auto dist = DistancesFromState(run->fixpoint_state, Graph().num_vertices);
+  if (!dist.ok()) return out;
+  out.distances = *dist;
+  out.seconds = run->total_seconds;
+  out.chaos = run->chaos;
+  out.recoveries = run->recoveries;
+  out.ok = true;
+  return out;
+}
+
+void SoakStrategy(RecoveryStrategy strategy, const SoakRun& baseline,
+                  int ref_strata) {
+  const char* series = strategy == RecoveryStrategy::kRestart
+                           ? "Restart"
+                           : "Incremental";
+  const int seeds = SoakSeeds();
+  const uint64_t base =
+      strategy == RecoveryStrategy::kRestart ? 900000u : 800000u;
+
+  ChaosProfile profile;
+  profile.num_workers = kWorkers;
+  profile.replication = 3;
+  profile.max_crash_stratum = std::max(0, std::min(3, ref_strata - 5));
+
+  int mismatches = 0;
+  int failures = 0;
+  double faulted_seconds = 0;
+  ChaosStats total;
+  int recoveries = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = base + static_cast<uint64_t>(i);
+    FaultSchedule schedule = MakeChaosSchedule(seed, profile);
+    schedule.strategy = strategy;
+    SoakRun got = RunOnce(schedule);
+    if (!got.ok) {
+      failures += 1;
+      Note(std::string("soak FAILED seed=") + std::to_string(seed));
+      continue;
+    }
+    if (got.distances != baseline.distances) {
+      mismatches += 1;
+      Note(std::string("soak MISMATCH seed=") + std::to_string(seed));
+    }
+    faulted_seconds += got.seconds;
+    recoveries += got.recoveries;
+    total.crashes += got.chaos.crashes;
+    total.mid_stratum_crashes += got.chaos.mid_stratum_crashes;
+    total.recovery_crashes += got.chaos.recovery_crashes;
+    total.restores += got.chaos.restores;
+    total.messages_dropped += got.chaos.messages_dropped;
+    total.messages_duplicated += got.chaos.messages_duplicated;
+    total.batches_reordered += got.chaos.batches_reordered;
+  }
+
+  const int clean = seeds - failures;
+  Row("chaos", std::string(series) + "/mismatches", seeds, mismatches,
+      "count");
+  Row("chaos", std::string(series) + "/errors", seeds, failures, "count");
+  Row("chaos", std::string(series) + "/crashes", seeds, total.crashes,
+      "count");
+  Row("chaos", std::string(series) + "/midstratum", seeds,
+      total.mid_stratum_crashes, "count");
+  Row("chaos", std::string(series) + "/recoverycrash", seeds,
+      total.recovery_crashes, "count");
+  Row("chaos", std::string(series) + "/restores", seeds, total.restores,
+      "count");
+  Row("chaos", std::string(series) + "/dropped", seeds,
+      total.messages_dropped, "count");
+  Row("chaos", std::string(series) + "/duplicated", seeds,
+      total.messages_duplicated, "count");
+  Row("chaos", std::string(series) + "/reordered", seeds,
+      total.batches_reordered, "count");
+  Row("chaos", std::string(series) + "/recoveries", seeds, recoveries,
+      "count");
+  if (clean > 0 && baseline.seconds > 0) {
+    Row("chaos", std::string(series) + "/overhead", seeds,
+        (faulted_seconds / clean) / baseline.seconds, "x");
+  }
+}
+
+void BM_ChaosSoak(benchmark::State& state) {
+  for (auto _ : state) {
+    SoakRun baseline = RunOnce(FaultSchedule{});
+    if (!baseline.ok) {
+      Note("baseline run failed; aborting soak");
+      return;
+    }
+    // Probe the stratum count once so schedules finish before convergence.
+    int ref_strata = 20;
+    {
+      auto probe = RunRexSssp(Graph(), true, kWorkers, 100);
+      if (probe.ok()) ref_strata = probe->iterations;
+    }
+    Row("chaos", "Baseline/seconds", 0, baseline.seconds, "s");
+    SoakStrategy(RecoveryStrategy::kIncremental, baseline, ref_strata);
+    SoakStrategy(RecoveryStrategy::kRestart, baseline, ref_strata);
+  }
+}
+BENCHMARK(BM_ChaosSoak)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader(
+      "Chaos soak",
+      "Seeded fault schedules vs no-failure reference (SSSP, rf=3)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -246,14 +246,15 @@ bench/CMakeFiles/bench_fig09_sssp_twitter.dir/bench_fig09_sssp_twitter.cc.o: \
  /usr/include/c++/12/condition_variable /root/repo/src/net/channel.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/message.h \
+ /root/repo/src/net/fault_injector.h \
  /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
  /root/repo/src/exec/group_by.h /root/repo/src/exec/aggregates.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/exec/hash_join.h \
  /root/repo/src/exec/operators.h /root/repo/src/optimizer/stats.h \
- /root/repo/src/storage/spill.h /root/repo/src/data/generators.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sim/chaos_injector.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -273,7 +274,9 @@ bench/CMakeFiles/bench_fig09_sssp_twitter.dir/bench_fig09_sssp_twitter.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/algos/pagerank.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/sim/fault_schedule.h /root/repo/src/storage/spill.h \
+ /root/repo/src/data/generators.h /root/repo/src/algos/pagerank.h \
  /root/repo/src/algos/sssp.h /root/repo/bench/bench_common.h \
  /usr/include/benchmark/benchmark.h /usr/include/benchmark/export.h \
  /root/repo/src/mapreduce/mr_jobs.h /root/repo/src/mapreduce/mr_engine.h \

@@ -49,6 +49,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/rql/compiler.cc" "src/CMakeFiles/rex.dir/rql/compiler.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/compiler.cc.o.d"
   "/root/repo/src/rql/lexer.cc" "src/CMakeFiles/rex.dir/rql/lexer.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/lexer.cc.o.d"
   "/root/repo/src/rql/parser.cc" "src/CMakeFiles/rex.dir/rql/parser.cc.o" "gcc" "src/CMakeFiles/rex.dir/rql/parser.cc.o.d"
+  "/root/repo/src/sim/chaos_injector.cc" "src/CMakeFiles/rex.dir/sim/chaos_injector.cc.o" "gcc" "src/CMakeFiles/rex.dir/sim/chaos_injector.cc.o.d"
+  "/root/repo/src/sim/fault_schedule.cc" "src/CMakeFiles/rex.dir/sim/fault_schedule.cc.o" "gcc" "src/CMakeFiles/rex.dir/sim/fault_schedule.cc.o.d"
   "/root/repo/src/storage/checkpoint_store.cc" "src/CMakeFiles/rex.dir/storage/checkpoint_store.cc.o" "gcc" "src/CMakeFiles/rex.dir/storage/checkpoint_store.cc.o.d"
   "/root/repo/src/storage/spill.cc" "src/CMakeFiles/rex.dir/storage/spill.cc.o" "gcc" "src/CMakeFiles/rex.dir/storage/spill.cc.o.d"
   "/root/repo/src/storage/table.cc" "src/CMakeFiles/rex.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/rex.dir/storage/table.cc.o.d"

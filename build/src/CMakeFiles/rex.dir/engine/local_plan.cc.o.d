@@ -242,9 +242,9 @@ src/CMakeFiles/rex.dir/engine/local_plan.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/net/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/net/message.h /root/repo/src/storage/checkpoint_store.h \
- /root/repo/src/storage/table.h /root/repo/src/exec/group_by.h \
- /root/repo/src/exec/aggregates.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/message.h /root/repo/src/net/fault_injector.h \
+ /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
+ /root/repo/src/exec/group_by.h /root/repo/src/exec/aggregates.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/exec/hash_join.h \
  /root/repo/src/exec/operators.h

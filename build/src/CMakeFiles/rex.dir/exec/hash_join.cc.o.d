@@ -241,5 +241,5 @@ src/CMakeFiles/rex.dir/exec/hash_join.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/net/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/net/message.h /root/repo/src/storage/checkpoint_store.h \
- /root/repo/src/storage/table.h
+ /root/repo/src/net/message.h /root/repo/src/net/fault_injector.h \
+ /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h

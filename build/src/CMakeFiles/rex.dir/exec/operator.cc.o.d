@@ -240,8 +240,8 @@ src/CMakeFiles/rex.dir/exec/operator.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/net/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/net/message.h /root/repo/src/storage/checkpoint_store.h \
- /root/repo/src/storage/table.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/net/message.h /root/repo/src/net/fault_injector.h \
+ /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -221,7 +221,7 @@ src/CMakeFiles/rex.dir/net/network.cc.o: /root/repo/src/net/network.cc \
  /root/repo/src/common/delta.h /root/repo/src/common/tuple.h \
  /root/repo/src/common/hash.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/common/value.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/value.h /root/repo/src/net/fault_injector.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

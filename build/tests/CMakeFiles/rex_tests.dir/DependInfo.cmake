@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/adsorption_test.cc" "tests/CMakeFiles/rex_tests.dir/adsorption_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/adsorption_test.cc.o.d"
   "/root/repo/tests/algos_e2e_test.cc" "tests/CMakeFiles/rex_tests.dir/algos_e2e_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/algos_e2e_test.cc.o.d"
+  "/root/repo/tests/chaos_test.cc" "tests/CMakeFiles/rex_tests.dir/chaos_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/chaos_test.cc.o.d"
   "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/rex_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/cluster_test.cc.o.d"
   "/root/repo/tests/common_test.cc" "tests/CMakeFiles/rex_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/common_test.cc.o.d"
   "/root/repo/tests/exec_operators_test.cc" "tests/CMakeFiles/rex_tests.dir/exec_operators_test.cc.o" "gcc" "tests/CMakeFiles/rex_tests.dir/exec_operators_test.cc.o.d"

@@ -342,9 +342,11 @@ tests/CMakeFiles/rex_tests.dir/adsorption_test.cc.o: \
  /usr/include/c++/12/condition_variable /root/repo/src/net/channel.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/message.h \
+ /root/repo/src/net/fault_injector.h \
  /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
  /root/repo/src/exec/group_by.h /root/repo/src/exec/aggregates.h \
  /root/repo/src/exec/hash_join.h /root/repo/src/exec/operators.h \
- /root/repo/src/optimizer/stats.h /root/repo/src/storage/spill.h \
- /root/repo/src/data/generators.h /root/repo/src/common/rng.h \
+ /root/repo/src/optimizer/stats.h /root/repo/src/sim/chaos_injector.h \
+ /root/repo/src/common/rng.h /root/repo/src/sim/fault_schedule.h \
+ /root/repo/src/storage/spill.h /root/repo/src/data/generators.h \
  /root/repo/src/algos/pagerank.h

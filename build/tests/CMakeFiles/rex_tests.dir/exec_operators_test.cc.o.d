@@ -317,7 +317,7 @@ tests/CMakeFiles/rex_tests.dir/exec_operators_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/net/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/net/message.h /root/repo/src/storage/checkpoint_store.h \
- /root/repo/src/storage/table.h /root/repo/src/exec/group_by.h \
- /root/repo/src/exec/aggregates.h /root/repo/src/exec/hash_join.h \
- /root/repo/src/exec/operators.h
+ /root/repo/src/net/message.h /root/repo/src/net/fault_injector.h \
+ /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
+ /root/repo/src/exec/group_by.h /root/repo/src/exec/aggregates.h \
+ /root/repo/src/exec/hash_join.h /root/repo/src/exec/operators.h

@@ -320,10 +320,11 @@ tests/CMakeFiles/rex_tests.dir/rql_flat_test.cc.o: \
  /usr/include/c++/12/condition_variable /root/repo/src/net/channel.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/message.h \
+ /root/repo/src/net/fault_injector.h \
  /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
  /root/repo/src/exec/group_by.h /root/repo/src/exec/aggregates.h \
  /root/repo/src/exec/hash_join.h /root/repo/src/exec/operators.h \
- /root/repo/src/optimizer/stats.h /root/repo/src/storage/spill.h \
+ /root/repo/src/optimizer/stats.h /root/repo/src/sim/chaos_injector.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -346,6 +347,7 @@ tests/CMakeFiles/rex_tests.dir/rql_flat_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/sim/fault_schedule.h /root/repo/src/storage/spill.h \
  /root/repo/src/optimizer/calibration.h /root/repo/src/rql/compiler.h \
  /root/repo/src/optimizer/optimizer.h \
  /root/repo/src/optimizer/cost_model.h /root/repo/src/rql/ast.h

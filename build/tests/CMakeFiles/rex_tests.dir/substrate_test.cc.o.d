@@ -334,4 +334,5 @@ tests/CMakeFiles/rex_tests.dir/substrate_test.cc.o: \
  /usr/include/c++/12/condition_variable /root/repo/src/common/metrics.h \
  /root/repo/src/net/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/net/message.h /root/repo/src/storage/spill.h
+ /root/repo/src/net/message.h /root/repo/src/net/fault_injector.h \
+ /root/repo/src/storage/spill.h

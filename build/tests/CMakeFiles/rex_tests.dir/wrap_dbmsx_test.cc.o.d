@@ -344,8 +344,10 @@ tests/CMakeFiles/rex_tests.dir/wrap_dbmsx_test.cc.o: \
  /usr/include/c++/12/condition_variable /root/repo/src/net/channel.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/message.h \
+ /root/repo/src/net/fault_injector.h \
  /root/repo/src/storage/checkpoint_store.h /root/repo/src/storage/table.h \
  /root/repo/src/exec/group_by.h /root/repo/src/exec/aggregates.h \
  /root/repo/src/exec/hash_join.h /root/repo/src/exec/operators.h \
- /root/repo/src/optimizer/stats.h /root/repo/src/storage/spill.h \
+ /root/repo/src/optimizer/stats.h /root/repo/src/sim/chaos_injector.h \
+ /root/repo/src/sim/fault_schedule.h /root/repo/src/storage/spill.h \
  /root/repo/src/wrap/hadoop_wrap.h /root/repo/src/mapreduce/mr_engine.h

@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/rex_tests[1]_include.cmake")
+add_test(chaos_sweep "/root/repo/build/tests/rex_tests" "--gtest_filter=ChaosSweep*")
+set_tests_properties(chaos_sweep PROPERTIES  ENVIRONMENT "REX_CHAOS_SEEDS=13" LABELS "chaos" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -11,6 +11,7 @@ namespace {
 WhileHandler MakeAdsorbFix(const AdsorptionConfig& config) {
   WhileHandler h;
   h.name = "AdsorbFix" + config.name_suffix;
+  h.keeps_unpropagated_state = true;  // sub-threshold diffs accumulate
   const double threshold = config.threshold;
   h.update = [threshold](TupleSet* bucket,
                          const Delta& d) -> Result<DeltaVec> {

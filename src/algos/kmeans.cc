@@ -165,6 +165,7 @@ Result<PlanSpec> BuildKMeansDeltaPlan(const KMeansConfig& config) {
   jp.immutable[0] = true;  // points
   jp.handler = "KMJoin" + config.name_suffix;
   jp.handler_owns_all = true;
+  jp.handler_keeps_state = true;  // per-point assignments live in buckets
   int join = plan.AddHashJoin(keyed_points, keyed_centroids, jp);
 
   // ... maintain running per-worker partial sums (persistent group-by);

@@ -10,6 +10,7 @@ namespace {
 WhileHandler MakePrFix(const PageRankConfig& config) {
   WhileHandler h;
   h.name = "PRFix" + config.name_suffix;
+  h.keeps_unpropagated_state = true;  // sub-threshold diffs accumulate
   const double threshold = config.threshold;
   const bool relative = config.relative;
   const double teleport = 1.0 - config.damping;

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.h"
@@ -86,17 +87,191 @@ Status Cluster::KillWorker(int w) {
   return Status::OK();
 }
 
+Status Cluster::ReviveWorker(int w) {
+  if (!failed_[static_cast<size_t>(w)]) return Status::OK();
+  REX_LOG(Info) << "restoring worker " << w << " (fresh replacement node)";
+  // Destroy the dead node FIRST: its destructor closes the inbox, which
+  // must happen before Restore() reopens it for the replacement.
+  workers_[static_cast<size_t>(w)] = std::make_unique<WorkerNode>(
+      w, network_.get(), &storage_, &udfs_, &votes_, &checkpoints_,
+      &config_);
+  network_->Restore(w);
+  if (started_) workers_[static_cast<size_t>(w)]->Start();
+  failed_[static_cast<size_t>(w)] = false;
+  return Status::OK();
+}
+
 Status Cluster::ReviveFailedWorkers() {
   for (int i = 0; i < num_workers(); ++i) {
-    if (!failed_[static_cast<size_t>(i)]) continue;
-    // Destroy the dead node FIRST: its destructor closes the inbox, which
-    // must happen before Restore() reopens it for the replacement.
-    workers_[static_cast<size_t>(i)] = std::make_unique<WorkerNode>(
-        i, network_.get(), &storage_, &udfs_, &votes_, &checkpoints_,
-        &config_);
-    network_->Restore(i);
-    if (started_) workers_[static_cast<size_t>(i)]->Start();
-    failed_[static_cast<size_t>(i)] = false;
+    REX_RETURN_NOT_OK(ReviveWorker(i));
+  }
+  return Status::OK();
+}
+
+Status Cluster::GuidedReplay(const PlanSpec& spec, const PartitionMap* pmap,
+                             const std::vector<int>& live,
+                             int last_complete) {
+  // Fresh plans on every live worker: the replay re-derives every
+  // operator's state (fixpoints from the checkpoint store, everything else
+  // from re-running the waves), so nothing stale can survive.
+  for (int w : live) {
+    REX_RETURN_NOT_OK(
+        workers_[static_cast<size_t>(w)]->InstallPlan(spec, pmap));
+  }
+  for (int s = 0; s <= last_complete; ++s) {
+    ControlMsg c;
+    c.kind = ControlMsg::Kind::kReplayStratum;
+    c.stratum = s;
+    REX_RETURN_NOT_OK(Broadcast(c, live));
+    network_->WaitQuiescent();
+    for (int w : live) {
+      if (network_->IsFailed(w)) {
+        return Status::NodeFailure("worker failed during replay recovery");
+      }
+    }
+    REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+  }
+  ControlMsg end;
+  end.kind = ControlMsg::Kind::kReplayEnd;
+  end.stratum = last_complete;
+  REX_RETURN_NOT_OK(Broadcast(end, live));
+  network_->WaitQuiescent();
+  REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+  return Status::OK();
+}
+
+Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
+                        ChaosInjector* injector, std::vector<int> revived,
+                        const PartitionMap** pmap, std::vector<int>* live,
+                        int* resume_stratum, QueryRunResult* out) {
+  out->recovered = true;
+  // Set when a crash interrupts a plain incremental recovery: the
+  // survivors' operator state is half-restored, so the retry rebuilds
+  // everything with guided replay instead.
+  bool force_replay = false;
+  while (true) {
+    *live = LiveWorkers();
+    if (live->empty()) return Status::NodeFailure("all workers failed");
+    const PartitionMap* old_pmap = *pmap;
+    *pmap = PushPartitionMap(*live);
+    out->recoveries += 1;
+    if (injector != nullptr) {
+      injector->NoteRecoveryRound();
+      injector->BeginRecovery();
+    }
+
+    const int last_complete = *resume_stratum - 1;
+    bool restarted = false;
+    Status st;
+    if (strategy == RecoveryStrategy::kRestart || last_complete < 0 ||
+        !config_.checkpoint_deltas) {
+      // Restart — or nothing usable checkpointed: discard all work and
+      // re-run from stratum 0 on the current live set.
+      votes_.Reset();
+      checkpoints_.Clear();
+      for (int w : *live) {
+        st = workers_[static_cast<size_t>(w)]->InstallPlan(spec, *pmap);
+        if (!st.ok()) break;
+      }
+      restarted = true;
+    } else {
+      // Incremental (§4.3). First the DHT side: takeover nodes (freshly
+      // revived replacements in particular) gain read access to every
+      // checkpoint entry they inherit, and copy counts are topped back up.
+      st = checkpoints_.GrantRecoveryAccess(*live, revived,
+                                            config_.replication);
+      if (st.ok()) {
+        if (spec.NeedsReplayRecovery() || force_replay) {
+          st = GuidedReplay(spec, *pmap, *live, last_complete);
+        } else {
+          // Phase 1 — new snapshot, reset transient state, restore
+          // fixpoint state from checkpoints of strata [0, last_complete].
+          // A revived worker starts from a fresh plan.
+          for (int w : revived) {
+            st = workers_[static_cast<size_t>(w)]->InstallPlan(spec, *pmap);
+            if (!st.ok()) break;
+          }
+          if (st.ok()) {
+            for (int w : *live) {
+              workers_[static_cast<size_t>(w)]->StageRecovery(
+                  *pmap, old_pmap, last_complete);
+            }
+            ControlMsg prep;
+            prep.kind = ControlMsg::Kind::kRecoverPrepare;
+            st = Broadcast(prep, *live);
+          }
+          if (st.ok()) {
+            network_->WaitQuiescent();
+            st = CheckWorkerErrors(*live);
+          }
+          if (st.ok()) {
+            // Phase 2 — stream immutable rows of moved ranges to their
+            // takeover nodes.
+            ControlMsg reload;
+            reload.kind = ControlMsg::Kind::kRecoverReload;
+            st = Broadcast(reload, *live);
+          }
+          if (st.ok()) {
+            network_->WaitQuiescent();
+            st = CheckWorkerErrors(*live);
+          }
+        }
+      }
+    }
+    if (injector != nullptr) injector->EndRecovery();
+
+    // Did the injector fail more workers during the recovery itself (or
+    // schedule a during-recovery crash the traffic never triggered)?
+    std::vector<int> died;
+    for (int w : *live) {
+      if (network_->IsFailed(w) && !failed_[static_cast<size_t>(w)]) {
+        died.push_back(w);
+      }
+    }
+    if (injector != nullptr) {
+      for (int w : injector->TakeUnfiredRecoveryCrashes()) {
+        if (failed_[static_cast<size_t>(w)]) continue;
+        if (!network_->IsFailed(w)) network_->MarkFailed(w);
+        if (std::find(died.begin(), died.end(), w) == died.end()) {
+          died.push_back(w);
+        }
+      }
+    }
+    if (!died.empty()) {
+      REX_LOG(Info) << "chaos: " << died.size()
+                    << " worker(s) failed during recovery; retrying";
+      for (int w : died) {
+        failed_[static_cast<size_t>(w)] = true;
+        workers_[static_cast<size_t>(w)]->Stop();
+        revived.erase(std::remove(revived.begin(), revived.end(), w),
+                      revived.end());
+      }
+      if (!restarted && strategy != RecoveryStrategy::kRestart) {
+        force_replay = true;
+      }
+      continue;  // retry against the shrunken live set
+    }
+
+    if (!st.ok()) return st;
+    if (restarted) *resume_stratum = 0;
+    return Status::OK();
+  }
+}
+
+Status Cluster::CheckRuntimeInvariants(const std::vector<int>& live,
+                                       int stratum) {
+  REX_RETURN_NOT_OK(network_->CheckInvariants());
+  if (!config_.checkpoint_deltas) return Status::OK();
+  // Every checkpoint entry must still be readable from enough live nodes.
+  REX_RETURN_NOT_OK(checkpoints_.VerifyReadable(live, config_.replication));
+  // Δ conservation: replaying the store reproduces each live fixpoint's
+  // mutable state (and pending Δ set) bit-for-bit.
+  for (int w : live) {
+    LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
+    if (plan == nullptr) continue;
+    for (FixpointOp* fp : plan->fixpoints()) {
+      REX_RETURN_NOT_OK(fp->VerifyCheckpointConservation(stratum));
+    }
   }
   return Status::OK();
 }
@@ -105,6 +280,32 @@ Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
                                     const QueryOptions& options) {
   if (!started_) REX_RETURN_NOT_OK(Start());
   REX_RETURN_NOT_OK(spec.Validate());
+
+  // ---- fault-schedule assembly + validation ------------------------------
+  FaultSchedule schedule = options.faults;
+  const FailureInjection& fi = options.failure;
+  if (fi.worker != -1 || fi.before_stratum != -1) {
+    if (fi.worker < 0 || fi.worker >= num_workers()) {
+      return Status::InvalidArgument(
+          "failure injection: worker " + std::to_string(fi.worker) +
+          " out of range [0, " + std::to_string(num_workers()) + ")");
+    }
+    if (fi.before_stratum < 0) {
+      return Status::InvalidArgument(
+          "failure injection: before_stratum must be >= 0 when a victim "
+          "worker is set");
+    }
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kCrash;
+    e.worker = fi.worker;
+    e.at_stratum = fi.before_stratum;
+    e.after_messages = -1;
+    schedule.events.push_back(e);
+    schedule.strategy = fi.strategy;
+  }
+  if (!schedule.empty()) {
+    REX_RETURN_NOT_OK(schedule.Validate(num_workers(), config_.replication));
+  }
 
   QueryRunResult out;
   const auto t_query = std::chrono::steady_clock::now();
@@ -127,51 +328,42 @@ Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
     if (n.type == PlanNodeSpec::Type::kFixpoint) has_fixpoint = true;
   }
 
-  FailureInjection failure = options.failure;
+  // The injector lives on the driver's stack for exactly this run; clear
+  // the network hook on every exit path.
+  std::unique_ptr<ChaosInjector> injector;
+  struct InjectorGuard {
+    Network* net = nullptr;
+    ~InjectorGuard() {
+      if (net != nullptr) net->set_fault_injector(nullptr);
+    }
+  } injector_guard;
+  if (!schedule.empty()) {
+    injector = std::make_unique<ChaosInjector>(schedule, network_.get());
+    network_->set_fault_injector(injector.get());
+    injector_guard.net = network_.get();
+  }
+
   int stratum = 0;
   while (true) {
-    if (failure.worker >= 0 && failure.before_stratum == stratum &&
-        !failed_[static_cast<size_t>(failure.worker)]) {
-      // ---- node failure + recovery (§4.3, §6.6) --------------------------
-      REX_RETURN_NOT_OK(KillWorker(failure.worker));
-      out.recovered = true;
-      const PartitionMap* old_pmap = pmap;
-      live = LiveWorkers();
-      if (live.empty()) return Status::NodeFailure("all workers failed");
-      pmap = PushPartitionMap(live);
-
-      if (failure.strategy == RecoveryStrategy::kRestart) {
-        // Discard everything; re-run from stratum 0 on the survivors.
-        votes_.Reset();
-        checkpoints_.Clear();
-        for (int w : live) {
-          REX_RETURN_NOT_OK(
-              workers_[static_cast<size_t>(w)]->InstallPlan(spec, pmap));
-        }
-        stratum = 0;
-      } else {
-        // Incremental: phase 1 — new snapshot, reset transient state,
-        // restore fixpoint state from checkpoints of strata [0, k-1].
-        const int last_complete = stratum - 1;
-        for (int w : live) {
-          workers_[static_cast<size_t>(w)]->StageRecovery(pmap, old_pmap,
-                                                          last_complete);
-        }
-        ControlMsg prep;
-        prep.kind = ControlMsg::Kind::kRecoverPrepare;
-        REX_RETURN_NOT_OK(Broadcast(prep, live));
-        network_->WaitQuiescent();
-        REX_RETURN_NOT_OK(CheckWorkerErrors(live));
-        // Phase 2 — stream the failed range's immutable rows to the
-        // takeover nodes.
-        ControlMsg reload;
-        reload.kind = ControlMsg::Kind::kRecoverReload;
-        REX_RETURN_NOT_OK(Broadcast(reload, live));
-        network_->WaitQuiescent();
-        REX_RETURN_NOT_OK(CheckWorkerErrors(live));
-        // Resume at stratum k with the restored pending Δ set.
+    if (injector != nullptr) {
+      // ---- boundary fault events ----------------------------------------
+      bool any_kill = false;
+      for (int w : injector->TakeDueCrashes(stratum)) {
+        if (failed_[static_cast<size_t>(w)]) continue;
+        REX_RETURN_NOT_OK(KillWorker(w));
+        any_kill = true;
       }
-      failure.worker = -1;  // injected once
+      std::vector<int> revived;
+      for (int w : injector->TakeRestores(stratum)) {
+        REX_RETURN_NOT_OK(ReviveWorker(w));
+        revived.push_back(w);
+      }
+      if (any_kill || !revived.empty()) {
+        REX_RETURN_NOT_OK(Recover(spec, schedule.strategy, injector.get(),
+                                  std::move(revived), &pmap, &live, &stratum,
+                                  &out));
+      }
+      injector->BeginStratum(stratum);
     }
 
     const auto t_stratum = std::chrono::steady_clock::now();
@@ -182,7 +374,44 @@ Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
     start.stratum = stratum;
     REX_RETURN_NOT_OK(Broadcast(start, live));
     network_->WaitQuiescent();
+    REX_RETURN_NOT_OK(network_->CheckInvariants());
+
+    if (injector != nullptr) {
+      // ---- mid-stratum failure: abort and re-execute the stratum --------
+      std::vector<int> mid;
+      for (int w : live) {
+        if (network_->IsFailed(w) && !failed_[static_cast<size_t>(w)]) {
+          mid.push_back(w);
+        }
+      }
+      for (int w : injector->TakeOverdueMidStratumCrashes(stratum)) {
+        if (failed_[static_cast<size_t>(w)]) continue;
+        if (!network_->IsFailed(w)) network_->MarkFailed(w);
+        if (std::find(mid.begin(), mid.end(), w) == mid.end()) {
+          mid.push_back(w);
+        }
+      }
+      if (!mid.empty()) {
+        for (int w : mid) {
+          REX_LOG(Info) << "chaos: aborting stratum " << stratum
+                        << " after mid-stratum failure of worker " << w;
+          failed_[static_cast<size_t>(w)] = true;
+          workers_[static_cast<size_t>(w)]->Stop();
+        }
+        // Survivors may already have voted for / checkpointed the aborted
+        // stratum; neither may survive into its re-execution.
+        votes_.ClearFromStratum(stratum);
+        checkpoints_.TruncateAfter(stratum - 1);
+        REX_RETURN_NOT_OK(Recover(spec, schedule.strategy, injector.get(),
+                                  {}, &pmap, &live, &stratum, &out));
+        continue;  // re-execute (stratum was reset to 0 on restart)
+      }
+    }
+
     REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+    if (config_.verify_invariants && has_fixpoint) {
+      REX_RETURN_NOT_OK(CheckRuntimeInvariants(live, stratum));
+    }
 
     StratumReport report;
     report.stratum = stratum;
@@ -205,6 +434,17 @@ Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
     if (stratum >= max_strata) {
       REX_LOG(Warn) << "query hit max_strata=" << max_strata;
       break;
+    }
+  }
+
+  if (injector != nullptr) {
+    out.chaos = injector->stats();
+    // A crash/restore scheduled past the query's convergence never fired —
+    // the scenario silently tested nothing. Make that loud.
+    if (!injector->AllMandatoryEventsFired()) {
+      return Status::InvalidArgument(
+          "fault schedule events never fired (scheduled past convergence?): " +
+          injector->UnfiredEventsToString());
     }
   }
 

@@ -14,18 +14,16 @@
 
 #include "cluster/worker.h"
 #include "optimizer/stats.h"
+#include "sim/chaos_injector.h"
+#include "sim/fault_schedule.h"
 #include "storage/spill.h"
 
 namespace rex {
 
-/// How a query run should react to (injected) node failures.
-enum class RecoveryStrategy {
-  kRestart,      // discard all work, re-run on the survivors
-  kIncremental,  // restore from checkpointed Δ sets and resume (§4.3)
-};
-
 /// Deterministic failure injection: kill `worker` at the boundary just
-/// before `before_stratum` begins.
+/// before `before_stratum` begins. (The single-failure special case of a
+/// FaultSchedule, kept for convenience; Run() validates it and converts it
+/// into a one-event schedule.)
 struct FailureInjection {
   int worker = -1;  // -1 = no failure
   int before_stratum = -1;
@@ -39,6 +37,10 @@ struct QueryOptions {
   std::function<bool(int stratum, const VoteStats&)> terminate;
   int max_strata = -1;  // -1: use EngineConfig::max_strata
   FailureInjection failure;
+  /// Seeded multi-fault schedule (chaos harness). Validated against the
+  /// cluster before the run; crash and restore events that never fire make
+  /// the run fail (a schedule must not silently miss the query).
+  FaultSchedule faults;
 };
 
 struct StratumReport {
@@ -58,6 +60,11 @@ struct QueryRunResult {
   double total_seconds = 0;
   int64_t total_bytes_sent = 0;
   bool recovered = false;
+  /// Number of recovery passes the run performed (one failure handled
+  /// during recovery adds another pass).
+  int recoveries = 0;
+  /// What the chaos injector actually did (zeroed when no schedule ran).
+  ChaosStats chaos;
 };
 
 class Cluster {
@@ -108,7 +115,31 @@ class Cluster {
   Status Broadcast(const ControlMsg& c, const std::vector<int>& targets);
   Status CheckWorkerErrors(const std::vector<int>& live) const;
   Status KillWorker(int w);
+  /// Replaces a failed worker with a fresh node and reopens its inbox.
+  Status ReviveWorker(int w);
   const PartitionMap* PushPartitionMap(std::vector<int> live);
+
+  /// One full recovery: installs/restores state on the live set, retrying
+  /// when the injector fails further workers during recovery itself.
+  /// `resume_stratum` is the stratum about to (re-)execute; on return it is
+  /// 0 if the strategy (or a checkpoint-less failure) forced a restart.
+  /// `revived` lists workers freshly brought back this boundary.
+  Status Recover(const PlanSpec& spec, RecoveryStrategy strategy,
+                 ChaosInjector* injector, std::vector<int> revived,
+                 const PartitionMap** pmap, std::vector<int>* live,
+                 int* resume_stratum, QueryRunResult* out);
+
+  /// Guided replay (fresh plans + re-run of checkpointed strata with
+  /// fixpoints fed from the store): rebuilds derived state Δ-restoration
+  /// alone cannot (persistent group-bys, stateful join handlers). Returns
+  /// NodeFailure if a worker dies during the replay (caller retries).
+  Status GuidedReplay(const PlanSpec& spec, const PartitionMap* pmap,
+                      const std::vector<int>& live, int last_complete);
+
+  /// Post-stratum runtime invariants (chaos harness): exact in-flight
+  /// count, checkpoint readability under the current failure set, and
+  /// Δ-conservation of every live fixpoint.
+  Status CheckRuntimeInvariants(const std::vector<int>& live, int stratum);
 
   EngineConfig config_;
   std::unique_ptr<Network> network_;

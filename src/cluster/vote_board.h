@@ -72,6 +72,20 @@ class VoteBoard {
     votes_.clear();
   }
 
+  /// Discards all votes for strata >= `stratum`. Used when a mid-stratum
+  /// failure aborts a partially executed stratum: survivors may already
+  /// have voted for it, and the stratum will be re-executed after recovery.
+  void ClearFromStratum(int stratum) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = votes_.begin(); it != votes_.end();) {
+      if (it->first.second >= stratum) {
+        it = votes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
  private:
   mutable std::mutex mutex_;
   // (fixpoint, stratum) -> [(worker, stats)]

@@ -26,6 +26,7 @@ Status WorkerNode::InstallPlan(const PlanSpec& spec,
   ctx_.pmap = pmap;
   ctx_.old_pmap = nullptr;
   ctx_.current_stratum = 0;
+  ctx_.replay_mode = false;  // an aborted replay must not leak into a retry
   REX_ASSIGN_OR_RETURN(plan_, LocalPlan::Instantiate(spec, &ctx_));
   error_ = Status::OK();
   return Status::OK();
@@ -53,6 +54,17 @@ void WorkerNode::RunLoop() {
   while (true) {
     std::optional<Message> msg = inbox->Pop();
     if (!msg.has_value()) return;  // closed and drained
+    if (msg->seq != 0) {
+      // TCP-like exactly-once per sender: discard non-increasing sequence
+      // numbers (chaos-injected duplicate deliveries).
+      uint64_t& last = last_seq_[msg->from_worker];
+      if (msg->seq <= last) {
+        metrics_.GetCounter(metrics::kDupDiscarded)->Add(1);
+        network_->OnMessageProcessed();
+        continue;
+      }
+      last = msg->seq;
+    }
     if (error_.ok()) {
       Status st = Dispatch(*msg);
       if (!st.ok()) {
@@ -91,6 +103,14 @@ Status WorkerNode::HandleControl(const ControlMsg& c) {
       ctx_.old_pmap = staged_old_pmap_;
       REX_RETURN_NOT_OK(plan_->OnMembershipChange());
       REX_RETURN_NOT_OK(plan_->ResetTransientState());
+      if (staged_last_stratum_ >= 0) {
+        // Stratum 0 completed before the failure, so every stream-once
+        // wave (base case, immutable inputs) was delivered cluster-wide.
+        // Survivors keep port_closed_ across ResetTransientState; a
+        // revived worker's fresh plan must be primed the same way or its
+        // open ports stall every subsequent punctuation wave.
+        REX_RETURN_NOT_OK(plan_->MarkDeliveredStreamsClosed());
+      }
       for (FixpointOp* fp : plan_->fixpoints()) {
         REX_RETURN_NOT_OK(fp->RestoreFromCheckpoints(staged_last_stratum_));
       }
@@ -99,6 +119,30 @@ Status WorkerNode::HandleControl(const ControlMsg& c) {
     case ControlMsg::Kind::kRecoverReload: {
       REX_RETURN_NOT_OK(plan_->RecoveryReload());
       ctx_.old_pmap = nullptr;  // reload done; back to normal routing
+      return Status::OK();
+    }
+    case ControlMsg::Kind::kReplayStratum: {
+      // Guided replay: stratum 0 re-runs the base case; stratum s >= 1
+      // seeds the fixpoints with the checkpointed Δ set of stratum s-1 and
+      // flushes it through the loop body so derived state (persistent
+      // group-bys, stateful join handlers) is rebuilt. Fixpoints discard
+      // the deltas that come back around (ctx_.replay_mode).
+      ctx_.replay_mode = true;
+      ctx_.current_stratum = c.stratum;
+      if (c.stratum >= 1) {
+        for (FixpointOp* fp : plan_->fixpoints()) {
+          REX_RETURN_NOT_OK(fp->ApplyCheckpointStratum(c.stratum - 1));
+        }
+      }
+      return plan_->StartStratum(c.stratum);
+    }
+    case ControlMsg::Kind::kReplayEnd: {
+      // Apply the final checkpointed Δ set so pending_ holds exactly what
+      // the resumed stratum must flush, then return to normal execution.
+      for (FixpointOp* fp : plan_->fixpoints()) {
+        REX_RETURN_NOT_OK(fp->ApplyCheckpointStratum(c.stratum));
+      }
+      ctx_.replay_mode = false;
       return Status::OK();
     }
     case ControlMsg::Kind::kNone:

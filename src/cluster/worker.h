@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <thread>
+#include <unordered_map>
 
 #include "engine/local_plan.h"
 
@@ -52,6 +53,9 @@ class WorkerNode {
 
   int id_;
   Network* network_;
+  /// Highest sequence number dispatched per sender; duplicate deliveries
+  /// (chaos injection: "TCP retransmissions") are discarded exactly-once.
+  std::unordered_map<int, uint64_t> last_seq_;
   MetricsRegistry metrics_;
   ExecContext ctx_;
   std::unique_ptr<LocalPlan> plan_;

@@ -62,6 +62,10 @@ inline constexpr const char kStrataExecuted[] = "exec.strata";
 inline constexpr const char kDeltaTuples[] = "exec.delta_tuples";
 inline constexpr const char kCheckpointBytes[] = "recovery.checkpoint_bytes";
 inline constexpr const char kCheckpointTuples[] = "recovery.checkpoint_tuples";
+/// Bytes moved while re-replicating checkpoints after a membership change
+/// (kept separate from the steady-state checkpoint volume).
+inline constexpr const char kRecoveryRefetchBytes[] =
+    "recovery.refetch_bytes";
 inline constexpr const char kSpillBytes[] = "storage.spill_bytes";
 inline constexpr const char kMapInputRecords[] = "mr.map_input_records";
 inline constexpr const char kReduceInputRecords[] = "mr.reduce_input_records";

@@ -52,6 +52,7 @@ Result<std::unique_ptr<LocalPlan>> LocalPlan::Instantiate(
     for (const auto& e : n.inputs) {
       plan->ops_[static_cast<size_t>(e.from)]->AddOutput(
           plan->ops_[static_cast<size_t>(n.id)].get(), e.to_port);
+      plan->edges_.push_back(Edge{e.from, n.id, e.to_port});
       fan_in[{n.id, e.to_port}] += 1;
     }
   }
@@ -97,6 +98,42 @@ Status LocalPlan::OnMembershipChange() {
 
 Status LocalPlan::RecoveryReload() {
   for (auto& op : ops_) REX_RETURN_NOT_OK(op->RecoveryReload());
+  return Status::OK();
+}
+
+Status LocalPlan::MarkDeliveredStreamsClosed() {
+  // Stream-once sources: scans have no input ports, so their closure is
+  // decided by the punctuation kind they emitted in stratum 0.
+  std::vector<bool> source_closed(ops_.size(), false);
+  for (ScanOp* s : scans_) {
+    if (s->closes_stream()) source_closed[static_cast<size_t>(s->id())] = true;
+  }
+  // Propagate to a fixed point. A fixpoint operator's recursive port never
+  // closes, so closure stops at the loop — only the acyclic prefix (base
+  // case, immutable join inputs) is marked.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Edge& e : edges_) {
+      Operator* src = ops_[static_cast<size_t>(e.from)].get();
+      Operator* dst = ops_[static_cast<size_t>(e.to)].get();
+      const bool src_done =
+          source_closed[static_cast<size_t>(e.from)] || src->AllPortsClosed();
+      if (src_done && !dst->PortClosed(e.to_port)) {
+        dst->MarkPortDelivered(e.to_port);
+        changed = true;
+      }
+    }
+    for (auto& op : ops_) {
+      // A rehash whose local port closed has broadcast kEndOfStream to all
+      // peers; its network port closed symmetrically on every worker.
+      if (dynamic_cast<RehashOp*>(op.get()) != nullptr && op->PortClosed(0) &&
+          !op->PortClosed(1)) {
+        op->MarkPortDelivered(1);
+        changed = true;
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -33,10 +33,28 @@ class LocalPlan {
   Status RecoveryReload();
   Status Close();
 
+  /// Recovery priming for freshly instantiated plans on revived workers:
+  /// recomputes which ports the completed stratum-0 wave closed with
+  /// kEndOfStream (immutable inputs, base case) and marks them delivered.
+  /// Closure propagates exactly as the punctuation did at runtime: a scan
+  /// whose punct kind is kEndOfStream closes its downstream port, an
+  /// operator with every port closed forwards closure, and a rehash whose
+  /// local port is closed also has its network port closed (its peers'
+  /// mirror instances are in the same state). Idempotent — a no-op on
+  /// survivors, whose port_closed_ flags persist across recovery.
+  Status MarkDeliveredStreamsClosed();
+
  private:
   LocalPlan() = default;
 
+  struct Edge {
+    int from;
+    int to;
+    int to_port;
+  };
+
   std::vector<std::unique_ptr<Operator>> ops_;
+  std::vector<Edge> edges_;
   std::vector<FixpointOp*> fixpoints_;
   std::vector<SinkOp*> sinks_;
   std::vector<ScanOp*> scans_;

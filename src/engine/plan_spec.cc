@@ -98,6 +98,20 @@ void PlanSpec::AddEdge(int from, int to, int to_port) {
   nodes_[static_cast<size_t>(to)].inputs.push_back({from, to_port});
 }
 
+bool PlanSpec::NeedsReplayRecovery() const {
+  for (const PlanNodeSpec& n : nodes_) {
+    if (n.type == PlanNodeSpec::Type::kGroupBy &&
+        n.group_by.mode == GroupByOp::Mode::kPersistent) {
+      return true;
+    }
+    if (n.type == PlanNodeSpec::Type::kHashJoin &&
+        n.join.handler_keeps_state) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status PlanSpec::Validate() const {
   for (const PlanNodeSpec& n : nodes_) {
     for (const auto& e : n.inputs) {

@@ -92,6 +92,12 @@ class PlanSpec {
   /// param set per node type.
   Status Validate() const;
 
+  /// True when the plan carries derived state outside its fixpoints that
+  /// Δ-set restoration cannot rebuild (persistent group-bys, joins whose
+  /// handler keeps per-bucket state): incremental recovery must replay the
+  /// checkpointed strata through the whole loop body on fresh operators.
+  bool NeedsReplayRecovery() const;
+
   std::string ToString() const;
 
  private:

@@ -43,6 +43,13 @@ struct EngineConfig {
 
   /// Safety valve for diverging queries.
   int max_strata = 10000;
+
+  /// Chaos-harness invariant checkers (debug/test builds): after every
+  /// stratum the driver verifies the in-flight message count, checkpoint
+  /// readability under the current failure set, and Δ-conservation —
+  /// replaying all checkpointed Δ sets reproduces each fixpoint's mutable
+  /// state bit-for-bit.
+  bool verify_invariants = false;
 };
 
 /// Everything an operator needs from its hosting worker.
@@ -63,6 +70,12 @@ struct ExecContext {
   /// snapshot that was in effect before the failure (scans use it to find
   /// rows whose ownership moved).
   const PartitionMap* old_pmap = nullptr;
+
+  /// True while guided-replay recovery re-runs checkpointed strata through
+  /// the loop body: fixpoints feed state from checkpoints, discard arriving
+  /// deltas (they are regenerations of history), and suppress voting and
+  /// re-checkpointing.
+  bool replay_mode = false;
 };
 
 }  // namespace rex

@@ -1,8 +1,11 @@
 #include "exec/fixpoint.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace rex {
 
@@ -91,6 +94,13 @@ Status FixpointOp::Apply(const Delta& d) {
     const size_t before = b->tuples.size();
     REX_ASSIGN_OR_RETURN(DeltaVec produced, handler_->update(&b->tuples, d));
     state_size_ += b->tuples.size() - before;
+    // Arrivals the handler acted on belong in the checkpoint: those it
+    // propagated, and — when it keeps unpropagated state (sub-threshold
+    // accumulation) — every arrival, since each one is a state change.
+    if (!replaying_ &&
+        (handler_->keeps_unpropagated_state || !produced.empty())) {
+      applied_log_.push_back(d);
+    }
     if (!produced.empty()) {
       stats_.new_tuples += static_cast<int64_t>(produced.size());
       stats_.changed_tuples += static_cast<int64_t>(produced.size());
@@ -108,6 +118,7 @@ Status FixpointOp::Apply(const Delta& d) {
     b->tuples.Add(d.tuple);
     ++state_size_;
     stats_.new_tuples += 1;
+    if (!replaying_) applied_log_.push_back(d);
     pending_.push_back(Delta::Insert(d.tuple));
     return Status::OK();
   }
@@ -121,6 +132,7 @@ Status FixpointOp::Apply(const Delta& d) {
       --state_size_;
       stats_.new_tuples += 1;
       stats_.changed_tuples += 1;
+      if (!replaying_) applied_log_.push_back(d);
       if (params_.mode == Mode::kDelta) {
         pending_.push_back(Delta::Delete(std::move(old)));
       }
@@ -132,6 +144,7 @@ Status FixpointOp::Apply(const Delta& d) {
     b->tuples.Add(d.tuple);
     ++state_size_;
     stats_.new_tuples += 1;
+    if (!replaying_) applied_log_.push_back(d);
     if (params_.mode == Mode::kDelta) {
       pending_.push_back(Delta::Insert(d.tuple));
     }
@@ -151,8 +164,11 @@ Status FixpointOp::Apply(const Delta& d) {
     const double cutoff = params_.change_threshold +
                           params_.relative_threshold * std::fabs(old_v);
     if (change <= cutoff) {
-      // Below threshold: revise state silently, do not propagate.
+      // Below threshold: revise state silently, do not propagate — but the
+      // revision is still a state change, so it still enters the Δ log
+      // (replay re-derives the same silent decision).
       existing = d.tuple;
+      if (!replaying_) applied_log_.push_back(d);
       return Status::OK();
     }
   }
@@ -160,6 +176,7 @@ Status FixpointOp::Apply(const Delta& d) {
   existing = d.tuple;
   stats_.new_tuples += 1;
   stats_.changed_tuples += 1;
+  if (!replaying_) applied_log_.push_back(d);
   if (params_.mode == Mode::kDelta) {
     pending_.push_back(Delta::Replace(std::move(old), d.tuple));
   }
@@ -168,6 +185,10 @@ Status FixpointOp::Apply(const Delta& d) {
 
 Status FixpointOp::Consume(int /*port*/, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
+  // Guided-replay recovery: the loop body is re-deriving history to rebuild
+  // its own state; the fixpoint's state comes from checkpoints instead, so
+  // arriving regenerations are discarded.
+  if (ctx_->replay_mode) return Status::OK();
   for (const Delta& d : deltas) REX_RETURN_NOT_OK(Apply(d));
   return Status::OK();
 }
@@ -201,7 +222,7 @@ Status FixpointOp::CheckpointPending(int stratum) {
                                              ? params_.key_fields
                                              : params_.partition_fields;
   std::map<std::vector<int>, std::vector<Tuple>> by_replicas;
-  for (const Delta& d : pending_) {
+  for (const Delta& d : applied_log_) {
     uint64_t h = PartitionHash(d.tuple, route_fields);
     by_replicas[ctx_->pmap->Owners(h)].push_back(EncodeCheckpoint(d));
   }
@@ -218,9 +239,16 @@ Status FixpointOp::CheckpointPending(int stratum) {
 }
 
 Status FixpointOp::OnPortWaveComplete(int /*port*/, const Punctuation& p) {
+  if (ctx_->replay_mode) {
+    // Replay waves regenerate history: no vote, no re-checkpoint.
+    stats_ = VoteStats{};
+    ResetWave();
+    return Status::OK();
+  }
   // Never forward punctuation around the loop; vote to the requestor.
   stats_.state_size = static_cast<int64_t>(state_size_);
   REX_RETURN_NOT_OK(CheckpointPending(p.stratum));
+  applied_log_.clear();  // next stratum starts a fresh Δ history
   ctx_->votes->Report(ctx_->worker_id, id(), p.stratum, stats_);
   stats_ = VoteStats{};
   // Rearm for the next stratum's wave (closed ports stay closed).
@@ -231,6 +259,7 @@ Status FixpointOp::OnPortWaveComplete(int /*port*/, const Punctuation& p) {
 Status FixpointOp::ResetTransientState() {
   REX_RETURN_NOT_OK(Operator::ResetTransientState());
   stats_ = VoteStats{};
+  applied_log_.clear();
   return Status::OK();
 }
 
@@ -247,33 +276,95 @@ std::vector<Tuple> FixpointOp::StateTuples() const {
 
 size_t FixpointOp::StateSize() const { return state_size_; }
 
-Status FixpointOp::RestoreFromCheckpoints(int last_stratum) {
+Status FixpointOp::ApplyCheckpointStratum(int stratum) {
+  pending_.clear();  // becomes this stratum's regenerated propagations
+  stats_ = VoteStats{};
+  REX_ASSIGN_OR_RETURN(
+      std::vector<Tuple> tuples,
+      ctx_->checkpoints->Read(id(), stratum, ctx_->worker_id));
+  replaying_ = true;
+  for (const Tuple& enc : tuples) {
+    REX_ASSIGN_OR_RETURN(Delta d, DecodeCheckpoint(enc));
+    // Only replay keys this worker now owns (same routing hash as the
+    // rehash operators, so restored state lands where deltas arrive).
+    const std::vector<int>& route_fields =
+        params_.partition_fields.empty() ? params_.key_fields
+                                         : params_.partition_fields;
+    uint64_t h = PartitionHash(d.tuple, route_fields);
+    if (ctx_->pmap->PrimaryOwner(h) != ctx_->worker_id) continue;
+    Status st = Apply(d);
+    if (!st.ok()) {
+      replaying_ = false;
+      return st;
+    }
+  }
+  replaying_ = false;
+  stats_ = VoteStats{};
+  return Status::OK();
+}
+
+Status FixpointOp::RestoreFromCheckpoints(int last_stratum, bool log) {
   state_.Clear();
   state_size_ = 0;
   pending_.clear();
+  applied_log_.clear();
   stats_ = VoteStats{};
   for (int s = 0; s <= last_stratum; ++s) {
-    pending_.clear();  // only the final stratum's replay output survives
-    stats_ = VoteStats{};
-    REX_ASSIGN_OR_RETURN(
-        std::vector<Tuple> tuples,
-        ctx_->checkpoints->Read(id(), s, ctx_->worker_id));
-    for (const Tuple& enc : tuples) {
-      REX_ASSIGN_OR_RETURN(Delta d, DecodeCheckpoint(enc));
-      // Only replay keys this worker now owns (same routing hash as the
-      // rehash operators, so restored state lands where deltas arrive).
-      const std::vector<int>& route_fields =
-          params_.partition_fields.empty() ? params_.key_fields
-                                           : params_.partition_fields;
-      uint64_t h = PartitionHash(d.tuple, route_fields);
-      if (ctx_->pmap->PrimaryOwner(h) != ctx_->worker_id) continue;
-      REX_RETURN_NOT_OK(Apply(d));
-    }
+    // Only the final stratum's replay output survives as pending_
+    // (ApplyCheckpointStratum clears it on entry).
+    REX_RETURN_NOT_OK(ApplyCheckpointStratum(s));
   }
-  stats_ = VoteStats{};
-  REX_LOG(Info) << "fixpoint " << id() << " on worker " << ctx_->worker_id
-                << " restored " << state_size_ << " state tuples, "
-                << pending_.size() << " pending from checkpoints";
+  if (log) {
+    REX_LOG(Info) << "fixpoint " << id() << " on worker " << ctx_->worker_id
+                  << " restored " << state_size_ << " state tuples, "
+                  << pending_.size() << " pending from checkpoints";
+  }
+  return Status::OK();
+}
+
+Status FixpointOp::VerifyCheckpointConservation(int last_stratum) {
+  if (!ctx_->config->checkpoint_deltas || ctx_->checkpoints == nullptr ||
+      last_stratum < 0) {
+    return Status::OK();
+  }
+  // Replay every checkpointed Δ set on a scratch operator and demand the
+  // result matches this operator's live state bit-for-bit.
+  FixpointOp scratch(id(), params_);
+  REX_RETURN_NOT_OK(scratch.Open(ctx_));
+  REX_RETURN_NOT_OK(scratch.RestoreFromCheckpoints(last_stratum, false));
+
+  auto sorted_serialized = [](const std::vector<Tuple>& ts) {
+    std::vector<std::string> out;
+    out.reserve(ts.size());
+    for (const Tuple& t : ts) out.push_back(SerializeTuple(t));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto sorted_deltas = [](const DeltaVec& ds) {
+    std::vector<std::string> out;
+    out.reserve(ds.size());
+    for (const Delta& d : ds) out.push_back(SerializeTuple(EncodeCheckpoint(d)));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  if (sorted_serialized(StateTuples()) !=
+      sorted_serialized(scratch.StateTuples())) {
+    return Status::Internal(
+        "Δ-conservation violated: fixpoint " + std::to_string(id()) +
+        " on worker " + std::to_string(ctx_->worker_id) +
+        ": checkpoint replay state (" +
+        std::to_string(scratch.StateSize()) + " tuples) != live state (" +
+        std::to_string(StateSize()) + " tuples)");
+  }
+  if (sorted_deltas(pending_) != sorted_deltas(scratch.pending_)) {
+    return Status::Internal(
+        "Δ-conservation violated: fixpoint " + std::to_string(id()) +
+        " on worker " + std::to_string(ctx_->worker_id) +
+        ": checkpoint replay pending (" +
+        std::to_string(scratch.pending_.size()) + ") != live pending (" +
+        std::to_string(pending_.size()) + ")");
+  }
   return Status::OK();
 }
 

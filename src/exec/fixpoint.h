@@ -86,7 +86,20 @@ class FixpointOp : public Operator {
   /// checkpointed Δ sets of strata [0, last_stratum] that now map to this
   /// worker; the last stratum's replay output becomes the pending set so
   /// the resumed stratum flushes exactly what the lost stratum would have.
-  Status RestoreFromCheckpoints(int last_stratum);
+  Status RestoreFromCheckpoints(int last_stratum, bool log = true);
+
+  /// Applies one stratum's checkpointed Δ set (filtered to keys this worker
+  /// owns) on top of the current state; pending_ becomes that stratum's
+  /// regenerated propagations. Guided-replay recovery interleaves these
+  /// calls with loop-body re-execution to rebuild derived state elsewhere
+  /// in the plan.
+  Status ApplyCheckpointStratum(int stratum);
+
+  /// Runtime Δ-conservation invariant (chaos harness): replaying the
+  /// checkpointed Δ sets of strata [0, last_stratum] on a scratch operator
+  /// must reproduce this operator's mutable state — and its pending Δ set —
+  /// bit-for-bit. Returns Internal on any divergence.
+  Status VerifyCheckpointConservation(int last_stratum);
 
  protected:
   /// Votes to the requestor instead of forwarding punctuation.
@@ -115,6 +128,14 @@ class FixpointOp : public Operator {
   FlatMap64<std::vector<Bucket>> state_;
   size_t state_size_ = 0;
   DeltaVec pending_;
+  /// The stratum's checkpoint-bound Δ history: every arrival whose
+  /// application mutated state, in application order (plus, for handlers
+  /// that keep unpropagated state, every arrival — sub-threshold revisions
+  /// are state changes too). Replaying this log reproduces both the state
+  /// mutations and the propagated Δ set of the stratum bit-for-bit.
+  DeltaVec applied_log_;
+  /// True while Apply is fed from checkpoints: suppresses re-logging.
+  bool replaying_ = false;
 
   VoteStats stats_;  // current stratum
 };

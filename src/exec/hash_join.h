@@ -35,6 +35,12 @@ class HashJoinOp : public Operator {
     /// When true, even +/-/-> deltas on a mutable side are routed through
     /// the handler (the handler owns all state transitions).
     bool handler_owns_all = false;
+    /// When true, the handler mutates bucket tuples in place across strata
+    /// (k-means point assignments). Plans containing such joins — or
+    /// persistent group-bys — carry derived state outside the fixpoint that
+    /// Δ-set restoration alone cannot rebuild; recovery must replay the
+    /// checkpointed strata through the whole loop body instead.
+    bool handler_keeps_state = false;
   };
 
   HashJoinOp(int id, Params params)

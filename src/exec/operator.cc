@@ -73,6 +73,21 @@ Status Operator::OnPunct(int port, const Punctuation& p) {
   return OnPortWaveComplete(port, p);
 }
 
+bool Operator::AllPortsClosed() const {
+  if (port_closed_.empty()) return false;  // sources handled by their kind
+  for (bool closed : port_closed_) {
+    if (!closed) return false;
+  }
+  return true;
+}
+
+void Operator::MarkPortDelivered(int port) {
+  auto idx = static_cast<size_t>(port);
+  received_puncts_[idx] = expected_puncts_[idx];
+  port_complete_[idx] = true;
+  port_closed_[idx] = true;
+}
+
 bool Operator::AllOpenPortsComplete() const {
   for (size_t i = 0; i < port_complete_.size(); ++i) {
     if (port_closed_[i]) continue;  // closed ports never block firing

@@ -51,6 +51,18 @@ class Operator {
 
   int num_ports() const { return static_cast<int>(expected_puncts_.size()); }
 
+  bool PortClosed(int port) const {
+    return port_closed_[static_cast<size_t>(port)];
+  }
+  /// True for operators (with >= 1 port) whose every input stream has been
+  /// fully delivered — such operators forward kEndOfStream downstream.
+  bool AllPortsClosed() const;
+  /// Recovery priming: marks `port` as having completed its kEndOfStream
+  /// wave. A freshly instantiated plan on a revived worker missed the
+  /// stream-once waves (base case, immutable inputs) that ran before the
+  /// failure; without this, AllOpenPortsComplete() blocks every later wave.
+  void MarkPortDelivered(int port);
+
   /// Resolves UDFs, sizes buffers. Called once per query on each worker.
   virtual Status Open(ExecContext* ctx);
 

@@ -47,9 +47,14 @@ Status ScanOp::RecoveryReload() {
   if (!params_.feeds_immutable || ctx_->old_pmap == nullptr) {
     return Status::OK();
   }
+  // The new snapshot's membership is exactly the live set; a revived
+  // worker (present in neither old pmap nor any replica list) may fetch
+  // its rows from any live holder.
+  const std::vector<int>& live = ctx_->pmap->workers();
   REX_ASSIGN_OR_RETURN(
       std::vector<Tuple> rows,
-      table_->TakeoverRows(ctx_->worker_id, *ctx_->old_pmap, *ctx_->pmap));
+      table_->TakeoverRows(ctx_->worker_id, *ctx_->old_pmap, *ctx_->pmap,
+                           &live));
   // Data only: the downstream port was already punctuated before the
   // failure; re-punctuating would corrupt wave counts.
   return EmitRows(std::move(rows));

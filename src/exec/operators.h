@@ -39,6 +39,12 @@ class ScanOp : public Operator {
   Status StartStratum(int stratum) override;
   Status RecoveryReload() override;
 
+  /// True when this scan's stratum-0 punctuation closes its downstream
+  /// port (kEndOfStream).
+  bool closes_stream() const {
+    return params_.punct_kind == Punctuation::Kind::kEndOfStream;
+  }
+
  private:
   Status EmitRows(std::vector<Tuple> rows);
 

@@ -105,6 +105,13 @@ struct WhileHandler {
   std::string name;
   /// update(whileRelation, delta) -> deltas (possibly empty).
   std::function<Result<DeltaVec>(TupleSet* relation, const Delta&)> update;
+  /// True when the handler may revise its bucket WITHOUT propagating (e.g.
+  /// PageRank accumulates sub-threshold diffs silently). Such arrivals are
+  /// part of the state's Δ history, so checkpoints must include every
+  /// arrival — not just the propagated Δ set — for replay to reproduce the
+  /// state bit-for-bit. Handlers that leave this false promise that state
+  /// changes only on arrivals they propagate.
+  bool keeps_unpropagated_state = false;
 };
 
 }  // namespace rex

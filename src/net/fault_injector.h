@@ -1,0 +1,37 @@
+// Fault-injection hook for the simulated interconnect.
+//
+// Network::Send consults the installed injector for every non-control
+// message before it is enqueued. The injector may mutate the message in
+// place (e.g. permute the deltas of a batch, simulating reordered packets
+// that are reassembled per-message), drop it (a send racing a crash), or
+// request duplicate delivery (a retransmission whose original was not
+// actually lost). Sequence numbers stamped by the network let receivers
+// discard duplicates exactly once, mirroring TCP semantics.
+//
+// Implementations must be thread-safe: Send is called concurrently from
+// every worker thread.
+#ifndef REX_NET_FAULT_INJECTOR_H_
+#define REX_NET_FAULT_INJECTOR_H_
+
+#include "net/message.h"
+
+namespace rex {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  enum class Action {
+    kDeliver,    // pass through (possibly mutated in place)
+    kDrop,       // never enqueued; in-flight count untouched
+    kDuplicate,  // enqueued twice with the same sequence number
+  };
+
+  /// Decides the fate of one outgoing message. May mutate `msg` (payload
+  /// reorder) but must not change its routing fields or sequence number.
+  virtual Action OnSend(Message* msg) = 0;
+};
+
+}  // namespace rex
+
+#endif  // REX_NET_FAULT_INJECTOR_H_

@@ -36,6 +36,17 @@ struct ControlMsg {
     /// Incremental recovery phase 2: scans re-emit rows whose ownership
     /// moved, rebuilding immutable state on takeover nodes.
     kRecoverReload = 2,
+    /// Guided-replay recovery: re-run checkpointed stratum `stratum` through
+    /// the loop body to rebuild derived state (persistent group-bys, joins
+    /// with stateful handlers). Stratum 0 re-runs the base case; stratum
+    /// s >= 1 first applies the fixpoints' checkpointed Δ set of stratum
+    /// s-1, then flushes it through the loop. Fixpoints discard the deltas
+    /// that come back around (ExecContext::replay_mode).
+    kReplayStratum = 3,
+    /// Guided-replay recovery epilogue: apply the final checkpointed Δ set
+    /// (stratum `stratum`) so pending_ holds the resumption flush, then
+    /// leave replay mode.
+    kReplayEnd = 4,
     kNone = 255,
   };
   Kind kind = Kind::kNone;
@@ -54,6 +65,11 @@ struct Message {
   int target_op = -1;
   /// Input port of the target operator.
   int target_port = 0;
+  /// Per-(sender, destination) sequence number stamped by Network::Send
+  /// (1-based; 0 = unstamped). Receivers discard messages whose sequence
+  /// number is not strictly increasing, which makes injected duplicate
+  /// deliveries exactly-once, like TCP retransmissions.
+  uint64_t seq = 0;
 
   DeltaVec deltas;   // kData payload
   Punctuation punct;  // kPunctuation payload

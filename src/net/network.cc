@@ -5,24 +5,21 @@
 namespace rex {
 
 Network::Network(int num_workers)
-    : failed_(num_workers), bytes_by_sender_(num_workers) {
+    : failed_(num_workers),
+      bytes_by_sender_(num_workers),
+      seq_(static_cast<size_t>(num_workers + 1) *
+           static_cast<size_t>(num_workers)) {
   channels_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     channels_.push_back(std::make_unique<Channel>());
     failed_[i].store(false);
     bytes_by_sender_[i].store(0);
   }
+  for (auto& s : seq_) s.store(0);
 }
 
-Status Network::Send(Message msg) {
+void Network::Deliver(Message msg) {
   const int to = msg.to_worker;
-  if (to < 0 || to >= num_workers()) {
-    return Status::NetworkError("bad destination worker " +
-                                std::to_string(to));
-  }
-  if (failed_[to].load(std::memory_order_acquire)) {
-    return Status::OK();  // dropped on the floor, like a crashed peer
-  }
   if (msg.from_worker >= 0 && msg.from_worker != to &&
       msg.kind != Message::Kind::kControl) {
     const auto bytes = static_cast<int64_t>(msg.ByteSize());
@@ -36,11 +33,40 @@ Status Network::Send(Message msg) {
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!channels_[to]->Push(std::move(msg))) {
     // Channel closed concurrently with the failure check; treat as dropped.
-    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(quiesce_mutex_);
-      quiesce_cv_.notify_all();
-    }
+    NoteProcessed(in_flight_.fetch_sub(1, std::memory_order_acq_rel));
   }
+}
+
+Status Network::Send(Message msg) {
+  const int to = msg.to_worker;
+  if (to < 0 || to >= num_workers()) {
+    return Status::NetworkError("bad destination worker " +
+                                std::to_string(to));
+  }
+  // Stamp the per-(sender, destination) sequence number. Each pair has one
+  // writing thread, so receivers observe strictly increasing values.
+  const size_t pair = static_cast<size_t>(msg.from_worker + 1) *
+                          static_cast<size_t>(num_workers()) +
+                      static_cast<size_t>(to);
+  msg.seq = seq_[pair].fetch_add(1, std::memory_order_relaxed) + 1;
+
+  FaultInjector::Action action = FaultInjector::Action::kDeliver;
+  FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+  if (injector != nullptr && msg.kind != Message::Kind::kControl) {
+    action = injector->OnSend(&msg);
+  }
+  if (action == FaultInjector::Action::kDrop) {
+    metrics_.GetCounter(metrics::kChaosDropped)->Increment();
+    return Status::OK();
+  }
+  if (failed_[to].load(std::memory_order_acquire)) {
+    return Status::OK();  // dropped on the floor, like a crashed peer
+  }
+  if (action == FaultInjector::Action::kDuplicate) {
+    metrics_.GetCounter(metrics::kChaosDuplicated)->Increment();
+    Deliver(msg);  // same seq: the receiver discards one copy
+  }
+  Deliver(std::move(msg));
   return Status::OK();
 }
 
@@ -70,11 +96,20 @@ std::vector<int> Network::LiveWorkers() const {
   return out;
 }
 
-void Network::OnMessageProcessed() {
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+void Network::NoteProcessed(int64_t previous_in_flight) {
+  if (previous_in_flight <= 0) {
+    invariant_violated_.store(true, std::memory_order_release);
+    REX_LOG(Error) << "in-flight message count went negative ("
+                   << previous_in_flight - 1 << ")";
+  }
+  if (previous_in_flight == 1) {
     std::lock_guard<std::mutex> lock(quiesce_mutex_);
     quiesce_cv_.notify_all();
   }
+}
+
+void Network::OnMessageProcessed() {
+  NoteProcessed(in_flight_.fetch_sub(1, std::memory_order_acq_rel));
 }
 
 void Network::WaitQuiescent() {
@@ -82,6 +117,19 @@ void Network::WaitQuiescent() {
   quiesce_cv_.wait(lock, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
+}
+
+Status Network::CheckInvariants() const {
+  if (invariant_violated_.load(std::memory_order_acquire)) {
+    return Status::Internal(
+        "network invariant violated: in-flight message count went negative");
+  }
+  const int64_t now = in_flight_.load(std::memory_order_acquire);
+  if (now < 0) {
+    return Status::Internal("network invariant violated: in-flight count is " +
+                            std::to_string(now));
+  }
+  return Status::OK();
 }
 
 int64_t Network::BytesSentBy(int worker) const {

@@ -4,6 +4,11 @@
 // messages, per-node byte metering (backing Figure 11), failure simulation
 // (sends to failed nodes are dropped, mirroring connection loss), and global
 // in-flight accounting used by the driver to detect stratum quiescence.
+//
+// A FaultInjector hook may be installed to deterministically drop, reorder
+// (within a batch), or duplicate messages; the in-flight count stays exact
+// under every injected fault, and a runtime invariant checker flags any
+// transition of the count below zero.
 #ifndef REX_NET_NETWORK_H_
 #define REX_NET_NETWORK_H_
 
@@ -11,11 +16,13 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
 #include "net/channel.h"
+#include "net/fault_injector.h"
 
 namespace rex {
 
@@ -33,8 +40,15 @@ class Network {
 
   Channel* channel(int worker) { return channels_[worker].get(); }
 
+  /// Installs (or clears, with nullptr) the fault-injection hook consulted
+  /// by Send for every non-control message. Driver thread, quiescent.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
   /// Marks a worker failed: closes its inbox, drains queued messages (they
-  /// are lost, as on a crash) and adjusts the in-flight count.
+  /// are lost, as on a crash) and adjusts the in-flight count. Safe to call
+  /// from any thread (a fault injector may crash a node mid-send).
   void MarkFailed(int worker);
   bool IsFailed(int worker) const;
   /// Clears the failed flag and reopens the inbox (node replacement).
@@ -50,6 +64,11 @@ class Network {
   /// processing existing ones, so a zero count is a stable global state.
   void WaitQuiescent();
 
+  /// Runtime invariant (chaos harness): the in-flight count must never go
+  /// negative. Any violation is latched and surfaced here; the driver
+  /// checks after every quiescence barrier.
+  Status CheckInvariants() const;
+
   /// Bytes sent over the (simulated) wire by each worker. Loopback traffic
   /// is not counted, matching "data sent by each node" in §6.5.
   int64_t BytesSentBy(int worker) const;
@@ -59,16 +78,35 @@ class Network {
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
+  /// Meters + enqueues one already-stamped message copy.
+  void Deliver(Message msg);
+  void NoteProcessed(int64_t previous_in_flight);
+
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::atomic<bool>> failed_;
   std::vector<std::atomic<int64_t>> bytes_by_sender_;
+  /// Per (sender, destination) sequence counters; row 0 is the driver
+  /// (from_worker == -1). Each pair has a single writing thread, but sends
+  /// may race a concurrent MarkFailed, so the counters stay atomic.
+  std::vector<std::atomic<uint64_t>> seq_;
+
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 
   MetricsRegistry metrics_;
 
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;
   std::atomic<int64_t> in_flight_{0};
+
+  std::atomic<bool> invariant_violated_{false};
 };
+
+namespace metrics {
+inline constexpr const char kChaosDropped[] = "chaos.messages_dropped";
+inline constexpr const char kChaosDuplicated[] = "chaos.messages_duplicated";
+/// Duplicate deliveries discarded by receivers' sequence-number check.
+inline constexpr const char kDupDiscarded[] = "net.dup_discarded";
+}  // namespace metrics
 
 }  // namespace rex
 

@@ -1,0 +1,236 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace rex {
+
+namespace {
+
+const char* KindName(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRestore:
+      return "restore";
+    case FaultEvent::Kind::kDrop:
+      return "drop";
+    case FaultEvent::Kind::kDuplicate:
+      return "duplicate";
+    case FaultEvent::Kind::kReorder:
+      return "reorder";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << KindName(kind) << "(worker=" << worker << ", stratum=" << at_stratum;
+  if (kind == Kind::kCrash) {
+    if (during_recovery) os << ", during_recovery";
+    if (after_messages >= 1) os << ", after_messages=" << after_messages;
+  } else if (kind != Kind::kRestore) {
+    os << ", count=" << count;
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string FaultSchedule::ToString() const {
+  std::ostringstream os;
+  os << "FaultSchedule{seed=" << seed << ", strategy="
+     << (strategy == RecoveryStrategy::kRestart ? "restart" : "incremental");
+  for (const FaultEvent& e : events) os << ", " << e.ToString();
+  os << "}";
+  return os.str();
+}
+
+Status FaultSchedule::Validate(int num_workers, int replication) const {
+  const int max_dead = std::min(replication - 1, num_workers - 1);
+  // Walk the timeline: crashes grow the dead set, restores shrink it.
+  std::set<int> dead;
+  std::set<int> ever_crashed;
+  bool any_normal_crash = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const std::string tag = "fault event #" + std::to_string(i) + " " +
+                            e.ToString() + ": ";
+    const bool needs_worker = e.kind != FaultEvent::Kind::kReorder;
+    if (needs_worker && (e.worker < 0 || e.worker >= num_workers)) {
+      return Status::InvalidArgument(tag + "worker id out of range [0, " +
+                                     std::to_string(num_workers) + ")");
+    }
+    if (e.kind == FaultEvent::Kind::kReorder && e.worker >= num_workers) {
+      return Status::InvalidArgument(tag + "worker id out of range");
+    }
+    if (e.at_stratum < 0) {
+      return Status::InvalidArgument(tag + "negative stratum");
+    }
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrash: {
+        if (dead.count(e.worker)) {
+          return Status::InvalidArgument(tag + "worker is already failed");
+        }
+        if (e.during_recovery) {
+          if (!any_normal_crash) {
+            return Status::InvalidArgument(
+                tag + "crash-during-recovery requires a preceding crash");
+          }
+          if (e.after_messages < 1) {
+            return Status::InvalidArgument(
+                tag + "crash-during-recovery needs after_messages >= 1");
+          }
+        }
+        dead.insert(e.worker);
+        ever_crashed.insert(e.worker);
+        if (!e.during_recovery) any_normal_crash = true;
+        if (static_cast<int>(dead.size()) > max_dead) {
+          return Status::InvalidArgument(
+              tag + "more than " + std::to_string(max_dead) +
+              " simultaneous failures exceeds what replication=" +
+              std::to_string(replication) + " can recover from");
+        }
+        break;
+      }
+      case FaultEvent::Kind::kRestore: {
+        if (!dead.count(e.worker)) {
+          return Status::InvalidArgument(
+              tag + "restore of a worker that is not failed");
+        }
+        dead.erase(e.worker);
+        break;
+      }
+      case FaultEvent::Kind::kDrop: {
+        if (e.count < 1) {
+          return Status::InvalidArgument(tag + "window count must be >= 1");
+        }
+        // Drops are only safe to nodes whose state is doomed anyway: the
+        // target must crash in the same stratum (mid-stratum).
+        bool doomed = false;
+        for (const FaultEvent& c : events) {
+          if (c.kind == FaultEvent::Kind::kCrash && c.worker == e.worker &&
+              c.at_stratum == e.at_stratum && c.after_messages >= 1) {
+            doomed = true;
+          }
+        }
+        if (!doomed) {
+          return Status::InvalidArgument(
+              tag +
+              "drop window without a mid-stratum crash of the same worker "
+              "in the same stratum would lose live state");
+        }
+        break;
+      }
+      case FaultEvent::Kind::kDuplicate: {
+        if (e.count < 1) {
+          return Status::InvalidArgument(tag + "window count must be >= 1");
+        }
+        // Duplication targets failed-then-restored nodes (the receiver's
+        // sequence-number dedup is what makes it safe).
+        if (!ever_crashed.count(e.worker) || dead.count(e.worker)) {
+          return Status::InvalidArgument(
+              tag + "duplicate window requires a restored worker");
+        }
+        break;
+      }
+      case FaultEvent::Kind::kReorder: {
+        if (e.count < 1) {
+          return Status::InvalidArgument(tag + "window count must be >= 1");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+FaultSchedule MakeChaosSchedule(uint64_t seed, const ChaosProfile& profile) {
+  Rng rng(seed ^ 0xc8a05f17ULL);
+  FaultSchedule schedule;
+  schedule.seed = seed;
+
+  const int n = profile.num_workers;
+  const int max_dead = std::min(profile.replication - 1, n - 1);
+
+  // First crash: the anchor of every scenario.
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+  crash.at_stratum = static_cast<int>(
+      rng.NextBelow(static_cast<uint64_t>(profile.max_crash_stratum + 1)));
+  const bool mid = rng.NextBool(profile.p_mid_stratum);
+  if (mid) crash.after_messages = 1 + static_cast<int>(rng.NextBelow(40));
+  schedule.events.push_back(crash);
+
+  // Drops are only legal against a mid-stratum-doomed node.
+  if (mid && rng.NextBool(profile.p_drop_to_doomed)) {
+    FaultEvent drop;
+    drop.kind = FaultEvent::Kind::kDrop;
+    drop.worker = crash.worker;
+    drop.at_stratum = crash.at_stratum;
+    drop.count = 1 + static_cast<int>(rng.NextBelow(5));
+    schedule.events.push_back(drop);
+  }
+
+  // Optional second crash: concurrent, later, or during the first
+  // crash's recovery.
+  if (max_dead >= 2 && n >= 2 && rng.NextBool(profile.p_second_crash)) {
+    FaultEvent second;
+    second.kind = FaultEvent::Kind::kCrash;
+    second.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    while (second.worker == crash.worker) {
+      second.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    }
+    if (rng.NextBool(profile.p_crash_during_recovery)) {
+      second.during_recovery = true;
+      second.at_stratum = crash.at_stratum;
+      second.after_messages = 1 + static_cast<int>(rng.NextBelow(20));
+    } else {
+      second.at_stratum =
+          crash.at_stratum + static_cast<int>(rng.NextBelow(2));
+      if (rng.NextBool(profile.p_mid_stratum)) {
+        second.after_messages = 1 + static_cast<int>(rng.NextBelow(40));
+      }
+    }
+    schedule.events.push_back(second);
+  }
+
+  // Optional restore of the first victim, optionally followed by a
+  // duplicate-delivery window against the restored node.
+  if (rng.NextBool(profile.p_restore)) {
+    FaultEvent restore;
+    restore.kind = FaultEvent::Kind::kRestore;
+    restore.worker = crash.worker;
+    restore.at_stratum =
+        crash.at_stratum + 1 + static_cast<int>(rng.NextBelow(2));
+    schedule.events.push_back(restore);
+    if (rng.NextBool(profile.p_duplicate_after_restore)) {
+      FaultEvent dup;
+      dup.kind = FaultEvent::Kind::kDuplicate;
+      dup.worker = restore.worker;
+      dup.at_stratum = restore.at_stratum;
+      dup.count = 1 + static_cast<int>(rng.NextBelow(6));
+      schedule.events.push_back(dup);
+    }
+  }
+
+  // Optional intra-batch reorder window, anywhere.
+  if (rng.NextBool(profile.p_reorder)) {
+    FaultEvent reorder;
+    reorder.kind = FaultEvent::Kind::kReorder;
+    reorder.worker = -1;
+    reorder.at_stratum = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(profile.max_crash_stratum + 2)));
+    reorder.count = 2 + static_cast<int>(rng.NextBelow(8));
+    schedule.events.push_back(reorder);
+  }
+
+  return schedule;
+}
+
+}  // namespace rex

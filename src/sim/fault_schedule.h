@@ -1,0 +1,114 @@
+// Seeded multi-fault schedules for the chaos harness.
+//
+// A FaultSchedule generalizes single-shot failure injection: it describes a
+// whole adversarial scenario — multiple sequential or concurrent worker
+// crashes (at stratum boundaries, mid-stratum after a number of message
+// sends, or while a recovery is itself in progress), worker restores
+// (node replacement mid-query), and network fault windows (message drops to
+// doomed nodes, duplicate delivery to restored nodes, intra-batch delta
+// reordering). Schedules are either hand-built for directed tests or
+// generated deterministically from a seed, so any failing scenario is
+// reproducible from one integer.
+#ifndef REX_SIM_FAULT_SCHEDULE_H_
+#define REX_SIM_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rex {
+
+/// How a query run should react to (injected) node failures.
+enum class RecoveryStrategy {
+  kRestart,      // discard all work, re-run on the survivors
+  kIncremental,  // restore from checkpointed Δ sets and resume (§4.3)
+};
+
+struct FaultEvent {
+  enum class Kind : uint8_t {
+    kCrash,      // fail a worker (boundary, mid-stratum, or mid-recovery)
+    kRestore,    // bring a previously crashed worker back (fresh replacement)
+    kDrop,       // drop up to `count` messages addressed to `worker`
+    kDuplicate,  // deliver up to `count` messages to `worker` twice
+    kReorder,    // permute the deltas of up to `count` message batches
+  };
+
+  Kind kind = Kind::kCrash;
+  /// Target worker. kReorder may use -1 (any destination).
+  int worker = -1;
+  /// Stratum boundary at which the event fires (kCrash with
+  /// after_messages < 0, kRestore) or arms (everything else).
+  int at_stratum = 0;
+  /// kCrash only: < 0 = fail at the boundary before `at_stratum`; >= 1 =
+  /// fail mid-stratum, after that many data/punctuation sends of the
+  /// stratum have passed the injector.
+  int after_messages = -1;
+  /// kCrash only: arm during the recovery triggered by an earlier crash
+  /// instead of during normal stratum execution (crash-during-recovery).
+  /// Fires after `after_messages` recovery-traffic sends (>= 1 required).
+  bool during_recovery = false;
+  /// kDrop / kDuplicate / kReorder: size of the fault window in messages.
+  int count = 0;
+
+  std::string ToString() const;
+};
+
+struct FaultSchedule {
+  /// Seed the schedule was generated from (0 for hand-built schedules);
+  /// also seeds the injector's own random choices (reorder permutations).
+  uint64_t seed = 0;
+  RecoveryStrategy strategy = RecoveryStrategy::kIncremental;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Structural validation against a cluster size: worker ids in range,
+  /// fault windows non-empty and tied to a legal target (drops only to
+  /// nodes doomed to crash in the same stratum, duplicates only to nodes
+  /// that have been restored), restores only of previously crashed
+  /// workers, crash-during-recovery only after a preceding crash, and the
+  /// simultaneous-failure count bounded by the replication factor.
+  Status Validate(int num_workers, int replication) const;
+
+  std::string ToString() const;
+};
+
+/// Counters describing what a chaos run actually did — drivers assert that
+/// the scenario really exercised the faults it scheduled.
+struct ChaosStats {
+  int crashes = 0;           // crash events that fired
+  int mid_stratum_crashes = 0;
+  int recovery_crashes = 0;  // crashes that fired while recovering
+  int restores = 0;          // restore events that fired
+  int recovery_rounds = 0;   // recovery passes the driver executed
+  int64_t messages_dropped = 0;
+  int64_t messages_duplicated = 0;
+  int64_t batches_reordered = 0;
+};
+
+/// Tuning knobs for random schedule generation.
+struct ChaosProfile {
+  int num_workers = 4;
+  int replication = 3;
+  /// Crashes are scheduled at strata [0, max_crash_stratum]; keep this
+  /// well below the query's convergence stratum — a crash scheduled past
+  /// convergence is a validation error at the end of the run.
+  int max_crash_stratum = 3;
+  double p_mid_stratum = 0.5;
+  double p_second_crash = 0.35;
+  double p_crash_during_recovery = 0.35;
+  double p_restore = 0.5;
+  double p_duplicate_after_restore = 0.85;
+  double p_drop_to_doomed = 0.6;
+  double p_reorder = 0.5;
+};
+
+/// Deterministically expands a seed into a schedule under `profile`. The
+/// same (seed, profile) always yields the same schedule.
+FaultSchedule MakeChaosSchedule(uint64_t seed, const ChaosProfile& profile);
+
+}  // namespace rex
+
+#endif  // REX_SIM_FAULT_SCHEDULE_H_

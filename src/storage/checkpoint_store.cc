@@ -57,6 +57,98 @@ int CheckpointStore::LastCompleteStratum(int fixpoint_id) const {
   return last;
 }
 
+void CheckpointStore::TruncateAfter(int stratum) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.second > stratum) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status CheckpointStore::GrantRecoveryAccess(
+    const std::vector<int>& live, const std::vector<int>& takeover_readers,
+    int replication) {
+  auto is_live = [&live](int w) {
+    return std::find(live.begin(), live.end(), w) != live.end();
+  };
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t refetch_bytes = 0;
+  for (auto& [key, slot] : entries_) {
+    for (Entry& e : slot) {
+      int live_copies = is_live(e.owner) ? 1 : 0;
+      for (int r : e.replicas) {
+        if (r != e.owner && is_live(r)) ++live_copies;
+      }
+      if (live_copies == 0) {
+        return Status::NodeFailure(
+            "checkpoint lost: fixpoint " + std::to_string(key.first) +
+            " stratum " + std::to_string(key.second) + " entry of worker " +
+            std::to_string(e.owner) + " has no live copy");
+      }
+      auto holds = [&e](int w) {
+        return w == e.owner ||
+               std::find(e.replicas.begin(), e.replicas.end(), w) !=
+                   e.replicas.end();
+      };
+      // Takeover readers must be able to read what they inherit, whatever
+      // the old replica choice was.
+      for (int w : takeover_readers) {
+        if (is_live(w) && !holds(w)) {
+          e.replicas.push_back(w);
+          refetch_bytes += static_cast<int64_t>(e.bytes.size());
+        }
+      }
+      // Top the copy count back up to the replication factor.
+      for (int w : live) {
+        int copies = is_live(e.owner) ? 1 : 0;
+        for (int r : e.replicas) {
+          if (r != e.owner && is_live(r)) ++copies;
+        }
+        if (copies >= replication) break;
+        if (!holds(w)) {
+          e.replicas.push_back(w);
+          refetch_bytes += static_cast<int64_t>(e.bytes.size());
+        }
+      }
+    }
+  }
+  if (refetch_bytes > 0) {
+    metrics_.GetCounter(metrics::kRecoveryRefetchBytes)->Add(refetch_bytes);
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::VerifyReadable(const std::vector<int>& live,
+                                       int min_copies) const {
+  auto is_live = [&live](int w) {
+    return std::find(live.begin(), live.end(), w) != live.end();
+  };
+  const int needed =
+      std::min<int>(min_copies, static_cast<int>(live.size()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, slot] : entries_) {
+    for (const Entry& e : slot) {
+      int live_copies = is_live(e.owner) ? 1 : 0;
+      for (int r : e.replicas) {
+        if (r != e.owner && is_live(r)) ++live_copies;
+      }
+      if (live_copies < needed) {
+        return Status::Internal(
+            "checkpoint replication invariant violated: fixpoint " +
+            std::to_string(key.first) + " stratum " +
+            std::to_string(key.second) + " entry of worker " +
+            std::to_string(e.owner) + " readable from " +
+            std::to_string(live_copies) + " live nodes, need " +
+            std::to_string(needed));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 void CheckpointStore::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();

@@ -43,6 +43,26 @@ class CheckpointStore {
   /// the last globally completed checkpoint), or -1 if none.
   int LastCompleteStratum(int fixpoint_id) const;
 
+  /// Drops every entry of strata > `stratum` (all fixpoints): a mid-stratum
+  /// failure aborts the partially executed stratum, and any checkpoints some
+  /// workers already wrote for it must not survive into re-execution.
+  void TruncateAfter(int stratum);
+
+  /// Recovery access grant (the DHT re-replicating after membership
+  /// change): every entry gains the `takeover_readers` as replicas and is
+  /// topped back up to `replication` copies from `live` workers. Returns
+  /// NodeFailure if any entry has no live copy left (owner and all replicas
+  /// dead) — the checkpoint is lost and incremental recovery is impossible.
+  /// Re-replication traffic is metered under kRecoveryRefetchBytes, never
+  /// under the steady-state checkpoint counters.
+  Status GrantRecoveryAccess(const std::vector<int>& live,
+                             const std::vector<int>& takeover_readers,
+                             int replication);
+
+  /// Chaos invariant: every entry of strata <= `last_stratum` must be
+  /// readable from at least min(min_copies, live.size()) live workers.
+  Status VerifyReadable(const std::vector<int>& live, int min_copies) const;
+
   /// Drops all entries (between queries / runs).
   void Clear();
 

@@ -19,14 +19,23 @@ std::vector<Tuple> DistributedTable::PrimaryRows(
 }
 
 Result<std::vector<Tuple>> DistributedTable::TakeoverRows(
-    int worker, const PartitionMap& old_pmap,
-    const PartitionMap& new_pmap) const {
+    int worker, const PartitionMap& old_pmap, const PartitionMap& new_pmap,
+    const std::vector<int>* live_sources) const {
   std::vector<Tuple> out;
   for (const Tuple& t : rows_) {
     uint64_t h = KeyHash(t);
     if (new_pmap.PrimaryOwner(h) != worker) continue;
     if (old_pmap.PrimaryOwner(h) == worker) continue;  // already had it
-    if (!old_pmap.IsOwner(worker, h)) {
+    bool fetchable = old_pmap.IsOwner(worker, h);
+    if (!fetchable && live_sources != nullptr) {
+      for (int src : *live_sources) {
+        if (src != worker && old_pmap.IsOwner(src, h)) {
+          fetchable = true;
+          break;
+        }
+      }
+    }
+    if (!fetchable) {
       return Status::NodeFailure(
           "worker " + std::to_string(worker) +
           " has no replica of a row it must take over in table " + name_ +

@@ -40,12 +40,15 @@ class DistributedTable {
 
   /// Rows that `worker` newly owns under `new_pmap` but did not own under
   /// `old_pmap` — the failed range streamed in during incremental recovery.
-  /// Verifies the worker physically holds a replica of each row under
-  /// `old_pmap` (consistent hashing guarantees this when the failure count
-  /// stays below the replication factor); returns NodeFailure otherwise.
-  Result<std::vector<Tuple>> TakeoverRows(int worker,
-                                          const PartitionMap& old_pmap,
-                                          const PartitionMap& new_pmap) const;
+  /// By default verifies the worker physically holds a replica of each row
+  /// under `old_pmap` (consistent hashing guarantees this when the failure
+  /// count stays below the replication factor); returns NodeFailure
+  /// otherwise. When `live_sources` is given (a revived or replacement
+  /// worker that held nothing), a row is instead fetchable from any live
+  /// worker that owns a replica of it under `old_pmap`.
+  Result<std::vector<Tuple>> TakeoverRows(
+      int worker, const PartitionMap& old_pmap, const PartitionMap& new_pmap,
+      const std::vector<int>* live_sources = nullptr) const;
 
   /// Hash of a row's partition key.
   uint64_t KeyHash(const Tuple& row) const {

@@ -194,6 +194,95 @@ TEST(CheckpointStoreTest, OverwriteOnReexecution) {
   EXPECT_EQ(store.LastCompleteStratum(9), -1);
 }
 
+TEST(CheckpointStoreTest, GrantRecoveryAccessAdmitsTakeoverReaders) {
+  CheckpointStore store;
+  store.Put(/*fixpoint=*/3, /*stratum=*/0, /*owner=*/1, /*replicas=*/{1, 2},
+            {Tuple{Value(5)}});
+  // Worker 3 holds no copy: the DHT refuses it anything to read.
+  auto before = store.Read(3, 0, 3);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());
+
+  // Worker 1 fails; worker 3 takes over its ranges. The recovery grant
+  // re-replicates the entry to the takeover reader and meters the copy
+  // traffic as recovery refetch, not steady-state checkpointing.
+  const int64_t checkpoint_bytes =
+      store.metrics().GetCounter(metrics::kCheckpointBytes)->value();
+  ASSERT_TRUE(store.GrantRecoveryAccess(/*live=*/{0, 2, 3},
+                                        /*takeover_readers=*/{3},
+                                        /*replication=*/3)
+                  .ok());
+  auto after = store.Read(3, 0, 3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);
+  EXPECT_GT(
+      store.metrics().GetCounter(metrics::kRecoveryRefetchBytes)->value(), 0);
+  EXPECT_EQ(store.metrics().GetCounter(metrics::kCheckpointBytes)->value(),
+            checkpoint_bytes);
+}
+
+TEST(CheckpointStoreTest, GrantRecoveryAccessFailsWithoutLiveCopy) {
+  CheckpointStore store;
+  store.Put(4, 0, 1, {1, 2}, {Tuple{Value(8)}});
+  // Owner and every replica are dead: the Δ set is unrecoverable and
+  // incremental recovery must be refused loudly.
+  Status st = store.GrantRecoveryAccess(/*live=*/{0, 3},
+                                        /*takeover_readers=*/{3},
+                                        /*replication=*/3);
+  EXPECT_EQ(st.code(), StatusCode::kNodeFailure);
+}
+
+TEST(CheckpointStoreTest, ReplicaChoiceSurvivesPartitionMapChange) {
+  // The writer picked replicas under the original partition map. After a
+  // failure installs a new map, the surviving original replicas keep their
+  // copies: a grant adds readers, never revokes them.
+  CheckpointStore store;
+  store.Put(6, 0, 0, {0, 2}, {Tuple{Value(1)}});
+  store.Put(6, 1, 0, {0, 2}, {Tuple{Value(2)}});
+  ASSERT_TRUE(store.GrantRecoveryAccess(/*live=*/{0, 2, 3},
+                                        /*takeover_readers=*/{3},
+                                        /*replication=*/3)
+                  .ok());
+  for (int stratum : {0, 1}) {
+    auto replica = store.Read(6, stratum, 2);
+    ASSERT_TRUE(replica.ok());
+    EXPECT_EQ(replica->size(), 1u) << "stratum " << stratum;
+    auto takeover = store.Read(6, stratum, 3);
+    ASSERT_TRUE(takeover.ok());
+    EXPECT_EQ(takeover->size(), 1u) << "stratum " << stratum;
+  }
+  // A second membership change (worker 2 fails next) still finds enough
+  // live copies because the first grant topped the entry back up.
+  ASSERT_TRUE(store.VerifyReadable(/*live=*/{0, 3}, /*min_copies=*/2).ok());
+}
+
+TEST(CheckpointStoreTest, TruncateAfterDropsAbortedStrata) {
+  CheckpointStore store;
+  store.Put(1, 0, 0, {0, 1}, {Tuple{Value(1)}});
+  store.Put(1, 1, 0, {0, 1}, {Tuple{Value(2)}});
+  store.Put(1, 2, 0, {0, 1}, {Tuple{Value(3)}});
+  EXPECT_EQ(store.LastCompleteStratum(1), 2);
+  store.TruncateAfter(0);
+  EXPECT_EQ(store.LastCompleteStratum(1), 0);
+  auto gone = store.Read(1, 1, 0);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty());
+  auto kept = store.Read(1, 0, 0);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 1u);
+}
+
+TEST(CheckpointStoreTest, VerifyReadableFlagsUnderReplication) {
+  CheckpointStore store;
+  store.Put(2, 0, 1, {1, 2}, {Tuple{Value(9)}});
+  EXPECT_TRUE(store.VerifyReadable({0, 1, 2, 3}, 2).ok());
+  // With both copy holders dead the invariant checker must trip.
+  EXPECT_FALSE(store.VerifyReadable({0, 3}, 2).ok());
+  // min_copies is clamped to the live count: a 1-node rump cluster with
+  // its single copy alive still passes.
+  EXPECT_TRUE(store.VerifyReadable({1}, 2).ok());
+}
+
 TEST(PartitionMapTest, TakeoverGoesToFormerReplica) {
   PartitionMap pmap({0, 1, 2, 3, 4}, /*replication=*/3);
   Rng rng(5);
