@@ -9,6 +9,7 @@ namespace rexbench {
 namespace {
 
 Result<double> RunWithBatch(size_t batch_size, int invoke_overhead) {
+  const std::string label = "batch=" + std::to_string(batch_size);
   EngineConfig cfg = BenchEngineConfig(4);
   cfg.udf_batch_size = batch_size;
   cfg.udf_invoke_overhead = invoke_overhead;
@@ -48,6 +49,7 @@ Result<double> RunWithBatch(size_t batch_size, int invoke_overhead) {
   top = plan.AddGroupBy(top, agg);
   plan.AddSink(top);
   REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan));
+  RecordProfile(label, std::move(run.profile));
   return run.total_seconds;
 }
 
@@ -71,5 +73,6 @@ int main(int argc, char** argv) {
                         "reflection-style invocation overhead");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("ablation_batching");
   return 0;
 }

@@ -29,6 +29,9 @@ Result<double> RunFlatAgg(bool enable_preagg) {
           "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1",
           ctx));
   REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(compiled.spec));
+  RecordProfile(enable_preagg ? "flat-agg/with-combiner"
+                              : "flat-agg/no-combiner",
+                std::move(run.profile));
   return run.total_seconds;
 }
 
@@ -54,6 +57,8 @@ Result<std::pair<double, int64_t>> RunPr(bool preagg) {
   REX_RETURN_NOT_OK(RegisterPageRankUdfs(cluster.udfs(), cfg));
   REX_ASSIGN_OR_RETURN(PlanSpec plan, BuildPageRankDeltaPlan(cfg));
   REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan));
+  RecordProfile(preagg ? "pagerank/with-preagg" : "pagerank/no-preagg",
+                std::move(run.profile));
   return std::make_pair(run.total_seconds, run.total_bytes_sent);
 }
 
@@ -80,5 +85,6 @@ int main(int argc, char** argv) {
   rexbench::PrintHeader("Ablation A2", "Pre-aggregation pushdown (§5.2)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("ablation_preagg");
   return 0;
 }

@@ -63,6 +63,9 @@ Result<double> RunWithOrder(bool cheap_first) {
   top = plan.AddGroupBy(top, agg);
   plan.AddSink(top);
   REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan));
+  RecordProfile(cheap_first ? "rank-order(cheap-first)"
+                            : "anti-rank(expensive-first)",
+                std::move(run.profile));
   return run.total_seconds;
 }
 
@@ -86,5 +89,6 @@ int main(int argc, char** argv) {
                         "Rank-ordered UDF predicates (§5.1)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("ablation_udf_order");
   return 0;
 }

@@ -46,7 +46,8 @@ struct SoakRun {
   int recoveries = 0;
 };
 
-SoakRun RunOnce(const FaultSchedule& faults) {
+SoakRun RunOnce(const FaultSchedule& faults,
+                const char* profile_label = nullptr) {
   SoakRun out;
   Cluster cluster(SoakConfig());
   if (!LoadGraphTables(&cluster, Graph()).ok()) return out;
@@ -58,6 +59,9 @@ SoakRun RunOnce(const FaultSchedule& faults) {
   options.faults = faults;
   auto run = cluster.Run(*plan, options);
   if (!run.ok()) return out;
+  if (profile_label != nullptr) {
+    RecordProfile(profile_label, std::move(run->profile));
+  }
   auto dist = DistancesFromState(run->fixpoint_state, Graph().num_vertices);
   if (!dist.ok()) return out;
   out.distances = *dist;
@@ -91,7 +95,8 @@ void SoakStrategy(RecoveryStrategy strategy, const SoakRun& baseline,
     const uint64_t seed = base + static_cast<uint64_t>(i);
     FaultSchedule schedule = MakeChaosSchedule(seed, profile);
     schedule.strategy = strategy;
-    SoakRun got = RunOnce(schedule);
+    // Keep one representative faulted profile per strategy in the report.
+    SoakRun got = RunOnce(schedule, i == 0 ? series : nullptr);
     if (!got.ok) {
       failures += 1;
       Note(std::string("soak FAILED seed=") + std::to_string(seed));
@@ -140,7 +145,7 @@ void SoakStrategy(RecoveryStrategy strategy, const SoakRun& baseline,
 
 void BM_ChaosSoak(benchmark::State& state) {
   for (auto _ : state) {
-    SoakRun baseline = RunOnce(FaultSchedule{});
+    SoakRun baseline = RunOnce(FaultSchedule{}, "Baseline");
     if (!baseline.ok) {
       Note("baseline run failed; aborting soak");
       return;
@@ -167,5 +172,6 @@ int main(int argc, char** argv) {
       "Seeded fault schedules vs no-failure reference (SSSP, rf=3)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("chaos_soak");
   return 0;
 }

@@ -18,6 +18,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/profile.h"
 
 namespace rexbench {
 
@@ -46,6 +50,49 @@ inline void Row(const char* figure, const std::string& series, double x,
 
 inline void Note(const std::string& text) {
   std::printf("NOTE %s\n", text.c_str());
+}
+
+/// Per-binary accumulator for the structured run reports: every profiled
+/// run is recorded under a series label, and the binary writes one
+/// BENCH_<name>.json on exit (schema in src/obs/profile.h, checked by the
+/// golden-schema test).
+class BenchProfileLog {
+ public:
+  static BenchProfileLog& Instance() {
+    static BenchProfileLog log;
+    return log;
+  }
+
+  void Record(rex::QueryProfile profile) {
+    runs_.push_back(std::move(profile));
+  }
+  const std::vector<rex::QueryProfile>& runs() const { return runs_; }
+
+ private:
+  BenchProfileLog() = default;
+  std::vector<rex::QueryProfile> runs_;
+};
+
+/// Labels and records one run's profile in the binary-wide log.
+inline void RecordProfile(const std::string& label,
+                          rex::QueryProfile profile) {
+  profile.name = label;
+  BenchProfileLog::Instance().Record(std::move(profile));
+}
+
+/// Writes BENCH_<name>.json in the working directory. Call once at the end
+/// of main; a failed write is reported but does not fail the bench.
+inline void WriteBenchReport(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  const auto& runs = BenchProfileLog::Instance().runs();
+  rex::Status st = rex::WriteBenchReportFile(path, name, runs);
+  if (st.ok()) {
+    std::printf("REPORT %s (%zu run%s)\n", path.c_str(), runs.size(),
+                runs.size() == 1 ? "" : "s");
+  } else {
+    std::fprintf(stderr, "REPORT %s failed: %s\n", path.c_str(),
+                 st.ToString().c_str());
+  }
 }
 
 }  // namespace rexbench

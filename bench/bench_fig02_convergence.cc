@@ -19,6 +19,7 @@ void BM_Convergence(benchmark::State& state) {
     if (!plan.ok()) return;
     auto run = cluster.Run(*plan);
     if (!run.ok()) return;
+    RecordProfile("PageRankDelta", run->profile);
     const auto n = static_cast<double>(graph.num_vertices);
     for (const StratumReport& s : run->strata) {
       if (s.stratum == 0) continue;
@@ -41,5 +42,6 @@ int main(int argc, char** argv) {
                         "PageRank convergence behavior (Δᵢ set decay)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig02");
   return 0;
 }

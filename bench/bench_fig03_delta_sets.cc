@@ -9,6 +9,7 @@ namespace {
 
 void EmitDeltaSets(const char* algo, const QueryRunResult& run,
                    int64_t immutable_size, int64_t mutable_size) {
+  RecordProfile(algo, run.profile);
   Row("fig3", std::string(algo) + "/immutable", 0,
       static_cast<double>(immutable_size), "tuples");
   Row("fig3", std::string(algo) + "/mutable", 0,
@@ -98,5 +99,6 @@ int main(int argc, char** argv) {
       "Figure 3", "Types of recursive data: immutable / mutable / Δᵢ sets");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig03");
   return 0;
 }

@@ -74,7 +74,7 @@ Status RegisterFig4Udfs(UdfRegistry* udfs) {
   return udfs->RegisterUda(agg);
 }
 
-double RunRexRql(const std::string& query) {
+double RunRexRql(const std::string& label, const std::string& query) {
   Cluster cluster(BenchEngineConfig(kWorkers));
   if (!cluster.CreateTable("lineitem", LineitemSchema(), 0, Lineitem())
            .ok()) {
@@ -91,12 +91,14 @@ double RunRexRql(const std::string& query) {
     return -1;
   }
   auto run = cluster.Run(compiled->spec);
+  if (run.ok()) RecordProfile(label, run->profile);
   return run.ok() ? run->total_seconds : -1;
 }
 
 void BM_RexBuiltin(benchmark::State& state) {
   for (auto _ : state) {
     double t = RunRexRql(
+        "REX-builtin",
         "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1");
     Row("fig4", "REX-builtin", 0, t, "s");
   }
@@ -106,6 +108,7 @@ BENCHMARK(BM_RexBuiltin)->Unit(benchmark::kMillisecond)->Iterations(1);
 void BM_RexUdf(benchmark::State& state) {
   for (auto _ : state) {
     double t = RunRexRql(
+        "REX-UDF",
         "SELECT SumCountTax(tax) FROM lineitem WHERE gt_one(linenumber)");
     Row("fig4", "REX-UDF", 0, t, "s");
   }
@@ -168,6 +171,7 @@ void BM_RexWrap(benchmark::State& state) {
     auto plan = BuildWrapJobPlan(options);
     if (!plan.ok()) return;
     auto run = cluster.Run(*plan);
+    if (run.ok()) RecordProfile("REX-wrap", run->profile);
     Row("fig4", "REX-wrap", 0, run.ok() ? run->total_seconds : -1, "s");
   }
 }
@@ -190,5 +194,6 @@ int main(int argc, char** argv) {
                  std::to_string(rexbench::Lineitem().size()));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig04");
   return 0;
 }

@@ -38,6 +38,9 @@ void RunPoint(double size_label, const std::vector<Tuple>& points) {
     auto plan = BuildKMeansDeltaPlan(cfg);
     if (!plan.ok()) return;
     auto run = cluster.Run(*plan);
+    if (run.ok()) {
+      RecordProfile("REXdelta/" + std::to_string(size_label), run->profile);
+    }
     Row("fig5", "REXdelta", size_label,
         run.ok() ? run->total_seconds : -1, "s");
   }
@@ -63,5 +66,6 @@ int main(int argc, char** argv) {
   rexbench::PrintHeader("Figure 5", "K-means scalability (size sweep)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig05");
   return 0;
 }

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
                  std::to_string(rexbench::Graph().edges.size()) + " edges");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig06");
   return 0;
 }

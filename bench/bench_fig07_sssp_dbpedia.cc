@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
                         "per-iteration; REX Δ runs to full reachability");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig07");
   return 0;
 }

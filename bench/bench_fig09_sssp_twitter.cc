@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
   rexbench::PrintHeader("Figure 9", "Shortest path (Twitter-like)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig09");
   return 0;
 }

@@ -29,6 +29,8 @@ void BM_RexScaling(benchmark::State& state) {
         Note("scaling run failed: " + r.status().ToString());
         return;
       }
+      RecordProfile("REXdelta/" + std::to_string(workers) + "w",
+                    r->profile);
       Row("fig10a", "REXdelta", workers, r->total_seconds, "s");
       if (workers == 1) one_node = r->total_seconds;
       Row("fig10b", "REXdelta/speedup", workers,
@@ -67,5 +69,6 @@ int main(int argc, char** argv) {
                         "DBMS X lower bound");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig10");
   return 0;
 }

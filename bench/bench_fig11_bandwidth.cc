@@ -35,15 +35,18 @@ void BM_PageRankBandwidth(benchmark::State& state) {
   for (auto _ : state) {
     auto rex = RunRexPageRank(Graph(), RexMode::kDelta, kWorkers, 31);
     if (rex.ok()) {
+      RecordProfile("pagerank/REXdelta", rex->profile);
       EmitBoth("fig11b", "REXdelta", rex->bytes_sent, rex->total_seconds);
     }
     auto haloop = RunMrPageRankSeries(Graph(), true, kWorkers, 31);
     if (haloop.ok()) {
+      RecordProfile("pagerank/HaLoopLB", haloop->profile);
       EmitBoth("fig11b", "HaLoopLB", haloop->bytes_sent,
                haloop->total_seconds);
     }
     auto hadoop = RunMrPageRankSeries(Graph(), false, kWorkers, 31);
     if (hadoop.ok()) {
+      RecordProfile("pagerank/HadoopLB", hadoop->profile);
       EmitBoth("fig11b", "HadoopLB", hadoop->bytes_sent,
                hadoop->total_seconds);
     }
@@ -55,15 +58,18 @@ void BM_SsspBandwidth(benchmark::State& state) {
   for (auto _ : state) {
     auto rex = RunRexSssp(Graph(), /*delta=*/true, kWorkers, 15);
     if (rex.ok()) {
+      RecordProfile("sssp/REXdelta", rex->profile);
       EmitBoth("fig11a", "REXdelta", rex->bytes_sent, rex->total_seconds);
     }
     auto haloop = RunMrSsspSeries(Graph(), true, kWorkers, 15);
     if (haloop.ok()) {
+      RecordProfile("sssp/HaLoopLB", haloop->profile);
       EmitBoth("fig11a", "HaLoopLB", haloop->bytes_sent,
                haloop->total_seconds);
     }
     auto hadoop = RunMrSsspSeries(Graph(), false, kWorkers, 15);
     if (hadoop.ok()) {
+      RecordProfile("sssp/HadoopLB", hadoop->profile);
       EmitBoth("fig11a", "HadoopLB", hadoop->bytes_sent,
                hadoop->total_seconds);
     }
@@ -79,5 +85,6 @@ int main(int argc, char** argv) {
                         "Average bandwidth per node (Twitter-like)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig11");
   return 0;
 }

@@ -15,7 +15,8 @@ GraphData& Graph() {
   return graph;
 }
 
-Result<double> RunWithFailure(FailureInjection failure) {
+Result<double> RunWithFailure(const std::string& label,
+                              FailureInjection failure) {
   Cluster cluster(BenchEngineConfig(kWorkers));
   REX_RETURN_NOT_OK(LoadGraphTables(&cluster, Graph()));
   SsspConfig cfg;
@@ -24,12 +25,13 @@ Result<double> RunWithFailure(FailureInjection failure) {
   QueryOptions options;
   options.failure = failure;
   REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan, options));
+  RecordProfile(label, std::move(run.profile));
   return run.total_seconds;
 }
 
 void BM_Recovery(benchmark::State& state) {
   for (auto _ : state) {
-    auto baseline = RunWithFailure(FailureInjection{});
+    auto baseline = RunWithFailure("No-failure", FailureInjection{});
     if (!baseline.ok()) return;
 
     // Probe the query's iteration count to size the sweep.
@@ -44,12 +46,13 @@ void BM_Recovery(benchmark::State& state) {
       restart.worker = 1;
       restart.before_stratum = k;
       restart.strategy = RecoveryStrategy::kRestart;
-      auto r = RunWithFailure(restart);
+      auto r = RunWithFailure("Restart/k=" + std::to_string(k), restart);
       Row("fig12", "Restart", k, r.ok() ? *r : -1, "s");
 
       FailureInjection incremental = restart;
       incremental.strategy = RecoveryStrategy::kIncremental;
-      auto i = RunWithFailure(incremental);
+      auto i = RunWithFailure("Incremental/k=" + std::to_string(k),
+                              incremental);
       Row("fig12", "Incremental", k, i.ok() ? *i : -1, "s");
     }
   }
@@ -64,5 +67,6 @@ int main(int argc, char** argv) {
       "Figure 12", "Recovery from node failure (shortest path, rf=3)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("fig12");
   return 0;
 }

@@ -5,6 +5,7 @@
 #define REX_BENCH_WORKLOADS_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "algos/kmeans.h"
@@ -23,6 +24,9 @@ struct SeriesResult {
   double total_seconds = 0;
   int64_t bytes_sent = 0;  // network/shuffle volume
   int iterations = 0;
+  /// The run's structured profile (assembled by the driver for REX runs;
+  /// synthesized from iteration reports for MapReduce runs).
+  QueryProfile profile;
 };
 
 enum class RexMode { kDelta, kNoDelta, kWrap };
@@ -88,6 +92,7 @@ inline Result<SeriesResult> RunRexPageRank(const GraphData& graph,
   out.total_seconds = run.total_seconds;
   out.bytes_sent = run.total_bytes_sent;
   out.iterations = static_cast<int>(out.per_iteration_seconds.size());
+  out.profile = std::move(run.profile);
   return out;
 }
 
@@ -116,6 +121,7 @@ inline Result<SeriesResult> RunRexSssp(const GraphData& graph, bool delta,
   out.total_seconds = run.total_seconds;
   out.bytes_sent = run.total_bytes_sent;
   out.iterations = static_cast<int>(out.per_iteration_seconds.size());
+  out.profile = std::move(run.profile);
   return out;
 }
 
@@ -129,6 +135,16 @@ inline SeriesResult FromMrIterations(
   out.total_seconds = total;
   out.bytes_sent = shuffle_bytes;
   out.iterations = static_cast<int>(iterations.size());
+  // Synthesized minimal profile: MapReduce runs have no REX driver, but
+  // the bench report keeps per-iteration wall time comparable.
+  out.profile.total_seconds = total;
+  out.profile.strata_executed = out.iterations;
+  for (size_t i = 0; i < iterations.size(); ++i) {
+    StratumProfile s;
+    s.stratum = static_cast<int>(i);
+    s.seconds = iterations[i].seconds;
+    out.profile.strata.push_back(s);
+  }
   return out;
 }
 
@@ -167,6 +183,7 @@ inline Result<SeriesResult> RunMrSsspSeries(const GraphData& graph,
 inline void EmitRecursiveSeries(const char* figure,
                                 const std::string& series,
                                 const SeriesResult& result) {
+  RecordProfile(series, result.profile);
   double cumulative = 0;
   for (size_t i = 0; i < result.per_iteration_seconds.size(); ++i) {
     cumulative += result.per_iteration_seconds[i];

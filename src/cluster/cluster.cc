@@ -81,6 +81,7 @@ const PartitionMap* Cluster::PushPartitionMap(std::vector<int> live) {
 
 Status Cluster::KillWorker(int w) {
   REX_LOG(Info) << "injecting failure of worker " << w;
+  trace_.Record(TraceEvent::Kind::kCrash, w, 0, 0);
   failed_[static_cast<size_t>(w)] = true;
   network_->MarkFailed(w);
   workers_[static_cast<size_t>(w)]->Stop();
@@ -90,6 +91,7 @@ Status Cluster::KillWorker(int w) {
 Status Cluster::ReviveWorker(int w) {
   if (!failed_[static_cast<size_t>(w)]) return Status::OK();
   REX_LOG(Info) << "restoring worker " << w << " (fresh replacement node)";
+  trace_.Record(TraceEvent::Kind::kRestore, w, 0, 0);
   // Destroy the dead node FIRST: its destructor closes the inbox, which
   // must happen before Restore() reopens it for the replacement.
   workers_[static_cast<size_t>(w)] = std::make_unique<WorkerNode>(
@@ -155,6 +157,9 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
     const PartitionMap* old_pmap = *pmap;
     *pmap = PushPartitionMap(*live);
     out->recoveries += 1;
+    const auto t_pass = std::chrono::steady_clock::now();
+    trace_.Record(TraceEvent::Kind::kRecoverBegin, out->recoveries, 0,
+                  static_cast<int64_t>(live->size()));
     if (injector != nullptr) {
       injector->NoteRecoveryRound();
       injector->BeginRecovery();
@@ -162,6 +167,7 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
 
     const int last_complete = *resume_stratum - 1;
     bool restarted = false;
+    bool used_replay = false;
     Status st;
     if (strategy == RecoveryStrategy::kRestart || last_complete < 0 ||
         !config_.checkpoint_deltas) {
@@ -182,6 +188,7 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
                                             config_.replication);
       if (st.ok()) {
         if (spec.NeedsReplayRecovery() || force_replay) {
+          used_replay = true;
           st = GuidedReplay(spec, *pmap, *live, last_complete);
         } else {
           // Phase 1 — new snapshot, reset transient state, restore
@@ -219,6 +226,19 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
       }
     }
     if (injector != nullptr) injector->EndRecovery();
+
+    RecoveryPassProfile pass;
+    pass.pass = out->recoveries;
+    pass.seconds = SecondsSince(t_pass);
+    pass.strategy = restarted ? "restart"
+                    : used_replay ? "replay"
+                                  : "incremental";
+    pass.resume_stratum = restarted ? 0 : *resume_stratum;
+    pass.live_workers = static_cast<int>(live->size());
+    pass.revived_workers = static_cast<int>(revived.size());
+    out->profile.recovery_passes.push_back(pass);
+    trace_.Record(TraceEvent::Kind::kRecoverEnd, out->recoveries, 0,
+                  pass.resume_stratum, pass.strategy);
 
     // Did the injector fail more workers during the recovery itself (or
     // schedule a during-recovery crash the traffic never triggered)?
@@ -278,6 +298,95 @@ Status Cluster::CheckRuntimeInvariants(const std::vector<int>& live,
 
 Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
                                     const QueryOptions& options) {
+  Result<QueryRunResult> res = RunInternal(spec, options);
+  if (!res.ok()) {
+    REX_LOG(Error) << "query failed: " << res.status().ToString();
+    DumpTraces();
+  }
+  return res;
+}
+
+void Cluster::DumpTraces() const {
+  REX_LOG(Error) << trace_.Dump();
+  for (const auto& w : workers_) {
+    if (w->trace()->total_recorded() > 0) {
+      REX_LOG(Error) << w->trace()->Dump();
+    }
+  }
+}
+
+void Cluster::AssembleProfile(const std::vector<int>& live,
+                              QueryRunResult* out) {
+  QueryProfile& p = out->profile;
+  p.total_seconds = out->total_seconds;
+  p.strata_executed = out->strata_executed;
+  p.recovered = out->recovered;
+  p.recoveries = out->recoveries;
+
+  for (const StratumReport& r : out->strata) {
+    StratumProfile s;
+    s.stratum = r.stratum;
+    s.seconds = r.seconds;
+    s.bytes_sent = r.bytes_sent;
+    s.delta_tuples = r.stats.new_tuples;
+    s.changed_tuples = r.stats.changed_tuples;
+    s.state_size = r.stats.state_size;
+    s.max_change = r.stats.max_change;
+    p.strata.push_back(s);
+  }
+
+  for (const auto& [key, stats] : votes_.SnapshotTotals()) {
+    FixpointStratumProfile f;
+    f.fixpoint_id = key.first;
+    f.stratum = key.second;
+    f.delta_tuples = stats.new_tuples;
+    f.state_size = stats.state_size;
+    p.fixpoint_deltas.push_back(f);
+  }
+
+  for (int w = 0; w < num_workers(); ++w) {
+    WorkerProfile wp;
+    wp.worker = w;
+    wp.live_at_end = !failed_[static_cast<size_t>(w)];
+    wp.bytes_sent = network_->BytesSentBy(w);
+    MetricsRegistry* m = workers_[static_cast<size_t>(w)]->metrics();
+    wp.counters = m->Snapshot();
+    wp.timers = m->TimersSnapshot();
+    p.workers.push_back(std::move(wp));
+  }
+
+  p.bytes_matrix = network_->BytesMatrix();
+
+  for (int w : live) {
+    LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
+    if (plan == nullptr) continue;
+    for (LocalOperatorStats& s : plan->StatsSnapshot()) {
+      OperatorProfile op;
+      op.worker = w;
+      op.op_id = s.op_id;
+      op.name = s.name;
+      op.deltas_emitted = s.deltas_emitted;
+      for (size_t port = 0; port < s.ports.size(); ++port) {
+        OperatorPortProfile pp;
+        pp.port = static_cast<int>(port);
+        pp.batches = s.ports[port].batches;
+        pp.tuples = s.ports[port].tuples;
+        pp.puncts = s.ports[port].puncts;
+        pp.consume_nanos = s.ports[port].consume_nanos;
+        op.ports.push_back(pp);
+      }
+      p.operators.push_back(std::move(op));
+    }
+  }
+
+  MetricsRegistry& ckpt = checkpoints_.metrics();
+  p.checkpoint_bytes = ckpt.Value(metrics::kCheckpointBytes);
+  p.checkpoint_tuples = ckpt.Value(metrics::kCheckpointTuples);
+  p.recovery_refetch_bytes = ckpt.Value(metrics::kRecoveryRefetchBytes);
+}
+
+Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
+                                            const QueryOptions& options) {
   if (!started_) REX_RETURN_NOT_OK(Start());
   REX_RETURN_NOT_OK(spec.Validate());
 
@@ -368,6 +477,7 @@ Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
 
     const auto t_stratum = std::chrono::steady_clock::now();
     const int64_t bytes_before = network_->TotalBytesSent();
+    trace_.Record(TraceEvent::Kind::kStratumStart, 0, 0, stratum);
 
     ControlMsg start;
     start.kind = ControlMsg::Kind::kStartStratum;
@@ -463,6 +573,7 @@ Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
   }
   out.total_seconds = SecondsSince(t_query);
   out.total_bytes_sent = network_->TotalBytesSent();
+  AssembleProfile(live, &out);
   return out;
 }
 

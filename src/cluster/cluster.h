@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/worker.h"
+#include "obs/profile.h"
 #include "optimizer/stats.h"
 #include "sim/chaos_injector.h"
 #include "sim/fault_schedule.h"
@@ -65,6 +66,11 @@ struct QueryRunResult {
   int recoveries = 0;
   /// What the chaos injector actually did (zeroed when no schedule ran).
   ChaosStats chaos;
+  /// Structured observability artifact assembled by the driver after the
+  /// run: per-stratum timing/Δ cardinality, per-fixpoint Δ series,
+  /// per-worker counters + timers, the (sender, receiver) byte matrix,
+  /// per-operator port stats, recovery-pass timings, checkpoint volume.
+  QueryProfile profile;
 };
 
 class Cluster {
@@ -94,8 +100,14 @@ class Cluster {
 
   /// Optimizes nothing — executes the given physical plan (the optimizer
   /// and RQL layers produce PlanSpecs; algorithms may hand-build them).
+  /// On any error the driver and worker trace rings are dumped to the log
+  /// before the Status propagates.
   Result<QueryRunResult> Run(const PlanSpec& spec,
                              const QueryOptions& options = {});
+
+  /// The driver's bounded event trace (crashes, restores, recovery passes,
+  /// stratum starts).
+  TraceRing* trace() { return &trace_; }
 
   /// Brings previously failed workers back (fresh, empty state) so the
   /// same cluster can run further experiments.
@@ -112,6 +124,12 @@ class Cluster {
       const std::string& udf_name, const NodeCalibration& calib) const;
 
  private:
+  Result<QueryRunResult> RunInternal(const PlanSpec& spec,
+                                     const QueryOptions& options);
+  /// Fills out->profile from the post-run state (network quiescent).
+  void AssembleProfile(const std::vector<int>& live, QueryRunResult* out);
+  /// Logs the driver's and every running worker's trace ring (error path).
+  void DumpTraces() const;
   Status Broadcast(const ControlMsg& c, const std::vector<int>& targets);
   Status CheckWorkerErrors(const std::vector<int>& live) const;
   Status KillWorker(int w);
@@ -152,6 +170,7 @@ class Cluster {
   /// Partition snapshots must outlive every worker context that references
   /// them, so superseded maps are retained for the cluster's lifetime.
   std::vector<std::unique_ptr<PartitionMap>> pmap_history_;
+  TraceRing trace_{"driver"};
   bool started_ = false;
 };
 

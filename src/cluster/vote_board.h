@@ -67,6 +67,22 @@ class VoteBoard {
     return it == votes_.end() ? 0 : static_cast<int>(it->second.size());
   }
 
+  /// Aggregated stats for every (fixpoint, stratum) with at least one vote,
+  /// in (fixpoint, stratum) order. Profiler snapshot: Fig. 3's per-stratum
+  /// Δᵢ series comes straight from these totals.
+  std::vector<std::pair<std::pair<int, int>, VoteStats>> SnapshotTotals()
+      const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::pair<int, int>, VoteStats>> out;
+    out.reserve(votes_.size());
+    for (const auto& [key, entries] : votes_) {
+      VoteStats total;
+      for (const auto& [worker, stats] : entries) total.Merge(stats);
+      out.emplace_back(key, total);
+    }
+    return out;
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mutex_);
     votes_.clear();

@@ -8,7 +8,9 @@ WorkerNode::WorkerNode(int id, Network* network, StorageCatalog* storage,
                        UdfRegistry* udfs, VoteBoard* votes,
                        CheckpointStore* checkpoints,
                        const EngineConfig* config)
-    : id_(id), network_(network) {
+    : id_(id),
+      network_(network),
+      trace_("worker " + std::to_string(id)) {
   ctx_.worker_id = id;
   ctx_.network = network;
   ctx_.storage = storage;
@@ -17,6 +19,11 @@ WorkerNode::WorkerNode(int id, Network* network, StorageCatalog* storage,
   ctx_.votes = votes;
   ctx_.checkpoints = checkpoints;
   ctx_.config = config;
+  ctx_.trace = &trace_;
+  dup_discarded_ = metrics_.GetCounter(metrics::kDupDiscarded);
+  if (config == nullptr || config->profile_operators) {
+    dispatch_timer_ = metrics_.GetTimer(metrics::kDispatchTimer);
+  }
 }
 
 WorkerNode::~WorkerNode() { Stop(); }
@@ -59,7 +66,7 @@ void WorkerNode::RunLoop() {
       // numbers (chaos-injected duplicate deliveries).
       uint64_t& last = last_seq_[msg->from_worker];
       if (msg->seq <= last) {
-        metrics_.GetCounter(metrics::kDupDiscarded)->Add(1);
+        dup_discarded_->Add(1);
         network_->OnMessageProcessed();
         continue;
       }
@@ -71,7 +78,9 @@ void WorkerNode::RunLoop() {
         // Record the first failure and keep draining so the driver's
         // quiescence wait terminates; it surfaces the error afterwards.
         error_ = st;
+        trace_.Record(TraceEvent::Kind::kError, 0, 0, 0, st.ToString());
         REX_LOG(Error) << "worker " << id_ << ": " << st.ToString();
+        REX_LOG(Error) << trace_.Dump();
       }
     }
     network_->OnMessageProcessed();
@@ -79,18 +88,52 @@ void WorkerNode::RunLoop() {
 }
 
 Status WorkerNode::Dispatch(Message& msg) {
+  ScopedTimer timed(dispatch_timer_);
   switch (msg.kind) {
     case Message::Kind::kControl:
+      trace_.Record(TraceEvent::Kind::kControl,
+                    static_cast<int>(msg.control.kind), 0,
+                    msg.control.stratum);
       return HandleControl(msg.control);
-    case Message::Kind::kData:
+    case Message::Kind::kData: {
       if (plan_ == nullptr) return Status::Internal("data before plan");
+      REX_RETURN_NOT_OK(ValidateTarget(msg));
+      trace_.Record(TraceEvent::Kind::kDispatchData, msg.target_op,
+                    msg.target_port,
+                    static_cast<int64_t>(msg.deltas.size()));
       return plan_->op(msg.target_op)
           ->Consume(msg.target_port, std::move(msg.deltas));
-    case Message::Kind::kPunctuation:
+    }
+    case Message::Kind::kPunctuation: {
       if (plan_ == nullptr) return Status::Internal("punct before plan");
+      REX_RETURN_NOT_OK(ValidateTarget(msg));
+      trace_.Record(TraceEvent::Kind::kDispatchPunct, msg.target_op,
+                    msg.target_port, 0);
       return plan_->op(msg.target_op)->OnPunct(msg.target_port, msg.punct);
+    }
   }
   return Status::Internal("unknown message kind");
+}
+
+/// Bounds-checks a data/punctuation message's target before indexing into
+/// the plan: a corrupted or mis-routed message must surface as a worker
+/// error, not undefined behavior.
+Status WorkerNode::ValidateTarget(const Message& msg) const {
+  if (msg.target_op < 0 || msg.target_op >= plan_->size()) {
+    return Status::Internal(
+        "dispatch: message from worker " + std::to_string(msg.from_worker) +
+        " targets op " + std::to_string(msg.target_op) + " but plan has " +
+        std::to_string(plan_->size()) + " operators");
+  }
+  const Operator* op = plan_->op(msg.target_op);
+  if (msg.target_port < 0 || msg.target_port >= op->num_ports()) {
+    return Status::Internal(
+        "dispatch: message from worker " + std::to_string(msg.from_worker) +
+        " targets port " + std::to_string(msg.target_port) + " of op " +
+        std::to_string(msg.target_op) + " (" + op->name() + ") which has " +
+        std::to_string(op->num_ports()) + " ports");
+  }
+  return Status::OK();
 }
 
 Status WorkerNode::HandleControl(const ControlMsg& c) {

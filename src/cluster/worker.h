@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "engine/local_plan.h"
+#include "obs/trace_ring.h"
 
 namespace rex {
 
@@ -45,10 +46,14 @@ class WorkerNode {
   LocalPlan* plan() { return plan_.get(); }
   MetricsRegistry* metrics() { return &metrics_; }
   ExecContext* ctx() { return &ctx_; }
+  /// Bounded event trace: dispatches, control verbs, checkpoint writes.
+  /// Dumped to the log when this worker records its first error.
+  TraceRing* trace() { return &trace_; }
 
  private:
   void RunLoop();
   Status Dispatch(Message& msg);
+  Status ValidateTarget(const Message& msg) const;
   Status HandleControl(const ControlMsg& c);
 
   int id_;
@@ -57,6 +62,11 @@ class WorkerNode {
   /// (chaos injection: "TCP retransmissions") are discarded exactly-once.
   std::unordered_map<int, uint64_t> last_seq_;
   MetricsRegistry metrics_;
+  TraceRing trace_;
+  /// Hot-path metric handles, resolved once at construction (a name lookup
+  /// per message would take the registry mutex on every dispatch).
+  Counter* dup_discarded_ = nullptr;
+  Timer* dispatch_timer_ = nullptr;  // null when profiling is off
   ExecContext ctx_;
   std::unique_ptr<LocalPlan> plan_;
   std::thread thread_;

@@ -4,6 +4,74 @@
 
 namespace rex {
 
+namespace {
+
+int Log2Bucket(int64_t nanos) {
+  if (nanos <= 1) return 0;
+  int b = 0;
+  uint64_t v = static_cast<uint64_t>(nanos);
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return std::min(b, Timer::kBuckets - 1);
+}
+
+/// Relaxed atomic min/max update (hot path: no ordering needed, snapshots
+/// read while quiescent).
+void AtomicMin(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Timer::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  const int64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  if (prior == 0) {
+    // First sample seeds min (otherwise 0 would win every AtomicMin).
+    min_nanos_.store(nanos, std::memory_order_relaxed);
+  } else {
+    AtomicMin(&min_nanos_, nanos);
+  }
+  AtomicMax(&max_nanos_, nanos);
+  buckets_[Log2Bucket(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+TimerStats Timer::Snapshot() const {
+  TimerStats out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  out.min_nanos = out.count == 0
+                      ? 0
+                      : min_nanos_.load(std::memory_order_relaxed);
+  out.max_nanos = max_nanos_.load(std::memory_order_relaxed);
+  out.histogram.reserve(kBuckets);
+  for (const auto& b : buckets_) {
+    out.histogram.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Timer::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -11,10 +79,23 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
+Timer* MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return slot.get();
+}
+
 int64_t MetricsRegistry::Value(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+TimerStats MetricsRegistry::TimerValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  return it == timers_.end() ? TimerStats{} : it->second->Snapshot();
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot()
@@ -28,9 +109,21 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot()
   return out;
 }
 
+std::vector<std::pair<std::string, TimerStats>>
+MetricsRegistry::TimersSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, TimerStats>> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    out.emplace_back(name, timer->Snapshot());
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Set(0);
+  for (auto& [name, timer] : timers_) timer->Reset();
 }
 
 }  // namespace rex

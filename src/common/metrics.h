@@ -8,6 +8,7 @@
 #define REX_COMMON_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,25 +30,101 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// Thread-safe name -> Counter map. Counter pointers remain valid for the
-/// registry's lifetime, so hot paths can cache them.
+/// Point-in-time view of a Timer, including its log2-bucketed latency
+/// histogram: bucket b counts samples with 2^b <= nanos < 2^(b+1)
+/// (bucket 0 additionally holds 0-ns samples).
+struct TimerStats {
+  int64_t count = 0;
+  int64_t total_nanos = 0;
+  int64_t min_nanos = 0;  // 0 when count == 0
+  int64_t max_nanos = 0;
+  std::vector<int64_t> histogram;  // kTimerBuckets entries
+
+  double mean_nanos() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_nanos) /
+                            static_cast<double>(count);
+  }
+};
+
+/// An accumulating wall-time recorder: count, total, min/max, and a
+/// fixed-size log2 histogram. All updates are relaxed atomics so hot paths
+/// can record without coordination; snapshots are approximate under
+/// concurrency (exact once the network is quiescent, which is when the
+/// profiler reads them).
+class Timer {
+ public:
+  static constexpr int kBuckets = 48;  // 2^47 ns ≈ 39 hours: plenty
+
+  void Record(int64_t nanos);
+
+  TimerStats Snapshot() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> total_nanos_{0};
+  std::atomic<int64_t> min_nanos_{0};
+  std::atomic<int64_t> max_nanos_{0};
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+/// RAII helper: records the elapsed wall time into `timer` on destruction.
+/// A null timer disables measurement (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(timer),
+        start_(timer == nullptr ? std::chrono::steady_clock::time_point{}
+                                : std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (timer_ == nullptr) return;
+    timer_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-safe name -> Counter/Timer maps. Counter and Timer pointers
+/// remain valid for the registry's lifetime, so hot paths can cache them.
 class MetricsRegistry {
  public:
   /// Returns (creating if needed) the counter with the given name.
   Counter* GetCounter(const std::string& name);
 
+  /// Returns (creating if needed) the timer with the given name.
+  Timer* GetTimer(const std::string& name);
+
   /// Current value, 0 if the counter does not exist.
   int64_t Value(const std::string& name) const;
+
+  /// Current timer stats; zeroed stats if the timer does not exist.
+  TimerStats TimerValue(const std::string& name) const;
 
   /// Snapshot of all counters, sorted by name.
   std::vector<std::pair<std::string, int64_t>> Snapshot() const;
 
-  /// Resets every counter to zero (between benchmark runs).
+  /// Snapshot of all timers, sorted by name.
+  std::vector<std::pair<std::string, TimerStats>> TimersSnapshot() const;
+
+  /// Resets every counter and timer to zero (between benchmark runs).
   void Reset();
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
 };
 
 /// Common counter names used across the engine.
@@ -67,6 +144,8 @@ inline constexpr const char kCheckpointTuples[] = "recovery.checkpoint_tuples";
 inline constexpr const char kRecoveryRefetchBytes[] =
     "recovery.refetch_bytes";
 inline constexpr const char kSpillBytes[] = "storage.spill_bytes";
+/// Per-message dispatch wall time on each worker (Timer).
+inline constexpr const char kDispatchTimer[] = "worker.dispatch";
 inline constexpr const char kMapInputRecords[] = "mr.map_input_records";
 inline constexpr const char kReduceInputRecords[] = "mr.reduce_input_records";
 inline constexpr const char kShuffleBytes[] = "mr.shuffle_bytes";

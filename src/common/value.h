@@ -117,16 +117,16 @@ class Value {
   uint64_t Hash() const {
     switch (type()) {
       case ValueType::kInt: {
-        // Ints hash through their double representation when exactly
-        // representable so 1 and 1.0 (which compare equal) hash equal.
-        int64_t i = AsInt();
-        double d = static_cast<double>(i);
-        if (static_cast<int64_t>(d) == i) {
-          uint64_t bits;
-          std::memcpy(&bits, &d, sizeof(bits));
-          return HashMix(bits);
-        }
-        return HashMix(static_cast<uint64_t>(i));
+        // Ints always hash through their double representation: mixed
+        // numeric equality compares through doubles, so 2^53 + 1 (not
+        // exactly representable) equals the double 2^53.0 and must hash
+        // like it. Distinct ints beyond 2^53 that round to the same double
+        // merely collide, which hash consumers tolerate; a hash that
+        // disagrees with operator== breaks them.
+        double d = static_cast<double>(AsInt());
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        return HashMix(bits);
       }
       case ValueType::kDouble: {
         double d = AsDouble();

@@ -81,6 +81,20 @@ Result<std::unique_ptr<LocalPlan>> LocalPlan::Instantiate(
   return plan;
 }
 
+std::vector<LocalOperatorStats> LocalPlan::StatsSnapshot() const {
+  std::vector<LocalOperatorStats> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) {
+    LocalOperatorStats s;
+    s.op_id = op->id();
+    s.name = op->name();
+    s.deltas_emitted = op->deltas_emitted();
+    s.ports = op->port_stats();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 Status LocalPlan::StartStratum(int stratum) {
   for (auto& op : ops_) REX_RETURN_NOT_OK(op->StartStratum(stratum));
   return Status::OK();

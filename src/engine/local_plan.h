@@ -11,6 +11,15 @@
 
 namespace rex {
 
+/// Point-in-time execution stats for one operator instance (profiler
+/// snapshot; read driver-side while the network is quiescent).
+struct LocalOperatorStats {
+  int op_id = 0;
+  const char* name = "";
+  int64_t deltas_emitted = 0;
+  std::vector<OperatorPortStats> ports;
+};
+
 class LocalPlan {
  public:
   /// Builds, wires, and Open()s every operator against `ctx`.
@@ -19,6 +28,9 @@ class LocalPlan {
 
   Operator* op(int id) { return ops_[static_cast<size_t>(id)].get(); }
   int size() const { return static_cast<int>(ops_.size()); }
+
+  /// One entry per operator, in id order.
+  std::vector<LocalOperatorStats> StatsSnapshot() const;
 
   const std::vector<FixpointOp*>& fixpoints() const { return fixpoints_; }
   const std::vector<SinkOp*>& sinks() const { return sinks_; }

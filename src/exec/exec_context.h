@@ -50,7 +50,16 @@ struct EngineConfig {
   /// replaying all checkpointed Δ sets reproduces each fixpoint's mutable
   /// state bit-for-bit.
   bool verify_invariants = false;
+
+  /// Record per-operator per-port wall time in Consume. Counts (batches,
+  /// tuples, puncts, deltas emitted) are always kept — they are plain
+  /// increments — but timing reads the clock around every Consume, which
+  /// on local single-delta edges is effectively per-tuple; set false for
+  /// peak-throughput runs.
+  bool profile_operators = true;
 };
+
+class TraceRing;
 
 /// Everything an operator needs from its hosting worker.
 struct ExecContext {
@@ -76,6 +85,11 @@ struct ExecContext {
   /// deltas (they are regenerations of history), and suppress voting and
   /// re-checkpointing.
   bool replay_mode = false;
+
+  /// This worker's bounded event trace (owned by the WorkerNode); operators
+  /// record notable events (checkpoint writes). May be null in bare-metal
+  /// operator tests.
+  TraceRing* trace = nullptr;
 };
 
 }  // namespace rex

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "obs/trace_ring.h"
 
 namespace rex {
 
@@ -183,7 +184,7 @@ Status FixpointOp::Apply(const Delta& d) {
   return Status::OK();
 }
 
-Status FixpointOp::Consume(int /*port*/, DeltaVec deltas) {
+Status FixpointOp::ConsumeDeltas(int /*port*/, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   // Guided-replay recovery: the loop body is re-deriving history to rebuild
   // its own state; the fixpoint's state comes from checkpoints instead, so
@@ -234,6 +235,10 @@ Status FixpointOp::CheckpointPending(int stratum) {
     // An empty checkpoint still marks the stratum complete for this node.
     ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id,
                            ctx_->pmap->workers(), {});
+  }
+  if (ctx_->trace != nullptr) {
+    ctx_->trace->Record(TraceEvent::Kind::kCheckpointWrite, id(), stratum,
+                        static_cast<int64_t>(applied_log_.size()));
   }
   return Status::OK();
 }

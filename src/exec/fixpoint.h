@@ -70,7 +70,7 @@ class FixpointOp : public Operator {
 
   const char* name() const override { return "fixpoint"; }
   Status Open(ExecContext* ctx) override;
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
   /// Flushes the pending Δ set (or the full state, per mode) into the
   /// recursive sub-plan and punctuates the new stratum's wave.
   Status StartStratum(int stratum) override;

@@ -114,7 +114,7 @@ Status GroupByOp::ApplyBuiltin(Group* g, DeltaOp op, const Tuple& t,
   return Status::OK();
 }
 
-Status GroupByOp::Consume(int, DeltaVec deltas) {
+Status GroupByOp::ConsumeDeltas(int, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   DeltaVec streamed;
   for (Delta& d : deltas) {

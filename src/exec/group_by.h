@@ -61,7 +61,7 @@ class GroupByOp : public Operator {
 
   const char* name() const override { return "groupBy"; }
   Status Open(ExecContext* ctx) override;
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
   Status ResetTransientState() override;
 
   size_t NumGroups() const;

@@ -165,7 +165,7 @@ Status HashJoinOp::ApplyHandler(int port, const Delta& d, DeltaVec* out) {
   return Status::OK();
 }
 
-Status HashJoinOp::Consume(int port, DeltaVec deltas) {
+Status HashJoinOp::ConsumeDeltas(int port, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   DeltaVec out;
   for (Delta& d : deltas) {

@@ -48,7 +48,7 @@ class HashJoinOp : public Operator {
 
   const char* name() const override { return "hashJoin"; }
   Status Open(ExecContext* ctx) override;
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
 
   /// Total buffered tuples (both sides; used by tests and Δ-set reports).
   size_t StateSize() const;

@@ -1,5 +1,7 @@
 #include "exec/operator.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace rex {
@@ -9,7 +11,8 @@ Operator::Operator(int id, int num_ports)
       expected_puncts_(static_cast<size_t>(num_ports), 1),
       received_puncts_(static_cast<size_t>(num_ports), 0),
       port_complete_(static_cast<size_t>(num_ports), false),
-      port_closed_(static_cast<size_t>(num_ports), false) {}
+      port_closed_(static_cast<size_t>(num_ports), false),
+      port_stats_(static_cast<size_t>(num_ports)) {}
 
 void Operator::AddOutput(Operator* op, int port) {
   outputs_.push_back(Output{op, port});
@@ -22,7 +25,29 @@ void Operator::SetExpectedPuncts(int port, int count) {
 Status Operator::Open(ExecContext* ctx) {
   ctx_ = ctx;
   tuples_processed_ = ctx->metrics->GetCounter(metrics::kTuplesProcessed);
+  profile_timing_ =
+      ctx->config != nullptr && ctx->config->profile_operators;
   return Status::OK();
+}
+
+Status Operator::Consume(int port, DeltaVec deltas) {
+  auto idx = static_cast<size_t>(port);
+  if (idx >= port_stats_.size()) {
+    // Let the operator's own hook produce its error (sources reject every
+    // Consume with their own message; real bad-port sends are caught by
+    // WorkerNode::Dispatch before reaching us).
+    return ConsumeDeltas(port, std::move(deltas));
+  }
+  OperatorPortStats& stats = port_stats_[idx];
+  stats.batches += 1;
+  stats.tuples += static_cast<int64_t>(deltas.size());
+  if (!profile_timing_) return ConsumeDeltas(port, std::move(deltas));
+  const auto start = std::chrono::steady_clock::now();
+  Status status = ConsumeDeltas(port, std::move(deltas));
+  stats.consume_nanos += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return status;
 }
 
 Status Operator::StartStratum(int) { return Status::OK(); }
@@ -41,6 +66,7 @@ Status Operator::ResetTransientState() {
 
 Status Operator::Emit(DeltaVec deltas) {
   if (deltas.empty() || outputs_.empty()) return Status::OK();
+  deltas_emitted_ += static_cast<int64_t>(deltas.size());
   for (size_t i = 0; i + 1 < outputs_.size(); ++i) {
     DeltaVec copy = deltas;
     REX_RETURN_NOT_OK(outputs_[i].op->Consume(outputs_[i].port,
@@ -64,6 +90,7 @@ Status Operator::OnPunct(int port, const Punctuation& p) {
                               std::to_string(id_) + ": punct on bad port " +
                               std::to_string(port));
   }
+  port_stats_[idx].puncts += 1;
   any_punct_this_wave_ = true;
   received_puncts_[idx] += 1;
   const bool wave_done = received_puncts_[idx] >= expected_puncts_[idx];

@@ -21,6 +21,7 @@
 #ifndef REX_EXEC_OPERATOR_H_
 #define REX_EXEC_OPERATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,16 @@
 #include "net/message.h"
 
 namespace rex {
+
+/// Per-input-port execution stats, maintained by the Consume/OnPunct
+/// wrappers. Plain (non-atomic) fields: only the hosting worker thread
+/// writes them, and the driver reads them after the network is quiescent.
+struct OperatorPortStats {
+  int64_t batches = 0;
+  int64_t tuples = 0;
+  int64_t puncts = 0;
+  int64_t consume_nanos = 0;  // inclusive of downstream push time
+};
 
 class Operator {
  public:
@@ -66,11 +77,21 @@ class Operator {
   /// Resolves UDFs, sizes buffers. Called once per query on each worker.
   virtual Status Open(ExecContext* ctx);
 
-  /// Processes a batch of deltas arriving on `port`.
-  virtual Status Consume(int port, DeltaVec deltas) = 0;
+  /// Processes a batch of deltas arriving on `port`. Non-virtual wrapper:
+  /// records per-port stats (batches, tuples, and — when
+  /// EngineConfig::profile_operators — wall time), then runs the
+  /// operator-specific ConsumeDeltas hook.
+  Status Consume(int port, DeltaVec deltas);
 
   /// Handles one punctuation marker on `port` (wave bookkeeping + firing).
   Status OnPunct(int port, const Punctuation& p);
+
+  /// Per-port stats accumulated so far (index == port number).
+  const std::vector<OperatorPortStats>& port_stats() const {
+    return port_stats_;
+  }
+  /// Total deltas this operator pushed to local downstream edges via Emit.
+  int64_t deltas_emitted() const { return deltas_emitted_; }
 
   /// Source hook: called by the worker on a StartStratum control message.
   /// Scans emit their data in stratum 0; fixpoints flush pending deltas in
@@ -96,6 +117,10 @@ class Operator {
   virtual Status OnMembershipChange();
 
  protected:
+  /// Operator-specific delta processing; called through the Consume
+  /// wrapper (which owns the per-port accounting).
+  virtual Status ConsumeDeltas(int port, DeltaVec deltas) = 0;
+
   /// Forwards deltas to every wired output (copies when fan-out > 1).
   Status Emit(DeltaVec deltas);
   /// Forwards a punctuation marker to every wired output.
@@ -133,6 +158,10 @@ class Operator {
   std::vector<bool> port_complete_;  // this wave
   std::vector<bool> port_closed_;    // kEndOfStream seen
   bool any_punct_this_wave_ = false;
+
+  std::vector<OperatorPortStats> port_stats_;
+  int64_t deltas_emitted_ = 0;
+  bool profile_timing_ = false;  // from EngineConfig::profile_operators
 };
 
 }  // namespace rex

@@ -14,7 +14,7 @@ Status ScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status ScanOp::Consume(int, DeltaVec) {
+Status ScanOp::ConsumeDeltas(int, DeltaVec) {
   return Status::Internal("scan has no inputs");
 }
 
@@ -62,7 +62,7 @@ Status ScanOp::RecoveryReload() {
 
 // -------------------------------------------------------------- FilterOp --
 
-Status FilterOp::Consume(int, DeltaVec deltas) {
+Status FilterOp::ConsumeDeltas(int, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   DeltaVec out;
   out.reserve(deltas.size());
@@ -101,7 +101,7 @@ Result<Tuple> ProjectOp::Apply(const Tuple& in) const {
   return Tuple(std::move(fields));
 }
 
-Status ProjectOp::Consume(int, DeltaVec deltas) {
+Status ProjectOp::ConsumeDeltas(int, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   DeltaVec out;
   out.reserve(deltas.size());
@@ -215,7 +215,7 @@ Status ApplyFnOp::FlushBatch() {
   return Emit(std::move(out));
 }
 
-Status ApplyFnOp::Consume(int, DeltaVec deltas) {
+Status ApplyFnOp::ConsumeDeltas(int, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   for (Delta& d : deltas) {
     pending_.push_back(std::move(d));
@@ -234,14 +234,14 @@ Status ApplyFnOp::ResetTransientState() {
 
 // --------------------------------------------------------------- UnionOp --
 
-Status UnionOp::Consume(int, DeltaVec deltas) {
+Status UnionOp::ConsumeDeltas(int, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   return Emit(std::move(deltas));
 }
 
 // ---------------------------------------------------------------- SinkOp --
 
-Status SinkOp::Consume(int, DeltaVec deltas) {
+Status SinkOp::ConsumeDeltas(int, DeltaVec deltas) {
   for (Delta& d : deltas) {
     switch (d.op) {
       case DeltaOp::kInsert:
@@ -319,7 +319,7 @@ Status RehashOp::Route(Delta d) {
   return Status::OK();
 }
 
-Status RehashOp::Consume(int port, DeltaVec deltas) {
+Status RehashOp::ConsumeDeltas(int port, DeltaVec deltas) {
   if (port == 1) return Emit(std::move(deltas));  // already routed to us
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   for (Delta& d : deltas) REX_RETURN_NOT_OK(Route(std::move(d)));

@@ -35,7 +35,7 @@ class ScanOp : public Operator {
 
   const char* name() const override { return "scan"; }
   Status Open(ExecContext* ctx) override;
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
   Status StartStratum(int stratum) override;
   Status RecoveryReload() override;
 
@@ -60,7 +60,7 @@ class FilterOp : public Operator {
       : Operator(id, 1), predicate_(std::move(predicate)) {}
 
   const char* name() const override { return "filter"; }
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
 
  private:
   ExprPtr predicate_;
@@ -73,7 +73,7 @@ class ProjectOp : public Operator {
       : Operator(id, 1), exprs_(std::move(exprs)) {}
 
   const char* name() const override { return "project"; }
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
 
  private:
   Result<Tuple> Apply(const Tuple& in) const;
@@ -91,7 +91,7 @@ class ApplyFnOp : public Operator {
 
   const char* name() const override { return "applyFn"; }
   Status Open(ExecContext* ctx) override;
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
   Status ResetTransientState() override;
 
  protected:
@@ -128,7 +128,7 @@ class UnionOp : public Operator {
   UnionOp(int id, int num_inputs) : Operator(id, num_inputs) {}
 
   const char* name() const override { return "union"; }
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
 };
 
 /// Terminal collector: applies deltas onto a result set the driver reads
@@ -138,7 +138,7 @@ class SinkOp : public Operator {
   explicit SinkOp(int id) : Operator(id, 1) {}
 
   const char* name() const override { return "sink"; }
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
 
   const TupleSet& results() const { return results_; }
   void ClearResults() { results_ = TupleSet(); }
@@ -165,7 +165,7 @@ class RehashOp : public Operator {
 
   const char* name() const override { return "rehash"; }
   Status Open(ExecContext* ctx) override;
-  Status Consume(int port, DeltaVec deltas) override;
+  Status ConsumeDeltas(int port, DeltaVec deltas) override;
   Status ResetTransientState() override;
   Status OnMembershipChange() override;
 

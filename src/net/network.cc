@@ -7,6 +7,8 @@ namespace rex {
 Network::Network(int num_workers)
     : failed_(num_workers),
       bytes_by_sender_(num_workers),
+      bytes_matrix_(static_cast<size_t>(num_workers) *
+                    static_cast<size_t>(num_workers)),
       seq_(static_cast<size_t>(num_workers + 1) *
            static_cast<size_t>(num_workers)) {
   channels_.reserve(num_workers);
@@ -15,7 +17,13 @@ Network::Network(int num_workers)
     failed_[i].store(false);
     bytes_by_sender_[i].store(0);
   }
+  for (auto& b : bytes_matrix_) b.store(0);
   for (auto& s : seq_) s.store(0);
+  bytes_sent_counter_ = metrics_.GetCounter(metrics::kBytesSent);
+  messages_sent_counter_ = metrics_.GetCounter(metrics::kMessagesSent);
+  tuples_sent_counter_ = metrics_.GetCounter(metrics::kTuplesSent);
+  chaos_dropped_counter_ = metrics_.GetCounter(metrics::kChaosDropped);
+  chaos_duplicated_counter_ = metrics_.GetCounter(metrics::kChaosDuplicated);
 }
 
 void Network::Deliver(Message msg) {
@@ -25,10 +33,13 @@ void Network::Deliver(Message msg) {
     const auto bytes = static_cast<int64_t>(msg.ByteSize());
     bytes_by_sender_[msg.from_worker].fetch_add(bytes,
                                                 std::memory_order_relaxed);
-    metrics_.GetCounter(metrics::kBytesSent)->Add(bytes);
-    metrics_.GetCounter(metrics::kMessagesSent)->Increment();
-    metrics_.GetCounter(metrics::kTuplesSent)
-        ->Add(static_cast<int64_t>(msg.deltas.size()));
+    bytes_matrix_[static_cast<size_t>(msg.from_worker) *
+                      static_cast<size_t>(num_workers()) +
+                  static_cast<size_t>(to)]
+        .fetch_add(bytes, std::memory_order_relaxed);
+    bytes_sent_counter_->Add(bytes);
+    messages_sent_counter_->Increment();
+    tuples_sent_counter_->Add(static_cast<int64_t>(msg.deltas.size()));
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!channels_[to]->Push(std::move(msg))) {
@@ -56,14 +67,14 @@ Status Network::Send(Message msg) {
     action = injector->OnSend(&msg);
   }
   if (action == FaultInjector::Action::kDrop) {
-    metrics_.GetCounter(metrics::kChaosDropped)->Increment();
+    chaos_dropped_counter_->Increment();
     return Status::OK();
   }
   if (failed_[to].load(std::memory_order_acquire)) {
     return Status::OK();  // dropped on the floor, like a crashed peer
   }
   if (action == FaultInjector::Action::kDuplicate) {
-    metrics_.GetCounter(metrics::kChaosDuplicated)->Increment();
+    chaos_duplicated_counter_->Increment();
     Deliver(msg);  // same seq: the receiver discards one copy
   }
   Deliver(std::move(msg));
@@ -144,8 +155,21 @@ int64_t Network::TotalBytesSent() const {
   return total;
 }
 
+std::vector<std::vector<int64_t>> Network::BytesMatrix() const {
+  const auto n = static_cast<size_t>(num_workers());
+  std::vector<std::vector<int64_t>> out(n, std::vector<int64_t>(n, 0));
+  for (size_t from = 0; from < n; ++from) {
+    for (size_t to = 0; to < n; ++to) {
+      out[from][to] =
+          bytes_matrix_[from * n + to].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
 void Network::ResetByteCounts() {
   for (auto& b : bytes_by_sender_) b.store(0, std::memory_order_relaxed);
+  for (auto& b : bytes_matrix_) b.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rex

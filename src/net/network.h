@@ -73,6 +73,9 @@ class Network {
   /// is not counted, matching "data sent by each node" in §6.5.
   int64_t BytesSentBy(int worker) const;
   int64_t TotalBytesSent() const;
+  /// Full (sender, receiver) byte matrix: result[from][to]. Loopback cells
+  /// are always zero (unmetered); rows/cols are worker ids.
+  std::vector<std::vector<int64_t>> BytesMatrix() const;
   void ResetByteCounts();
 
   MetricsRegistry& metrics() { return metrics_; }
@@ -85,6 +88,15 @@ class Network {
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::atomic<bool>> failed_;
   std::vector<std::atomic<int64_t>> bytes_by_sender_;
+  /// Row-major (sender, receiver) byte matrix behind bytes_by_sender_.
+  std::vector<std::atomic<int64_t>> bytes_matrix_;
+  /// Hot-path metric handles (Deliver/Send run per message; a registry
+  /// lookup there takes a mutex per call).
+  Counter* bytes_sent_counter_;
+  Counter* messages_sent_counter_;
+  Counter* tuples_sent_counter_;
+  Counter* chaos_dropped_counter_;
+  Counter* chaos_duplicated_counter_;
   /// Per (sender, destination) sequence counters; row 0 is the driver
   /// (from_worker == -1). Each pair has a single writing thread, but sends
   /// may race a concurrent MarkFailed, so the counters stay atomic.

@@ -1,0 +1,371 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace rex {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; emit null so reports stay parseable.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+  // Keep the double-ness visible so a round-trip preserves the type.
+  std::string_view sv(buf);
+  if (sv.find('.') == std::string_view::npos &&
+      sv.find('e') == std::string_view::npos &&
+      sv.find('E') == std::string_view::npos) {
+    *out += ".0";
+  }
+}
+
+}  // namespace
+
+void Json::Set(const std::string& key, Json v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  static const Json kNullJson;
+  const Json* found = Find(key);
+  return found != nullptr ? *found : kNullJson;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Type::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_pad(depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_pad(depth + 1);
+        AppendEscaped(out, members_[i].first);
+        *out += pretty ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Run() {
+    SkipWs();
+    REX_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError("JSON: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        REX_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseLiteral(const std::string& lit, Json value) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) {
+      return Err("invalid literal");
+    }
+    pos_ += lit.size();
+    return value;
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (Eat('-')) {
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return Err("invalid number");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (is_double) {
+      return Json(std::strtod(tok.c_str(), nullptr));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return Err("invalid integer");
+    return Json(static_cast<int64_t>(v));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Eat('"')) return Err("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("invalid \\u escape");
+              }
+            }
+            // UTF-8 encode (profile strings are ASCII in practice; this
+            // keeps arbitrary escaped input lossless for the BMP).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    if (!Eat('[')) return Err("expected '['");
+    Json arr = Json::Array();
+    SkipWs();
+    if (Eat(']')) return arr;
+    while (true) {
+      SkipWs();
+      REX_ASSIGN_OR_RETURN(Json v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Eat(']')) return arr;
+      if (!Eat(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    if (!Eat('{')) return Err("expected '{'");
+    Json obj = Json::Object();
+    SkipWs();
+    if (Eat('}')) return obj;
+    while (true) {
+      SkipWs();
+      REX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Eat(':')) return Err("expected ':'");
+      SkipWs();
+      REX_ASSIGN_OR_RETURN(Json v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (Eat('}')) return obj;
+      if (!Eat(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace rex

@@ -1,0 +1,122 @@
+// Minimal dependency-free JSON: a value tree with a writer (Dump) and a
+// strict parser (Parse).
+//
+// Built for the observability layer: QueryProfile serialization, the
+// BENCH_<name>.json run reports, and the golden-schema checks in tests.
+// Objects preserve insertion order so emitted reports are stable and
+// diffable; numbers distinguish integers from doubles so counters survive a
+// round-trip exactly.
+#ifndef REX_OBS_JSON_H_
+#define REX_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rex {
+
+class Json {
+ public:
+  enum class Type : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : type_(Type::kNull) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(const char* v) : type_(Type::kString), string_(v) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array/object element count; 0 for scalars.
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+
+  // -- array ---------------------------------------------------------------
+  void Append(Json v) { items_.push_back(std::move(v)); }
+  const Json& at(size_t i) const { return items_[i]; }
+  const std::vector<Json>& items() const { return items_; }
+
+  // -- object --------------------------------------------------------------
+  /// Inserts (or replaces) a member, preserving first-insertion order.
+  void Set(const std::string& key, Json v);
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  /// Null-object reference if absent (so chained lookups don't crash).
+  const Json& Get(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes. indent < 0: compact one-line form; otherwise pretty-print
+  /// with `indent` spaces per level.
+  std::string Dump(int indent = 2) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Numbers with '.', 'e', or 'E' become kDouble, others kInt.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  const Json* Find(const std::string& key) const;
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> items_;                             // kArray
+  std::vector<std::pair<std::string, Json>> members_;   // kObject
+};
+
+}  // namespace rex
+
+#endif  // REX_OBS_JSON_H_

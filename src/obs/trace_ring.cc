@@ -1,0 +1,104 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+
+namespace rex {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kDispatchData:
+      return "dispatch_data";
+    case TraceEvent::Kind::kDispatchPunct:
+      return "dispatch_punct";
+    case TraceEvent::Kind::kControl:
+      return "control";
+    case TraceEvent::Kind::kCheckpointWrite:
+      return "checkpoint_write";
+    case TraceEvent::Kind::kError:
+      return "error";
+    case TraceEvent::Kind::kCrash:
+      return "crash";
+    case TraceEvent::Kind::kRestore:
+      return "restore";
+    case TraceEvent::Kind::kRecoverBegin:
+      return "recover_begin";
+    case TraceEvent::Kind::kRecoverEnd:
+      return "recover_end";
+    case TraceEvent::Kind::kStratumStart:
+      return "stratum_start";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  std::string out = "#" + std::to_string(seq) + " " + TraceEventKindName(kind);
+  out += " a=" + std::to_string(a) + " b=" + std::to_string(b) +
+         " n=" + std::to_string(n);
+  if (!detail.empty()) out += " " + detail;
+  return out;
+}
+
+TraceRing::TraceRing(std::string owner, size_t capacity)
+    : owner_(std::move(owner)), capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::Record(TraceEvent::Kind kind, int a, int b, int64_t n,
+                       std::string detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& slot = ring_[next_seq_ % capacity_];
+  slot.seq = next_seq_++;
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  slot.n = n;
+  slot.detail = std::move(detail);
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  const uint64_t retained = std::min<uint64_t>(next_seq_, capacity_);
+  out.reserve(retained);
+  for (uint64_t s = next_seq_ - retained; s < next_seq_; ++s) {
+    out.push_back(ring_[s % capacity_]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRing::EventsOfKind(TraceEvent::Kind kind) const {
+  std::vector<TraceEvent> out;
+  for (TraceEvent& e : Events()) {
+    if (e.kind == kind) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
+std::string TraceRing::Dump() const {
+  std::string out = "trace[" + owner_ + "]";
+  const uint64_t lost = dropped();
+  if (lost > 0) out += " (" + std::to_string(lost) + " older events dropped)";
+  out += ":";
+  for (const TraceEvent& e : Events()) {
+    out += "\n  " + e.ToString();
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_seq_ = 0;
+  for (TraceEvent& e : ring_) e = TraceEvent{};
+}
+
+}  // namespace rex

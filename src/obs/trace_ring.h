@@ -1,0 +1,79 @@
+// A bounded, thread-safe ring buffer of runtime trace events.
+//
+// Each worker node owns one (message dispatch, control verbs, checkpoint
+// writes) and the cluster driver owns one (crash/restore injection,
+// recovery phases, stratum starts). The ring is sized for post-mortems, not
+// full tracing: old events are overwritten and the drop count is kept, so a
+// dump always shows the *last* N things that happened before an error. The
+// chaos harness asserts on ring contents to verify recovery control flow.
+#ifndef REX_OBS_TRACE_RING_H_
+#define REX_OBS_TRACE_RING_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rex {
+
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kDispatchData = 0,   // a=target_op, b=target_port, n=tuples
+    kDispatchPunct,      // a=target_op, b=target_port, n=stratum
+    kControl,            // a=control verb (ControlMsg::Kind), n=stratum
+    kCheckpointWrite,    // a=fixpoint id, n=Δ tuples checkpointed
+    kError,              // detail=status message
+    kCrash,              // a=victim worker
+    kRestore,            // a=revived worker
+    kRecoverBegin,       // a=pass index, n=live workers
+    kRecoverEnd,         // a=pass index, n=resume stratum
+    kStratumStart,       // n=stratum
+  };
+
+  uint64_t seq = 0;  // monotonically increasing per ring
+  Kind kind = Kind::kDispatchData;
+  int a = 0;
+  int b = 0;
+  int64_t n = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::string owner, size_t capacity = 256);
+
+  void Record(TraceEvent::Kind kind, int a = 0, int b = 0, int64_t n = 0,
+              std::string detail = {});
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  /// Events of one kind, oldest first (post-mortem filtering).
+  std::vector<TraceEvent> EventsOfKind(TraceEvent::Kind kind) const;
+
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+  /// Events lost to capacity.
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+  const std::string& owner() const { return owner_; }
+
+  /// Multi-line human-readable dump of the retained tail, for error logs.
+  std::string Dump() const;
+
+  void Clear();
+
+ private:
+  const std::string owner_;
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // ring_[seq % capacity_]
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace rex
+
+#endif  // REX_OBS_TRACE_RING_H_

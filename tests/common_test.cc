@@ -68,6 +68,32 @@ TEST(ValueTest, CrossTypeNumericEquality) {
   EXPECT_EQ(Value(1).Hash(), Value(1.0).Hash());
 }
 
+TEST(ValueTest, HashAgreesWithEqualityBeyondDoublePrecision) {
+  // 2^53 is the largest integer magnitude doubles represent contiguously;
+  // 2^53 + 1 rounds to 2^53.0, so mixed comparison calls them equal — and
+  // equal values must hash identically or keyed state splits entries.
+  const int64_t big = int64_t{1} << 53;
+  ASSERT_EQ(Value(big + 1), Value(static_cast<double>(big)));
+  EXPECT_EQ(Value(big + 1).Hash(), Value(static_cast<double>(big)).Hash());
+  EXPECT_EQ(Value(big).Hash(), Value(static_cast<double>(big)).Hash());
+  EXPECT_EQ(Value(big).Hash(), Value(big + 1).Hash());
+
+  ASSERT_EQ(Value(-big - 1), Value(static_cast<double>(-big)));
+  EXPECT_EQ(Value(-big - 1).Hash(),
+            Value(static_cast<double>(-big)).Hash());
+  EXPECT_EQ(Value(-big).Hash(), Value(-big - 1).Hash());
+
+  // Exactly representable values still hash apart when they differ.
+  EXPECT_NE(Value(big).Hash(), Value(static_cast<double>(2 * big)).Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  ASSERT_EQ(Value(0.0), Value(-0.0));
+  ASSERT_EQ(Value(0), Value(-0.0));
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value(0).Hash(), Value(-0.0).Hash());
+}
+
 TEST(ValueTest, Ordering) {
   EXPECT_LT(Value(1), Value(2));
   EXPECT_LT(Value(1.5), Value(2));

@@ -60,7 +60,7 @@ class CaptureOp : public Operator {
  public:
   explicit CaptureOp(int id) : Operator(id, 1) {}
   const char* name() const override { return "capture"; }
-  Status Consume(int, DeltaVec deltas) override {
+  Status ConsumeDeltas(int, DeltaVec deltas) override {
     for (Delta& d : deltas) captured.push_back(std::move(d));
     return Status::OK();
   }

@@ -66,7 +66,7 @@ class MultisetSink : public Operator {
  public:
   explicit MultisetSink(int id) : Operator(id, 1) {}
   const char* name() const override { return "msink"; }
-  Status Consume(int, DeltaVec deltas) override {
+  Status ConsumeDeltas(int, DeltaVec deltas) override {
     for (const Delta& d : deltas) {
       switch (d.op) {
         case DeltaOp::kInsert:
