@@ -15,8 +15,17 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 }  // namespace
 
-Cluster::Cluster(EngineConfig config) : config_(config) {
-  network_ = std::make_unique<Network>(config_.num_workers);
+Cluster::Cluster(EngineConfig config)
+    : config_(config), checkpoints_(config.num_workers) {
+  network_ = std::make_unique<Network>(config_.num_workers,
+                                       config_.channel_capacity,
+                                       config_.send_retry_budget);
+  FailureDetector::Config fd_config;
+  fd_config.suspect_after = config_.heartbeat_suspect_rounds;
+  fd_config.confirm_after = config_.heartbeat_confirm_rounds;
+  detector_ =
+      std::make_unique<FailureDetector>(config_.num_workers, fd_config);
+  network_->set_heartbeat_sink(detector_.get());
   failed_.assign(static_cast<size_t>(config_.num_workers), false);
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<WorkerNode>(
@@ -79,24 +88,63 @@ const PartitionMap* Cluster::PushPartitionMap(std::vector<int> live) {
   return pmap_history_.back().get();
 }
 
-Status Cluster::KillWorker(int w) {
+Status Cluster::InjectBoundaryCrash(int w) {
   REX_LOG(Info) << "injecting failure of worker " << w;
-  trace_.Record(TraceEvent::Kind::kCrash, w, 0, 0);
+  // Only the victim is touched: its inbox closes and its thread exits.
+  // Nobody is told — the failure detector must notice the silence, and
+  // the trace ring records the crash only once detection confirms it
+  // (the ring is the driver's view, and the driver was not told either).
+  network_->Crash(w);
+  workers_[static_cast<size_t>(w)]->Stop();
+  return Status::OK();
+}
+
+void Cluster::ConfirmDead(int w) {
+  REX_LOG(Info) << "failure detector confirmed death of worker " << w;
+  trace_.Record(TraceEvent::Kind::kCrash, w, 1, 0, "detected");
   failed_[static_cast<size_t>(w)] = true;
   network_->MarkFailed(w);
   workers_[static_cast<size_t>(w)]->Stop();
-  return Status::OK();
+}
+
+std::vector<int> Cluster::DetectFailures() {
+  std::vector<int> newly_dead;
+  bool keep_probing = true;
+  while (keep_probing) {
+    detector_->BeginRound();
+    ControlMsg ping;
+    ping.kind = ControlMsg::Kind::kPing;
+    for (int w = 0; w < num_workers(); ++w) {
+      if (failed_[static_cast<size_t>(w)] || detector_->IsDead(w)) continue;
+      // A ping to a crashed worker lands in a closed channel and is
+      // dropped; the missing heartbeat is the signal.
+      (void)network_->Send(Message::Control(w, ping));
+    }
+    network_->WaitQuiescent();
+    for (int w : detector_->Tick()) {
+      ConfirmDead(w);
+      newly_dead.push_back(w);
+    }
+    // A suspicion must resolve to alive or dead before execution resumes:
+    // the quiescence barrier and Recover() act on detected membership.
+    keep_probing = detector_->AnySuspected();
+  }
+  return newly_dead;
 }
 
 Status Cluster::ReviveWorker(int w) {
   if (!failed_[static_cast<size_t>(w)]) return Status::OK();
   REX_LOG(Info) << "restoring worker " << w << " (fresh replacement node)";
   trace_.Record(TraceEvent::Kind::kRestore, w, 0, 0);
+  // The replacement is a new incarnation: late votes and straggler
+  // messages from the previous life are rejected by board and channel.
+  const int incarnation = detector_->Revive(w);
+  votes_.SetIncarnation(w, incarnation);
   // Destroy the dead node FIRST: its destructor closes the inbox, which
   // must happen before Restore() reopens it for the replacement.
   workers_[static_cast<size_t>(w)] = std::make_unique<WorkerNode>(
       w, network_.get(), &storage_, &udfs_, &votes_, &checkpoints_,
-      &config_);
+      &config_, incarnation);
   network_->Restore(w);
   if (started_) workers_[static_cast<size_t>(w)]->Start();
   failed_[static_cast<size_t>(w)] = false;
@@ -126,10 +174,10 @@ Status Cluster::GuidedReplay(const PlanSpec& spec, const PartitionMap* pmap,
     c.stratum = s;
     REX_RETURN_NOT_OK(Broadcast(c, live));
     network_->WaitQuiescent();
-    for (int w : live) {
-      if (network_->IsFailed(w)) {
-        return Status::NodeFailure("worker failed during replay recovery");
-      }
+    // A crash during replay is only visible as silence; probe before
+    // trusting the stratum's results.
+    if (!DetectFailures().empty()) {
+      return Status::NodeFailure("worker failed during replay recovery");
     }
     REX_RETURN_NOT_OK(CheckWorkerErrors(live));
   }
@@ -151,7 +199,24 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
   // survivors' operator state is half-restored, so the retry rebuilds
   // everything with guided replay instead.
   bool force_replay = false;
+  // Set when checkpoint integrity fails beyond repair (every copy of some
+  // entry corrupt): the remaining passes fall back to the restart strategy.
+  bool degrade_to_restart = false;
+  int attempts = 0;
   while (true) {
+    if (attempts >= config_.recovery_retry_budget) {
+      return Status::NodeFailure(
+          "recovery retry budget (" +
+          std::to_string(config_.recovery_retry_budget) + ") exhausted");
+    }
+    if (attempts > 0) {
+      // Simulated exponential backoff between passes (accounted in ticks,
+      // not wall-clock: chaos runs stay deterministic).
+      const int64_t backoff_ticks = int64_t{1} << std::min(attempts - 1, 6);
+      REX_LOG(Info) << "recovery pass " << attempts + 1 << " after backoff of "
+                    << backoff_ticks << " tick(s)";
+    }
+    ++attempts;
     *live = LiveWorkers();
     if (live->empty()) return Status::NodeFailure("all workers failed");
     const PartitionMap* old_pmap = *pmap;
@@ -166,10 +231,12 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
     }
 
     const int last_complete = *resume_stratum - 1;
+    const RecoveryStrategy pass_strategy =
+        degrade_to_restart ? RecoveryStrategy::kRestart : strategy;
     bool restarted = false;
     bool used_replay = false;
     Status st;
-    if (strategy == RecoveryStrategy::kRestart || last_complete < 0 ||
+    if (pass_strategy == RecoveryStrategy::kRestart || last_complete < 0 ||
         !config_.checkpoint_deltas) {
       // Restart — or nothing usable checkpointed: discard all work and
       // re-run from stratum 0 on the current live set.
@@ -240,39 +307,49 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
     trace_.Record(TraceEvent::Kind::kRecoverEnd, out->recoveries, 0,
                   pass.resume_stratum, pass.strategy);
 
-    // Did the injector fail more workers during the recovery itself (or
-    // schedule a during-recovery crash the traffic never triggered)?
-    std::vector<int> died;
-    for (int w : *live) {
-      if (network_->IsFailed(w) && !failed_[static_cast<size_t>(w)]) {
-        died.push_back(w);
-      }
-    }
+    // Did more workers die during the recovery itself (or was a
+    // during-recovery crash scheduled that the traffic never triggered)?
+    // Deaths are only visible through the failure detector: crash them
+    // silently, probe, and compare the live set against confirmed deaths.
     if (injector != nullptr) {
       for (int w : injector->TakeUnfiredRecoveryCrashes()) {
         if (failed_[static_cast<size_t>(w)]) continue;
-        if (!network_->IsFailed(w)) network_->MarkFailed(w);
-        if (std::find(died.begin(), died.end(), w) == died.end()) {
-          died.push_back(w);
-        }
+        network_->Crash(w);
+        workers_[static_cast<size_t>(w)]->Stop();
       }
+      DetectFailures();
+    }
+    std::vector<int> died;
+    for (int w : *live) {
+      if (failed_[static_cast<size_t>(w)]) died.push_back(w);
     }
     if (!died.empty()) {
       REX_LOG(Info) << "chaos: " << died.size()
                     << " worker(s) failed during recovery; retrying";
       for (int w : died) {
-        failed_[static_cast<size_t>(w)] = true;
-        workers_[static_cast<size_t>(w)]->Stop();
         revived.erase(std::remove(revived.begin(), revived.end(), w),
                       revived.end());
       }
-      if (!restarted && strategy != RecoveryStrategy::kRestart) {
+      if (!restarted && pass_strategy != RecoveryStrategy::kRestart) {
         force_replay = true;
       }
       continue;  // retry against the shrunken live set
     }
 
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kDataLoss && !restarted) {
+        // Every copy of some checkpoint entry failed its integrity check:
+        // the Δ history is unusable. Degrade gracefully to a restart pass
+        // instead of failing the query.
+        REX_LOG(Warn) << "checkpoint integrity lost (" << st.ToString()
+                      << "); degrading to restart strategy";
+        trace_.Record(TraceEvent::Kind::kRecoverBegin, out->recoveries, 1, 0,
+                      "degrade-to-restart");
+        degrade_to_restart = true;
+        continue;
+      }
+      return st;
+    }
     if (restarted) *resume_stratum = 0;
     return Status::OK();
   }
@@ -383,6 +460,9 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
   p.checkpoint_bytes = ckpt.Value(metrics::kCheckpointBytes);
   p.checkpoint_tuples = ckpt.Value(metrics::kCheckpointTuples);
   p.recovery_refetch_bytes = ckpt.Value(metrics::kRecoveryRefetchBytes);
+  p.checkpoint_repairs = ckpt.Value(metrics::kCheckpointRepairs);
+  p.detection_latency_ticks = detector_->detection_latency_ticks();
+  p.retransmits = network_->metrics().Value(metrics::kRetransmits);
 }
 
 Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
@@ -456,18 +536,23 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
   while (true) {
     if (injector != nullptr) {
       // ---- boundary fault events ----------------------------------------
-      bool any_kill = false;
+      // Crashes only stop the victim; the driver learns about them from
+      // the failure detector below, never from the injector.
       for (int w : injector->TakeDueCrashes(stratum)) {
         if (failed_[static_cast<size_t>(w)]) continue;
-        REX_RETURN_NOT_OK(KillWorker(w));
-        any_kill = true;
+        REX_RETURN_NOT_OK(InjectBoundaryCrash(w));
+      }
+      for (const auto& [holder, max_entries] :
+           injector->TakeDueCorruptions(stratum)) {
+        checkpoints_.CorruptCopies(holder, max_entries);
       }
       std::vector<int> revived;
       for (int w : injector->TakeRestores(stratum)) {
         REX_RETURN_NOT_OK(ReviveWorker(w));
         revived.push_back(w);
       }
-      if (any_kill || !revived.empty()) {
+      const std::vector<int> dead = DetectFailures();
+      if (!dead.empty() || !revived.empty()) {
         REX_RETURN_NOT_OK(Recover(spec, schedule.strategy, injector.get(),
                                   std::move(revived), &pmap, &live, &stratum,
                                   &out));
@@ -488,25 +573,19 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
 
     if (injector != nullptr) {
       // ---- mid-stratum failure: abort and re-execute the stratum --------
-      std::vector<int> mid;
-      for (int w : live) {
-        if (network_->IsFailed(w) && !failed_[static_cast<size_t>(w)]) {
-          mid.push_back(w);
-        }
-      }
+      // A mid-stratum crash (fired by the injector inside Send, or overdue
+      // because the message threshold was never reached) only silences the
+      // victim; probe to find out who actually died.
       for (int w : injector->TakeOverdueMidStratumCrashes(stratum)) {
         if (failed_[static_cast<size_t>(w)]) continue;
-        if (!network_->IsFailed(w)) network_->MarkFailed(w);
-        if (std::find(mid.begin(), mid.end(), w) == mid.end()) {
-          mid.push_back(w);
-        }
+        network_->Crash(w);
+        workers_[static_cast<size_t>(w)]->Stop();
       }
+      const std::vector<int> mid = DetectFailures();
       if (!mid.empty()) {
         for (int w : mid) {
           REX_LOG(Info) << "chaos: aborting stratum " << stratum
                         << " after mid-stratum failure of worker " << w;
-          failed_[static_cast<size_t>(w)] = true;
-          workers_[static_cast<size_t>(w)]->Stop();
         }
         // Survivors may already have voted for / checkpointed the aborted
         // stratum; neither may survive into its re-execution.

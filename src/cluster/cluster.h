@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/failure_detector.h"
 #include "cluster/worker.h"
 #include "obs/profile.h"
 #include "optimizer/stats.h"
@@ -132,8 +133,19 @@ class Cluster {
   void DumpTraces() const;
   Status Broadcast(const ControlMsg& c, const std::vector<int>& targets);
   Status CheckWorkerErrors(const std::vector<int>& live) const;
-  Status KillWorker(int w);
-  /// Replaces a failed worker with a fresh node and reopens its inbox.
+  /// Simulates a crash: stops the worker thread and closes its inbox,
+  /// telling nobody. The driver only learns about it when the failure
+  /// detector notices the missing heartbeats (DetectFailures).
+  Status InjectBoundaryCrash(int w);
+  /// Acts on a death declared by the failure detector: records the failure
+  /// in the driver's membership view and joins the dead worker's thread.
+  void ConfirmDead(int w);
+  /// Runs heartbeat probe rounds (ping broadcast -> quiescence -> detector
+  /// tick) until no worker is left in the suspected state; confirms every
+  /// death the detector declares. Returns the workers newly declared dead.
+  std::vector<int> DetectFailures();
+  /// Replaces a failed worker with a fresh node (next incarnation) and
+  /// reopens its inbox.
   Status ReviveWorker(int w);
   const PartitionMap* PushPartitionMap(std::vector<int> live);
 
@@ -161,6 +173,10 @@ class Cluster {
 
   EngineConfig config_;
   std::unique_ptr<Network> network_;
+  /// Declared before workers_ so worker threads (which report heartbeats
+  /// into the detector via the network's sink) are joined before the
+  /// detector is destroyed.
+  std::unique_ptr<FailureDetector> detector_;
   StorageCatalog storage_;
   UdfRegistry udfs_;
   VoteBoard votes_;

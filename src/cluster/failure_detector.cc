@@ -1,0 +1,98 @@
+#include "cluster/failure_detector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rex {
+
+FailureDetector::FailureDetector(int num_workers, Config config)
+    : config_(config), peers_(static_cast<size_t>(num_workers)) {}
+
+void FailureDetector::OnHeartbeat(int worker, int incarnation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (worker < 0 || worker >= static_cast<int>(peers_.size())) return;
+  PeerState& p = peers_[worker];
+  if (incarnation < p.incarnation) {
+    // A thread from a previous life of this worker; its liveness says
+    // nothing about the current incarnation.
+    return;
+  }
+  if (p.state == State::kDead) {
+    // Dead is final until Revive: a straggler heartbeat that raced the
+    // death declaration must not resurrect the worker behind the driver's
+    // back (the driver already initiated recovery).
+    return;
+  }
+  p.heard_this_round = true;
+  p.missed_rounds = 0;
+  p.state = State::kAlive;
+}
+
+void FailureDetector::BeginRound() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (PeerState& p : peers_) p.heard_this_round = false;
+}
+
+std::vector<int> FailureDetector::Tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> newly_dead;
+  for (size_t w = 0; w < peers_.size(); ++w) {
+    PeerState& p = peers_[w];
+    if (p.state == State::kDead || p.heard_this_round) continue;
+    ++p.missed_rounds;
+    if (p.state == State::kAlive && p.missed_rounds >= config_.suspect_after) {
+      p.state = State::kSuspected;
+      REX_LOG(Info) << "failure detector: worker " << w << " suspected after "
+                    << p.missed_rounds << " missed round(s)";
+    } else if (p.state == State::kSuspected &&
+               p.missed_rounds >=
+                   config_.suspect_after + config_.confirm_after) {
+      p.state = State::kDead;
+      detection_latency_ticks_ += p.missed_rounds;
+      ++deaths_detected_;
+      newly_dead.push_back(static_cast<int>(w));
+      REX_LOG(Info) << "failure detector: worker " << w << " declared dead ("
+                    << p.missed_rounds << " missed rounds)";
+    }
+  }
+  return newly_dead;
+}
+
+bool FailureDetector::AnySuspected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(peers_.begin(), peers_.end(), [](const PeerState& p) {
+    return p.state == State::kSuspected;
+  });
+}
+
+FailureDetector::State FailureDetector::state(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_[worker].state;
+}
+
+int FailureDetector::Revive(int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& p = peers_[worker];
+  p.state = State::kAlive;
+  p.missed_rounds = 0;
+  p.heard_this_round = false;
+  return ++p.incarnation;
+}
+
+int FailureDetector::incarnation(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_[worker].incarnation;
+}
+
+int64_t FailureDetector::detection_latency_ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return detection_latency_ticks_;
+}
+
+int64_t FailureDetector::deaths_detected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deaths_detected_;
+}
+
+}  // namespace rex

@@ -1,0 +1,90 @@
+// Heartbeat-based failure detector (the driver's membership oracle).
+//
+// The driver no longer learns about crashes from the fault injector; it
+// probes workers with kPing control messages and listens for kHeartbeat
+// replies on the Network's synchronous HeartbeatSink. Detection is counted
+// in probe rounds, not wall-clock time, which keeps chaos runs
+// deterministic: one round = broadcast pings, wait for quiescence, Tick().
+//
+// Per-worker state machine:
+//
+//   kAlive --(suspect_after missed rounds)--> kSuspected
+//   kSuspected --(confirm_after more missed rounds)--> kDead
+//   kSuspected --(heartbeat arrives)--> kAlive   (suspicion was wrong)
+//   kDead --(Revive)--> kAlive                   (new incarnation)
+//
+// A heartbeat carrying a stale incarnation (from a thread that belonged to
+// a previous life of the worker) is ignored.
+#ifndef REX_CLUSTER_FAILURE_DETECTOR_H_
+#define REX_CLUSTER_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/network.h"
+
+namespace rex {
+
+class FailureDetector : public HeartbeatSink {
+ public:
+  enum class State { kAlive = 0, kSuspected = 1, kDead = 2 };
+
+  struct Config {
+    /// Missed probe rounds before an alive worker becomes suspected.
+    int suspect_after = 1;
+    /// Further missed rounds before a suspected worker is declared dead.
+    int confirm_after = 1;
+  };
+
+  FailureDetector(int num_workers, Config config);
+
+  /// HeartbeatSink: called synchronously from worker threads.
+  void OnHeartbeat(int worker, int incarnation) override;
+
+  /// Opens a probe round: clears the heard-from set. Call before
+  /// broadcasting pings.
+  void BeginRound();
+
+  /// Closes a probe round after quiescence: workers that did not answer
+  /// accumulate a miss and may transition kAlive -> kSuspected -> kDead.
+  /// Returns the workers newly declared dead this round.
+  std::vector<int> Tick();
+
+  /// True while any worker sits in kSuspected — the driver keeps probing
+  /// until every suspicion resolves to alive or dead.
+  bool AnySuspected() const;
+
+  State state(int worker) const;
+  bool IsDead(int worker) const { return state(worker) == State::kDead; }
+
+  /// Re-admits a dead worker under a fresh incarnation (node replacement).
+  /// Returns the new incarnation number.
+  int Revive(int worker);
+
+  int incarnation(int worker) const;
+
+  /// Probe rounds spent between a worker's last heartbeat and its death
+  /// declaration, summed over all deaths — the detection latency that
+  /// Figure-12-style recovery reports now include.
+  int64_t detection_latency_ticks() const;
+  int64_t deaths_detected() const;
+
+ private:
+  struct PeerState {
+    State state = State::kAlive;
+    int missed_rounds = 0;
+    int incarnation = 0;
+    bool heard_this_round = false;
+  };
+
+  const Config config_;
+  mutable std::mutex mutex_;
+  std::vector<PeerState> peers_;
+  int64_t detection_latency_ticks_ = 0;
+  int64_t deaths_detected_ = 0;
+};
+
+}  // namespace rex
+
+#endif  // REX_CLUSTER_FAILURE_DETECTOR_H_

@@ -4,6 +4,13 @@
 // In this in-process cluster the "requestor" is the driver thread; votes
 // are reported synchronously during message processing, so once the network
 // is quiescent all votes for the stratum are in.
+//
+// The board keeps at most one vote per (fixpoint, stratum, worker): a
+// duplicate report (retransmitted punctuation re-triggering a vote)
+// overwrites rather than double-counts. Votes carry the reporting worker's
+// incarnation; a vote from an incarnation older than the board's view of
+// that worker (a late vote from a life that has since been declared dead)
+// is ignored.
 #ifndef REX_CLUSTER_VOTE_BOARD_H_
 #define REX_CLUSTER_VOTE_BOARD_H_
 
@@ -34,10 +41,25 @@ struct VoteStats {
 
 class VoteBoard {
  public:
+  /// Records a vote. A repeated report from the same worker for the same
+  /// (fixpoint, stratum) overwrites its previous vote; a report whose
+  /// incarnation is older than the board's current incarnation for that
+  /// worker is dropped.
   void Report(int worker, int fixpoint_id, int stratum,
-              const VoteStats& stats) {
+              const VoteStats& stats, int incarnation = 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    votes_[{fixpoint_id, stratum}].emplace_back(worker, stats);
+    auto inc_it = incarnations_.find(worker);
+    if (inc_it != incarnations_.end() && incarnation < inc_it->second) {
+      return;  // stale vote from a dead incarnation
+    }
+    votes_[{fixpoint_id, stratum}][worker] = stats;
+  }
+
+  /// Declares the minimum incarnation the board accepts votes from for
+  /// `worker` (called when a revived worker rejoins under a new life).
+  void SetIncarnation(int worker, int incarnation) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    incarnations_[worker] = incarnation;
   }
 
   /// Aggregated stats for one fixpoint's stratum.
@@ -104,9 +126,10 @@ class VoteBoard {
 
  private:
   mutable std::mutex mutex_;
-  // (fixpoint, stratum) -> [(worker, stats)]
-  std::map<std::pair<int, int>, std::vector<std::pair<int, VoteStats>>>
-      votes_;
+  // (fixpoint, stratum) -> worker -> stats (one vote per worker).
+  std::map<std::pair<int, int>, std::map<int, VoteStats>> votes_;
+  // worker -> minimum accepted incarnation.
+  std::map<int, int> incarnations_;
 };
 
 }  // namespace rex

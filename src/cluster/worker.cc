@@ -7,11 +7,12 @@ namespace rex {
 WorkerNode::WorkerNode(int id, Network* network, StorageCatalog* storage,
                        UdfRegistry* udfs, VoteBoard* votes,
                        CheckpointStore* checkpoints,
-                       const EngineConfig* config)
+                       const EngineConfig* config, int incarnation)
     : id_(id),
       network_(network),
       trace_("worker " + std::to_string(id)) {
   ctx_.worker_id = id;
+  ctx_.incarnation = incarnation;
   ctx_.network = network;
   ctx_.storage = storage;
   ctx_.udfs = udfs;
@@ -72,6 +73,15 @@ void WorkerNode::RunLoop() {
       }
       last = msg->seq;
     }
+    if (msg->kind == Message::Kind::kControl &&
+        msg->control.kind == ControlMsg::Kind::kPing) {
+      // Liveness probes are answered even when a pending error suppresses
+      // normal dispatch: an errored-but-running worker must not be
+      // mistaken for a dead one by the failure detector.
+      (void)network_->Send(Message::Heartbeat(id_, ctx_.incarnation));
+      network_->OnMessageProcessed();
+      continue;
+    }
     if (error_.ok()) {
       Status st = Dispatch(*msg);
       if (!st.ok()) {
@@ -111,6 +121,10 @@ Status WorkerNode::Dispatch(Message& msg) {
                     msg.target_port, 0);
       return plan_->op(msg.target_op)->OnPunct(msg.target_port, msg.punct);
     }
+    case Message::Kind::kHeartbeat:
+      // Heartbeats are routed synchronously to the driver's sink inside
+      // Send and never reach an inbox.
+      return Status::Internal("heartbeat message in worker inbox");
   }
   return Status::Internal("unknown message kind");
 }
@@ -188,6 +202,10 @@ Status WorkerNode::HandleControl(const ControlMsg& c) {
       ctx_.replay_mode = false;
       return Status::OK();
     }
+    case ControlMsg::Kind::kPing:
+      // Answered on the RunLoop fast path (before the error check); reaching
+      // Dispatch is harmless — just reply again.
+      return network_->Send(Message::Heartbeat(id_, ctx_.incarnation));
     case ControlMsg::Kind::kNone:
       return Status::OK();
   }

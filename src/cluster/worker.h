@@ -16,12 +16,17 @@ namespace rex {
 
 class WorkerNode {
  public:
+  /// `incarnation` is this worker's life number (0 for the original
+  /// process, bumped by the failure detector on each revive); it is stamped
+  /// on heartbeat replies and fixpoint votes.
   WorkerNode(int id, Network* network, StorageCatalog* storage,
              UdfRegistry* udfs, VoteBoard* votes,
-             CheckpointStore* checkpoints, const EngineConfig* config);
+             CheckpointStore* checkpoints, const EngineConfig* config,
+             int incarnation = 0);
   ~WorkerNode();
 
   int id() const { return id_; }
+  int incarnation() const { return ctx_.incarnation; }
 
   /// Instantiates the plan against this worker's context. Must be called
   /// while the network is quiescent (driver thread).

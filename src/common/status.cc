@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -28,6 +28,9 @@ enum class StatusCode {
   kNodeFailure,
   kUnsupported,
   kInternal,
+  /// Stored bytes failed an integrity check and no valid copy remains
+  /// (checkpoint corruption that replica repair could not mask).
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "TypeError", ...).
@@ -76,6 +79,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -44,6 +44,23 @@ struct EngineConfig {
   /// Safety valve for diverging queries.
   int max_strata = 10000;
 
+  /// Failure detector: missed probe rounds before a worker is suspected,
+  /// and further missed rounds before a suspected worker is declared dead.
+  int heartbeat_suspect_rounds = 1;
+  int heartbeat_confirm_rounds = 1;
+
+  /// Retransmission attempts per message before the sender declares the
+  /// peer unreachable. Sized above the largest injected drop window so the
+  /// ack/retransmit protocol, not test tolerance, survives chaos drops.
+  int send_retry_budget = 16;
+
+  /// Per-inbox flow-control bound (messages); 0 disables backpressure.
+  size_t channel_capacity = 1024;
+
+  /// Recovery passes attempted (with backoff) before the query fails; a
+  /// checkpoint DataLoss inside the budget degrades to restart strategy.
+  int recovery_retry_budget = 8;
+
   /// Chaos-harness invariant checkers (debug/test builds): after every
   /// stratum the driver verifies the in-flight message count, checkpoint
   /// readability under the current failure set, and Δ-conservation —
@@ -74,6 +91,10 @@ struct ExecContext {
   const EngineConfig* config = nullptr;
 
   int current_stratum = 0;
+
+  /// This worker's incarnation number (bumped on every revive). Stamped on
+  /// fixpoint votes so the board can ignore votes from a previous life.
+  int incarnation = 0;
 
   /// Non-null while a recovery reload is in progress: the partition
   /// snapshot that was in effect before the failure (scans use it to find

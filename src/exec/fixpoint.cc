@@ -228,13 +228,13 @@ Status FixpointOp::CheckpointPending(int stratum) {
     by_replicas[ctx_->pmap->Owners(h)].push_back(EncodeCheckpoint(d));
   }
   for (auto& [replicas, tuples] : by_replicas) {
-    ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id, replicas,
-                           tuples);
+    REX_RETURN_NOT_OK(ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id,
+                                             replicas, tuples));
   }
   if (by_replicas.empty()) {
     // An empty checkpoint still marks the stratum complete for this node.
-    ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id,
-                           ctx_->pmap->workers(), {});
+    REX_RETURN_NOT_OK(ctx_->checkpoints->Put(
+        id(), stratum, ctx_->worker_id, ctx_->pmap->workers(), {}));
   }
   if (ctx_->trace != nullptr) {
     ctx_->trace->Record(TraceEvent::Kind::kCheckpointWrite, id(), stratum,
@@ -254,7 +254,8 @@ Status FixpointOp::OnPortWaveComplete(int /*port*/, const Punctuation& p) {
   stats_.state_size = static_cast<int64_t>(state_size_);
   REX_RETURN_NOT_OK(CheckpointPending(p.stratum));
   applied_log_.clear();  // next stratum starts a fresh Δ history
-  ctx_->votes->Report(ctx_->worker_id, id(), p.stratum, stats_);
+  ctx_->votes->Report(ctx_->worker_id, id(), p.stratum, stats_,
+                      ctx_->incarnation);
   stats_ = VoteStats{};
   // Rearm for the next stratum's wave (closed ports stay closed).
   ResetWave();

@@ -47,6 +47,10 @@ struct ControlMsg {
     /// (stratum `stratum`) so pending_ holds the resumption flush, then
     /// leave replay mode.
     kReplayEnd = 4,
+    /// Liveness probe: the worker answers with a kHeartbeat message. Served
+    /// even when the worker has a pending error, so an errored-but-running
+    /// worker is not mistaken for a dead one.
+    kPing = 5,
     kNone = 255,
   };
   Kind kind = Kind::kNone;
@@ -55,7 +59,15 @@ struct ControlMsg {
 
 /// One unit of inter-node communication.
 struct Message {
-  enum class Kind : uint8_t { kData = 0, kPunctuation = 1, kControl = 2 };
+  enum class Kind : uint8_t {
+    kData = 0,
+    kPunctuation = 1,
+    kControl = 2,
+    /// Worker -> driver liveness reply. Routed synchronously to the
+    /// registered HeartbeatSink; never enters a channel or the fault
+    /// injector, mirroring an out-of-band control plane.
+    kHeartbeat = 3,
+  };
 
   Kind kind = Kind::kData;
   int from_worker = -1;
@@ -70,6 +82,14 @@ struct Message {
   /// number is not strictly increasing, which makes injected duplicate
   /// deliveries exactly-once, like TCP retransmissions.
   uint64_t seq = 0;
+  /// Channel incarnation the sender believes the destination is on, stamped
+  /// by Network::Send. A channel rejects messages for an older incarnation,
+  /// so a revived worker never consumes pre-crash traffic. -1 bypasses the
+  /// check (messages enqueued without going through Send).
+  int dest_incarnation = -1;
+  /// kHeartbeat payload: the responding worker's own incarnation, so the
+  /// failure detector can ignore heartbeats from a stale incarnation.
+  int incarnation = 0;
 
   DeltaVec deltas;   // kData payload
   Punctuation punct;  // kPunctuation payload
@@ -102,6 +122,15 @@ struct Message {
     m.kind = Kind::kControl;
     m.to_worker = to;
     m.control = c;
+    return m;
+  }
+
+  static Message Heartbeat(int from, int incarnation) {
+    Message m;
+    m.kind = Kind::kHeartbeat;
+    m.from_worker = from;
+    m.to_worker = -1;  // addressed to the driver's HeartbeatSink
+    m.incarnation = incarnation;
     return m;
   }
 

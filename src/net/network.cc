@@ -1,29 +1,47 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace rex {
 
-Network::Network(int num_workers)
+namespace {
+// Cap on the simulated exponential backoff between retransmission attempts,
+// in ticks. 2^6 = 64 ticks keeps the accounting bounded even if a retry
+// budget is configured far above the default.
+constexpr int kMaxBackoffShift = 6;
+}  // namespace
+
+Network::Network(int num_workers, size_t channel_capacity, int retry_budget)
     : failed_(num_workers),
       bytes_by_sender_(num_workers),
       bytes_matrix_(static_cast<size_t>(num_workers) *
                     static_cast<size_t>(num_workers)),
       seq_(static_cast<size_t>(num_workers + 1) *
-           static_cast<size_t>(num_workers)) {
-  channels_.reserve(num_workers);
-  for (int i = 0; i < num_workers; ++i) {
-    channels_.push_back(std::make_unique<Channel>());
-    failed_[i].store(false);
-    bytes_by_sender_[i].store(0);
-  }
-  for (auto& b : bytes_matrix_) b.store(0);
-  for (auto& s : seq_) s.store(0);
+           static_cast<size_t>(num_workers)),
+      retry_budget_(std::max(retry_budget, 0)) {
   bytes_sent_counter_ = metrics_.GetCounter(metrics::kBytesSent);
   messages_sent_counter_ = metrics_.GetCounter(metrics::kMessagesSent);
   tuples_sent_counter_ = metrics_.GetCounter(metrics::kTuplesSent);
   chaos_dropped_counter_ = metrics_.GetCounter(metrics::kChaosDropped);
   chaos_duplicated_counter_ = metrics_.GetCounter(metrics::kChaosDuplicated);
+  retransmits_counter_ = metrics_.GetCounter(metrics::kRetransmits);
+  backoff_ticks_counter_ = metrics_.GetCounter(metrics::kBackoffTicks);
+  heartbeats_counter_ = metrics_.GetCounter(metrics::kHeartbeats);
+  unreachable_counter_ = metrics_.GetCounter(metrics::kUnreachable);
+  Counter* bp_blocks = metrics_.GetCounter(metrics::kBackpressureBlocks);
+  Counter* bp_sheds = metrics_.GetCounter(metrics::kBackpressureSheds);
+  channels_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+    channels_.back()->SetCapacity(channel_capacity);
+    channels_.back()->SetBackpressureCounters(bp_blocks, bp_sheds);
+    failed_[i].store(false);
+    bytes_by_sender_[i].store(0);
+  }
+  for (auto& b : bytes_matrix_) b.store(0);
+  for (auto& s : seq_) s.store(0);
 }
 
 void Network::Deliver(Message msg) {
@@ -43,12 +61,21 @@ void Network::Deliver(Message msg) {
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!channels_[to]->Push(std::move(msg))) {
-    // Channel closed concurrently with the failure check; treat as dropped.
+    // Channel closed (or wrong incarnation) concurrently with the failure
+    // check; treat as dropped.
     NoteProcessed(in_flight_.fetch_sub(1, std::memory_order_acq_rel));
   }
 }
 
 Status Network::Send(Message msg) {
+  if (msg.kind == Message::Kind::kHeartbeat) {
+    // Out-of-band control plane: heartbeats go straight to the sink without
+    // touching channels, the injector, or in-flight accounting.
+    heartbeats_counter_->Increment();
+    HeartbeatSink* sink = heartbeat_sink_.load(std::memory_order_acquire);
+    if (sink != nullptr) sink->OnHeartbeat(msg.from_worker, msg.incarnation);
+    return Status::OK();
+  }
   const int to = msg.to_worker;
   if (to < 0 || to >= num_workers()) {
     return Status::NetworkError("bad destination worker " +
@@ -60,15 +87,33 @@ Status Network::Send(Message msg) {
                           static_cast<size_t>(num_workers()) +
                       static_cast<size_t>(to);
   msg.seq = seq_[pair].fetch_add(1, std::memory_order_relaxed) + 1;
+  msg.dest_incarnation = channels_[to]->incarnation();
 
-  FaultInjector::Action action = FaultInjector::Action::kDeliver;
   FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
-  if (injector != nullptr && msg.kind != Message::Kind::kControl) {
-    action = injector->OnSend(&msg);
-  }
-  if (action == FaultInjector::Action::kDrop) {
+  FaultInjector::Action action = FaultInjector::Action::kDeliver;
+  // Ack/retransmit loop: an injected drop is a lost packet whose ack never
+  // arrives, so the sender backs off exponentially and retransmits until it
+  // gets through or the retry budget runs dry. The sender's thread stays
+  // blocked here, which preserves per-pair FIFO order.
+  int attempts = 0;
+  for (;;) {
+    action = FaultInjector::Action::kDeliver;
+    if (injector != nullptr && msg.kind != Message::Kind::kControl) {
+      action = injector->OnSend(&msg);
+    }
+    if (action != FaultInjector::Action::kDrop) break;
     chaos_dropped_counter_->Increment();
-    return Status::OK();
+    if (attempts >= retry_budget_) {
+      // Budget exhausted: the peer is unreachable. Give up exactly as a
+      // send to a crashed worker would — the failure detector (not the
+      // data plane) decides what happens to the destination.
+      unreachable_counter_->Increment();
+      return Status::OK();
+    }
+    retransmits_counter_->Increment();
+    backoff_ticks_counter_->Add(
+        int64_t{1} << std::min(attempts, kMaxBackoffShift));
+    ++attempts;
   }
   if (failed_[to].load(std::memory_order_acquire)) {
     return Status::OK();  // dropped on the floor, like a crashed peer
@@ -81,13 +126,17 @@ Status Network::Send(Message msg) {
   return Status::OK();
 }
 
-void Network::MarkFailed(int worker) {
-  failed_[worker].store(true, std::memory_order_release);
+void Network::Crash(int worker) {
   channels_[worker]->Close();
   // Drain whatever was queued; each drained message counts as processed.
   while (channels_[worker]->TryPop().has_value()) {
     OnMessageProcessed();
   }
+}
+
+void Network::MarkFailed(int worker) {
+  failed_[worker].store(true, std::memory_order_release);
+  Crash(worker);
 }
 
 bool Network::IsFailed(int worker) const {

@@ -6,9 +6,11 @@
 // in-flight accounting used by the driver to detect stratum quiescence.
 //
 // A FaultInjector hook may be installed to deterministically drop, reorder
-// (within a batch), or duplicate messages; the in-flight count stays exact
-// under every injected fault, and a runtime invariant checker flags any
-// transition of the count below zero.
+// (within a batch), or duplicate messages. Dropped sends are survived by
+// protocol, not tolerance: Send retransmits with exponential backoff under a
+// bounded retry budget, so a chaos drop window delays a message instead of
+// losing it. The in-flight count stays exact under every injected fault, and
+// a runtime invariant checker flags any transition of the count below zero.
 #ifndef REX_NET_NETWORK_H_
 #define REX_NET_NETWORK_H_
 
@@ -26,16 +28,31 @@
 
 namespace rex {
 
+/// Receiver of worker heartbeat replies (the driver's failure detector).
+/// Heartbeats are routed to the sink synchronously from the sending worker's
+/// thread — an out-of-band control plane that bypasses inbox channels, the
+/// fault injector, and in-flight accounting — so OnHeartbeat must be
+/// thread-safe. Declared here so net/ does not depend on cluster/.
+class HeartbeatSink {
+ public:
+  virtual ~HeartbeatSink() = default;
+  virtual void OnHeartbeat(int worker, int incarnation) = 0;
+};
+
 class Network {
  public:
-  explicit Network(int num_workers);
+  /// `channel_capacity` bounds each inbox (0 = unbounded); `retry_budget`
+  /// caps retransmission attempts per message before the sender gives up.
+  explicit Network(int num_workers, size_t channel_capacity = 0,
+                   int retry_budget = 16);
 
   int num_workers() const { return static_cast<int>(channels_.size()); }
 
   /// Routes a message to its destination inbox. Cross-worker data is
   /// metered; messages to failed workers are dropped (returns OK, like a
-  /// TCP send racing a crash). Returns NetworkError only if the
-  /// destination id is out of range.
+  /// TCP send racing a crash). Injected drops are retransmitted with
+  /// exponential backoff until delivered or the retry budget is exhausted.
+  /// Returns NetworkError only if the destination id is out of range.
   Status Send(Message msg);
 
   Channel* channel(int worker) { return channels_[worker].get(); }
@@ -46,12 +63,25 @@ class Network {
     fault_injector_.store(injector, std::memory_order_release);
   }
 
-  /// Marks a worker failed: closes its inbox, drains queued messages (they
-  /// are lost, as on a crash) and adjusts the in-flight count. Safe to call
+  /// Installs (or clears) the synchronous receiver of kHeartbeat messages.
+  void set_heartbeat_sink(HeartbeatSink* sink) {
+    heartbeat_sink_.store(sink, std::memory_order_release);
+  }
+
+  /// Simulates a crash of `worker`: closes its inbox and drains queued
+  /// messages (they are lost, as on a real crash) — but does NOT mark the
+  /// worker failed. Nobody else in the cluster learns about the crash from
+  /// this call; the failure detector must notice the silence. Safe to call
   /// from any thread (a fault injector may crash a node mid-send).
+  void Crash(int worker);
+
+  /// Confirms a detected failure: sets the failed flag (sends are dropped
+  /// from now on) in addition to Crash's close + drain. Safe anywhere.
   void MarkFailed(int worker);
   bool IsFailed(int worker) const;
-  /// Clears the failed flag and reopens the inbox (node replacement).
+  /// Clears the failed flag and reopens the inbox (node replacement). The
+  /// reopened channel is a new incarnation: straggler messages stamped for
+  /// the pre-crash incarnation are rejected on Push.
   void Restore(int worker);
   std::vector<int> LiveWorkers() const;
 
@@ -97,12 +127,19 @@ class Network {
   Counter* tuples_sent_counter_;
   Counter* chaos_dropped_counter_;
   Counter* chaos_duplicated_counter_;
+  Counter* retransmits_counter_;
+  Counter* backoff_ticks_counter_;
+  Counter* heartbeats_counter_;
+  Counter* unreachable_counter_;
   /// Per (sender, destination) sequence counters; row 0 is the driver
   /// (from_worker == -1). Each pair has a single writing thread, but sends
   /// may race a concurrent MarkFailed, so the counters stay atomic.
   std::vector<std::atomic<uint64_t>> seq_;
 
+  const int retry_budget_;
+
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<HeartbeatSink*> heartbeat_sink_{nullptr};
 
   MetricsRegistry metrics_;
 
@@ -118,6 +155,18 @@ inline constexpr const char kChaosDropped[] = "chaos.messages_dropped";
 inline constexpr const char kChaosDuplicated[] = "chaos.messages_duplicated";
 /// Duplicate deliveries discarded by receivers' sequence-number check.
 inline constexpr const char kDupDiscarded[] = "net.dup_discarded";
+/// Retransmission attempts after an injected drop (ack timeout analogue).
+inline constexpr const char kRetransmits[] = "net.retransmits";
+/// Total simulated exponential-backoff ticks spent waiting to retransmit.
+inline constexpr const char kBackoffTicks[] = "net.backoff_ticks";
+/// Heartbeat replies routed to the HeartbeatSink.
+inline constexpr const char kHeartbeats[] = "net.heartbeats";
+/// Messages abandoned after exhausting the retransmission budget.
+inline constexpr const char kUnreachable[] = "net.unreachable";
+/// Producers that blocked on a full (bounded) channel.
+inline constexpr const char kBackpressureBlocks[] = "net.backpressure_blocks";
+/// Messages shed to the spill path after the backpressure grace period.
+inline constexpr const char kBackpressureSheds[] = "net.backpressure_sheds";
 }  // namespace metrics
 
 }  // namespace rex

@@ -128,6 +128,10 @@ Json QueryProfile::ToJson() const {
   checkpoint.Set("tuples", checkpoint_tuples);
   checkpoint.Set("refetch_bytes", recovery_refetch_bytes);
   out.Set("checkpoint", std::move(checkpoint));
+
+  out.Set("detection_latency_ticks", detection_latency_ticks);
+  out.Set("retransmits", retransmits);
+  out.Set("checkpoint_repairs", checkpoint_repairs);
   return out;
 }
 
@@ -209,6 +213,9 @@ Status ValidateProfileJson(const Json& profile) {
   const Json& ckpt = profile.Get("checkpoint");
   REX_RETURN_NOT_OK(RequireInt(ckpt, "bytes"));
   REX_RETURN_NOT_OK(RequireInt(ckpt, "tuples"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "detection_latency_ticks"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "retransmits"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "checkpoint_repairs"));
   return Status::OK();
 }
 

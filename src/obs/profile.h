@@ -98,6 +98,12 @@ struct QueryProfile {
   int64_t checkpoint_tuples = 0;
   int64_t recovery_refetch_bytes = 0;
 
+  /// Failure-detection and delivery-protocol meters (Fig. 12 reports the
+  /// detection component of recovery latency explicitly).
+  int64_t detection_latency_ticks = 0;  // probe rounds spent noticing deaths
+  int64_t retransmits = 0;              // sends retried after a lossy link
+  int64_t checkpoint_repairs = 0;       // copies rebuilt after checksum fail
+
   Json ToJson() const;
 };
 

@@ -76,6 +76,21 @@ std::vector<int> ChaosInjector::TakeRestores(int stratum) {
   return out;
 }
 
+std::vector<std::pair<int, int>> ChaosInjector::TakeDueCorruptions(
+    int stratum) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<int, int>> out;
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& e = schedule_.events[i];
+    if (fired_[i] || e.kind != FaultEvent::Kind::kCorruptCheckpoint) continue;
+    if (e.at_stratum != stratum) continue;
+    fired_[i] = true;
+    stats_.corruptions += 1;
+    out.emplace_back(e.worker, e.count);
+  }
+  return out;
+}
+
 void ChaosInjector::BeginStratum(int stratum) {
   std::lock_guard<std::mutex> lock(mutex_);
   current_stratum_ = stratum;
@@ -151,9 +166,11 @@ FaultInjector::Action ChaosInjector::OnSend(Message* msg) {
   std::lock_guard<std::mutex> lock(mutex_);
 
   // 1) Crash triggers: count this send against armed mid-stratum /
-  //    during-recovery events and fail victims whose count is reached.
-  //    MarkFailed is safe here: the sending worker's own message is still
-  //    in flight, so the quiescence count cannot prematurely hit zero.
+  //    during-recovery events and crash victims whose count is reached.
+  //    Crash is safe here: the sending worker's own message is still in
+  //    flight, so the quiescence count cannot prematurely hit zero. Only
+  //    the victim is touched — the driver's failure detector discovers
+  //    the death through missed heartbeats.
   if (in_recovery_) {
     recovery_sends_ += 1;
   } else {
@@ -170,7 +187,10 @@ FaultInjector::Action ChaosInjector::OnSend(Message* msg) {
       due = !in_recovery_ && e.at_stratum == current_stratum_ &&
             stratum_sends_ >= e.after_messages;
     }
-    if (!due || network_->IsFailed(e.worker)) continue;
+    if (!due || network_->IsFailed(e.worker) ||
+        network_->channel(e.worker)->closed()) {
+      continue;
+    }
     fired_[i] = true;
     stats_.crashes += 1;
     if (e.during_recovery) {
@@ -184,7 +204,7 @@ FaultInjector::Action ChaosInjector::OnSend(Message* msg) {
                   << " after " << (e.during_recovery ? recovery_sends_
                                                      : stratum_sends_)
                   << " sends";
-    network_->MarkFailed(e.worker);
+    network_->Crash(e.worker);
     DisarmDropsForLocked(e.worker);
   }
 

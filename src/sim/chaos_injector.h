@@ -3,9 +3,11 @@
 // Installed into Network::Send for the duration of one chaos run. The
 // driver (Cluster::Run) feeds it stratum/recovery phase transitions; the
 // injector fires mid-stratum and during-recovery crashes by calling
-// Network::MarkFailed from inside a send, and applies message-level fault
-// windows (drop to doomed nodes, duplicate to restored nodes, intra-batch
-// delta reordering). All decisions derive from the schedule plus the
+// Network::Crash from inside a send — only the victim is touched; the
+// driver's failure detector has to notice the silence — and applies
+// message-level fault windows (drops against any worker, duplicate to
+// restored nodes, intra-batch delta reordering). All decisions derive from
+// the schedule plus the
 // schedule's seed; the quiescence counter stays exact under every fault
 // because drops never enter the in-flight count and duplicates enter (and
 // leave) it once per delivered copy.
@@ -13,6 +15,7 @@
 #define REX_SIM_CHAOS_INJECTOR_H_
 
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,6 +47,11 @@ class ChaosInjector : public FaultInjector {
 
   /// Restore events due at the boundary before `stratum`. Marks them fired.
   std::vector<int> TakeRestores(int stratum);
+
+  /// Checkpoint-corruption events due at the boundary before `stratum`.
+  /// Marks them fired; returns (holder, max_entries) pairs for the driver
+  /// to apply via CheckpointStore::CorruptCopies.
+  std::vector<std::pair<int, int>> TakeDueCorruptions(int stratum);
 
   /// Arms mid-stratum events for `stratum` and resets the per-stratum send
   /// counter.

@@ -22,6 +22,8 @@ const char* KindName(FaultEvent::Kind k) {
       return "duplicate";
     case FaultEvent::Kind::kReorder:
       return "reorder";
+    case FaultEvent::Kind::kCorruptCheckpoint:
+      return "corrupt-checkpoint";
   }
   return "?";
 }
@@ -60,12 +62,16 @@ Status FaultSchedule::Validate(int num_workers, int replication) const {
     const FaultEvent& e = events[i];
     const std::string tag = "fault event #" + std::to_string(i) + " " +
                             e.ToString() + ": ";
-    const bool needs_worker = e.kind != FaultEvent::Kind::kReorder;
+    // Reorder and checkpoint corruption accept worker == -1 (any
+    // destination / every holder).
+    const bool needs_worker =
+        e.kind != FaultEvent::Kind::kReorder &&
+        e.kind != FaultEvent::Kind::kCorruptCheckpoint;
     if (needs_worker && (e.worker < 0 || e.worker >= num_workers)) {
       return Status::InvalidArgument(tag + "worker id out of range [0, " +
                                      std::to_string(num_workers) + ")");
     }
-    if (e.kind == FaultEvent::Kind::kReorder && e.worker >= num_workers) {
+    if (!needs_worker && (e.worker < -1 || e.worker >= num_workers)) {
       return Status::InvalidArgument(tag + "worker id out of range");
     }
     if (e.at_stratum < 0) {
@@ -106,23 +112,11 @@ Status FaultSchedule::Validate(int num_workers, int replication) const {
         break;
       }
       case FaultEvent::Kind::kDrop: {
+        // Drops may target any worker: the sender's ack/retransmit
+        // protocol (bounded retry budget with backoff) survives the
+        // window, so a lossy link no longer requires a doomed target.
         if (e.count < 1) {
           return Status::InvalidArgument(tag + "window count must be >= 1");
-        }
-        // Drops are only safe to nodes whose state is doomed anyway: the
-        // target must crash in the same stratum (mid-stratum).
-        bool doomed = false;
-        for (const FaultEvent& c : events) {
-          if (c.kind == FaultEvent::Kind::kCrash && c.worker == e.worker &&
-              c.at_stratum == e.at_stratum && c.after_messages >= 1) {
-            doomed = true;
-          }
-        }
-        if (!doomed) {
-          return Status::InvalidArgument(
-              tag +
-              "drop window without a mid-stratum crash of the same worker "
-              "in the same stratum would lose live state");
         }
         break;
       }
@@ -141,6 +135,13 @@ Status FaultSchedule::Validate(int num_workers, int replication) const {
       case FaultEvent::Kind::kReorder: {
         if (e.count < 1) {
           return Status::InvalidArgument(tag + "window count must be >= 1");
+        }
+        break;
+      }
+      case FaultEvent::Kind::kCorruptCheckpoint: {
+        if (e.count < 1) {
+          return Status::InvalidArgument(
+              tag + "corruption count must be >= 1");
         }
         break;
       }
@@ -217,6 +218,39 @@ FaultSchedule MakeChaosSchedule(uint64_t seed, const ChaosProfile& profile) {
       dup.count = 1 + static_cast<int>(rng.NextBelow(6));
       schedule.events.push_back(dup);
     }
+  }
+
+  // Optional drop window against a live (non-doomed) worker: purely a
+  // lossy link, survived by the sender's retransmission protocol.
+  if (n >= 2 && rng.NextBool(profile.p_drop_to_live)) {
+    FaultEvent drop;
+    drop.kind = FaultEvent::Kind::kDrop;
+    drop.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    while (drop.worker == crash.worker) {
+      drop.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    }
+    drop.at_stratum = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(profile.max_crash_stratum + 2)));
+    drop.count = 1 + static_cast<int>(rng.NextBelow(5));
+    schedule.events.push_back(drop);
+  }
+
+  // Optional checkpoint corruption on a surviving holder: detected by the
+  // per-copy checksum and repaired from a replica when read. At stratum
+  // >= 1 so there are checkpointed Δ sets to corrupt.
+  if (n >= 2 && rng.NextBool(profile.p_corrupt_checkpoint)) {
+    FaultEvent corrupt;
+    corrupt.kind = FaultEvent::Kind::kCorruptCheckpoint;
+    corrupt.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    while (corrupt.worker == crash.worker) {
+      corrupt.worker =
+          static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    }
+    corrupt.at_stratum = 1 + static_cast<int>(rng.NextBelow(
+                                 static_cast<uint64_t>(
+                                     profile.max_crash_stratum + 1)));
+    corrupt.count = 1 + static_cast<int>(rng.NextBelow(5));
+    schedule.events.push_back(corrupt);
   }
 
   // Optional intra-batch reorder window, anywhere.

@@ -33,10 +33,16 @@ struct FaultEvent {
     kDrop,       // drop up to `count` messages addressed to `worker`
     kDuplicate,  // deliver up to `count` messages to `worker` twice
     kReorder,    // permute the deltas of up to `count` message batches
+    /// Flip a byte in up to `count` checkpoint copies held by `worker`
+    /// (-1 = every holder) at the boundary before `at_stratum`. Surviving
+    /// replicas repair the damage on read; if every copy of an entry is
+    /// hit, recovery degrades to the restart strategy.
+    kCorruptCheckpoint,
   };
 
   Kind kind = Kind::kCrash;
-  /// Target worker. kReorder may use -1 (any destination).
+  /// Target worker. kReorder and kCorruptCheckpoint may use -1 (any
+  /// destination / every checkpoint holder).
   int worker = -1;
   /// Stratum boundary at which the event fires (kCrash with
   /// after_messages < 0, kRestore) or arms (everything else).
@@ -65,8 +71,8 @@ struct FaultSchedule {
   bool empty() const { return events.empty(); }
 
   /// Structural validation against a cluster size: worker ids in range,
-  /// fault windows non-empty and tied to a legal target (drops only to
-  /// nodes doomed to crash in the same stratum, duplicates only to nodes
+  /// fault windows non-empty (drops may target any worker — the sender's
+  /// ack/retransmit protocol survives them; duplicates only target nodes
   /// that have been restored), restores only of previously crashed
   /// workers, crash-during-recovery only after a preceding crash, and the
   /// simultaneous-failure count bounded by the replication factor.
@@ -86,6 +92,7 @@ struct ChaosStats {
   int64_t messages_dropped = 0;
   int64_t messages_duplicated = 0;
   int64_t batches_reordered = 0;
+  int corruptions = 0;  // checkpoint-corruption events that fired
 };
 
 /// Tuning knobs for random schedule generation.
@@ -102,7 +109,13 @@ struct ChaosProfile {
   double p_restore = 0.5;
   double p_duplicate_after_restore = 0.85;
   double p_drop_to_doomed = 0.6;
+  /// Drop window aimed at a live (non-doomed) worker: survived purely by
+  /// the sender's retransmission protocol.
+  double p_drop_to_live = 0.4;
   double p_reorder = 0.5;
+  /// Corrupt checkpoint copies held by a surviving worker (repaired from a
+  /// replica when read).
+  double p_corrupt_checkpoint = 0.5;
 };
 
 /// Deterministically expands a seed into a schedule under `profile`. The

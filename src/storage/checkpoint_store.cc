@@ -2,46 +2,106 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/serde.h"
 
 namespace rex {
 
-void CheckpointStore::Put(int fixpoint_id, int stratum, int owner,
-                          const std::vector<int>& replicas,
-                          const std::vector<Tuple>& delta_set) {
+namespace {
+
+uint64_t Checksum(const std::string& bytes) {
+  return HashBytes(bytes.data(), bytes.size());
+}
+
+bool CopyValid(const std::string& bytes, uint64_t checksum) {
+  return Checksum(bytes) == checksum;
+}
+
+}  // namespace
+
+Status CheckpointStore::ValidateIds(const char* op, int fixpoint_id,
+                                    int stratum, int worker) const {
+  if (fixpoint_id < 0 || stratum < 0 || worker < 0 ||
+      (num_workers_ >= 0 && worker >= num_workers_)) {
+    return Status::InvalidArgument(
+        std::string("checkpoint ") + op + ": invalid ids (fixpoint_id=" +
+        std::to_string(fixpoint_id) + ", stratum=" + std::to_string(stratum) +
+        ", worker=" + std::to_string(worker) + ", num_workers=" +
+        std::to_string(num_workers_) + ")");
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::Put(int fixpoint_id, int stratum, int owner,
+                            const std::vector<int>& replicas,
+                            const std::vector<Tuple>& delta_set) {
+  REX_RETURN_NOT_OK(ValidateIds("put", fixpoint_id, stratum, owner));
+  for (int r : replicas) {
+    REX_RETURN_NOT_OK(ValidateIds("put(replica)", fixpoint_id, stratum, r));
+  }
   std::string bytes = SerializeTuples(delta_set);
+  const uint64_t checksum = Checksum(bytes);
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_.GetCounter(metrics::kCheckpointBytes)
       ->Add(static_cast<int64_t>(bytes.size()) *
             static_cast<int64_t>(std::max<size_t>(replicas.size(), 1)));
   metrics_.GetCounter(metrics::kCheckpointTuples)
       ->Add(static_cast<int64_t>(delta_set.size()));
+  auto install_copies = [&](Entry& e) {
+    e.copies.clear();
+    e.copies[e.owner] = Copy{bytes, checksum};
+    for (int r : e.replicas) e.copies[r] = Copy{bytes, checksum};
+  };
   auto& slot = entries_[{fixpoint_id, stratum}];
   // A worker checkpoints one entry per replica-group of its Δ set; a
   // re-executed stratum overwrites its group rather than duplicating it.
   for (Entry& e : slot) {
     if (e.owner == owner && e.replicas == replicas) {
-      e.bytes = std::move(bytes);
-      return;
+      install_copies(e);
+      return Status::OK();
     }
   }
-  slot.push_back(Entry{owner, replicas, std::move(bytes)});
+  slot.push_back(Entry{owner, replicas, {}});
+  install_copies(slot.back());
+  return Status::OK();
 }
 
 Result<std::vector<Tuple>> CheckpointStore::Read(int fixpoint_id, int stratum,
-                                                 int reader) const {
+                                                 int reader) {
+  REX_RETURN_NOT_OK(ValidateIds("read", fixpoint_id, stratum, reader));
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Tuple> out;
   auto it = entries_.find({fixpoint_id, stratum});
   if (it == entries_.end()) return out;
-  for (const Entry& e : it->second) {
-    const bool accessible =
-        e.owner == reader ||
-        std::find(e.replicas.begin(), e.replicas.end(), reader) !=
-            e.replicas.end();
-    if (!accessible) continue;
+  for (Entry& e : it->second) {
+    auto cit = e.copies.find(reader);
+    if (cit == e.copies.end()) continue;
+    Copy& mine = cit->second;
+    if (!CopyValid(mine.bytes, mine.checksum)) {
+      // Integrity failure: repair from the first checksum-valid copy held
+      // by anyone (deterministic holder order).
+      const Copy* good = nullptr;
+      for (const auto& [holder, copy] : e.copies) {
+        if (CopyValid(copy.bytes, copy.checksum)) {
+          good = &copy;
+          break;
+        }
+      }
+      if (good == nullptr) {
+        return Status::DataLoss(
+            "all " + std::to_string(e.copies.size()) +
+            " copies of checkpoint entry (fixpoint " +
+            std::to_string(fixpoint_id) + ", stratum " +
+            std::to_string(stratum) + ", writer " + std::to_string(e.owner) +
+            ") failed their integrity check");
+      }
+      metrics_.GetCounter(metrics::kCheckpointRepairs)->Increment();
+      metrics_.GetCounter(metrics::kRecoveryRefetchBytes)
+          ->Add(static_cast<int64_t>(good->bytes.size()));
+      mine = *good;
+    }
     REX_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
-                         DeserializeTuples(e.bytes));
+                         DeserializeTuples(mine.bytes));
     for (Tuple& t : tuples) out.push_back(std::move(t));
   }
   return out;
@@ -76,6 +136,7 @@ Status CheckpointStore::GrantRecoveryAccess(
   };
   std::lock_guard<std::mutex> lock(mutex_);
   int64_t refetch_bytes = 0;
+  int64_t repairs = 0;
   for (auto& [key, slot] : entries_) {
     for (Entry& e : slot) {
       int live_copies = is_live(e.owner) ? 1 : 0;
@@ -88,6 +149,31 @@ Status CheckpointStore::GrantRecoveryAccess(
             " stratum " + std::to_string(key.second) + " entry of worker " +
             std::to_string(e.owner) + " has no live copy");
       }
+      // Re-replication needs a trustworthy source: the first checksum-valid
+      // copy on a live holder (deterministic holder order). Repair invalid
+      // live copies from it while we are here.
+      const Copy* good = nullptr;
+      for (const auto& [holder, copy] : e.copies) {
+        if (is_live(holder) && CopyValid(copy.bytes, copy.checksum)) {
+          good = &copy;
+          break;
+        }
+      }
+      if (good == nullptr) {
+        return Status::DataLoss(
+            "all live copies of checkpoint entry (fixpoint " +
+            std::to_string(key.first) + ", stratum " +
+            std::to_string(key.second) + ", writer " +
+            std::to_string(e.owner) + ") failed their integrity check");
+      }
+      const Copy source = *good;  // e.copies mutates below
+      for (auto& [holder, copy] : e.copies) {
+        if (is_live(holder) && !CopyValid(copy.bytes, copy.checksum)) {
+          copy = source;
+          ++repairs;
+          refetch_bytes += static_cast<int64_t>(source.bytes.size());
+        }
+      }
       auto holds = [&e](int w) {
         return w == e.owner ||
                std::find(e.replicas.begin(), e.replicas.end(), w) !=
@@ -98,7 +184,8 @@ Status CheckpointStore::GrantRecoveryAccess(
       for (int w : takeover_readers) {
         if (is_live(w) && !holds(w)) {
           e.replicas.push_back(w);
-          refetch_bytes += static_cast<int64_t>(e.bytes.size());
+          e.copies[w] = source;
+          refetch_bytes += static_cast<int64_t>(source.bytes.size());
         }
       }
       // Top the copy count back up to the replication factor.
@@ -110,7 +197,8 @@ Status CheckpointStore::GrantRecoveryAccess(
         if (copies >= replication) break;
         if (!holds(w)) {
           e.replicas.push_back(w);
-          refetch_bytes += static_cast<int64_t>(e.bytes.size());
+          e.copies[w] = source;
+          refetch_bytes += static_cast<int64_t>(source.bytes.size());
         }
       }
     }
@@ -118,7 +206,33 @@ Status CheckpointStore::GrantRecoveryAccess(
   if (refetch_bytes > 0) {
     metrics_.GetCounter(metrics::kRecoveryRefetchBytes)->Add(refetch_bytes);
   }
+  if (repairs > 0) {
+    metrics_.GetCounter(metrics::kCheckpointRepairs)->Add(repairs);
+  }
   return Status::OK();
+}
+
+int CheckpointStore::CorruptCopies(int holder, int max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int corrupted = 0;
+  for (auto& [key, slot] : entries_) {
+    for (Entry& e : slot) {
+      if (corrupted >= max_entries) return corrupted;
+      bool hit = false;
+      for (auto& [w, copy] : e.copies) {
+        if (holder != -1 && w != holder) continue;
+        if (copy.bytes.empty()) {
+          copy.bytes.push_back('\x5a');  // even an empty payload can rot
+        } else {
+          copy.bytes[copy.bytes.size() / 2] =
+              static_cast<char>(copy.bytes[copy.bytes.size() / 2] ^ 0x5a);
+        }
+        hit = true;
+      }
+      if (hit) ++corrupted;
+    }
+  }
+  return corrupted;
 }
 
 Status CheckpointStore::VerifyReadable(const std::vector<int>& live,
@@ -159,7 +273,11 @@ int64_t CheckpointStore::total_bytes() const {
   int64_t total = 0;
   for (const auto& [key, slot] : entries_) {
     for (const Entry& e : slot) {
-      total += static_cast<int64_t>(e.bytes.size());
+      // Logical payload size, counted once per entry (copies are replicas
+      // of the same bytes).
+      if (!e.copies.empty()) {
+        total += static_cast<int64_t>(e.copies.begin()->second.bytes.size());
+      }
     }
   }
   return total;

@@ -8,12 +8,17 @@
 // restarting from scratch.
 //
 // The store simulates the replicated DHT: entries are serialized (so
-// checkpoint byte volume is measured honestly) and a reader may only access
-// entries for which it holds a copy (it was the writer or one of the
-// writer's chosen replicas).
+// checkpoint byte volume is measured honestly), each holder keeps its own
+// physical copy guarded by a checksum, and a reader may only access entries
+// for which it holds a copy (it was the writer or one of the writer's
+// chosen replicas). A copy that fails its integrity check on read is
+// repaired from a surviving checksum-valid replica; when every copy of an
+// entry is bad the read fails with StatusCode::kDataLoss and recovery
+// degrades to the restart strategy.
 #ifndef REX_STORAGE_CHECKPOINT_STORE_H_
 #define REX_STORAGE_CHECKPOINT_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -27,17 +32,27 @@ namespace rex {
 
 class CheckpointStore {
  public:
+  /// `num_workers` bounds worker-id validation in Put/Read; -1 (the
+  /// default, for store-only unit tests) checks only for negative ids.
+  explicit CheckpointStore(int num_workers = -1)
+      : num_workers_(num_workers) {}
+
   /// Replicates `delta_set` — the Δ tuples fixpoint `fixpoint_id` on
-  /// `owner` processed during `stratum` — to `replicas`.
-  void Put(int fixpoint_id, int stratum, int owner,
-           const std::vector<int>& replicas,
-           const std::vector<Tuple>& delta_set);
+  /// `owner` processed during `stratum` — to `replicas` (one checksummed
+  /// physical copy per holder). Returns InvalidArgument, naming the
+  /// offending ids, for negative or out-of-range fixpoint/stratum/worker
+  /// ids instead of silently creating map entries.
+  Status Put(int fixpoint_id, int stratum, int owner,
+             const std::vector<int>& replicas,
+             const std::vector<Tuple>& delta_set);
 
   /// All Δ tuples for `fixpoint_id` in `stratum` that `reader` may access
   /// (union over writers whose replica set includes the reader). The caller
-  /// filters by current key ownership.
-  Result<std::vector<Tuple>> Read(int fixpoint_id, int stratum,
-                                  int reader) const;
+  /// filters by current key ownership. The reader's copy of each entry is
+  /// checksum-verified; a bad copy is repaired in place from the first
+  /// valid copy (any holder), and if no copy of an entry is valid the read
+  /// fails with kDataLoss. Ids are validated as in Put.
+  Result<std::vector<Tuple>> Read(int fixpoint_id, int stratum, int reader);
 
   /// Highest stratum for which ALL live writers' checkpoints exist (i.e.
   /// the last globally completed checkpoint), or -1 if none.
@@ -50,17 +65,26 @@ class CheckpointStore {
 
   /// Recovery access grant (the DHT re-replicating after membership
   /// change): every entry gains the `takeover_readers` as replicas and is
-  /// topped back up to `replication` copies from `live` workers. Returns
-  /// NodeFailure if any entry has no live copy left (owner and all replicas
-  /// dead) — the checkpoint is lost and incremental recovery is impossible.
+  /// topped back up to `replication` copies from `live` workers; new copies
+  /// are sourced from the first checksum-valid surviving copy, repairing
+  /// invalid live copies along the way. Returns NodeFailure if any entry
+  /// has no live copy left (owner and all replicas dead), and kDataLoss if
+  /// an entry's surviving copies all fail their integrity check.
   /// Re-replication traffic is metered under kRecoveryRefetchBytes, never
   /// under the steady-state checkpoint counters.
   Status GrantRecoveryAccess(const std::vector<int>& live,
                              const std::vector<int>& takeover_readers,
                              int replication);
 
+  /// Chaos fault injection: flips a byte in the copies held by `holder`
+  /// (-1 = every holder) in up to `max_entries` entries, in deterministic
+  /// store order. Returns the number of entries actually corrupted.
+  int CorruptCopies(int holder, int max_entries);
+
   /// Chaos invariant: every entry of strata <= `last_stratum` must be
   /// readable from at least min(min_copies, live.size()) live workers.
+  /// Copy counts ignore checksums — a corrupt copy is repairable, which is
+  /// the read path's job, not a replication violation.
   Status VerifyReadable(const std::vector<int>& live, int min_copies) const;
 
   /// Drops all entries (between queries / runs).
@@ -71,18 +95,34 @@ class CheckpointStore {
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
+  /// One holder's physical copy of an entry.
+  struct Copy {
+    std::string bytes;  // serialized tuple vector
+    uint64_t checksum = 0;
+  };
   struct Entry {
     int owner;
     std::vector<int> replicas;
-    std::string bytes;  // serialized tuple vector
+    std::map<int, Copy> copies;  // holder -> its copy
   };
   // (fixpoint, stratum) -> entries from each writer.
   using Key = std::pair<int, int>;
 
+  Status ValidateIds(const char* op, int fixpoint_id, int stratum,
+                     int worker) const;
+
+  const int num_workers_;
   mutable std::mutex mutex_;
   std::map<Key, std::vector<Entry>> entries_;
   MetricsRegistry metrics_;
 };
+
+namespace metrics {
+/// Checkpoint copies rebuilt from a surviving replica after failing their
+/// integrity check on read.
+inline constexpr const char kCheckpointRepairs[] =
+    "recovery.checkpoint_repairs";
+}  // namespace metrics
 
 }  // namespace rex
 

@@ -299,6 +299,94 @@ TEST(NetworkTest, SequenceNumbersKeepIncreasingAcrossRestore) {
   EXPECT_GT(after->seq, before->seq);
 }
 
+TEST(ChannelTest, ReopenDiscardsStaleMessagesAndBumpsIncarnation) {
+  // Regression: a revived worker must never consume a batch addressed to
+  // its previous life. Reopen discards anything still queued and bumps the
+  // incarnation so stale stamped stragglers are rejected on Push.
+  Channel ch;
+  const int first_life = ch.incarnation();
+  Message stale = OneTupleMsg(0, 1);
+  stale.dest_incarnation = first_life;
+  ASSERT_TRUE(ch.Push(stale));
+  EXPECT_EQ(ch.size(), 1u);
+
+  ch.Close();
+  ch.Reopen();
+  EXPECT_EQ(ch.size(), 0u);  // the pre-crash message is gone
+  EXPECT_GT(ch.incarnation(), first_life);
+
+  Message straggler = OneTupleMsg(0, 1);
+  straggler.dest_incarnation = first_life;  // stamped for the old life
+  EXPECT_FALSE(ch.Push(straggler));
+  EXPECT_EQ(ch.size(), 0u);
+
+  Message fresh = OneTupleMsg(0, 1);
+  fresh.dest_incarnation = ch.incarnation();
+  EXPECT_TRUE(ch.Push(fresh));
+  Message unstamped = OneTupleMsg(0, 1);  // dest_incarnation = -1: bypass
+  EXPECT_TRUE(ch.Push(unstamped));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(NetworkTest, BoundedChannelShedsAfterGracePeriod) {
+  Network net(2, /*channel_capacity=*/1);
+  ASSERT_TRUE(net.Send(OneTupleMsg(0, 1)).ok());
+  // The inbox is full and nobody is consuming: the next data send blocks
+  // for the flow-control grace period, then sheds to the spill path
+  // instead of deadlocking the sender forever.
+  ASSERT_TRUE(net.Send(OneTupleMsg(0, 1)).ok());
+  EXPECT_EQ(net.channel(1)->size(), 2u);
+  EXPECT_GE(net.metrics().Value(metrics::kBackpressureBlocks), 1);
+  EXPECT_GE(net.metrics().Value(metrics::kBackpressureSheds), 1);
+  while (net.channel(1)->TryPop().has_value()) net.OnMessageProcessed();
+  net.WaitQuiescent();
+  EXPECT_TRUE(net.CheckInvariants().ok());
+}
+
+/// Drops the first `n` sends it sees, then delivers everything.
+class DropNTimesInjector : public FaultInjector {
+ public:
+  explicit DropNTimesInjector(int n) : remaining_(n) {}
+  Action OnSend(Message* /*msg*/) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      return Action::kDrop;
+    }
+    return Action::kDeliver;
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST(NetworkTest, DroppedSendIsRetransmittedUntilDelivered) {
+  Network net(2, /*channel_capacity=*/0, /*retry_budget=*/8);
+  DropNTimesInjector injector(3);
+  net.set_fault_injector(&injector);
+  ASSERT_TRUE(net.Send(OneTupleMsg(0, 1)).ok());
+  // Three drops, three backed-off retransmissions, one delivery.
+  EXPECT_EQ(net.channel(1)->size(), 1u);
+  EXPECT_EQ(net.metrics().Value(metrics::kRetransmits), 3);
+  EXPECT_GT(net.metrics().Value(metrics::kBackoffTicks), 0);
+  EXPECT_EQ(net.metrics().Value(metrics::kUnreachable), 0);
+  net.channel(1)->TryPop();
+  net.OnMessageProcessed();
+  net.WaitQuiescent();
+  EXPECT_TRUE(net.CheckInvariants().ok());
+}
+
+TEST(NetworkTest, RetryBudgetBoundsRetransmissions) {
+  Network net(2, /*channel_capacity=*/0, /*retry_budget=*/2);
+  DropNTimesInjector injector(100);  // a link that never heals
+  net.set_fault_injector(&injector);
+  ASSERT_TRUE(net.Send(OneTupleMsg(0, 1)).ok());  // OK, like a crashed peer
+  EXPECT_EQ(net.channel(1)->size(), 0u);
+  EXPECT_EQ(net.metrics().Value(metrics::kRetransmits), 2);
+  EXPECT_EQ(net.metrics().Value(metrics::kUnreachable), 1);
+  net.WaitQuiescent();  // the abandoned message left no in-flight residue
+  EXPECT_TRUE(net.CheckInvariants().ok());
+}
+
 TEST(ClusterTest, MultiFailureLiveWorkersAfterPartialRestore) {
   // Two crashes and one restore within a single query: LiveWorkers()
   // reflects exactly the final membership, and the revived node's inbox

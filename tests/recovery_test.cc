@@ -283,6 +283,97 @@ TEST(CheckpointStoreTest, VerifyReadableFlagsUnderReplication) {
   EXPECT_TRUE(store.VerifyReadable({1}, 2).ok());
 }
 
+TEST(CheckpointStoreTest, PutRejectsInvalidIds) {
+  CheckpointStore store(/*num_workers=*/4);
+  const std::vector<Tuple> rows = {Tuple{Value(1)}};
+  Status st = store.Put(-1, 0, 0, {0, 1}, rows);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("fixpoint_id=-1"), std::string::npos);
+  st = store.Put(1, -2, 0, {0, 1}, rows);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("stratum=-2"), std::string::npos);
+  st = store.Put(1, 0, 4, {0, 1}, rows);  // owner out of range
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("worker=4"), std::string::npos);
+  st = store.Put(1, 0, 0, {0, 9}, rows);  // replica out of range
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("worker=9"), std::string::npos);
+  // Nothing was silently created by the rejected calls.
+  EXPECT_EQ(store.total_entries(), 0);
+  EXPECT_TRUE(store.Put(1, 0, 0, {0, 1}, rows).ok());
+}
+
+TEST(CheckpointStoreTest, ReadRejectsInvalidIds) {
+  CheckpointStore store(/*num_workers=*/4);
+  ASSERT_TRUE(store.Put(1, 0, 0, {0, 1}, {Tuple{Value(1)}}).ok());
+  EXPECT_EQ(store.Read(-1, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Read(1, -1, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Read(1, 0, -3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Read(1, 0, 4).status().code(),
+            StatusCode::kInvalidArgument);
+  // The unbounded store (unit-test default) still rejects negatives.
+  CheckpointStore unbounded;
+  EXPECT_EQ(unbounded.Read(1, 0, -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(unbounded.Read(1, 0, 400).ok());  // no upper bound configured
+}
+
+TEST(CheckpointStoreTest, CorruptCopyIsRepairedFromReplica) {
+  CheckpointStore store;
+  ASSERT_TRUE(
+      store.Put(5, 0, 1, {1, 2}, {Tuple{Value(10)}, Tuple{Value(11)}}).ok());
+  // Rot worker 1's copy only; worker 2 still holds a checksum-valid one.
+  EXPECT_EQ(store.CorruptCopies(/*holder=*/1, /*max_entries=*/10), 1);
+  auto read = store.Read(5, 0, 1);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->size(), 2u);
+  EXPECT_EQ(
+      store.metrics().GetCounter(metrics::kCheckpointRepairs)->value(), 1);
+  EXPECT_GT(
+      store.metrics().GetCounter(metrics::kRecoveryRefetchBytes)->value(), 0);
+  // The repair is durable: a second read verifies clean with no new repair.
+  ASSERT_TRUE(store.Read(5, 0, 1).ok());
+  EXPECT_EQ(
+      store.metrics().GetCounter(metrics::kCheckpointRepairs)->value(), 1);
+}
+
+TEST(CheckpointStoreTest, AllCopiesCorruptReadFailsWithDataLoss) {
+  CheckpointStore store;
+  ASSERT_TRUE(store.Put(5, 0, 1, {1, 2}, {Tuple{Value(10)}}).ok());
+  EXPECT_EQ(store.CorruptCopies(/*holder=*/-1, /*max_entries=*/10), 1);
+  auto read = store.Read(5, 0, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  // And the recovery grant refuses to re-replicate from rotten copies.
+  Status st = store.GrantRecoveryAccess(/*live=*/{0, 2, 3},
+                                        /*takeover_readers=*/{3},
+                                        /*replication=*/3);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointStoreTest, GrantRepairsInvalidLiveCopies) {
+  CheckpointStore store;
+  ASSERT_TRUE(store.Put(8, 0, 1, {1, 2}, {Tuple{Value(3)}}).ok());
+  EXPECT_EQ(store.CorruptCopies(/*holder=*/2, /*max_entries=*/10), 1);
+  // The grant sources new copies from a live checksum-valid copy (worker
+  // 1's) and repairs worker 2's rotten copy from it along the way.
+  ASSERT_TRUE(store.GrantRecoveryAccess(/*live=*/{0, 1, 2, 3},
+                                        /*takeover_readers=*/{3},
+                                        /*replication=*/3)
+                  .ok());
+  EXPECT_GE(
+      store.metrics().GetCounter(metrics::kCheckpointRepairs)->value(), 1);
+  auto takeover = store.Read(8, 0, 3);
+  ASSERT_TRUE(takeover.ok());
+  EXPECT_EQ(takeover->size(), 1u);
+  auto repaired = store.Read(8, 0, 2);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->size(), 1u);
+}
+
 TEST(PartitionMapTest, TakeoverGoesToFormerReplica) {
   PartitionMap pmap({0, 1, 2, 3, 4}, /*replication=*/3);
   Rng rng(5);

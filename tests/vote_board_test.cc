@@ -1,0 +1,90 @@
+// VoteBoard unit tests: duplicate votes, late votes for aborted strata, and
+// stale-incarnation votes from a worker's previous life (post-recovery).
+#include "cluster/vote_board.h"
+
+#include <gtest/gtest.h>
+
+namespace rex {
+namespace {
+
+VoteStats Stats(int64_t new_tuples, int64_t state_size = 0) {
+  VoteStats s;
+  s.new_tuples = new_tuples;
+  s.changed_tuples = new_tuples;
+  s.state_size = state_size;
+  return s;
+}
+
+TEST(VoteBoardTest, DuplicateVoteOverwritesInsteadOfDoubleCounting) {
+  VoteBoard board;
+  board.Report(/*worker=*/0, /*fixpoint_id=*/7, /*stratum=*/1, Stats(10));
+  board.Report(1, 7, 1, Stats(5));
+  EXPECT_EQ(board.NumVotes(7, 1), 2);
+  EXPECT_EQ(board.Total(7, 1).new_tuples, 15);
+
+  // A retransmitted punctuation re-triggers worker 0's vote: the board
+  // keeps one vote per (fixpoint, stratum, worker).
+  board.Report(0, 7, 1, Stats(10));
+  EXPECT_EQ(board.NumVotes(7, 1), 2);
+  EXPECT_EQ(board.Total(7, 1).new_tuples, 15);
+
+  // A genuinely revised vote replaces the old value rather than adding.
+  board.Report(0, 7, 1, Stats(12));
+  EXPECT_EQ(board.NumVotes(7, 1), 2);
+  EXPECT_EQ(board.Total(7, 1).new_tuples, 17);
+}
+
+TEST(VoteBoardTest, LateVoteForClearedStratumStaysCleared) {
+  VoteBoard board;
+  board.Report(0, 3, 0, Stats(4));
+  board.Report(0, 3, 1, Stats(6));
+  board.Report(0, 3, 2, Stats(8));
+  // A mid-stratum abort discards votes for the re-executed strata...
+  board.ClearFromStratum(1);
+  EXPECT_EQ(board.NumVotes(3, 0), 1);
+  EXPECT_EQ(board.NumVotes(3, 1), 0);
+  EXPECT_EQ(board.NumVotes(3, 2), 0);
+  // ...and the re-execution's fresh votes repopulate them one per worker.
+  board.Report(0, 3, 1, Stats(6));
+  board.Report(1, 3, 1, Stats(2));
+  EXPECT_EQ(board.NumVotes(3, 1), 2);
+  EXPECT_EQ(board.Total(3, 1).new_tuples, 8);
+  EXPECT_EQ(board.TotalForStratum(1).new_tuples, 8);
+}
+
+TEST(VoteBoardTest, StaleIncarnationVoteIsIgnoredAfterRevival) {
+  VoteBoard board;
+  // Worker 1's first life votes at incarnation 0.
+  board.Report(1, 5, 2, Stats(9), /*incarnation=*/0);
+  EXPECT_EQ(board.Total(5, 2).new_tuples, 9);
+
+  // The detector declares worker 1 dead; a replacement rejoins as
+  // incarnation 1. A straggler vote from the dead life must not land.
+  board.SetIncarnation(1, 1);
+  board.Report(1, 5, 3, Stats(100), /*incarnation=*/0);
+  EXPECT_EQ(board.NumVotes(5, 3), 0);
+
+  // The new life's votes are accepted — as are newer-than-expected ones.
+  board.Report(1, 5, 3, Stats(7), /*incarnation=*/1);
+  EXPECT_EQ(board.Total(5, 3).new_tuples, 7);
+  board.Report(1, 5, 4, Stats(3), /*incarnation=*/2);
+  EXPECT_EQ(board.Total(5, 4).new_tuples, 3);
+
+  // Votes from workers the board holds no incarnation floor for (never
+  // revived) default to accepted.
+  board.Report(2, 5, 3, Stats(1));
+  EXPECT_EQ(board.Total(5, 3).new_tuples, 8);
+}
+
+TEST(VoteBoardTest, ResetClearsVotesAndKeepsNothingStale) {
+  VoteBoard board;
+  board.Report(0, 1, 0, Stats(5));
+  board.Report(1, 2, 1, Stats(6));
+  ASSERT_EQ(board.SnapshotTotals().size(), 2u);
+  board.Reset();
+  EXPECT_TRUE(board.SnapshotTotals().empty());
+  EXPECT_EQ(board.Total(1, 0).new_tuples, 0);
+}
+
+}  // namespace
+}  // namespace rex
