@@ -47,17 +47,30 @@ inline MrConfig BenchMrConfig(int workers) {
   return cfg;
 }
 
+/// Data-path knobs for the ablation series: shuffle-side delta coalescing
+/// (exec/coalesce.h) and local pre-aggregation. The coalescing ablation
+/// pairs run with `preaggregate = false` so the raw candidate stream — the
+/// redundancy the coalescer removes — actually reaches the shuffle.
+struct RexRunTweaks {
+  bool coalesce_deltas = true;
+  bool preaggregate = true;
+};
+
 /// REX PageRank in any of the three configurations of §6. `iterations`
 /// bounds wrap/no-delta runs (delta terminates implicitly but is bounded
 /// too, for the fixed-x-axis figures).
 inline Result<SeriesResult> RunRexPageRank(const GraphData& graph,
                                            RexMode mode, int workers,
                                            int iterations,
-                                           double threshold = 0.01) {
-  Cluster cluster(BenchEngineConfig(workers));
+                                           double threshold = 0.01,
+                                           RexRunTweaks tweaks = {}) {
+  EngineConfig engine = BenchEngineConfig(workers);
+  engine.coalesce_deltas = tweaks.coalesce_deltas;
+  Cluster cluster(std::move(engine));
   PageRankConfig cfg;
   cfg.threshold = threshold;
   cfg.relative = true;
+  cfg.preaggregate = tweaks.preaggregate;
   PlanSpec plan;
   if (mode == RexMode::kWrap) {
     REX_RETURN_NOT_OK(SetupWrapPageRank(&cluster, graph));
@@ -98,11 +111,15 @@ inline Result<SeriesResult> RunRexPageRank(const GraphData& graph,
 
 inline Result<SeriesResult> RunRexSssp(const GraphData& graph, bool delta,
                                        int workers, int max_iterations,
-                                       int64_t source = 0) {
-  Cluster cluster(BenchEngineConfig(workers));
+                                       int64_t source = 0,
+                                       RexRunTweaks tweaks = {}) {
+  EngineConfig engine = BenchEngineConfig(workers);
+  engine.coalesce_deltas = tweaks.coalesce_deltas;
+  Cluster cluster(std::move(engine));
   REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
   SsspConfig cfg;
   cfg.source = source;
+  cfg.preaggregate = tweaks.preaggregate;
   REX_RETURN_NOT_OK(RegisterSsspUdfs(cluster.udfs(), cfg));
   PlanSpec plan;
   if (delta) {

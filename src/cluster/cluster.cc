@@ -463,6 +463,13 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
   p.checkpoint_repairs = ckpt.Value(metrics::kCheckpointRepairs);
   p.detection_latency_ticks = detector_->detection_latency_ticks();
   p.retransmits = network_->metrics().Value(metrics::kRetransmits);
+
+  p.tuples_sent = network_->metrics().Value(metrics::kTuplesSent);
+  for (int w = 0; w < num_workers(); ++w) {
+    MetricsRegistry* m = workers_[static_cast<size_t>(w)]->metrics();
+    p.deltas_coalesced += m->Value(metrics::kDeltasCoalesced);
+    p.coalesce_bytes_saved += m->Value(metrics::kCoalesceBytesSaved);
+  }
 }
 
 Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,

@@ -12,6 +12,8 @@ const char* DeltaOpName(DeltaOp op) {
       return "->";
     case DeltaOp::kUpdate:
       return "δ";
+    case DeltaOp::kBatch:
+      return "batch";
   }
   return "?";
 }

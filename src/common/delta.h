@@ -22,12 +22,19 @@
 
 namespace rex {
 
-/// The annotation α of Definition 1.
+/// The annotation α of Definition 1, plus one wire-only pseudo-annotation.
 enum class DeltaOp : uint8_t {
   kInsert = 0,   // +()
   kDelete = 1,   // -()
   kReplace = 2,  // ->(t')
   kUpdate = 3,   // δ(E)
+  /// Wire-format run of same-key +()/δ() deltas packed by the coalescer
+  /// (exec/coalesce.h): the key is carried once, the per-key payload
+  /// sequence rides in a list field. Exists only between a RehashOp
+  /// sender's FlushTo and the receiving RehashOp's network port, which
+  /// expands it back before pushing downstream — no other operator ever
+  /// sees it.
+  kBatch = 4,
 };
 
 const char* DeltaOpName(DeltaOp op);

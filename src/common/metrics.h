@@ -137,6 +137,11 @@ inline constexpr const char kUdfCalls[] = "exec.udf_calls";
 inline constexpr const char kUdfCacheHits[] = "exec.udf_cache_hits";
 inline constexpr const char kStrataExecuted[] = "exec.strata";
 inline constexpr const char kDeltaTuples[] = "exec.delta_tuples";
+/// Deltas removed (annihilated, composed, or deduped) by the coalescer
+/// before a shuffle or stratum flush, and the wire bytes that saved.
+inline constexpr const char kDeltasCoalesced[] = "exec.deltas_coalesced";
+inline constexpr const char kCoalesceBytesSaved[] =
+    "exec.coalesce_bytes_saved";
 inline constexpr const char kCheckpointBytes[] = "recovery.checkpoint_bytes";
 inline constexpr const char kCheckpointTuples[] = "recovery.checkpoint_tuples";
 /// Bytes moved while re-replicating checkpoints after a membership change

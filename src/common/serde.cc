@@ -1,8 +1,39 @@
 #include "common/serde.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+
+#include "common/logging.h"
 
 namespace rex {
+
+namespace {
+
+/// Silent truncation guard: every length in the format is a u32, so a
+/// string or collection larger than UINT32_MAX would serialize a wrapped
+/// count and corrupt the stream undetectably. The writer API is void (it
+/// feeds checkpoint and spill paths that cannot surface a Status), so this
+/// fails loudly instead of writing garbage.
+void CheckU32Len(size_t n, const char* what) {
+  if (n > std::numeric_limits<uint32_t>::max()) {
+    REX_LOG(Error) << "serde: " << what << " of size " << n
+                   << " exceeds the u32 length limit; refusing to write a "
+                      "corrupt stream";
+    std::abort();
+  }
+}
+
+/// Defense against corrupt checkpoints: a hostile u32 count may promise
+/// far more elements than the buffer can hold. Every serialized element is
+/// at least one byte, so `remaining` bounds any honest count.
+size_t CappedReserve(uint32_t n, size_t remaining) {
+  return std::min(static_cast<size_t>(n), remaining);
+}
+
+}  // namespace
 
 void BufferWriter::PutU32(uint32_t v) {
   for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
@@ -19,6 +50,7 @@ void BufferWriter::PutDouble(double v) {
 }
 
 void BufferWriter::PutString(const std::string& s) {
+  CheckU32Len(s.size(), "string");
   PutU32(static_cast<uint32_t>(s.size()));
   bytes_.append(s);
 }
@@ -42,6 +74,7 @@ void BufferWriter::PutValue(const Value& v) {
       break;
     case ValueType::kList: {
       const auto& items = v.AsList();
+      CheckU32Len(items.size(), "list");
       PutU32(static_cast<uint32_t>(items.size()));
       for (const Value& item : items) PutValue(item);
       break;
@@ -50,6 +83,7 @@ void BufferWriter::PutValue(const Value& v) {
 }
 
 void BufferWriter::PutTuple(const Tuple& t) {
+  CheckU32Len(t.size(), "tuple");
   PutU32(static_cast<uint32_t>(t.size()));
   for (const Value& v : t.fields()) PutValue(v);
 }
@@ -106,7 +140,13 @@ Result<std::string> BufferReader::GetString() {
   return s;
 }
 
-Result<Value> BufferReader::GetValue() {
+Result<Value> BufferReader::GetValue() { return GetValueAtDepth(0); }
+
+Result<Value> BufferReader::GetValueAtDepth(int depth) {
+  if (depth > kMaxNestingDepth) {
+    return Status::ParseError(
+        "value nesting exceeds depth limit (corrupt buffer?)");
+  }
   REX_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
   if (tag > static_cast<uint8_t>(ValueType::kList)) {
     return Status::TypeError("bad value tag " + std::to_string(tag));
@@ -133,9 +173,9 @@ Result<Value> BufferReader::GetValue() {
     case ValueType::kList: {
       REX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
       std::vector<Value> items;
-      items.reserve(n);
+      items.reserve(CappedReserve(n, remaining()));
       for (uint32_t i = 0; i < n; ++i) {
-        REX_ASSIGN_OR_RETURN(Value v, GetValue());
+        REX_ASSIGN_OR_RETURN(Value v, GetValueAtDepth(depth + 1));
         items.push_back(std::move(v));
       }
       return Value::List(std::move(items));
@@ -147,7 +187,7 @@ Result<Value> BufferReader::GetValue() {
 Result<Tuple> BufferReader::GetTuple() {
   REX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
   std::vector<Value> fields;
-  fields.reserve(n);
+  fields.reserve(CappedReserve(n, remaining()));
   for (uint32_t i = 0; i < n; ++i) {
     REX_ASSIGN_OR_RETURN(Value v, GetValue());
     fields.push_back(std::move(v));
@@ -179,7 +219,7 @@ Result<std::vector<Tuple>> DeserializeTuples(const std::string& bytes) {
   BufferReader r(bytes);
   REX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
   std::vector<Tuple> out;
-  out.reserve(n);
+  out.reserve(std::min(static_cast<size_t>(n), r.remaining()));
   for (uint32_t i = 0; i < n; ++i) {
     REX_ASSIGN_OR_RETURN(Tuple t, r.GetTuple());
     out.push_back(std::move(t));

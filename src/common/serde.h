@@ -60,8 +60,15 @@ class BufferReader {
   size_t remaining() const { return len_ - pos_; }
   bool AtEnd() const { return pos_ == len_; }
 
+  /// Deepest legal list nesting. Honest writers never come close (plans
+  /// use flat values and one level of batch-payload lists); a corrupt
+  /// buffer that nests deeper fails with ParseError instead of
+  /// overflowing the stack.
+  static constexpr int kMaxNestingDepth = 32;
+
  private:
   Status Need(size_t n);
+  Result<Value> GetValueAtDepth(int depth);
 
   const char* data_;
   size_t len_;

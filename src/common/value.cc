@@ -64,8 +64,19 @@ Result<int64_t> Value::ToInt() const {
   switch (type()) {
     case ValueType::kInt:
       return AsInt();
-    case ValueType::kDouble:
-      return static_cast<int64_t>(AsDouble());
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      // Guard the cast: converting NaN, ±inf, or a double outside
+      // [-2^63, 2^63) to int64 is undefined behavior. 2^63-1 is not
+      // exactly representable as a double, so compare against the exact
+      // power-of-two bounds (-2^63 itself converts fine).
+      if (!std::isfinite(d) || d < -9223372036854775808.0 ||
+          d >= 9223372036854775808.0) {
+        return Status::TypeError("DOUBLE value " + std::to_string(d) +
+                                 " is not representable as INTEGER");
+      }
+      return static_cast<int64_t>(d);
+    }
     case ValueType::kBool:
       return static_cast<int64_t>(AsBool());
     default:

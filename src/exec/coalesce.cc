@@ -1,0 +1,377 @@
+#include "exec/coalesce.h"
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace rex {
+
+namespace {
+
+struct Entry {
+  Delta d;
+  bool alive = true;
+};
+
+/// Per-key fold state. `last_chain` indexes the key's most recent live
+/// insert/delete/replace entry (the open end of the composition chain);
+/// `dups` indexes the key's live +()/δ() entries for idempotent dedupe.
+struct KeyState {
+  Tuple key;
+  int last_chain = -1;
+  std::vector<int> dups;
+};
+
+size_t TotalBytes(const DeltaVec& v) {
+  size_t bytes = 0;
+  for (const Delta& d : v) bytes += d.ByteSize();
+  return bytes;
+}
+
+}  // namespace
+
+DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
+  const size_t bytes_in = stats != nullptr ? TotalBytes(in) : 0;
+  const size_t n_in = in.size();
+
+  std::vector<Entry> entries;
+  entries.reserve(in.size());
+  std::unordered_map<uint64_t, std::vector<KeyState>> by_key;
+
+  auto key_of = [this](const Delta& d) {
+    return options_.key_fields.empty() ? d.tuple
+                                       : d.tuple.Project(options_.key_fields);
+  };
+  auto state_of = [&by_key](Tuple key) -> KeyState& {
+    auto& chain = by_key[key.Hash()];
+    for (KeyState& ks : chain) {
+      if (ks.key == key) return ks;
+    }
+    chain.push_back(KeyState{std::move(key), -1, {}});
+    return chain.back();
+  };
+  auto is_duplicate = [&entries](const KeyState& ks, const Delta& d) {
+    for (int i : ks.dups) {
+      const Entry& e = entries[static_cast<size_t>(i)];
+      if (e.alive && e.d.op == d.op && e.d.tuple == d.tuple) return true;
+    }
+    return false;
+  };
+  auto append = [&entries](KeyState& ks, Delta d, bool chain, bool dup) {
+    const int idx = static_cast<int>(entries.size());
+    entries.push_back(Entry{std::move(d), true});
+    if (chain) ks.last_chain = idx;
+    if (dup) ks.dups.push_back(idx);
+  };
+
+  for (Delta& d : in) {
+    KeyState& ks = state_of(key_of(d));
+    Entry* last = ks.last_chain >= 0
+                      ? &entries[static_cast<size_t>(ks.last_chain)]
+                      : nullptr;
+    switch (d.op) {
+      case DeltaOp::kUpdate: {
+        if (options_.dedupe_idempotent) {
+          if (is_duplicate(ks, d)) break;  // dropped
+          append(ks, std::move(d), /*chain=*/false, /*dup=*/true);
+        } else {
+          append(ks, std::move(d), /*chain=*/false, /*dup=*/false);
+        }
+        break;
+      }
+      case DeltaOp::kInsert: {
+        if (options_.dedupe_idempotent && is_duplicate(ks, d)) break;
+        if (last != nullptr && last->d.op == DeltaOp::kDelete) {
+          if (last->d.tuple == d.tuple) {
+            // -t then +t: the delete referred to a live t, so the pair is
+            // a net no-op.
+            last->alive = false;
+            ks.last_chain = -1;
+          } else {
+            // -t then +t': net replacement, folded at the delete's slot.
+            last->d = Delta::Replace(std::move(last->d.tuple),
+                                     std::move(d.tuple));
+          }
+          break;
+        }
+        append(ks, std::move(d), /*chain=*/true, options_.dedupe_idempotent);
+        break;
+      }
+      case DeltaOp::kDelete: {
+        if (last != nullptr && last->d.op == DeltaOp::kInsert &&
+            last->d.tuple == d.tuple) {
+          // +t then -t annihilate.
+          last->alive = false;
+          ks.last_chain = -1;
+          break;
+        }
+        if (last != nullptr && last->d.op == DeltaOp::kReplace &&
+            last->d.tuple == d.tuple) {
+          // ->(a→b) then -b fold to -a.
+          last->d = Delta::Delete(std::move(last->d.old_tuple));
+          break;
+        }
+        append(ks, std::move(d), /*chain=*/true, /*dup=*/false);
+        break;
+      }
+      case DeltaOp::kReplace: {
+        if (last != nullptr && last->d.op == DeltaOp::kInsert &&
+            last->d.tuple == d.old_tuple) {
+          // +a then ->(a→b) fold to +b.
+          last->d.tuple = std::move(d.tuple);
+          break;
+        }
+        if (last != nullptr && last->d.op == DeltaOp::kReplace &&
+            last->d.tuple == d.old_tuple) {
+          if (last->d.old_tuple == d.tuple) {
+            // ->(a→b) then ->(b→a): round trip, net no-op.
+            last->alive = false;
+            ks.last_chain = -1;
+          } else {
+            // ->(a→b) then ->(b→c) compose to ->(a→c).
+            last->d.tuple = std::move(d.tuple);
+          }
+          break;
+        }
+        append(ks, std::move(d), /*chain=*/true, /*dup=*/false);
+        break;
+      }
+      case DeltaOp::kBatch: {
+        // Already packed (should not reach a coalescer); pass through.
+        append(ks, std::move(d), /*chain=*/false, /*dup=*/false);
+        break;
+      }
+    }
+  }
+
+  DeltaVec out;
+  out.reserve(entries.size());
+  for (Entry& e : entries) {
+    if (e.alive) out.push_back(std::move(e.d));
+  }
+  const size_t folded = n_in - out.size();
+
+  if (options_.pack_runs && !options_.key_fields.empty()) {
+    out = PackRuns(std::move(out));
+  }
+
+  if (stats != nullptr) {
+    stats->deltas_in += static_cast<int64_t>(n_in);
+    stats->deltas_out += static_cast<int64_t>(out.size());
+    stats->folded += static_cast<int64_t>(folded);
+    const size_t bytes_out = TotalBytes(out);
+    if (bytes_in > bytes_out) {
+      stats->bytes_saved += static_cast<int64_t>(bytes_in - bytes_out);
+    }
+  }
+  return out;
+}
+
+DeltaVec DeltaCoalescer::PackRuns(DeltaVec in) const {
+  const size_t nkeys = options_.key_fields.size();
+
+  // Group the stream per key; a key is packable only when every one of its
+  // deltas is the same +()/δ() op over tuples of one arity wider than the
+  // key (so the per-key payload sequence can be replayed exactly).
+  struct KeyGroup {
+    Tuple key;
+    std::vector<size_t> members;
+    bool packable = true;
+    DeltaOp op = DeltaOp::kUpdate;
+    size_t arity = 0;
+  };
+  // `all_groups` is a deque so KeyGroup addresses stay stable as groups are
+  // added (the bucket map and `group_of` hold pointers into it).
+  std::deque<KeyGroup> all_groups;
+  std::unordered_map<uint64_t, std::vector<KeyGroup*>> groups;
+  std::vector<KeyGroup*> group_of(in.size(), nullptr);
+
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Delta& d = in[i];
+    bool in_range = true;
+    for (int kf : options_.key_fields) {
+      if (kf < 0 || static_cast<size_t>(kf) >= d.tuple.size()) {
+        in_range = false;
+        break;
+      }
+    }
+    if (!in_range) continue;  // never packed, never grouped
+    Tuple key = d.tuple.Project(options_.key_fields);
+    auto& chain = groups[key.Hash()];
+    KeyGroup* g = nullptr;
+    for (KeyGroup* cand : chain) {
+      if (cand->key == key) {
+        g = cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      all_groups.push_back(KeyGroup{std::move(key), {}, true,
+                                    d.op, d.tuple.size()});
+      g = &all_groups.back();
+      chain.push_back(g);
+    }
+    g->members.push_back(i);
+    group_of[i] = g;
+    const bool elem_ok = (d.op == DeltaOp::kInsert ||
+                          d.op == DeltaOp::kUpdate) &&
+                         d.old_tuple.empty();
+    if (!elem_ok || d.op != g->op || d.tuple.size() != g->arity ||
+        g->arity <= nkeys) {
+      g->packable = false;
+    }
+  }
+
+  // Re-walking the group chains invalidates nothing: groups are stable now.
+  DeltaVec out;
+  out.reserve(in.size());
+  std::vector<bool> consumed(in.size(), false);
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (consumed[i]) continue;
+    KeyGroup* g = group_of[i];
+    if (g == nullptr || !g->packable || g->members.size() < 2) {
+      out.push_back(std::move(in[i]));
+      continue;
+    }
+    // Pack the whole key group at its first occurrence. Payload shape:
+    // exactly one non-key field -> flat value per element; otherwise a
+    // nested list of the non-key fields in ascending position order.
+    std::vector<bool> is_key(g->arity, false);
+    for (int kf : options_.key_fields) is_key[static_cast<size_t>(kf)] = true;
+    const bool flat = (g->arity - nkeys == 1);
+    size_t raw_bytes = 0;
+    for (size_t m : g->members) raw_bytes += in[m].ByteSize();
+    std::vector<Value> payload;
+    payload.reserve(g->members.size());
+    for (size_t m : g->members) {
+      Tuple& t = in[m].tuple;
+      if (flat) {
+        for (size_t f = 0; f < g->arity; ++f) {
+          if (!is_key[f]) {
+            payload.push_back(t.field(f));
+            break;
+          }
+        }
+      } else {
+        std::vector<Value> elem;
+        elem.reserve(g->arity - nkeys);
+        for (size_t f = 0; f < g->arity; ++f) {
+          if (!is_key[f]) elem.push_back(t.field(f));
+        }
+        payload.push_back(Value::List(std::move(elem)));
+      }
+    }
+    std::vector<Value> fields;
+    fields.reserve(nkeys + 1);
+    for (const Value& kv : g->key.fields()) fields.push_back(kv);
+    fields.push_back(Value::List(std::move(payload)));
+    // Header: [element op, original arity, key field positions...] — all the
+    // receiver needs to replay the sequence without knowing the plan.
+    std::vector<Value> header;
+    header.reserve(2 + nkeys);
+    header.push_back(Value(static_cast<int64_t>(g->op)));
+    header.push_back(Value(static_cast<int64_t>(g->arity)));
+    for (int kf : options_.key_fields) {
+      header.push_back(Value(static_cast<int64_t>(kf)));
+    }
+    Delta packed;
+    packed.op = DeltaOp::kBatch;
+    packed.tuple = Tuple(std::move(fields));
+    packed.old_tuple = Tuple(std::move(header));
+    // Profitability gate: the batch header (element op, arity, key
+    // positions) has a fixed cost, so short runs of narrow tuples can come
+    // out LARGER packed than raw. Never inflate the wire — ship the run
+    // as-is unless packing strictly shrinks it.
+    if (packed.ByteSize() >= raw_bytes) {
+      g->packable = false;
+      out.push_back(std::move(in[i]));
+      continue;
+    }
+    for (size_t m : g->members) consumed[m] = true;
+    out.push_back(std::move(packed));
+  }
+  return out;
+}
+
+Result<DeltaVec> DeltaCoalescer::Expand(DeltaVec in) {
+  bool any = false;
+  for (const Delta& d : in) {
+    if (d.op == DeltaOp::kBatch) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return in;
+
+  DeltaVec out;
+  out.reserve(in.size());
+  for (Delta& d : in) {
+    if (d.op != DeltaOp::kBatch) {
+      out.push_back(std::move(d));
+      continue;
+    }
+    const Tuple& header = d.old_tuple;
+    if (header.size() < 3) {
+      return Status::DataLoss("batch delta header too short");
+    }
+    REX_ASSIGN_OR_RETURN(int64_t op_int, header.field(0).ToInt());
+    REX_ASSIGN_OR_RETURN(int64_t arity_int, header.field(1).ToInt());
+    if (op_int != static_cast<int64_t>(DeltaOp::kInsert) &&
+        op_int != static_cast<int64_t>(DeltaOp::kUpdate)) {
+      return Status::DataLoss("batch delta with non-insert/update op");
+    }
+    const DeltaOp elem_op = static_cast<DeltaOp>(op_int);
+    const size_t arity = static_cast<size_t>(arity_int);
+    const size_t num_keys = header.size() - 2;
+    if (arity <= num_keys || d.tuple.size() != num_keys + 1) {
+      return Status::DataLoss("batch delta shape mismatch");
+    }
+    std::vector<size_t> key_pos(num_keys);
+    std::vector<bool> is_key(arity, false);
+    for (size_t k = 0; k < num_keys; ++k) {
+      REX_ASSIGN_OR_RETURN(int64_t kf, header.field(k + 2).ToInt());
+      if (kf < 0 || static_cast<size_t>(kf) >= arity ||
+          is_key[static_cast<size_t>(kf)]) {
+        return Status::DataLoss("batch delta key position out of range");
+      }
+      key_pos[k] = static_cast<size_t>(kf);
+      is_key[static_cast<size_t>(kf)] = true;
+    }
+    std::vector<size_t> payload_pos;
+    payload_pos.reserve(arity - num_keys);
+    for (size_t f = 0; f < arity; ++f) {
+      if (!is_key[f]) payload_pos.push_back(f);
+    }
+    const Value& payload_field = d.tuple.field(num_keys);
+    if (payload_field.type() != ValueType::kList) {
+      return Status::DataLoss("batch delta payload is not a list");
+    }
+    const bool flat = (payload_pos.size() == 1);
+    for (const Value& elem : payload_field.AsList()) {
+      std::vector<Value> fields(arity);
+      for (size_t k = 0; k < num_keys; ++k) {
+        fields[key_pos[k]] = d.tuple.field(k);
+      }
+      if (flat) {
+        fields[payload_pos[0]] = elem;
+      } else {
+        if (elem.type() != ValueType::kList ||
+            elem.AsList().size() != payload_pos.size()) {
+          return Status::DataLoss("batch delta payload element mismatch");
+        }
+        const std::vector<Value>& elem_fields = elem.AsList();
+        for (size_t f = 0; f < payload_pos.size(); ++f) {
+          fields[payload_pos[f]] = elem_fields[f];
+        }
+      }
+      out.push_back(Delta{elem_op, Tuple(std::move(fields)), {}});
+    }
+  }
+  return out;
+}
+
+}  // namespace rex

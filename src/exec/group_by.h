@@ -16,12 +16,14 @@
 #define REX_EXEC_GROUP_BY_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/flat_map.h"
 
 #include "exec/aggregates.h"
+#include "exec/coalesce.h"
 #include "exec/operator.h"
 #include "exec/uda.h"
 
@@ -92,6 +94,14 @@ class GroupByOp : public Operator {
   Params params_;
   const Uda* uda_ = nullptr;
   FlatMap64<std::vector<Group>> groups_;
+
+  /// Engaged when EngineConfig::coalesce_deltas is on: punctuation-time
+  /// emission is folded to its net effect (built-in output is keyed on the
+  /// leading group-key columns; UDA output, whose layout the UDA owns, is
+  /// keyed on the whole tuple, so only exact-pair annihilation can fire).
+  std::optional<DeltaCoalescer> coalescer_;
+  Counter* deltas_coalesced_ = nullptr;
+  Counter* coalesce_bytes_saved_ = nullptr;
 };
 
 }  // namespace rex

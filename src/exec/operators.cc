@@ -254,6 +254,9 @@ Status SinkOp::ConsumeDeltas(int, DeltaVec deltas) {
       case DeltaOp::kReplace:
         results_.Replace(d.old_tuple, std::move(d.tuple));
         break;
+      case DeltaOp::kBatch:
+        // Wire-only packing; the receiving rehash expands it.
+        return Status::Internal("packed batch delta reached a sink");
     }
   }
   return Status::OK();
@@ -267,6 +270,17 @@ Status RehashOp::Open(ExecContext* ctx) {
   pending_.assign(static_cast<size_t>(ctx->network->num_workers()),
                   DeltaVec());
   SetExpectedPuncts(1, ctx->pmap->num_workers());
+  coalescer_.reset();
+  if (ctx->config->coalesce_deltas && !params_.broadcast) {
+    CoalesceOptions opts;
+    opts.key_fields = params_.key_fields;
+    opts.dedupe_idempotent = params_.idempotent_updates;
+    opts.pack_runs = true;
+    coalescer_.emplace(std::move(opts));
+    deltas_coalesced_ = ctx->metrics->GetCounter(metrics::kDeltasCoalesced);
+    coalesce_bytes_saved_ =
+        ctx->metrics->GetCounter(metrics::kCoalesceBytesSaved);
+  }
   return Status::OK();
 }
 
@@ -280,6 +294,13 @@ Status RehashOp::FlushTo(int dest) {
   if (buf.empty()) return Status::OK();
   DeltaVec batch;
   batch.swap(buf);
+  if (coalescer_.has_value()) {
+    CoalesceStats stats;
+    batch = coalescer_->Coalesce(std::move(batch), &stats);
+    deltas_coalesced_->Add(stats.folded);
+    coalesce_bytes_saved_->Add(stats.bytes_saved);
+    if (batch.empty()) return Status::OK();  // fully annihilated
+  }
   return ctx_->network->Send(
       Message::Data(ctx_->worker_id, dest, id(), /*port=*/1,
                     std::move(batch)));
@@ -320,7 +341,12 @@ Status RehashOp::Route(Delta d) {
 }
 
 Status RehashOp::ConsumeDeltas(int port, DeltaVec deltas) {
-  if (port == 1) return Emit(std::move(deltas));  // already routed to us
+  if (port == 1) {
+    // Already routed to us; unpack any coalesced same-key runs so kBatch
+    // never escapes the shuffle.
+    REX_ASSIGN_OR_RETURN(deltas, DeltaCoalescer::Expand(std::move(deltas)));
+    return Emit(std::move(deltas));
+  }
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   for (Delta& d : deltas) REX_RETURN_NOT_OK(Route(std::move(d)));
   return Status::OK();

@@ -132,6 +132,9 @@ Json QueryProfile::ToJson() const {
   out.Set("detection_latency_ticks", detection_latency_ticks);
   out.Set("retransmits", retransmits);
   out.Set("checkpoint_repairs", checkpoint_repairs);
+  out.Set("tuples_sent", tuples_sent);
+  out.Set("deltas_coalesced", deltas_coalesced);
+  out.Set("coalesce_bytes_saved", coalesce_bytes_saved);
   return out;
 }
 
@@ -216,6 +219,9 @@ Status ValidateProfileJson(const Json& profile) {
   REX_RETURN_NOT_OK(RequireInt(profile, "detection_latency_ticks"));
   REX_RETURN_NOT_OK(RequireInt(profile, "retransmits"));
   REX_RETURN_NOT_OK(RequireInt(profile, "checkpoint_repairs"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "tuples_sent"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "deltas_coalesced"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "coalesce_bytes_saved"));
   return Status::OK();
 }
 

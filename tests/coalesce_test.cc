@@ -1,0 +1,414 @@
+// Delta-coalescing tests (exec/coalesce.h): the fold algebra, idempotent
+// dedupe, wire-run packing, and end-to-end on/off equivalence.
+//
+// Equivalence strength follows each algorithm's determinism envelope: SSSP
+// distances are integers folded through order-independent mins, so the
+// on/off comparison is exact; PageRank sums doubles whose cross-sender
+// arrival order is already nondeterministic run to run, so on/off agrees
+// within the same 1e-6 tolerance the chaos sweep uses. The
+// ChaosSweepCoalesce test is re-run by `ctest -L chaos` with the full
+// REX_CHAOS_SEEDS count (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "algos/reference.h"
+#include "algos/sssp.h"
+#include "exec/coalesce.h"
+#include "sim/fault_schedule.h"
+
+namespace rex {
+namespace {
+
+Delta I(int64_t k, int64_t v) { return Delta::Insert(Tuple{Value(k), Value(v)}); }
+Delta D(int64_t k, int64_t v) { return Delta::Delete(Tuple{Value(k), Value(v)}); }
+Delta R(int64_t k, int64_t old_v, int64_t new_v) {
+  return Delta::Replace(Tuple{Value(k), Value(old_v)},
+                        Tuple{Value(k), Value(new_v)});
+}
+Delta U(int64_t k, int64_t v) { return Delta::Update(Tuple{Value(k), Value(v)}); }
+
+DeltaCoalescer KeyedCoalescer(bool dedupe = false, bool pack = false) {
+  CoalesceOptions opts;
+  opts.key_fields = {0};
+  opts.dedupe_idempotent = dedupe;
+  opts.pack_runs = pack;
+  return DeltaCoalescer(std::move(opts));
+}
+
+// ---------------------------------------------------------------- algebra --
+
+TEST(DeltaCoalescerTest, InsertThenDeleteAnnihilates) {
+  CoalesceStats stats;
+  DeltaVec out = KeyedCoalescer().Coalesce({I(1, 10), D(1, 10)}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.folded, 2);
+  EXPECT_GT(stats.bytes_saved, 0);
+}
+
+TEST(DeltaCoalescerTest, DeleteThenReinsertAnnihilates) {
+  DeltaVec out = KeyedCoalescer().Coalesce({D(1, 10), I(1, 10)}, nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeltaCoalescerTest, DeleteThenInsertOfNewValueFoldsToReplace) {
+  DeltaVec out = KeyedCoalescer().Coalesce({D(1, 10), I(1, 11)}, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], R(1, 10, 11));
+}
+
+TEST(DeltaCoalescerTest, FiveRevisionsFoldToOneDelta) {
+  // The motivating case: a key revised five times inside one stratum ships
+  // one net delta, not five.
+  DeltaVec in = {I(7, 0), R(7, 0, 1), R(7, 1, 2), R(7, 2, 3), R(7, 3, 4)};
+  CoalesceStats stats;
+  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], I(7, 4));
+  EXPECT_EQ(stats.deltas_in, 5);
+  EXPECT_EQ(stats.deltas_out, 1);
+  EXPECT_EQ(stats.folded, 4);
+}
+
+TEST(DeltaCoalescerTest, ReplaceChainsCompose) {
+  DeltaVec out =
+      KeyedCoalescer().Coalesce({R(3, 1, 2), R(3, 2, 5), R(3, 5, 9)}, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], R(3, 1, 9));
+}
+
+TEST(DeltaCoalescerTest, ReplaceRoundTripDropsEntirely) {
+  DeltaVec out = KeyedCoalescer().Coalesce({R(3, 1, 2), R(3, 2, 1)}, nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeltaCoalescerTest, ReplaceThenDeleteFoldsToDeleteOfOriginal) {
+  DeltaVec out = KeyedCoalescer().Coalesce({R(4, 1, 2), D(4, 2)}, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], D(4, 1));
+}
+
+TEST(DeltaCoalescerTest, InsertThenReplaceChainFoldsToInsertOfLast) {
+  DeltaVec out = KeyedCoalescer().Coalesce({I(5, 1), R(5, 1, 2)}, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], I(5, 2));
+}
+
+TEST(DeltaCoalescerTest, UntouchedStreamComesBackVerbatim) {
+  // δ() streams and cross-key traffic that nothing folds must keep their
+  // exact order (downstream FP folds are order-sensitive).
+  DeltaVec in = {U(1, 10), U(2, 20), U(1, 11), I(3, 30), U(2, 21)};
+  DeltaVec expect = in;
+  CoalesceStats stats;
+  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), &stats);
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(stats.folded, 0);
+  EXPECT_EQ(stats.bytes_saved, 0);
+}
+
+TEST(DeltaCoalescerTest, ChainsAreIndependentPerKey) {
+  DeltaVec in = {I(1, 10), I(2, 20), R(1, 10, 11), D(2, 20)};
+  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], I(1, 11));
+}
+
+TEST(DeltaCoalescerTest, IdempotentDedupeDropsExactRepeatsOnly) {
+  DeltaVec in = {U(1, 5), U(1, 5), U(1, 3), U(1, 5), U(2, 5)};
+  CoalesceStats stats;
+  DeltaVec out = KeyedCoalescer(/*dedupe=*/true).Coalesce(std::move(in),
+                                                          &stats);
+  EXPECT_EQ(out, (DeltaVec{U(1, 5), U(1, 3), U(2, 5)}));
+  EXPECT_EQ(stats.folded, 2);
+}
+
+TEST(DeltaCoalescerTest, DedupeOffKeepsRepeats) {
+  DeltaVec in = {U(1, 5), U(1, 5)};
+  DeltaVec expect = in;
+  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), nullptr);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(DeltaCoalescerTest, DedupeIgnoresAnnihilatedInserts) {
+  // +t, -t, +t: the pair annihilates, so the trailing insert is NOT a
+  // duplicate of a live entry and must survive.
+  DeltaVec in = {I(1, 10), D(1, 10), I(1, 10)};
+  DeltaVec out = KeyedCoalescer(/*dedupe=*/true).Coalesce(std::move(in),
+                                                          nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], I(1, 10));
+}
+
+// ---------------------------------------------------------------- packing --
+
+/// Per-key subsequence of a stream (order within the key preserved).
+DeltaVec KeyRun(const DeltaVec& v, int64_t key) {
+  DeltaVec out;
+  for (const Delta& d : v) {
+    if (d.tuple.size() > 0 && d.tuple.field(0) == Value(key)) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+TEST(DeltaPackingTest, PacksUniformRunsAndExpandsExactly) {
+  // Key 1's run of three is long enough for packing to shrink the wire;
+  // key 2's run of two is not (the batch header outweighs it) and ships
+  // raw.
+  DeltaVec in = {U(1, 10), U(2, 20), U(1, 11), U(1, 12), U(2, 21)};
+  CoalesceStats stats;
+  DeltaVec packed =
+      KeyedCoalescer(false, /*pack=*/true).Coalesce(in, &stats);
+  ASSERT_EQ(packed.size(), 3u);
+  EXPECT_EQ(packed[0].op, DeltaOp::kBatch);
+  EXPECT_EQ(packed[1], U(2, 20));
+  EXPECT_EQ(packed[2], U(2, 21));
+  EXPECT_GT(stats.bytes_saved, 0);
+  EXPECT_EQ(stats.folded, 0);  // packing delivers every payload
+
+  auto expanded = DeltaCoalescer::Expand(std::move(packed));
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  EXPECT_EQ(expanded->size(), in.size());
+  // The per-key sequences are byte-identical to the input's.
+  EXPECT_EQ(KeyRun(*expanded, 1), KeyRun(in, 1));
+  EXPECT_EQ(KeyRun(*expanded, 2), KeyRun(in, 2));
+}
+
+TEST(DeltaPackingTest, NeverInflatesTheWire) {
+  // Any stream must come out of the packer no larger than it went in.
+  DeltaVec in = {U(1, 10), U(1, 11),  // run of two narrow tuples
+                 U(2, 20)};
+  DeltaVec expect = in;
+  size_t in_bytes = 0;
+  for (const Delta& d : in) in_bytes += d.ByteSize();
+  DeltaVec out = KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
+  size_t out_bytes = 0;
+  for (const Delta& d : out) out_bytes += d.ByteSize();
+  EXPECT_LE(out_bytes, in_bytes);
+  // This particular run of two is below the profitability threshold, so
+  // the stream is untouched.
+  EXPECT_EQ(out, expect);
+}
+
+TEST(DeltaPackingTest, SingletonKeysStayUnpacked) {
+  DeltaVec in = {U(1, 10), U(2, 20)};
+  DeltaVec expect = in;
+  DeltaVec out = KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(DeltaPackingTest, MixedOpKeysStayUnpacked) {
+  // An insert and a δ() on the same key must keep their relative order, so
+  // the key is shipped raw.
+  DeltaVec in = {U(1, 10), I(1, 11), U(1, 12)};
+  DeltaVec expect = in;
+  DeltaVec out = KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(DeltaPackingTest, WidePayloadRoundTrips) {
+  auto wide = [](int64_t k, int64_t a, const std::string& b) {
+    return Delta::Update(Tuple{Value(k), Value(a), Value(b)});
+  };
+  DeltaVec in = {wide(1, 10, "x"), wide(1, 11, "y"), wide(1, 12, "z"),
+                 wide(1, 13, "w"), wide(1, 14, "v")};
+  DeltaVec packed = KeyedCoalescer(false, true).Coalesce(in, nullptr);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0].op, DeltaOp::kBatch);
+  auto expanded = DeltaCoalescer::Expand(std::move(packed));
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  EXPECT_EQ(*expanded, in);
+}
+
+TEST(DeltaPackingTest, NonLeadingKeyFieldRoundTrips) {
+  CoalesceOptions opts;
+  opts.key_fields = {1};
+  opts.pack_runs = true;
+  DeltaCoalescer c(std::move(opts));
+  auto mk = [](int64_t payload, int64_t key) {
+    return Delta::Update(Tuple{Value(payload), Value(key)});
+  };
+  DeltaVec in = {mk(10, 7), mk(11, 7), mk(12, 7)};
+  DeltaVec packed = c.Coalesce(in, nullptr);
+  ASSERT_EQ(packed.size(), 1u);
+  auto expanded = DeltaCoalescer::Expand(std::move(packed));
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  EXPECT_EQ(*expanded, in);
+}
+
+TEST(DeltaPackingTest, ExpandRejectsCorruptBatch) {
+  Delta bogus;
+  bogus.op = DeltaOp::kBatch;
+  bogus.tuple = Tuple{Value(int64_t{1}), Value::List({Value(int64_t{2})})};
+  bogus.old_tuple = Tuple{Value(int64_t{9}), Value(int64_t{2}),
+                          Value(int64_t{0})};  // op 9 does not exist
+  auto expanded = DeltaCoalescer::Expand({bogus});
+  EXPECT_FALSE(expanded.ok());
+
+  Delta short_header;
+  short_header.op = DeltaOp::kBatch;
+  short_header.tuple = Tuple{Value(int64_t{1})};
+  short_header.old_tuple = Tuple{Value(int64_t{3})};
+  expanded = DeltaCoalescer::Expand({short_header});
+  EXPECT_FALSE(expanded.ok());
+}
+
+TEST(DeltaPackingTest, ExpandPassesPlainStreamsThrough) {
+  DeltaVec in = {U(1, 10), I(2, 20)};
+  DeltaVec expect = in;
+  auto expanded = DeltaCoalescer::Expand(std::move(in));
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(*expanded, expect);
+}
+
+// ----------------------------------------------------------- end to end --
+
+EngineConfig E2eConfig(bool coalesce) {
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.replication = 3;
+  // Large network batches lengthen the per-key runs the packer sees (a
+  // flush per stratum rather than every few tuples).
+  cfg.network_batch_size = 1024;
+  cfg.coalesce_deltas = coalesce;
+  cfg.verify_invariants = true;  // Δ-conservation etc. must hold either way
+  return cfg;
+}
+
+GraphData DenseGraph(uint64_t seed = 23) {
+  GraphGenOptions opt;
+  opt.num_vertices = 120;
+  opt.num_edges = 1800;  // dense: many same-destination contributions
+  opt.seed = seed;
+  return GenerateRmatGraph(opt);
+}
+
+struct E2eRun {
+  std::vector<int64_t> distances;
+  std::vector<double> ranks;
+  int strata = 0;
+  int64_t tuples_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t deltas_coalesced = 0;
+  int64_t coalesce_bytes_saved = 0;
+};
+
+E2eRun RunSssp(const GraphData& graph, bool coalesce,
+               const FaultSchedule& faults = FaultSchedule{}) {
+  Cluster cluster(E2eConfig(coalesce));
+  EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  SsspConfig cfg;
+  cfg.source = 1;
+  // Expose the raw candidate stream to the shuffle (the preaggregation
+  // group-by would otherwise collapse duplicates before the rehash).
+  cfg.preaggregate = false;
+  EXPECT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  QueryOptions options;
+  options.faults = faults;
+  auto run = cluster.Run(*plan, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  E2eRun out;
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  EXPECT_TRUE(dist.ok());
+  out.distances = *dist;
+  out.strata = run->strata_executed;
+  out.tuples_sent = run->profile.tuples_sent;
+  out.bytes_sent = run->total_bytes_sent;
+  out.deltas_coalesced = run->profile.deltas_coalesced;
+  out.coalesce_bytes_saved = run->profile.coalesce_bytes_saved;
+  return out;
+}
+
+E2eRun RunPageRank(const GraphData& graph, bool coalesce) {
+  Cluster cluster(E2eConfig(coalesce));
+  EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  PageRankConfig cfg;
+  cfg.threshold = 1e-6;
+  cfg.preaggregate = false;  // raw contribution stream at the shuffle
+  EXPECT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  E2eRun out;
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  EXPECT_TRUE(ranks.ok());
+  out.ranks = *ranks;
+  out.tuples_sent = run->profile.tuples_sent;
+  out.bytes_sent = run->total_bytes_sent;
+  out.deltas_coalesced = run->profile.deltas_coalesced;
+  out.coalesce_bytes_saved = run->profile.coalesce_bytes_saved;
+  return out;
+}
+
+TEST(CoalesceE2E, SsspIdenticalOnVsOffAndShipsLess) {
+  GraphData graph = DenseGraph();
+  E2eRun on = RunSssp(graph, true);
+  E2eRun off = RunSssp(graph, false);
+  // Integer mins are order- and multiplicity-insensitive: exact equality.
+  EXPECT_EQ(on.distances, off.distances);
+  EXPECT_EQ(on.distances, ReferenceSssp(graph, 1));
+  EXPECT_LT(on.tuples_sent, off.tuples_sent);
+  EXPECT_LT(on.bytes_sent, off.bytes_sent);
+  EXPECT_GT(on.deltas_coalesced, 0);
+  EXPECT_GT(on.coalesce_bytes_saved, 0);
+  EXPECT_EQ(off.deltas_coalesced, 0);
+  EXPECT_EQ(off.coalesce_bytes_saved, 0);
+}
+
+TEST(CoalesceE2E, PageRankMatchesOnVsOffAndShipsLess) {
+  GraphData graph = DenseGraph(31);
+  E2eRun on = RunPageRank(graph, true);
+  E2eRun off = RunPageRank(graph, false);
+  ASSERT_EQ(on.ranks.size(), off.ranks.size());
+  for (size_t i = 0; i < on.ranks.size(); ++i) {
+    // Same tolerance the chaos sweep uses for PageRank: cross-sender FP
+    // summation order is nondeterministic run to run either way.
+    EXPECT_NEAR(on.ranks[i], off.ranks[i], 1e-6) << "vertex " << i;
+  }
+  EXPECT_LT(on.tuples_sent, off.tuples_sent);
+  EXPECT_LT(on.bytes_sent, off.bytes_sent);
+  EXPECT_GT(on.coalesce_bytes_saved, 0);
+}
+
+// Re-run with the full seed pool by `ctest -L chaos` (the chaos_sweep
+// entry's --gtest_filter=ChaosSweep* picks this up).
+TEST(ChaosSweepCoalesceTest, OnAndOffConvergeIdenticallyUnderFaults) {
+  // Larger and sparser than the DenseGraph micro-benchmarks: more strata
+  // before convergence leaves room to schedule crashes.
+  GraphGenOptions opt;
+  opt.num_vertices = 400;
+  opt.num_edges = 1600;
+  opt.seed = 47;
+  GraphData graph = GenerateRmatGraph(opt);
+  const std::vector<int64_t> ref = ReferenceSssp(graph, 1);
+  // Unfaulted reference run to learn the convergence stratum: crashes must
+  // be scheduled well before it or end-of-run schedule validation rejects
+  // the run (same recipe as the main chaos sweep).
+  E2eRun baseline = RunSssp(graph, true);
+  ASSERT_EQ(baseline.distances, ref);
+  ChaosProfile profile;
+  profile.max_crash_stratum = std::max(0, std::min(3, baseline.strata - 5));
+  const char* env = std::getenv("REX_CHAOS_SEEDS");
+  const int seeds = env != nullptr && std::atoi(env) > 0 ? std::atoi(env) : 2;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = 4242u + static_cast<uint64_t>(i);
+    FaultSchedule schedule = MakeChaosSchedule(seed, profile);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " +
+                 schedule.ToString());
+    E2eRun on = RunSssp(graph, true, schedule);
+    E2eRun off = RunSssp(graph, false, schedule);
+    EXPECT_EQ(on.distances, off.distances);
+    EXPECT_EQ(on.distances, ref);
+  }
+}
+
+}  // namespace
+}  // namespace rex

@@ -2,6 +2,9 @@
 // serde, hashing, RNG determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/delta.h"
 #include "common/rng.h"
 #include "common/serde.h"
@@ -107,6 +110,36 @@ TEST(ValueTest, Coercions) {
   EXPECT_FALSE(Value("x").ToDouble().ok());
 }
 
+TEST(ValueTest, ToIntRejectsUnrepresentableDoubles) {
+  // Casting NaN, ±inf, or an out-of-range double to int64 is undefined
+  // behavior; ToInt must refuse instead of invoking it.
+  EXPECT_FALSE(Value(std::nan("")).ToInt().ok());
+  EXPECT_FALSE(Value(std::numeric_limits<double>::infinity()).ToInt().ok());
+  EXPECT_FALSE(Value(-std::numeric_limits<double>::infinity()).ToInt().ok());
+  EXPECT_FALSE(Value(1e300).ToInt().ok());
+  EXPECT_FALSE(Value(-1e300).ToInt().ok());
+  auto err = Value(1e300).ToInt();
+  EXPECT_EQ(err.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, ToIntExactBoundaries) {
+  // -2^63 is exactly representable as a double and converts fine; +2^63
+  // (the first double at or beyond the top) must be rejected because
+  // int64's max is 2^63 - 1.
+  const double low = -9223372036854775808.0;   // -2^63
+  const double high = 9223372036854775808.0;   // 2^63
+  auto ok = Value(low).ToInt();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), std::numeric_limits<int64_t>::min());
+  EXPECT_FALSE(Value(high).ToInt().ok());
+  // The largest double strictly below 2^63 converts.
+  const double below = std::nextafter(high, 0.0);
+  auto big = Value(below).ToInt();
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value(), static_cast<int64_t>(below));
+  EXPECT_EQ(Value(-3.7).ToInt().value(), -3);
+}
+
 TEST(ValueTest, TypeNameParsing) {
   EXPECT_EQ(ValueTypeFromName("Integer").value(), ValueType::kInt);
   EXPECT_EQ(ValueTypeFromName("double").value(), ValueType::kDouble);
@@ -190,6 +223,54 @@ TEST(SerdeTest, BadTagDetected) {
   BufferWriter w;
   w.PutU32(1);
   w.PutU8(250);  // invalid value tag
+  BufferReader r(w.bytes());
+  EXPECT_FALSE(r.GetTuple().ok());
+}
+
+TEST(SerdeTest, RunawayNestingRejectedNotOverflowed) {
+  // A corrupt buffer that nests lists far beyond any honest writer must
+  // fail with ParseError, not recurse until the stack overflows.
+  BufferWriter w;
+  const int levels = BufferReader::kMaxNestingDepth + 8;
+  for (int i = 0; i < levels; ++i) {
+    w.PutU8(static_cast<uint8_t>(ValueType::kList));
+    w.PutU32(1);  // one element: the next level
+  }
+  w.PutU8(static_cast<uint8_t>(ValueType::kNull));
+  BufferReader r(w.bytes());
+  auto v = r.GetValue();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerdeTest, NestingAtLimitStillParses) {
+  BufferWriter w;
+  for (int i = 0; i < BufferReader::kMaxNestingDepth; ++i) {
+    w.PutU8(static_cast<uint8_t>(ValueType::kList));
+    w.PutU32(1);
+  }
+  w.PutU8(static_cast<uint8_t>(ValueType::kNull));
+  BufferReader r(w.bytes());
+  EXPECT_TRUE(r.GetValue().ok());
+}
+
+TEST(SerdeTest, HostileListCountDoesNotPreallocate) {
+  // A u32 count promising ~4 billion elements in a 5-byte buffer must fail
+  // with a truncation error after the capped reserve, not attempt a
+  // multi-gigabyte allocation up front.
+  BufferWriter w;
+  w.PutU8(static_cast<uint8_t>(ValueType::kList));
+  w.PutU32(0xFFFFFFFFu);
+  BufferReader r(w.bytes());
+  auto v = r.GetValue();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, HostileTupleCountDoesNotPreallocate) {
+  BufferWriter w;
+  w.PutU32(0xFFFFFFFFu);  // tuple "with 4 billion fields"
+  w.PutU8(static_cast<uint8_t>(ValueType::kNull));
   BufferReader r(w.bytes());
   EXPECT_FALSE(r.GetTuple().ok());
 }
