@@ -1,0 +1,150 @@
+// Incremental view maintenance microbench: converged PageRank on the
+// DBPedia-like graph, then k-edge base-update batches applied two ways —
+// incrementally via Cluster::ApplyBaseUpdate (seed the perturbation Δ,
+// re-converge) and from scratch on the mutated graph. Series report wall
+// time and shuffle volume; the structured profiles land in BENCH_ivm.json
+// under the "incremental" / "from-scratch" labels, and CI asserts the
+// incremental run ships strictly fewer tuples.
+#include <random>
+
+#include "algos/ivm.h"
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr double kThreshold = 1e-6;
+
+GraphData& Graph() {
+  static GraphData graph = GenerateDbpediaLike(DbpediaScale());
+  return graph;
+}
+
+/// Batch sizes swept by the figure rows; the google-benchmark pair below
+/// runs the middle one.
+int BatchEdges() {
+  int k = static_cast<int>(16 * BenchScale());
+  return k < 4 ? 4 : k;
+}
+
+/// Deterministic k-edge batch: half deletions of existing edges spread
+/// across the edge list, half fresh inserts from a seeded generator.
+std::vector<EdgeMutation> MakeBatch(const GraphData& graph, int k,
+                                    uint64_t seed) {
+  std::vector<EdgeMutation> batch;
+  const size_t stride = graph.edges.size() / static_cast<size_t>(k) + 1;
+  for (size_t i = 0; i < graph.edges.size() && batch.size() < size_t(k) / 2;
+       i += stride) {
+    batch.push_back({graph.edges[i].first, graph.edges[i].second, -1});
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> vertex(0, graph.num_vertices - 1);
+  while (batch.size() < static_cast<size_t>(k)) {
+    batch.push_back({vertex(rng), vertex(rng), 1});
+  }
+  return batch;
+}
+
+PageRankConfig IvmPageRankConfig() {
+  PageRankConfig cfg;
+  cfg.threshold = kThreshold;
+  return cfg;
+}
+
+/// One incremental episode: converge once (untimed), then apply the batch
+/// through ApplyBaseUpdate. Returns the update-only profile (tuples_sent /
+/// bytes diffed against the converged run by the driver).
+Result<QueryProfile> RunIncrementalUpdate(const GraphData& graph, int k,
+                                          double* update_seconds) {
+  Cluster cluster(BenchEngineConfig(kWorkers));
+  PageRankConfig cfg = IvmPageRankConfig();
+  REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
+  REX_RETURN_NOT_OK(RegisterPageRankUdfs(cluster.udfs(), cfg));
+  REX_ASSIGN_OR_RETURN(PlanSpec plan, BuildPageRankDeltaPlan(cfg));
+  REX_ASSIGN_OR_RETURN(QueryRunResult converged, cluster.Run(plan));
+  REX_ASSIGN_OR_RETURN(
+      std::vector<double> ranks,
+      RanksFromState(converged.fixpoint_state, graph.num_vertices));
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::vector<EdgeMutation> batch = MakeBatch(graph, k, /*seed=*/41);
+  REX_ASSIGN_OR_RETURN(
+      Cluster::BaseUpdate update,
+      BuildPageRankBaseUpdate(plan, batch, ranks, adj, cfg.damping));
+  REX_ASSIGN_OR_RETURN(QueryRunResult inc, cluster.ApplyBaseUpdate(update));
+  if (update_seconds != nullptr) *update_seconds = inc.total_seconds;
+  return inc.profile;
+}
+
+/// The from-scratch cost of the same update: full delta-plan run on the
+/// already-mutated graph.
+Result<QueryProfile> RunScratchUpdate(const GraphData& graph, int k,
+                                      double* update_seconds) {
+  Adjacency adj = AdjacencyFromGraph(graph);
+  ApplyEdgeMutations(&adj, MakeBatch(graph, k, /*seed=*/41));
+  GraphData mutated;
+  mutated.num_vertices = graph.num_vertices;
+  for (size_t u = 0; u < adj.size(); ++u) {
+    for (int64_t v : adj[u]) {
+      mutated.edges.emplace_back(static_cast<int64_t>(u), v);
+    }
+  }
+  Cluster cluster(BenchEngineConfig(kWorkers));
+  PageRankConfig cfg = IvmPageRankConfig();
+  REX_RETURN_NOT_OK(LoadGraphTables(&cluster, mutated));
+  REX_RETURN_NOT_OK(RegisterPageRankUdfs(cluster.udfs(), cfg));
+  REX_ASSIGN_OR_RETURN(PlanSpec plan, BuildPageRankDeltaPlan(cfg));
+  REX_ASSIGN_OR_RETURN(QueryRunResult run, cluster.Run(plan));
+  if (update_seconds != nullptr) *update_seconds = run.total_seconds;
+  return run.profile;
+}
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  for (auto _ : state) {
+    double seconds = 0;
+    auto profile = RunIncrementalUpdate(Graph(), BatchEdges(), &seconds);
+    if (profile.ok()) {
+      RecordProfile("incremental", *profile);
+      Row("ivm", "incremental", BatchEdges(), seconds * 1e3, "ms");
+      Row("ivm", "incremental-tuples", BatchEdges(),
+          static_cast<double>(profile->tuples_sent), "tuples");
+    } else {
+      state.SkipWithError(profile.status().ToString().c_str());
+    }
+  }
+}
+BENCHMARK(BM_IncrementalUpdate)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_FromScratchUpdate(benchmark::State& state) {
+  for (auto _ : state) {
+    double seconds = 0;
+    auto profile = RunScratchUpdate(Graph(), BatchEdges(), &seconds);
+    if (profile.ok()) {
+      RecordProfile("from-scratch", *profile);
+      Row("ivm", "from-scratch", BatchEdges(), seconds * 1e3, "ms");
+      Row("ivm", "from-scratch-tuples", BatchEdges(),
+          static_cast<double>(profile->tuples_sent), "tuples");
+    } else {
+      state.SkipWithError(profile.status().ToString().c_str());
+    }
+  }
+}
+BENCHMARK(BM_FromScratchUpdate)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("IVM",
+                        "incremental base updates vs from-scratch PageRank");
+  rexbench::Note("graph: " + std::to_string(rexbench::Graph().num_vertices) +
+                 " vertices, " +
+                 std::to_string(rexbench::Graph().edges.size()) +
+                 " edges, batch=" + std::to_string(rexbench::BatchEdges()) +
+                 " edge mutations");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("ivm");
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "algos/ivm.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rex {
+
+namespace {
+
+Status ValidateVertex(int64_t v, int64_t n, const char* what) {
+  if (v < 0 || v >= n) {
+    return Status::OutOfRange(std::string("edge mutation ") + what + " " +
+                              std::to_string(v) + " outside [0, " +
+                              std::to_string(n) + ")");
+  }
+  return Status::OK();
+}
+
+/// Fills the parts every graph update shares: the weighted table mutation
+/// and the matching in-place patch of the join's immutable graph buckets.
+void FillGraphMutation(const std::vector<EdgeMutation>& edges, int join_op,
+                       Cluster::BaseUpdate* update) {
+  auto& rows = update->tables["graph"];
+  Cluster::StatePatch patch;
+  patch.op_id = join_op;
+  patch.port = 0;  // the graph feeds the join's left port
+  patch.route_fields = {0};
+  for (const EdgeMutation& e : edges) {
+    if (e.weight == 0) continue;
+    Tuple row{Value(e.src), Value(e.dst)};
+    rows.push_back({row, e.weight});
+    patch.deltas.push_back(Delta::Weighted(row, e.weight));
+  }
+  update->patches.push_back(std::move(patch));
+}
+
+/// The mutated vertex's new out-neighborhood under `muts` (multiset).
+std::vector<int64_t> ApplyToNeighborhood(const std::vector<int64_t>& old_nbrs,
+                                         const std::vector<EdgeMutation>& muts) {
+  std::vector<int64_t> nbrs = old_nbrs;
+  for (const EdgeMutation& e : muts) {
+    if (e.weight > 0) {
+      for (int64_t i = 0; i < e.weight; ++i) nbrs.push_back(e.dst);
+    } else {
+      for (int64_t i = 0; i > e.weight; --i) {
+        auto it = std::find(nbrs.begin(), nbrs.end(), e.dst);
+        if (it == nbrs.end()) break;
+        nbrs.erase(it);
+      }
+    }
+  }
+  return nbrs;
+}
+
+}  // namespace
+
+Adjacency AdjacencyFromGraph(const GraphData& graph) {
+  Adjacency adj(static_cast<size_t>(graph.num_vertices));
+  for (const auto& [src, dst] : graph.edges) {
+    adj[static_cast<size_t>(src)].push_back(dst);
+  }
+  return adj;
+}
+
+void ApplyEdgeMutations(Adjacency* adj,
+                        const std::vector<EdgeMutation>& edges) {
+  for (const EdgeMutation& e : edges) {
+    auto& nbrs = (*adj)[static_cast<size_t>(e.src)];
+    if (e.weight > 0) {
+      for (int64_t i = 0; i < e.weight; ++i) nbrs.push_back(e.dst);
+    } else {
+      for (int64_t i = 0; i > e.weight; --i) {
+        auto it = std::find(nbrs.begin(), nbrs.end(), e.dst);
+        if (it == nbrs.end()) break;
+        nbrs.erase(it);
+      }
+    }
+  }
+}
+
+Result<int> FindFixpointNode(const PlanSpec& plan) {
+  for (const PlanNodeSpec& n : plan.nodes()) {
+    if (n.type == PlanNodeSpec::Type::kFixpoint) return n.id;
+  }
+  return Status::NotFound("plan has no fixpoint node");
+}
+
+Result<int> FindGraphJoinNode(const PlanSpec& plan) {
+  for (const PlanNodeSpec& n : plan.nodes()) {
+    if (n.type == PlanNodeSpec::Type::kHashJoin) return n.id;
+  }
+  return Status::NotFound("plan has no hash-join node");
+}
+
+Result<Cluster::BaseUpdate> BuildPageRankBaseUpdate(
+    const PlanSpec& plan, const std::vector<EdgeMutation>& edges,
+    const std::vector<double>& ranks, const Adjacency& old_adj,
+    double damping) {
+  const int64_t n = static_cast<int64_t>(ranks.size());
+  REX_ASSIGN_OR_RETURN(int fp, FindFixpointNode(plan));
+  REX_ASSIGN_OR_RETURN(int join, FindGraphJoinNode(plan));
+
+  // Group mutations by source: the first-hop contribution of source u is a
+  // function of u's whole out-neighborhood, so per-source before/after is
+  // the natural unit.
+  std::map<int64_t, std::vector<EdgeMutation>> by_src;
+  for (const EdgeMutation& e : edges) {
+    REX_RETURN_NOT_OK(ValidateVertex(e.src, n, "source"));
+    REX_RETURN_NOT_OK(ValidateVertex(e.dst, n, "target"));
+    if (e.weight != 0) by_src[e.src].push_back(e);
+  }
+
+  Cluster::BaseUpdate update;
+  FillGraphMutation(edges, join, &update);
+
+  DeltaVec seeds;
+  for (const auto& [u, muts] : by_src) {
+    const std::vector<int64_t>& old_nbrs = old_adj[static_cast<size_t>(u)];
+    const std::vector<int64_t> new_nbrs = ApplyToNeighborhood(old_nbrs, muts);
+    const double r = ranks[static_cast<size_t>(u)];
+    // Net per-target diff: retract old shares, assert new ones. A no-op
+    // batch (|N_old| == |N_new|, same multiset) cancels to exactly 0.0.
+    std::map<int64_t, double> diff;
+    if (!old_nbrs.empty()) {
+      const double share = damping * r / static_cast<double>(old_nbrs.size());
+      for (int64_t v : old_nbrs) diff[v] -= share;
+    }
+    if (!new_nbrs.empty()) {
+      const double share = damping * r / static_cast<double>(new_nbrs.size());
+      for (int64_t v : new_nbrs) diff[v] += share;
+    }
+    for (const auto& [v, d] : diff) {
+      if (d == 0.0) continue;
+      seeds.push_back(Delta::Update(Tuple{Value(v), Value(d)}));
+    }
+  }
+  if (!seeds.empty()) update.seeds[fp] = std::move(seeds);
+  return update;
+}
+
+Result<Cluster::BaseUpdate> BuildSsspBaseUpdate(
+    const PlanSpec& plan, const std::vector<EdgeMutation>& edges,
+    const std::vector<int64_t>& dist, const Adjacency& old_adj,
+    int64_t source) {
+  const int64_t n = static_cast<int64_t>(dist.size());
+  REX_ASSIGN_OR_RETURN(int fp, FindFixpointNode(plan));
+  REX_ASSIGN_OR_RETURN(int join, FindGraphJoinNode(plan));
+  for (const EdgeMutation& e : edges) {
+    REX_RETURN_NOT_OK(ValidateVertex(e.src, n, "source"));
+    REX_RETURN_NOT_OK(ValidateVertex(e.dst, n, "target"));
+  }
+
+  Adjacency new_adj = old_adj;
+  ApplyEdgeMutations(&new_adj, edges);
+
+  Cluster::BaseUpdate update;
+  FillGraphMutation(edges, join, &update);
+
+  // Affected set: vertices whose converged distance may have depended on a
+  // deleted edge — the closure, over the OLD adjacency's shortest-path
+  // "tree" edges (dist[y] == dist[x] + 1), below each deleted edge whose
+  // last parallel copy is gone. Conservative (a vertex with an alternate
+  // equal-length path is included anyway); soundness only needs the
+  // complement's distances to be intact, which holds because any shortest
+  // path avoiding the affected set avoids every deleted edge.
+  std::vector<char> affected(static_cast<size_t>(n), 0);
+  std::vector<int64_t> frontier;
+  auto mark = [&](int64_t v) {
+    if (v == source || affected[static_cast<size_t>(v)]) return;
+    affected[static_cast<size_t>(v)] = 1;
+    frontier.push_back(v);
+  };
+  for (const EdgeMutation& e : edges) {
+    if (e.weight >= 0) continue;
+    if (dist[static_cast<size_t>(e.src)] == -1) continue;
+    if (dist[static_cast<size_t>(e.dst)] !=
+        dist[static_cast<size_t>(e.src)] + 1) {
+      continue;  // never a tree edge
+    }
+    const auto& survivors = new_adj[static_cast<size_t>(e.src)];
+    if (std::find(survivors.begin(), survivors.end(), e.dst) !=
+        survivors.end()) {
+      continue;  // a parallel copy still justifies the distance
+    }
+    mark(e.dst);
+  }
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const int64_t x = frontier[i];
+    for (int64_t y : old_adj[static_cast<size_t>(x)]) {
+      if (dist[static_cast<size_t>(y)] == dist[static_cast<size_t>(x)] + 1) {
+        mark(y);
+      }
+    }
+  }
+
+  // In-neighbors under the NEW adjacency (reseeds and inserted edges both
+  // read it).
+  Adjacency rev(static_cast<size_t>(n));
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t v : new_adj[static_cast<size_t>(u)]) {
+      rev[static_cast<size_t>(v)].push_back(u);
+    }
+  }
+
+  DeltaVec seeds;
+  // 1. Clear the affected set (handler-path -() empties the key's bucket
+  // and propagates nothing); a vertex no reseed or re-derivation reaches
+  // stays cleared = unreachable.
+  for (int64_t w = 0; w < n; ++w) {
+    if (affected[static_cast<size_t>(w)]) {
+      seeds.push_back(Delta::Delete(Tuple{Value(w)}));
+    }
+  }
+  // 2. Reseed each affected vertex from its unaffected in-neighbors, whose
+  // distances are still exact; min-merge re-convergence does the rest.
+  for (int64_t w = 0; w < n; ++w) {
+    if (!affected[static_cast<size_t>(w)]) continue;
+    for (int64_t x : rev[static_cast<size_t>(w)]) {
+      if (affected[static_cast<size_t>(x)]) continue;
+      const int64_t dx = dist[static_cast<size_t>(x)];
+      if (dx == -1) continue;
+      seeds.push_back(Delta::Update(Tuple{Value(w), Value(dx + 1)}));
+    }
+  }
+  // 3. Inserted edges from unaffected finite sources offer a new candidate
+  // to their target (covered by 2 when the target is affected, but an
+  // unaffected target may still improve). The candidate is only real if a
+  // copy of the edge survives the whole batch net — a no-op insert+delete
+  // pair must not hand its target a phantom path.
+  for (const EdgeMutation& e : edges) {
+    if (e.weight <= 0) continue;
+    if (affected[static_cast<size_t>(e.src)]) continue;
+    const int64_t ds = dist[static_cast<size_t>(e.src)];
+    if (ds == -1) continue;
+    const auto& nbrs = new_adj[static_cast<size_t>(e.src)];
+    if (std::find(nbrs.begin(), nbrs.end(), e.dst) == nbrs.end()) continue;
+    seeds.push_back(Delta::Update(Tuple{Value(e.dst), Value(ds + 1)}));
+  }
+  if (!seeds.empty()) update.seeds[fp] = std::move(seeds);
+  return update;
+}
+
+}  // namespace rex

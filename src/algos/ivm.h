@@ -1,0 +1,76 @@
+// Incremental view maintenance under base-table updates (the weighted
+// ℤ-set generalization of §3.2's delta plane, applied to the base data).
+//
+// A converged fixpoint run is a materialized view of its base tables. When
+// edges change, re-running from scratch discards the converged state; the
+// builders here instead compute the *perturbation Δ* a batch of weighted
+// edge mutations induces on the converged state, packaged as a
+// Cluster::BaseUpdate (table mutations + join-state patches + fixpoint
+// seeds) for Cluster::ApplyBaseUpdate to re-converge from.
+//
+//  - PageRank is linear in the rank vector, so the update is exact: a
+//    changed source u retracts its old first-hop contributions
+//    (-d·r(u)/|N_old| to each old neighbor) and asserts the new ones
+//    (+d·r(u)/|N_new|); the engine's re-convergence propagates the
+//    knock-on diffs through the *new* adjacency.
+//  - SSSP is not linear: an edge deletion can invalidate distances
+//    transitively. The builder computes a conservative affected set (the
+//    closure of shortest-path-tree edges below each deleted edge), clears
+//    it with -() seeds, and reseeds each affected vertex from its
+//    unaffected in-neighbors under the new adjacency; min-merge
+//    re-convergence then re-derives exact distances (vertices that lost
+//    all paths stay cleared = unreachable).
+#ifndef REX_ALGOS_IVM_H_
+#define REX_ALGOS_IVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "data/generators.h"
+#include "engine/plan_spec.h"
+
+namespace rex {
+
+/// One weighted edge mutation: weight +w inserts w copies of (src, dst),
+/// weight -w removes up to w copies. Weight 0 is a no-op. Vertices must
+/// already exist (the vertex set is not mutated).
+struct EdgeMutation {
+  int64_t src = 0;
+  int64_t dst = 0;
+  int64_t weight = 1;
+};
+
+/// Multiset out-adjacency (duplicates = parallel edges, matching physical
+/// copies in the join's graph buckets). The caller keeps this mirror
+/// current across update batches with ApplyEdgeMutations.
+using Adjacency = std::vector<std::vector<int64_t>>;
+
+Adjacency AdjacencyFromGraph(const GraphData& graph);
+
+/// Applies `edges` to the mirror (insert appends, delete removes up to
+/// |weight| copies, clamped like the base table).
+void ApplyEdgeMutations(Adjacency* adj, const std::vector<EdgeMutation>& edges);
+
+/// Node-id discovery on the hand-built plans (exactly one fixpoint and one
+/// graph hash-join each).
+Result<int> FindFixpointNode(const PlanSpec& plan);
+Result<int> FindGraphJoinNode(const PlanSpec& plan);
+
+/// Exact linear-IVM update for the delta PageRank plan. `ranks` is the
+/// converged rank vector, `old_adj` the pre-update adjacency mirror.
+Result<Cluster::BaseUpdate> BuildPageRankBaseUpdate(
+    const PlanSpec& plan, const std::vector<EdgeMutation>& edges,
+    const std::vector<double>& ranks, const Adjacency& old_adj,
+    double damping);
+
+/// Affected-set update for the delta SSSP plan. `dist` is the converged
+/// distance vector (-1 = unreachable), `old_adj` the pre-update mirror.
+Result<Cluster::BaseUpdate> BuildSsspBaseUpdate(
+    const PlanSpec& plan, const std::vector<EdgeMutation>& edges,
+    const std::vector<int64_t>& dist, const Adjacency& old_adj,
+    int64_t source);
+
+}  // namespace rex
+
+#endif  // REX_ALGOS_IVM_H_

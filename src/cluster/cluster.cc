@@ -472,10 +472,148 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
   }
 }
 
+Status Cluster::DriveStrata(const PlanSpec& spec, const QueryOptions& options,
+                            RecoveryStrategy strategy, ChaosInjector* injector,
+                            bool has_fixpoint, int start_stratum,
+                            const PartitionMap** pmap, std::vector<int>* live,
+                            QueryRunResult* out, int* next_stratum) {
+  const int max_strata =
+      options.max_strata > 0 ? options.max_strata : config_.max_strata;
+  // A restart recovery resets `stratum` to 0; the budget stays anchored at
+  // the original start so a restarted incremental update keeps a full
+  // allowance.
+  const int stratum_limit = start_stratum + max_strata;
+  int stratum = start_stratum;
+  while (true) {
+    if (injector != nullptr) {
+      // ---- boundary fault events ----------------------------------------
+      // Crashes only stop the victim; the driver learns about them from
+      // the failure detector below, never from the injector.
+      for (int w : injector->TakeDueCrashes(stratum)) {
+        if (failed_[static_cast<size_t>(w)]) continue;
+        REX_RETURN_NOT_OK(InjectBoundaryCrash(w));
+      }
+      for (const auto& [holder, max_entries] :
+           injector->TakeDueCorruptions(stratum)) {
+        checkpoints_.CorruptCopies(holder, max_entries);
+      }
+      std::vector<int> revived;
+      for (int w : injector->TakeRestores(stratum)) {
+        REX_RETURN_NOT_OK(ReviveWorker(w));
+        revived.push_back(w);
+      }
+      const std::vector<int> dead = DetectFailures();
+      if (!dead.empty() || !revived.empty()) {
+        REX_RETURN_NOT_OK(Recover(spec, strategy, injector,
+                                  std::move(revived), pmap, live, &stratum,
+                                  out));
+      }
+      injector->BeginStratum(stratum);
+    }
+
+    const auto t_stratum = std::chrono::steady_clock::now();
+    const int64_t bytes_before = network_->TotalBytesSent();
+    trace_.Record(TraceEvent::Kind::kStratumStart, 0, 0, stratum);
+
+    ControlMsg start;
+    start.kind = ControlMsg::Kind::kStartStratum;
+    start.stratum = stratum;
+    REX_RETURN_NOT_OK(Broadcast(start, *live));
+    network_->WaitQuiescent();
+    REX_RETURN_NOT_OK(network_->CheckInvariants());
+
+    if (injector != nullptr) {
+      // ---- mid-stratum failure: abort and re-execute the stratum --------
+      // A mid-stratum crash (fired by the injector inside Send, or overdue
+      // because the message threshold was never reached) only silences the
+      // victim; probe to find out who actually died.
+      for (int w : injector->TakeOverdueMidStratumCrashes(stratum)) {
+        if (failed_[static_cast<size_t>(w)]) continue;
+        network_->Crash(w);
+        workers_[static_cast<size_t>(w)]->Stop();
+      }
+      const std::vector<int> mid = DetectFailures();
+      if (!mid.empty()) {
+        for (int w : mid) {
+          REX_LOG(Info) << "chaos: aborting stratum " << stratum
+                        << " after mid-stratum failure of worker " << w;
+        }
+        // Survivors may already have voted for / checkpointed the aborted
+        // stratum; neither may survive into its re-execution.
+        votes_.ClearFromStratum(stratum);
+        checkpoints_.TruncateAfter(stratum - 1);
+        REX_RETURN_NOT_OK(Recover(spec, strategy, injector, {}, pmap, live,
+                                  &stratum, out));
+        continue;  // re-execute (stratum was reset to 0 on restart)
+      }
+    }
+
+    REX_RETURN_NOT_OK(CheckWorkerErrors(*live));
+    if (config_.verify_invariants && has_fixpoint) {
+      REX_RETURN_NOT_OK(CheckRuntimeInvariants(*live, stratum));
+    }
+
+    StratumReport report;
+    report.stratum = stratum;
+    report.stats = votes_.TotalForStratum(stratum);
+    report.seconds = SecondsSince(t_stratum);
+    report.bytes_sent = network_->TotalBytesSent() - bytes_before;
+    out->strata.push_back(report);
+    out->strata_executed += 1;
+
+    bool stop = false;
+    if (!has_fixpoint) {
+      stop = true;  // a single non-recursive wave
+    } else if (options.terminate) {
+      stop = options.terminate(stratum, report.stats);
+    } else {
+      stop = report.stats.new_tuples == 0;  // implicit fixpoint
+    }
+    if (stop) break;
+    ++stratum;
+    if (stratum >= stratum_limit) {
+      REX_LOG(Warn) << "query hit max_strata=" << max_strata;
+      break;
+    }
+  }
+
+  if (injector != nullptr) {
+    out->chaos = injector->stats();
+    // A crash/restore scheduled past the query's convergence never fired —
+    // the scenario silently tested nothing. Make that loud.
+    if (!injector->AllMandatoryEventsFired()) {
+      return Status::InvalidArgument(
+          "fault schedule events never fired (scheduled past convergence?): " +
+          injector->UnfiredEventsToString());
+    }
+  }
+  *next_stratum = stratum + 1;
+  return Status::OK();
+}
+
+void Cluster::CollectResults(const std::vector<int>& live,
+                             QueryRunResult* out) {
+  // Collect results at the requestor: union of per-node sink outputs and
+  // fixpoint state relations (safe: network is quiescent).
+  for (int w : live) {
+    LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
+    for (SinkOp* sink : plan->sinks()) {
+      for (const Tuple& t : sink->results()) out->results.push_back(t);
+    }
+    for (FixpointOp* fp : plan->fixpoints()) {
+      for (Tuple& t : fp->StateTuples()) {
+        out->fixpoint_state.push_back(std::move(t));
+      }
+    }
+  }
+}
+
 Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
                                             const QueryOptions& options) {
   if (!started_) REX_RETURN_NOT_OK(Start());
   REX_RETURN_NOT_OK(spec.Validate());
+  // A new query invalidates any previous run's incremental resume point.
+  resume_stratum_ = -1;
 
   // ---- fault-schedule assembly + validation ------------------------------
   FaultSchedule schedule = options.faults;
@@ -505,8 +643,6 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
 
   QueryRunResult out;
   const auto t_query = std::chrono::steady_clock::now();
-  const int max_strata =
-      options.max_strata > 0 ? options.max_strata : config_.max_strata;
 
   votes_.Reset();
   checkpoints_.Clear();
@@ -539,127 +675,149 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
     injector_guard.net = network_.get();
   }
 
-  int stratum = 0;
-  while (true) {
-    if (injector != nullptr) {
-      // ---- boundary fault events ----------------------------------------
-      // Crashes only stop the victim; the driver learns about them from
-      // the failure detector below, never from the injector.
-      for (int w : injector->TakeDueCrashes(stratum)) {
-        if (failed_[static_cast<size_t>(w)]) continue;
-        REX_RETURN_NOT_OK(InjectBoundaryCrash(w));
-      }
-      for (const auto& [holder, max_entries] :
-           injector->TakeDueCorruptions(stratum)) {
-        checkpoints_.CorruptCopies(holder, max_entries);
-      }
-      std::vector<int> revived;
-      for (int w : injector->TakeRestores(stratum)) {
-        REX_RETURN_NOT_OK(ReviveWorker(w));
-        revived.push_back(w);
-      }
-      const std::vector<int> dead = DetectFailures();
-      if (!dead.empty() || !revived.empty()) {
-        REX_RETURN_NOT_OK(Recover(spec, schedule.strategy, injector.get(),
-                                  std::move(revived), &pmap, &live, &stratum,
-                                  &out));
-      }
-      injector->BeginStratum(stratum);
-    }
+  int next_stratum = 0;
+  REX_RETURN_NOT_OK(DriveStrata(spec, options, schedule.strategy,
+                                injector.get(), has_fixpoint,
+                                /*start_stratum=*/0, &pmap, &live, &out,
+                                &next_stratum));
 
-    const auto t_stratum = std::chrono::steady_clock::now();
-    const int64_t bytes_before = network_->TotalBytesSent();
-    trace_.Record(TraceEvent::Kind::kStratumStart, 0, 0, stratum);
-
-    ControlMsg start;
-    start.kind = ControlMsg::Kind::kStartStratum;
-    start.stratum = stratum;
-    REX_RETURN_NOT_OK(Broadcast(start, live));
-    network_->WaitQuiescent();
-    REX_RETURN_NOT_OK(network_->CheckInvariants());
-
-    if (injector != nullptr) {
-      // ---- mid-stratum failure: abort and re-execute the stratum --------
-      // A mid-stratum crash (fired by the injector inside Send, or overdue
-      // because the message threshold was never reached) only silences the
-      // victim; probe to find out who actually died.
-      for (int w : injector->TakeOverdueMidStratumCrashes(stratum)) {
-        if (failed_[static_cast<size_t>(w)]) continue;
-        network_->Crash(w);
-        workers_[static_cast<size_t>(w)]->Stop();
-      }
-      const std::vector<int> mid = DetectFailures();
-      if (!mid.empty()) {
-        for (int w : mid) {
-          REX_LOG(Info) << "chaos: aborting stratum " << stratum
-                        << " after mid-stratum failure of worker " << w;
-        }
-        // Survivors may already have voted for / checkpointed the aborted
-        // stratum; neither may survive into its re-execution.
-        votes_.ClearFromStratum(stratum);
-        checkpoints_.TruncateAfter(stratum - 1);
-        REX_RETURN_NOT_OK(Recover(spec, schedule.strategy, injector.get(),
-                                  {}, &pmap, &live, &stratum, &out));
-        continue;  // re-execute (stratum was reset to 0 on restart)
-      }
-    }
-
-    REX_RETURN_NOT_OK(CheckWorkerErrors(live));
-    if (config_.verify_invariants && has_fixpoint) {
-      REX_RETURN_NOT_OK(CheckRuntimeInvariants(live, stratum));
-    }
-
-    StratumReport report;
-    report.stratum = stratum;
-    report.stats = votes_.TotalForStratum(stratum);
-    report.seconds = SecondsSince(t_stratum);
-    report.bytes_sent = network_->TotalBytesSent() - bytes_before;
-    out.strata.push_back(report);
-    out.strata_executed += 1;
-
-    bool stop = false;
-    if (!has_fixpoint) {
-      stop = true;  // a single non-recursive wave
-    } else if (options.terminate) {
-      stop = options.terminate(stratum, report.stats);
-    } else {
-      stop = report.stats.new_tuples == 0;  // implicit fixpoint
-    }
-    if (stop) break;
-    ++stratum;
-    if (stratum >= max_strata) {
-      REX_LOG(Warn) << "query hit max_strata=" << max_strata;
-      break;
-    }
-  }
-
-  if (injector != nullptr) {
-    out.chaos = injector->stats();
-    // A crash/restore scheduled past the query's convergence never fired —
-    // the scenario silently tested nothing. Make that loud.
-    if (!injector->AllMandatoryEventsFired()) {
-      return Status::InvalidArgument(
-          "fault schedule events never fired (scheduled past convergence?): " +
-          injector->UnfiredEventsToString());
-    }
-  }
-
-  // Collect results at the requestor: union of per-node sink outputs and
-  // fixpoint state relations (safe: network is quiescent).
-  for (int w : live) {
-    LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
-    for (SinkOp* sink : plan->sinks()) {
-      for (const Tuple& t : sink->results()) out.results.push_back(t);
-    }
-    for (FixpointOp* fp : plan->fixpoints()) {
-      for (Tuple& t : fp->StateTuples()) {
-        out.fixpoint_state.push_back(std::move(t));
-      }
-    }
-  }
+  CollectResults(live, &out);
   out.total_seconds = SecondsSince(t_query);
   out.total_bytes_sent = network_->TotalBytesSent();
   AssembleProfile(live, &out);
+
+  // Capture the resume point for incremental base-table updates: the plan
+  // stays installed and converged, so ApplyBaseUpdate can seed a
+  // perturbation Δ and continue the stratum sequence from here.
+  if (has_fixpoint) {
+    resume_stratum_ = next_stratum;
+    resume_spec_ = spec;
+    resume_pmap_ = pmap;
+    resume_live_ = live;
+  }
+  return out;
+}
+
+Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
+  if (resume_stratum_ < 1 || resume_pmap_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyBaseUpdate requires a converged recursive Run on this cluster");
+  }
+  FaultSchedule schedule = update.faults;
+  if (!schedule.empty()) {
+    REX_RETURN_NOT_OK(schedule.Validate(num_workers(), config_.replication));
+  }
+  std::vector<int> live = resume_live_;
+  const PartitionMap* pmap = resume_pmap_;
+  REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+
+  QueryRunResult out;
+  const auto t_query = std::chrono::steady_clock::now();
+  // Network counters are cumulative across the cluster's lifetime; snapshot
+  // them so the returned profile honestly reports only this update's
+  // traffic (the incremental-vs-from-scratch comparison depends on it).
+  const int64_t tuples_before = network_->metrics().Value(metrics::kTuplesSent);
+  const int64_t bytes_before = network_->TotalBytesSent();
+
+  // 1. Base tables: the durable ℤ-set mutation. Recovery paths (takeover
+  // reloads, restarts, guided replay) re-read these, so they must change
+  // before any re-execution can happen.
+  for (const auto& [name, rows] : update.tables) {
+    REX_ASSIGN_OR_RETURN(std::shared_ptr<DistributedTable> table,
+                         storage_.GetTable(name));
+    table->ApplyWeighted(rows);
+  }
+
+  // 2. Operator state patches: revise materialized base state (immutable
+  // join sides) in place on the workers that hold it. Driver-side direct
+  // calls while the network is quiescent, like plan installation; routing
+  // matches the placement the rows had when the scan loaded them.
+  for (const StatePatch& patch : update.patches) {
+    std::map<int, DeltaVec> by_worker;
+    for (const Delta& d : patch.deltas) {
+      const uint64_t h = PartitionHash(d.tuple, patch.route_fields);
+      by_worker[pmap->PrimaryOwner(h)].push_back(d);
+    }
+    for (auto& [w, deltas] : by_worker) {
+      LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
+      if (plan == nullptr || patch.op_id < 0 || patch.op_id >= plan->size()) {
+        return Status::InvalidArgument(
+            "state patch targets unknown operator " +
+            std::to_string(patch.op_id));
+      }
+      REX_RETURN_NOT_OK(
+          plan->op(patch.op_id)->Consume(patch.port, std::move(deltas)));
+    }
+  }
+
+  // 3. Perturbation Δ seeds, applied against each fixpoint's converged
+  // state. The seeds' arrivals are checkpoint-appended to the converged
+  // run's final stratum, so a crash anywhere in the re-convergence replays
+  // them (TruncateAfter never drops a completed stratum).
+  const int checkpoint_stratum = resume_stratum_ - 1;
+  for (const auto& [op_id, deltas] : update.seeds) {
+    bool found = false;
+    for (int w : live) {
+      LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
+      if (plan == nullptr) continue;
+      for (FixpointOp* fp : plan->fixpoints()) {
+        if (fp->id() != op_id) continue;
+        found = true;
+        DeltaVec mine;
+        for (const Delta& d : deltas) {
+          const uint64_t h = PartitionHash(d.tuple, fp->RouteFields());
+          if (pmap->PrimaryOwner(h) == w) mine.push_back(d);
+        }
+        if (!mine.empty()) {
+          REX_RETURN_NOT_OK(fp->SeedBaseUpdate(mine, checkpoint_stratum));
+        }
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("seeds target unknown fixpoint op " +
+                                     std::to_string(op_id));
+    }
+  }
+
+  // 4. Re-converge from the stratum after the converged run's last.
+  std::unique_ptr<ChaosInjector> injector;
+  struct InjectorGuard {
+    Network* net = nullptr;
+    ~InjectorGuard() {
+      if (net != nullptr) net->set_fault_injector(nullptr);
+    }
+  } injector_guard;
+  if (!schedule.empty()) {
+    injector = std::make_unique<ChaosInjector>(schedule, network_.get());
+    network_->set_fault_injector(injector.get());
+    injector_guard.net = network_.get();
+  }
+  QueryOptions options;
+  options.terminate = update.terminate;
+  options.max_strata = update.max_strata;
+  int next_stratum = resume_stratum_;
+  Status drive = DriveStrata(resume_spec_, options, schedule.strategy,
+                             injector.get(), /*has_fixpoint=*/true,
+                             resume_stratum_, &pmap, &live, &out,
+                             &next_stratum);
+  if (!drive.ok()) {
+    REX_LOG(Error) << "base update failed: " << drive.ToString();
+    DumpTraces();
+    resume_stratum_ = -1;  // state is suspect; require a fresh Run
+    return drive;
+  }
+
+  CollectResults(live, &out);
+  out.total_seconds = SecondsSince(t_query);
+  out.total_bytes_sent = network_->TotalBytesSent() - bytes_before;
+  AssembleProfile(live, &out);
+  out.profile.tuples_sent =
+      network_->metrics().Value(metrics::kTuplesSent) - tuples_before;
+
+  // Chain: a further update resumes after this re-convergence.
+  resume_stratum_ = next_stratum;
+  resume_pmap_ = pmap;
+  resume_live_ = live;
   return out;
 }
 

@@ -9,7 +9,9 @@
 #define REX_CLUSTER_CLUSTER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/failure_detector.h"
@@ -19,6 +21,7 @@
 #include "sim/chaos_injector.h"
 #include "sim/fault_schedule.h"
 #include "storage/spill.h"
+#include "storage/table.h"
 
 namespace rex {
 
@@ -106,6 +109,50 @@ class Cluster {
   Result<QueryRunResult> Run(const PlanSpec& spec,
                              const QueryOptions& options = {});
 
+  /// A direct revision of operator-held base state (an immutable join
+  /// side's buckets). Deltas are routed to the primary owner of
+  /// PartitionHash(tuple, route_fields) — the same placement the rows had
+  /// when the scan loaded them — and applied while the network is
+  /// quiescent, exactly like plan installation.
+  struct StatePatch {
+    int op_id = -1;
+    int port = 0;
+    std::vector<int> route_fields;
+    DeltaVec deltas;
+  };
+
+  /// An incremental base-data update against the last converged Run (§3.2's
+  /// "refinement of state" driven from the outside): weighted ℤ-set
+  /// mutations of base tables, matching patches for operator state
+  /// materialized from those tables, and per-fixpoint perturbation Δ seeds
+  /// computed by the caller from the converged state.
+  struct BaseUpdate {
+    /// Table name -> weighted row mutations (kept consistent with
+    /// `patches`; recovery reloads operator state from these tables).
+    std::map<std::string, std::vector<DistributedTable::WeightedRow>> tables;
+    std::vector<StatePatch> patches;
+    /// Fixpoint op id -> perturbation Δ set, routed by the fixpoint's own
+    /// partition fields and applied against its converged state.
+    std::map<int, DeltaVec> seeds;
+    /// Optional chaos during re-convergence.
+    FaultSchedule faults;
+    /// Explicit termination override (defaults to implicit fixpoint
+    /// termination) and stratum budget for the re-convergence.
+    std::function<bool(int stratum, const VoteStats&)> terminate;
+    int max_strata = -1;
+  };
+
+  /// Applies `update` and re-converges the still-installed plan from the
+  /// stratum after the converged run's last, rather than from scratch: the
+  /// seeds' propagations flush as the resumed stratum's Δ set and the loop
+  /// runs until quiescent again. Requires a prior successful recursive
+  /// Run() on this cluster. Failures during re-convergence recover through
+  /// the normal machinery (seeds are checkpointed with the converged
+  /// history, so incremental recovery replays them; a restart recovery
+  /// recomputes from the already-updated tables). The returned profile's
+  /// tuples_sent / total_bytes_sent count only this update's traffic.
+  Result<QueryRunResult> ApplyBaseUpdate(const BaseUpdate& update);
+
   /// The driver's bounded event trace (crashes, restores, recovery passes,
   /// stratum starts).
   TraceRing* trace() { return &trace_; }
@@ -127,6 +174,18 @@ class Cluster {
  private:
   Result<QueryRunResult> RunInternal(const PlanSpec& spec,
                                      const QueryOptions& options);
+  /// The requestor's stratum loop, shared by RunInternal (from stratum 0)
+  /// and ApplyBaseUpdate (from the converged run's resume stratum): drives
+  /// strata with boundary/mid-stratum fault handling and recovery until
+  /// termination. On return `*next_stratum` is the stratum a future
+  /// incremental update would resume at.
+  Status DriveStrata(const PlanSpec& spec, const QueryOptions& options,
+                     RecoveryStrategy strategy, ChaosInjector* injector,
+                     bool has_fixpoint, int start_stratum,
+                     const PartitionMap** pmap, std::vector<int>* live,
+                     QueryRunResult* out, int* next_stratum);
+  /// Unions sink results and fixpoint state into `out` (quiescent network).
+  void CollectResults(const std::vector<int>& live, QueryRunResult* out);
   /// Fills out->profile from the post-run state (network quiescent).
   void AssembleProfile(const std::vector<int>& live, QueryRunResult* out);
   /// Logs the driver's and every running worker's trace ring (error path).
@@ -188,6 +247,14 @@ class Cluster {
   std::vector<std::unique_ptr<PartitionMap>> pmap_history_;
   TraceRing trace_{"driver"};
   bool started_ = false;
+
+  // -- incremental base-update resume point ---------------------------------
+  // Captured after a successful recursive Run; -1 = nothing to resume
+  // (no converged run, or the last run was non-recursive / failed).
+  int resume_stratum_ = -1;
+  PlanSpec resume_spec_;
+  const PartitionMap* resume_pmap_ = nullptr;
+  std::vector<int> resume_live_;
 };
 
 }  // namespace rex

@@ -24,12 +24,39 @@ Delta Delta::WithTuple(Tuple t) const {
   return d;
 }
 
+Delta Delta::Negated() const {
+  Delta d = *this;
+  switch (op) {
+    case DeltaOp::kInsert:
+      d.op = DeltaOp::kDelete;
+      break;
+    case DeltaOp::kDelete:
+      d.op = DeltaOp::kInsert;
+      break;
+    case DeltaOp::kReplace:
+      d.tuple = old_tuple;
+      d.old_tuple = tuple;
+      break;
+    case DeltaOp::kUpdate:
+    case DeltaOp::kBatch:
+      // δ(E) has no structural inverse; flip the (handler-owned) weight
+      // sign instead. A batch is never negated in practice.
+      d.weight = -weight;
+      break;
+  }
+  return d;
+}
+
 std::string Delta::ToString() const {
   std::string out = DeltaOpName(op);
   out += tuple.ToString();
   if (op == DeltaOp::kReplace) {
     out += " was ";
     out += old_tuple.ToString();
+  }
+  if (weight != 1) {
+    out += "×";
+    out += std::to_string(weight);
   }
   return out;
 }

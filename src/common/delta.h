@@ -39,7 +39,16 @@ enum class DeltaOp : uint8_t {
 
 const char* DeltaOpName(DeltaOp op);
 
-/// An annotated tuple.
+/// An annotated tuple carrying an integer ℤ-set multiplicity.
+///
+/// The weight generalizes Definition 1 to DBSP-style ℤ-sets: a delta stands
+/// for `weight` copies of its tuple. The annotation fixes the sign
+/// convention — `+()` with weight w contributes +w, `-()` with weight w
+/// contributes -w — so `Delete(t)` is exactly `Weighted(t, -1)` under
+/// SignedWeight(). `->(t')` is the composite {-1·t', +1·t} and always has
+/// weight 1; for δ(E) the weight rides along opaquely (its meaning belongs
+/// to the delta handler, like the payload itself). Weight-zero deltas are
+/// no-ops and are eliminated by the coalescer and stateful operators.
 struct Delta {
   DeltaOp op = DeltaOp::kInsert;
   /// The tuple t: the inserted tuple, the tuple to delete, the replacement
@@ -49,31 +58,52 @@ struct Delta {
   Tuple tuple;
   /// For kReplace only: the existing tuple t' being replaced.
   Tuple old_tuple;
+  /// ℤ-set multiplicity (always >= 1 in canonical form; the op carries the
+  /// sign). Non-canonical negative weights are accepted as input and mean
+  /// the op's inverse: Insert(t) with weight -w ≡ Delete(t) with weight w.
+  int64_t weight = 1;
 
   static Delta Insert(Tuple t) {
-    return Delta{DeltaOp::kInsert, std::move(t), {}};
+    return Delta{DeltaOp::kInsert, std::move(t), {}, 1};
   }
   static Delta Delete(Tuple t) {
-    return Delta{DeltaOp::kDelete, std::move(t), {}};
+    return Delta{DeltaOp::kDelete, std::move(t), {}, 1};
   }
   static Delta Replace(Tuple old_t, Tuple new_t) {
-    return Delta{DeltaOp::kReplace, std::move(new_t), std::move(old_t)};
+    return Delta{DeltaOp::kReplace, std::move(new_t), std::move(old_t), 1};
   }
   static Delta Update(Tuple t) {
-    return Delta{DeltaOp::kUpdate, std::move(t), {}};
+    return Delta{DeltaOp::kUpdate, std::move(t), {}, 1};
   }
+  /// Canonical ℤ-set constructor: w > 0 → insert with weight w, w < 0 →
+  /// delete with weight -w, w == 0 → weightless insert (a no-op everywhere).
+  static Delta Weighted(Tuple t, int64_t w) {
+    if (w < 0) return Delta{DeltaOp::kDelete, std::move(t), {}, -w};
+    return Delta{DeltaOp::kInsert, std::move(t), {}, w};
+  }
+
+  /// The signed ℤ-set multiplicity: -weight for deletes, +weight otherwise.
+  int64_t SignedWeight() const {
+    return op == DeltaOp::kDelete ? -weight : weight;
+  }
+
+  /// The inverse delta: applying a batch then its negation is the identity.
+  Delta Negated() const;
 
   /// Returns a copy with the same annotation but a different tuple
   /// (stateless operators transform t and keep α; §3.3).
   Delta WithTuple(Tuple t) const;
 
   bool operator==(const Delta& other) const {
-    return op == other.op && tuple == other.tuple &&
+    return op == other.op && weight == other.weight && tuple == other.tuple &&
            old_tuple == other.old_tuple;
   }
 
   std::string ToString() const;
-  size_t ByteSize() const { return 1 + tuple.ByteSize() + old_tuple.ByteSize(); }
+  size_t ByteSize() const {
+    return 1 + tuple.ByteSize() + old_tuple.ByteSize() +
+           (weight == 1 ? 0 : 8);
+  }
 };
 
 using DeltaVec = std::vector<Delta>;

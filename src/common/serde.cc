@@ -88,6 +88,24 @@ void BufferWriter::PutTuple(const Tuple& t) {
   for (const Value& v : t.fields()) PutValue(v);
 }
 
+namespace {
+// Presence flags in the high nibble of a serialized delta's leading byte;
+// the low nibble is the DeltaOp.
+constexpr uint8_t kDeltaOpMask = 0x0f;
+constexpr uint8_t kDeltaHasWeight = 0x10;    // i64 weight follows (!= 1)
+constexpr uint8_t kDeltaHasOldTuple = 0x20;  // old tuple follows (non-empty)
+}  // namespace
+
+void BufferWriter::PutDelta(const Delta& d) {
+  uint8_t head = static_cast<uint8_t>(d.op);
+  if (d.weight != 1) head |= kDeltaHasWeight;
+  if (d.old_tuple.size() > 0) head |= kDeltaHasOldTuple;
+  PutU8(head);
+  if (d.weight != 1) PutI64(d.weight);
+  PutTuple(d.tuple);
+  if (d.old_tuple.size() > 0) PutTuple(d.old_tuple);
+}
+
 Status BufferReader::Need(size_t n) {
   if (pos_ + n > len_) {
     return Status::OutOfRange("truncated input: need " + std::to_string(n) +
@@ -195,6 +213,31 @@ Result<Tuple> BufferReader::GetTuple() {
   return Tuple(std::move(fields));
 }
 
+Result<Delta> BufferReader::GetDelta() {
+  REX_ASSIGN_OR_RETURN(uint8_t head, GetU8());
+  const uint8_t op = head & kDeltaOpMask;
+  const uint8_t flags = head & ~kDeltaOpMask;
+  if (op > static_cast<uint8_t>(DeltaOp::kBatch)) {
+    return Status::TypeError("bad delta op " + std::to_string(op));
+  }
+  if ((flags & ~(kDeltaHasWeight | kDeltaHasOldTuple)) != 0) {
+    return Status::ParseError("bad delta flags " + std::to_string(flags));
+  }
+  Delta d;
+  d.op = static_cast<DeltaOp>(op);
+  if (flags & kDeltaHasWeight) {
+    REX_ASSIGN_OR_RETURN(d.weight, GetI64());
+  }
+  REX_ASSIGN_OR_RETURN(d.tuple, GetTuple());
+  if (flags & kDeltaHasOldTuple) {
+    REX_ASSIGN_OR_RETURN(d.old_tuple, GetTuple());
+    if (d.old_tuple.size() == 0) {
+      return Status::ParseError("delta old-tuple flag set but tuple empty");
+    }
+  }
+  return d;
+}
+
 std::string SerializeTuple(const Tuple& t) {
   BufferWriter w;
   w.PutTuple(t);
@@ -206,6 +249,19 @@ Result<Tuple> DeserializeTuple(const std::string& bytes) {
   REX_ASSIGN_OR_RETURN(Tuple t, r.GetTuple());
   if (!r.AtEnd()) return Status::ParseError("trailing bytes after tuple");
   return t;
+}
+
+std::string SerializeDelta(const Delta& d) {
+  BufferWriter w;
+  w.PutDelta(d);
+  return w.TakeBytes();
+}
+
+Result<Delta> DeserializeDelta(const std::string& bytes) {
+  BufferReader r(bytes);
+  REX_ASSIGN_OR_RETURN(Delta d, r.GetDelta());
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after delta");
+  return d;
 }
 
 std::string SerializeTuples(const std::vector<Tuple>& tuples) {

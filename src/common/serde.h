@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/delta.h"
 #include "common/status.h"
 #include "common/tuple.h"
 #include "common/value.h"
@@ -29,6 +30,11 @@ class BufferWriter {
 
   void PutValue(const Value& v);
   void PutTuple(const Tuple& t);
+  /// Encodes a full delta: annotation, ℤ-set weight, tuple, and (for
+  /// kReplace) the old tuple. The leading byte packs the op in the low
+  /// nibble and presence flags in the high nibble, so the common case
+  /// (weight 1, no old tuple) costs exactly one byte plus the tuple.
+  void PutDelta(const Delta& d);
 
   const std::string& bytes() const { return bytes_; }
   std::string TakeBytes() { return std::move(bytes_); }
@@ -56,6 +62,7 @@ class BufferReader {
 
   Result<Value> GetValue();
   Result<Tuple> GetTuple();
+  Result<Delta> GetDelta();
 
   size_t remaining() const { return len_ - pos_; }
   bool AtEnd() const { return pos_ == len_; }
@@ -78,6 +85,9 @@ class BufferReader {
 /// Round-trip helpers.
 std::string SerializeTuple(const Tuple& t);
 Result<Tuple> DeserializeTuple(const std::string& bytes);
+
+std::string SerializeDelta(const Delta& d);
+Result<Delta> DeserializeDelta(const std::string& bytes);
 
 /// Serializes a vector of tuples with a count prefix.
 std::string SerializeTuples(const std::vector<Tuple>& tuples);

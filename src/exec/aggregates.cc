@@ -34,6 +34,13 @@ const char* AggKindName(AggKind kind) {
   return "?";
 }
 
+Status AggFunction::ApplyWeighted(AggState* state, const Value& v,
+                                  int64_t w) const {
+  for (int64_t i = 0; i < w; ++i) REX_RETURN_NOT_OK(Insert(state, v));
+  for (int64_t i = 0; i > w; --i) REX_RETURN_NOT_OK(Delete(state, v));
+  return Status::OK();
+}
+
 namespace {
 
 struct SumState : AggState {
@@ -54,6 +61,11 @@ class SumFunction : public AggFunction {
   Status Delete(AggState* state, const Value& v) const override {
     return Apply(state, v, -1);
   }
+  Status ApplyWeighted(AggState* state, const Value& v,
+                       int64_t w) const override {
+    return Apply(state, v, w);
+  }
+  bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
     const auto* s = static_cast<const SumState*>(state);
     if (s->count == 0) return Value::Null();
@@ -69,17 +81,17 @@ class SumFunction : public AggFunction {
   }
 
  private:
-  static Status Apply(AggState* state, const Value& v, int sign) {
+  static Status Apply(AggState* state, const Value& v, int64_t weight) {
     auto* s = static_cast<SumState*>(state);
     if (v.is_null()) return Status::OK();  // SQL semantics: ignore NULLs
     REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
     if (v.type() == ValueType::kInt) {
-      s->int_sum += sign * v.AsInt();
+      s->int_sum += weight * v.AsInt();
     } else {
       s->all_int = false;
     }
-    s->sum += sign * d;
-    s->count += sign;
+    s->sum += static_cast<double>(weight) * d;
+    s->count += weight;
     return Status::OK();
   }
 };
@@ -101,6 +113,12 @@ class CountFunction : public AggFunction {
     static_cast<CountState*>(state)->count -= 1;
     return Status::OK();
   }
+  Status ApplyWeighted(AggState* state, const Value&,
+                       int64_t w) const override {
+    static_cast<CountState*>(state)->count += w;
+    return Status::OK();
+  }
+  bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
     return Value(static_cast<const CountState*>(state)->count);
   }
@@ -126,6 +144,11 @@ class AvgFunction : public AggFunction {
   Status Delete(AggState* state, const Value& v) const override {
     return Apply(state, v, -1);
   }
+  Status ApplyWeighted(AggState* state, const Value& v,
+                       int64_t w) const override {
+    return Apply(state, v, w);
+  }
+  bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
     const auto* s = static_cast<const AvgState*>(state);
     if (s->count == 0) return Value::Null();
@@ -139,12 +162,12 @@ class AvgFunction : public AggFunction {
   }
 
  private:
-  static Status Apply(AggState* state, const Value& v, int sign) {
+  static Status Apply(AggState* state, const Value& v, int64_t weight) {
     auto* s = static_cast<AvgState*>(state);
     if (v.is_null()) return Status::OK();
     REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
-    s->sum += sign * d;
-    s->count += sign;
+    s->sum += static_cast<double>(weight) * d;
+    s->count += weight;
     return Status::OK();
   }
 };

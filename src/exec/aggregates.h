@@ -37,6 +37,16 @@ class AggFunction {
   virtual std::unique_ptr<AggState> NewState() const = 0;
   virtual Status Insert(AggState* state, const Value& v) const = 0;
   virtual Status Delete(AggState* state, const Value& v) const = 0;
+  /// Applies `v` with ℤ-set multiplicity `w`: +w ≡ w inserts, -w ≡ w
+  /// deletes, 0 ≡ no-op. Linear aggregates (sum/count/avg — see
+  /// IsLinear()) override this with an O(1) weighted fold; the default
+  /// replays |w| unit applications, which is correct for any aggregate.
+  virtual Status ApplyWeighted(AggState* state, const Value& v,
+                               int64_t w) const;
+  /// Whether ApplyWeighted is an O(1) scale of the unit apply — the
+  /// soundness condition for deriving this aggregate's delta handler
+  /// mechanically from the weighted model.
+  virtual bool IsLinear() const { return false; }
   virtual Result<Value> Current(const AggState* state) const = 0;
   /// Number of contributing inputs; 0 means the group is empty.
   virtual int64_t Count(const AggState* state) const = 0;

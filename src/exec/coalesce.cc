@@ -1,5 +1,6 @@
 #include "exec/coalesce.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <deque>
 #include <unordered_map>
@@ -12,17 +13,34 @@ namespace rex {
 
 namespace {
 
+/// A stream position. Plain entries carry a passthrough delta (δ() traffic,
+/// already-packed batches); a render slot (`render_of` >= 0) marks where a
+/// key's folded ℤ-set net is emitted.
 struct Entry {
   Delta d;
   bool alive = true;
+  int render_of = -1;  // index into the key-state list, or -1 for plain
 };
 
-/// Per-key fold state. `last_chain` indexes the key's most recent live
-/// insert/delete/replace entry (the open end of the composition chain);
-/// `dups` indexes the key's live +()/δ() entries for idempotent dedupe.
+/// One term of a key's ℤ-set net: a tuple and its accumulated signed
+/// multiplicity. Terms stay in first-contribution order; a term whose
+/// weight reaches zero is erased (zero-weight elimination).
+struct NetTerm {
+  Tuple tuple;
+  int64_t weight = 0;
+};
+
+/// Per-key fold state. Inserts, deletes, and both sides of a replace
+/// accumulate into `net` as weight addition; `slot` is the entry index
+/// where the surviving net is rendered (claimed at the first live
+/// contribution, released whenever the net annihilates to zero so a later
+/// contribution re-opens at its own position — exactly the chain algebra's
+/// placement). `dups` indexes the key's live δ() entries for idempotent
+/// dedupe.
 struct KeyState {
   Tuple key;
-  int last_chain = -1;
+  std::vector<NetTerm> net;
+  int slot = -1;
   std::vector<int> dups;
 };
 
@@ -30,6 +48,59 @@ size_t TotalBytes(const DeltaVec& v) {
   size_t bytes = 0;
   for (const Delta& d : v) bytes += d.ByteSize();
   return bytes;
+}
+
+/// Adds `w` to `tuple`'s multiplicity in the key's net.
+void Contribute(KeyState* ks, Tuple tuple, int64_t w) {
+  if (w == 0) return;
+  for (size_t i = 0; i < ks->net.size(); ++i) {
+    if (ks->net[i].tuple == tuple) {
+      ks->net[i].weight += w;
+      if (ks->net[i].weight == 0) {
+        ks->net.erase(ks->net.begin() + static_cast<ptrdiff_t>(i));
+      }
+      return;
+    }
+  }
+  ks->net.push_back(NetTerm{std::move(tuple), w});
+}
+
+/// Signed multiplicity of `tuple` in the key's current net.
+int64_t NetWeight(const KeyState& ks, const Tuple& tuple) {
+  for (const NetTerm& term : ks.net) {
+    if (term.tuple == tuple) return term.weight;
+  }
+  return 0;
+}
+
+/// Renders a key's surviving net back into canonical deltas. The clean
+/// revision case (exactly one -1 and one +1) becomes ->(t'); anything else
+/// is emitted as weighted deletes then weighted inserts, each in
+/// first-contribution order.
+void RenderNet(const KeyState& ks, DeltaVec* out) {
+  int negs = 0;
+  int poss = 0;
+  for (const NetTerm& term : ks.net) {
+    (term.weight < 0 ? negs : poss)++;
+  }
+  if (negs == 1 && poss == 1 && ks.net.size() == 2) {
+    const NetTerm& neg = ks.net[0].weight < 0 ? ks.net[0] : ks.net[1];
+    const NetTerm& pos = ks.net[0].weight > 0 ? ks.net[0] : ks.net[1];
+    if (neg.weight == -1 && pos.weight == 1) {
+      out->push_back(Delta::Replace(neg.tuple, pos.tuple));
+      return;
+    }
+  }
+  for (const NetTerm& term : ks.net) {
+    if (term.weight < 0) {
+      out->push_back(Delta{DeltaOp::kDelete, term.tuple, {}, -term.weight});
+    }
+  }
+  for (const NetTerm& term : ks.net) {
+    if (term.weight > 0) {
+      out->push_back(Delta{DeltaOp::kInsert, term.tuple, {}, term.weight});
+    }
+  }
 }
 
 }  // namespace
@@ -40,109 +111,77 @@ DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
 
   std::vector<Entry> entries;
   entries.reserve(in.size());
-  std::unordered_map<uint64_t, std::vector<KeyState>> by_key;
+  std::deque<KeyState> key_states;  // deque: stable addresses for indexes
+  std::unordered_map<uint64_t, std::vector<int>> by_key;
 
   auto key_of = [this](const Delta& d) {
     return options_.key_fields.empty() ? d.tuple
                                        : d.tuple.Project(options_.key_fields);
   };
-  auto state_of = [&by_key](Tuple key) -> KeyState& {
+  auto state_index_of = [&](Tuple key) {
     auto& chain = by_key[key.Hash()];
-    for (KeyState& ks : chain) {
-      if (ks.key == key) return ks;
+    for (int i : chain) {
+      if (key_states[static_cast<size_t>(i)].key == key) return i;
     }
-    chain.push_back(KeyState{std::move(key), -1, {}});
-    return chain.back();
+    const int idx = static_cast<int>(key_states.size());
+    key_states.push_back(KeyState{std::move(key), {}, -1, {}});
+    chain.push_back(idx);
+    return idx;
   };
   auto is_duplicate = [&entries](const KeyState& ks, const Delta& d) {
     for (int i : ks.dups) {
       const Entry& e = entries[static_cast<size_t>(i)];
-      if (e.alive && e.d.op == d.op && e.d.tuple == d.tuple) return true;
+      if (e.alive && e.d.op == d.op && e.d.tuple == d.tuple &&
+          e.d.weight == d.weight) {
+        return true;
+      }
     }
     return false;
   };
-  auto append = [&entries](KeyState& ks, Delta d, bool chain, bool dup) {
-    const int idx = static_cast<int>(entries.size());
-    entries.push_back(Entry{std::move(d), true});
-    if (chain) ks.last_chain = idx;
-    if (dup) ks.dups.push_back(idx);
-  };
 
   for (Delta& d : in) {
-    KeyState& ks = state_of(key_of(d));
-    Entry* last = ks.last_chain >= 0
-                      ? &entries[static_cast<size_t>(ks.last_chain)]
-                      : nullptr;
+    const int ks_idx = state_index_of(key_of(d));
+    KeyState& ks = key_states[static_cast<size_t>(ks_idx)];
     switch (d.op) {
       case DeltaOp::kUpdate: {
-        if (options_.dedupe_idempotent) {
-          if (is_duplicate(ks, d)) break;  // dropped
-          append(ks, std::move(d), /*chain=*/false, /*dup=*/true);
-        } else {
-          append(ks, std::move(d), /*chain=*/false, /*dup=*/false);
-        }
-        break;
-      }
-      case DeltaOp::kInsert: {
+        if (d.weight == 0) break;  // zero-weight elimination
         if (options_.dedupe_idempotent && is_duplicate(ks, d)) break;
-        if (last != nullptr && last->d.op == DeltaOp::kDelete) {
-          if (last->d.tuple == d.tuple) {
-            // -t then +t: the delete referred to a live t, so the pair is
-            // a net no-op.
-            last->alive = false;
-            ks.last_chain = -1;
-          } else {
-            // -t then +t': net replacement, folded at the delete's slot.
-            last->d = Delta::Replace(std::move(last->d.tuple),
-                                     std::move(d.tuple));
-          }
-          break;
-        }
-        append(ks, std::move(d), /*chain=*/true, options_.dedupe_idempotent);
-        break;
-      }
-      case DeltaOp::kDelete: {
-        if (last != nullptr && last->d.op == DeltaOp::kInsert &&
-            last->d.tuple == d.tuple) {
-          // +t then -t annihilate.
-          last->alive = false;
-          ks.last_chain = -1;
-          break;
-        }
-        if (last != nullptr && last->d.op == DeltaOp::kReplace &&
-            last->d.tuple == d.tuple) {
-          // ->(a→b) then -b fold to -a.
-          last->d = Delta::Delete(std::move(last->d.old_tuple));
-          break;
-        }
-        append(ks, std::move(d), /*chain=*/true, /*dup=*/false);
-        break;
-      }
-      case DeltaOp::kReplace: {
-        if (last != nullptr && last->d.op == DeltaOp::kInsert &&
-            last->d.tuple == d.old_tuple) {
-          // +a then ->(a→b) fold to +b.
-          last->d.tuple = std::move(d.tuple);
-          break;
-        }
-        if (last != nullptr && last->d.op == DeltaOp::kReplace &&
-            last->d.tuple == d.old_tuple) {
-          if (last->d.old_tuple == d.tuple) {
-            // ->(a→b) then ->(b→a): round trip, net no-op.
-            last->alive = false;
-            ks.last_chain = -1;
-          } else {
-            // ->(a→b) then ->(b→c) compose to ->(a→c).
-            last->d.tuple = std::move(d.tuple);
-          }
-          break;
-        }
-        append(ks, std::move(d), /*chain=*/true, /*dup=*/false);
+        const int idx = static_cast<int>(entries.size());
+        entries.push_back(Entry{std::move(d), true, -1});
+        if (options_.dedupe_idempotent) ks.dups.push_back(idx);
         break;
       }
       case DeltaOp::kBatch: {
         // Already packed (should not reach a coalescer); pass through.
-        append(ks, std::move(d), /*chain=*/false, /*dup=*/false);
+        entries.push_back(Entry{std::move(d), true, -1});
+        break;
+      }
+      case DeltaOp::kInsert:
+      case DeltaOp::kDelete:
+      case DeltaOp::kReplace: {
+        if (d.op == DeltaOp::kReplace) {
+          Contribute(&ks, std::move(d.old_tuple), -1);
+          Contribute(&ks, std::move(d.tuple), 1);
+        } else {
+          const int64_t w = d.SignedWeight();
+          if (w == 0) break;
+          if (options_.dedupe_idempotent) {
+            // Idempotent set semantics: re-asserting a net-present tuple
+            // (or re-deleting a net-absent one) is a no-op.
+            const int64_t net = NetWeight(ks, d.tuple);
+            if ((w > 0 && net > 0) || (w < 0 && net < 0)) break;
+          }
+          Contribute(&ks, std::move(d.tuple), w);
+        }
+        if (ks.net.empty()) {
+          if (ks.slot >= 0) {
+            entries[static_cast<size_t>(ks.slot)].alive = false;
+            ks.slot = -1;
+          }
+        } else if (ks.slot < 0) {
+          ks.slot = static_cast<int>(entries.size());
+          entries.push_back(Entry{Delta{}, true, ks_idx});
+        }
         break;
       }
     }
@@ -151,9 +190,17 @@ DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
   DeltaVec out;
   out.reserve(entries.size());
   for (Entry& e : entries) {
-    if (e.alive) out.push_back(std::move(e.d));
+    if (!e.alive) continue;
+    if (e.render_of < 0) {
+      out.push_back(std::move(e.d));
+    } else {
+      RenderNet(key_states[static_cast<size_t>(e.render_of)], &out);
+    }
   }
-  const size_t folded = n_in - out.size();
+  // Signed: a degenerate stream (several replaces of distinct tuples under
+  // one key) can render more deltas than it consumed.
+  const int64_t folded = std::max<int64_t>(
+      0, static_cast<int64_t>(n_in) - static_cast<int64_t>(out.size()));
 
   if (options_.pack_runs && !options_.key_fields.empty()) {
     out = PackRuns(std::move(out));
@@ -162,7 +209,7 @@ DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
   if (stats != nullptr) {
     stats->deltas_in += static_cast<int64_t>(n_in);
     stats->deltas_out += static_cast<int64_t>(out.size());
-    stats->folded += static_cast<int64_t>(folded);
+    stats->folded += folded;
     const size_t bytes_out = TotalBytes(out);
     if (bytes_in > bytes_out) {
       stats->bytes_saved += static_cast<int64_t>(bytes_in - bytes_out);
@@ -217,9 +264,12 @@ DeltaVec DeltaCoalescer::PackRuns(DeltaVec in) const {
     }
     g->members.push_back(i);
     group_of[i] = g;
+    // Weighted deltas never pack: the payload list carries only field
+    // values, so a non-unit multiplicity would be silently dropped on the
+    // wire (the receiver re-expands every element at weight 1).
     const bool elem_ok = (d.op == DeltaOp::kInsert ||
                           d.op == DeltaOp::kUpdate) &&
-                         d.old_tuple.empty();
+                         d.old_tuple.empty() && d.weight == 1;
     if (!elem_ok || d.op != g->op || d.tuple.size() != g->arity ||
         g->arity <= nkeys) {
       g->packable = false;

@@ -3,18 +3,25 @@
 //
 // Three independent mechanisms, each sound under a different contract:
 //
-//  1. Chain algebra (always on). Per key, consecutive surviving
-//     insert/delete/replace deltas compose:
-//        +t  then -t        annihilate
+//  1. Weight algebra (always on). Per key, every insert/delete/replace
+//     delta is folded into a ℤ-set net — tuple → signed multiplicity —
+//     where +t adds its weight, -t subtracts it, and ->(t') is the
+//     composite {-1·t', +1·t}. Terms that reach weight zero are eliminated;
+//     what survives is rendered back as canonical deltas (one -1/+1 pair
+//     becomes ->(t'), everything else weighted deletes then inserts). The
+//     old chain rules all fall out as special cases of weight addition:
+//        +t  then -t        annihilate            (+1 - 1 = 0)
 //        -t  then +t        annihilate            (t was live upstream)
-//        -t  then +t'       fold to ->(t') t'     (net replacement)
+//        -t  then +t'       fold to ->(t') t'     (net {-t, +t'})
 //        +a  then ->(a→b)   fold to +b
 //        ->(a→b) then ->(b→c)  fold to ->(a→c); dropped entirely if a == c
 //        ->(a→b) then -b    fold to -a
 //     Sound for any consumer that applies deltas to keyed state, under the
 //     stream-consistency contract every producer in this engine honors: a
 //     -() or ->(old) only refers to a tuple that is live downstream.
-//     δ() deltas are opaque handler payloads and never participate.
+//     δ() deltas are opaque handler payloads and never participate (their
+//     weight rides through untouched, except weight zero which is a no-op
+//     and is dropped).
 //
 //  2. Idempotent dedupe (opt-in, plan-declared). Exact repeats of a key's
 //     live +()/δ() deltas are dropped. Only sound when the consumer's

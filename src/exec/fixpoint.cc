@@ -18,22 +18,20 @@ uint64_t HashKey(const std::vector<Value>& key) {
   return h;
 }
 
-/// Checkpoint encoding: the delta op rides as a leading integer field so
-/// replay can reconstruct the exact annotation.
+/// Checkpoint encoding: the full delta serde (op, ℤ-set weight, tuple, and
+/// any kReplace old tuple) rides as one string field. The previous
+/// field-splicing encoding silently dropped old_tuple — and would have
+/// dropped the weight — so replayed kReplace deltas were not bit-for-bit
+/// what was applied.
 Tuple EncodeCheckpoint(const Delta& d) {
-  Tuple t{Value(static_cast<int64_t>(d.op))};
-  return t.Concat(d.tuple);
+  return Tuple{Value(SerializeDelta(d))};
 }
 
 Result<Delta> DecodeCheckpoint(const Tuple& t) {
-  if (t.size() < 1 || t.field(0).type() != ValueType::kInt) {
+  if (t.size() != 1 || t.field(0).type() != ValueType::kString) {
     return Status::ParseError("malformed checkpoint tuple");
   }
-  Delta d;
-  d.op = static_cast<DeltaOp>(t.field(0).AsInt());
-  std::vector<Value> fields(t.fields().begin() + 1, t.fields().end());
-  d.tuple = Tuple(std::move(fields));
-  return d;
+  return DeserializeDelta(t.field(0).AsString());
 }
 
 }  // namespace
@@ -101,6 +99,22 @@ Status FixpointOp::Apply(const Delta& d) {
   Bucket* b = FindOrCreateFromTuple(d.tuple);
 
   if (handler_ != nullptr) {
+    if (d.op == DeltaOp::kDelete) {
+      // Set-plane deletion is handled generically: while-state handlers
+      // model revision (δ application), not retraction, so a -() clears the
+      // key's bucket without consulting them and propagates nothing —
+      // re-derivation after a base-table update reseeds the key if it is
+      // still reachable. The clear is a state change, so it enters the Δ
+      // log for bit-for-bit replay.
+      if (b->tuples.size() > 0) {
+        state_size_ -= b->tuples.size();
+        b->tuples = TupleSet();
+        stats_.new_tuples += 1;
+        stats_.changed_tuples += 1;
+        if (!replaying_) applied_log_.push_back(d);
+      }
+      return Status::OK();
+    }
     const size_t before = b->tuples.size();
     REX_ASSIGN_OR_RETURN(DeltaVec produced, handler_->update(&b->tuples, d));
     state_size_ += b->tuples.size() - before;
@@ -193,6 +207,24 @@ Status FixpointOp::Apply(const Delta& d) {
   return Status::OK();
 }
 
+Status FixpointOp::SeedBaseUpdate(const DeltaVec& seeds,
+                                  int checkpoint_stratum) {
+  for (const Delta& d : seeds) REX_RETURN_NOT_OK(Apply(d));
+  // The perturbation Δ is appended to the converged run's final-stratum
+  // checkpoint: recovery truncates strictly *after* that stratum, so seeds
+  // survive a mid-re-convergence crash, and replaying strata
+  // [0, checkpoint_stratum] regenerates exactly the pending set produced
+  // here (converged-final-stratum propagations — empty at a fixpoint — plus
+  // the seeds'). Appending, not overwriting: the converged stratum's own Δ
+  // entries must stay intact for Δ-conservation.
+  REX_RETURN_NOT_OK(CheckpointPending(checkpoint_stratum, /*append=*/true));
+  applied_log_.clear();
+  // Seed application accounting must not leak into the resumed stratum's
+  // vote: the vote reports what the stratum's own wave derived.
+  stats_ = VoteStats{};
+  return Status::OK();
+}
+
 Status FixpointOp::ConsumeDeltas(int /*port*/, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
   // Guided-replay recovery: the loop body is re-deriving history to rebuild
@@ -230,7 +262,7 @@ Status FixpointOp::StartStratum(int stratum) {
   return EmitPunct(p);
 }
 
-Status FixpointOp::CheckpointPending(int stratum) {
+Status FixpointOp::CheckpointPending(int stratum, bool append) {
   if (!ctx_->config->checkpoint_deltas || ctx_->checkpoints == nullptr) {
     return Status::OK();
   }
@@ -246,10 +278,12 @@ Status FixpointOp::CheckpointPending(int stratum) {
   }
   for (auto& [replicas, tuples] : by_replicas) {
     REX_RETURN_NOT_OK(ctx_->checkpoints->Put(id(), stratum, ctx_->worker_id,
-                                             replicas, tuples));
+                                             replicas, tuples, append));
   }
-  if (by_replicas.empty()) {
+  if (by_replicas.empty() && !append) {
     // An empty checkpoint still marks the stratum complete for this node.
+    // (An appended seed set never needs the marker: the stratum it extends
+    // already completed and wrote its own.)
     REX_RETURN_NOT_OK(ctx_->checkpoints->Put(
         id(), stratum, ctx_->worker_id, ctx_->pmap->workers(), {}));
   }

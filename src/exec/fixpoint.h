@@ -84,6 +84,15 @@ class FixpointOp : public Operator {
   size_t StateSize() const;
   size_t PendingSize() const { return pending_.size(); }
 
+  /// Fields checkpoint routing and ownership filtering use (partition
+  /// fields when set, key fields otherwise). The driver routes base-update
+  /// seeds with the same hash so they land where the loop's rehash would
+  /// have delivered them.
+  const std::vector<int>& RouteFields() const {
+    return params_.partition_fields.empty() ? params_.key_fields
+                                            : params_.partition_fields;
+  }
+
   /// Incremental recovery (§4.3): rebuilds state by replaying the
   /// checkpointed Δ sets of strata [0, last_stratum] that now map to this
   /// worker; the last stratum's replay output becomes the pending set so
@@ -96,6 +105,14 @@ class FixpointOp : public Operator {
   /// calls with loop-body re-execution to rebuild derived state elsewhere
   /// in the plan.
   Status ApplyCheckpointStratum(int stratum);
+
+  /// Incremental view maintenance under base-table updates: applies a
+  /// driver-computed perturbation Δ set against the *converged* state and
+  /// checkpoints the arrivals under `checkpoint_stratum` (the converged
+  /// run's final stratum, which recovery truncation preserves). The
+  /// resulting pending_ set is what the next stratum flushes — the driver
+  /// then re-runs the stratum loop from there instead of from scratch.
+  Status SeedBaseUpdate(const DeltaVec& seeds, int checkpoint_stratum);
 
   /// Runtime Δ-conservation invariant (chaos harness): replaying the
   /// checkpointed Δ sets of strata [0, last_stratum] on a scratch operator
@@ -122,7 +139,9 @@ class FixpointOp : public Operator {
   /// updates stats. Shared by Consume and checkpoint replay.
   Status Apply(const Delta& d);
 
-  Status CheckpointPending(int stratum);
+  /// `append` extends a completed stratum's checkpoint entries instead of
+  /// overwriting them (base-update seeding).
+  Status CheckpointPending(int stratum, bool append = false);
 
   Params params_;
   const WhileHandler* handler_ = nullptr;

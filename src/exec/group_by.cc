@@ -98,7 +98,11 @@ GroupByOp::Group* GroupByOp::FindOrCreateFromTuple(const Tuple& t) {
 }
 
 Status GroupByOp::ApplyBuiltin(Group* g, DeltaOp op, const Tuple& t,
-                               const Tuple& old_t) {
+                               const Tuple& old_t, int64_t weight) {
+  // The built-in delta handler is derived from the weighted ℤ-set model:
+  // every annotation reduces to ApplyWeighted with a signed multiplicity
+  // (+() → +w, -() → -w, ->(t') → -1·old then +1·new), which linear
+  // aggregates fold in O(1) and min/max replay per unit.
   for (size_t i = 0; i < params_.aggs.size(); ++i) {
     const AggSpec& spec = params_.aggs[i];
     const AggFunction* fn = GetAggFunction(spec.kind);
@@ -109,10 +113,10 @@ Status GroupByOp::ApplyBuiltin(Group* g, DeltaOp op, const Tuple& t,
     switch (op) {
       case DeltaOp::kInsert:
       case DeltaOp::kUpdate:  // hidden-attribute rule: plain insert
-        REX_RETURN_NOT_OK(fn->Insert(state, in));
+        REX_RETURN_NOT_OK(fn->ApplyWeighted(state, in, weight));
         break;
       case DeltaOp::kDelete:
-        REX_RETURN_NOT_OK(fn->Delete(state, in));
+        REX_RETURN_NOT_OK(fn->ApplyWeighted(state, in, -weight));
         break;
       case DeltaOp::kReplace: {
         const Value old_in =
@@ -145,14 +149,39 @@ Status GroupByOp::ConsumeDeltas(int, DeltaVec deltas) {
           arg.old_tuple = d.old_tuple.Project(params_.uda_input_fields);
         }
       }
-      REX_ASSIGN_OR_RETURN(DeltaVec partial,
-                           uda_->agg_state(g->uda_state.get(), arg));
-      for (Delta& p : partial) {
-        if (params_.prefix_group_key) {
-          Tuple prefixed(g->key);
-          p.tuple = prefixed.Concat(p.tuple);
+      // ℤ-set weights on set-plane deltas decompose into unit
+      // applications. That derivation is only sound when the UDA declares
+      // itself linear; δ() weights stay opaque and ride through to the
+      // handler untouched.
+      if (arg.weight < 0 && (arg.op == DeltaOp::kInsert ||
+                             arg.op == DeltaOp::kDelete)) {
+        // Canonicalize: insert of weight -w is a delete of weight w.
+        arg.op = arg.op == DeltaOp::kInsert ? DeltaOp::kDelete
+                                            : DeltaOp::kInsert;
+        arg.weight = -arg.weight;
+      }
+      int64_t reps = 1;
+      if (arg.weight != 1 && (arg.op == DeltaOp::kInsert ||
+                              arg.op == DeltaOp::kDelete)) {
+        if (arg.weight == 0) continue;
+        if (!uda_->linear) {
+          return Status::InvalidArgument(
+              "weighted delta (w=" + std::to_string(arg.weight) +
+              ") into non-linear UDA '" + params_.uda + "'");
         }
-        streamed.push_back(std::move(p));
+        reps = arg.weight;
+        arg.weight = 1;
+      }
+      for (int64_t rep = 0; rep < reps; ++rep) {
+        REX_ASSIGN_OR_RETURN(DeltaVec partial,
+                             uda_->agg_state(g->uda_state.get(), arg));
+        for (Delta& p : partial) {
+          if (params_.prefix_group_key) {
+            Tuple prefixed(g->key);
+            p.tuple = prefixed.Concat(p.tuple);
+          }
+          streamed.push_back(std::move(p));
+        }
       }
       continue;
     }
@@ -170,7 +199,7 @@ Status GroupByOp::ConsumeDeltas(int, DeltaVec deltas) {
     }
     Group* g = FindOrCreateFromTuple(d.tuple);
     g->touched = true;
-    REX_RETURN_NOT_OK(ApplyBuiltin(g, d.op, d.tuple, d.old_tuple));
+    REX_RETURN_NOT_OK(ApplyBuiltin(g, d.op, d.tuple, d.old_tuple, d.weight));
   }
   return Emit(std::move(streamed));
 }

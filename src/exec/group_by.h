@@ -87,7 +87,7 @@ class GroupByOp : public Operator {
   Group* FindOrCreateFromTuple(const Tuple& t);
   std::vector<Value> KeyOf(const Tuple& t) const;
   Status ApplyBuiltin(Group* g, DeltaOp op, const Tuple& t,
-                      const Tuple& old_t);
+                      const Tuple& old_t, int64_t weight = 1);
   Result<Tuple> CurrentResult(const Group& g) const;
   bool GroupEmpty(const Group& g) const;
 

@@ -89,7 +89,7 @@ HashJoinOp::Bucket* HashJoinOp::FindOrCreate(const std::vector<Value>& key,
 }
 
 Status HashJoinOp::Probe(int port, const Tuple& t, DeltaOp op,
-                         DeltaVec* out) {
+                         int64_t weight, DeltaVec* out) {
   Bucket* b = FindBucketFromTuple(t, port);
   if (b == nullptr) return Status::OK();
   const int other = 1 - port;
@@ -98,6 +98,10 @@ Status HashJoinOp::Probe(int port, const Tuple& t, DeltaOp op,
     Delta d;
     d.op = op;
     d.tuple = std::move(joined);
+    // The join is bilinear in ℤ-sets: Δ(L ⋈ R) for a weighted change on
+    // one side is the change's weight times each opposite-side match
+    // (whose own multiplicity is the physical copy count iterated here).
+    d.weight = weight;
     out->push_back(std::move(d));
   }
   return Status::OK();
@@ -105,24 +109,41 @@ Status HashJoinOp::Probe(int port, const Tuple& t, DeltaOp op,
 
 Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
   const bool immutable_side = params_.immutable[port];
+  // Canonicalize the set plane: insert of weight -w is a delete of weight
+  // w, and weight zero is a no-op everywhere.
+  if (d.op == DeltaOp::kInsert || d.op == DeltaOp::kDelete) {
+    if (d.weight == 0) return Status::OK();
+    if (d.weight < 0) {
+      d.op = d.op == DeltaOp::kInsert ? DeltaOp::kDelete : DeltaOp::kInsert;
+      d.weight = -d.weight;
+    }
+  }
   switch (d.op) {
     case DeltaOp::kInsert:
     case DeltaOp::kUpdate: {
       // δ(E) with no handler: "propagate the annotation as if it were
       // another (hidden) attribute of the tuple" — plain insert semantics
-      // with the annotation preserved on outputs.
+      // with the annotation (weight included, opaque) preserved on
+      // outputs. A weighted +() materializes its multiplicity as physical
+      // copies, so bucket cardinality equals ℤ-set multiplicity.
       Bucket* b = FindOrCreateFromTuple(d.tuple, port);
-      b->side[port].Add(d.tuple);
+      const int64_t copies = d.op == DeltaOp::kInsert ? d.weight : 1;
+      for (int64_t i = 0; i < copies; ++i) b->side[port].Add(d.tuple);
       if (!immutable_side) {
-        REX_RETURN_NOT_OK(Probe(port, d.tuple, d.op, out));
+        REX_RETURN_NOT_OK(Probe(port, d.tuple, d.op, d.weight, out));
       }
       return Status::OK();
     }
     case DeltaOp::kDelete: {
       Bucket* b = FindBucketFromTuple(d.tuple, port);
-      if (b != nullptr) b->side[port].Remove(d.tuple);
+      if (b != nullptr) {
+        for (int64_t i = 0; i < d.weight; ++i) {
+          if (!b->side[port].Remove(d.tuple)) break;
+        }
+      }
       if (!immutable_side) {
-        REX_RETURN_NOT_OK(Probe(port, d.tuple, DeltaOp::kDelete, out));
+        REX_RETURN_NOT_OK(
+            Probe(port, d.tuple, DeltaOp::kDelete, d.weight, out));
       }
       return Status::OK();
     }

@@ -72,8 +72,10 @@ class HashJoinOp : public Operator {
   Bucket* FindOrCreateFromTuple(const Tuple& t, int port);
 
   /// Emits `op`-annotated concatenations of `t` with every match in the
-  /// opposite bucket. Left tuples always precede right in the output.
-  Status Probe(int port, const Tuple& t, DeltaOp op, DeltaVec* out);
+  /// opposite bucket, each carrying `weight`. Left tuples always precede
+  /// right in the output.
+  Status Probe(int port, const Tuple& t, DeltaOp op, int64_t weight,
+               DeltaVec* out);
 
   Status ApplyStandard(int port, Delta d, DeltaVec* out);
   Status ApplyHandler(int port, const Delta& d, DeltaVec* out);

@@ -81,6 +81,13 @@ struct Uda {
   /// Multiply-compensation UDF for pre-aggregation on both sides of a
   /// multiplicative (non key-FK) join; empty if not provided (§5.2).
   std::string mult_fn;
+  /// Linear UDAs commute with ℤ-set weights: applying a +()/-() delta of
+  /// weight w is equivalent to w unit applications, so the group-by derives
+  /// their weighted delta handler mechanically (the unit handler is
+  /// replayed per multiplicity). Non-linear UDAs reject |weight| != 1 —
+  /// there is no sound derivation for them. δ() weights are opaque either
+  /// way: they reach agg_state untouched, payload semantics included.
+  bool linear = false;
 
   double cost_per_tuple = 1.0;  // optimizer hint
 };

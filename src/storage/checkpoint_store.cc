@@ -34,7 +34,8 @@ Status CheckpointStore::ValidateIds(const char* op, int fixpoint_id,
 
 Status CheckpointStore::Put(int fixpoint_id, int stratum, int owner,
                             const std::vector<int>& replicas,
-                            const std::vector<Tuple>& delta_set) {
+                            const std::vector<Tuple>& delta_set,
+                            bool append) {
   REX_RETURN_NOT_OK(ValidateIds("put", fixpoint_id, stratum, owner));
   for (int r : replicas) {
     REX_RETURN_NOT_OK(ValidateIds("put(replica)", fixpoint_id, stratum, r));
@@ -55,10 +56,14 @@ Status CheckpointStore::Put(int fixpoint_id, int stratum, int owner,
   auto& slot = entries_[{fixpoint_id, stratum}];
   // A worker checkpoints one entry per replica-group of its Δ set; a
   // re-executed stratum overwrites its group rather than duplicating it.
-  for (Entry& e : slot) {
-    if (e.owner == owner && e.replicas == replicas) {
-      install_copies(e);
-      return Status::OK();
+  // Appending mode skips the dedupe: the new entry extends the stratum's
+  // replay history in order (base-update seeds).
+  if (!append) {
+    for (Entry& e : slot) {
+      if (e.owner == owner && e.replicas == replicas) {
+        install_copies(e);
+        return Status::OK();
+      }
     }
   }
   slot.push_back(Entry{owner, replicas, {}});

@@ -42,9 +42,14 @@ class CheckpointStore {
   /// physical copy per holder). Returns InvalidArgument, naming the
   /// offending ids, for negative or out-of-range fixpoint/stratum/worker
   /// ids instead of silently creating map entries.
+  ///
+  /// By default a re-Put of the same (owner, replicas) group overwrites its
+  /// entry (a re-executed stratum replaces its Δ set). With `append` the
+  /// delta set becomes a NEW entry ordered after the existing ones — base-
+  /// update seeds extend a completed stratum's history without erasing it.
   Status Put(int fixpoint_id, int stratum, int owner,
              const std::vector<int>& replicas,
-             const std::vector<Tuple>& delta_set);
+             const std::vector<Tuple>& delta_set, bool append = false);
 
   /// All Δ tuples for `fixpoint_id` in `stratum` that `reader` may access
   /// (union over writers whose replica set includes the reader). The caller

@@ -9,6 +9,25 @@ void DistributedTable::AppendRows(std::vector<Tuple> rows) {
   for (Tuple& t : rows) rows_.push_back(std::move(t));
 }
 
+int64_t DistributedTable::ApplyWeighted(
+    const std::vector<WeightedRow>& updates) {
+  int64_t net = 0;
+  for (const WeightedRow& u : updates) {
+    if (u.weight > 0) {
+      for (int64_t i = 0; i < u.weight; ++i) rows_.push_back(u.row);
+      net += u.weight;
+    } else if (u.weight < 0) {
+      for (int64_t i = 0; i > u.weight; --i) {
+        auto it = std::find(rows_.begin(), rows_.end(), u.row);
+        if (it == rows_.end()) break;
+        rows_.erase(it);
+        --net;
+      }
+    }
+  }
+  return net;
+}
+
 std::vector<Tuple> DistributedTable::PrimaryRows(
     int worker, const PartitionMap& pmap) const {
   std::vector<Tuple> out;

@@ -34,6 +34,20 @@ class DistributedTable {
   /// Appends rows; placement is computed lazily against a PartitionMap.
   void AppendRows(std::vector<Tuple> rows);
 
+  /// One weighted base-table mutation (ℤ-set semantics): weight +w appends
+  /// w copies of the row, weight -w removes up to w matching copies.
+  /// Weight 0 is a no-op.
+  struct WeightedRow {
+    Tuple row;
+    int64_t weight = 1;
+  };
+
+  /// Applies a batch of weighted mutations in order and returns the net
+  /// row-count change. A negative mutation that finds fewer than |w|
+  /// matching copies removes what exists (clamping at the empty table —
+  /// ℤ-set negatives do not persist in base storage).
+  int64_t ApplyWeighted(const std::vector<WeightedRow>& updates);
+
   /// All rows whose primary owner under `pmap` is `worker`. This is what a
   /// normal table scan reads.
   std::vector<Tuple> PrimaryRows(int worker, const PartitionMap& pmap) const;

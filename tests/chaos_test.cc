@@ -20,10 +20,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "algos/adsorption.h"
+#include "algos/ivm.h"
 #include "algos/kmeans.h"
 #include "algos/pagerank.h"
 #include "algos/reference.h"
@@ -794,6 +796,216 @@ TEST(FailureInjectionValidation, StratumPastConvergenceRejected) {
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(run.status().message().find("never fired"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos during incremental re-convergence (Cluster::ApplyBaseUpdate). The
+// base-update path resumes the stratum loop past the converged run's last
+// stratum, so fault events use ABSOLUTE stratum numbers >= the resume
+// point (handed to the schedule builder as `resume`). Every run is checked
+// against the from-scratch ReferenceSssp oracle on the mutated graph —
+// stronger than the no-failure-reference comparison above, because a fault
+// that silently corrupted the converged baseline would also surface here.
+// ---------------------------------------------------------------------------
+
+struct IvmChaosRun {
+  bool ok = false;
+  std::string error;
+  std::vector<int64_t> dist;    // incremental result after re-convergence
+  std::vector<int64_t> oracle;  // ReferenceSssp on the mutated graph
+  int resume = 0;
+  int strata = 0;
+  int recoveries = 0;
+  ChaosStats chaos;
+};
+
+/// Converges SSSP once, mutates the graph (several shortest-path-tree edge
+/// deletions plus a fresh two-hop detour off the source), and re-converges
+/// through ApplyBaseUpdate under the schedule `make_faults(resume)`.
+IvmChaosRun RunSsspUpdateChaos(
+    const std::function<FaultSchedule(int resume)>& make_faults) {
+  IvmChaosRun out;
+  GraphGenOptions opt;
+  opt.num_vertices = 400;
+  opt.num_edges = 1600;
+  opt.seed = 321;
+  GraphData graph = GenerateRmatGraph(opt);
+  Cluster cluster(ChaosConfig());
+  if (Status st = LoadGraphTables(&cluster, graph); !st.ok()) {
+    out.error = st.ToString();
+    return out;
+  }
+  SsspConfig cfg;
+  cfg.source = 2;
+  if (Status st = RegisterSsspUdfs(cluster.udfs(), cfg); !st.ok()) {
+    out.error = st.ToString();
+    return out;
+  }
+  auto plan = BuildSsspDeltaPlan(cfg);
+  if (!plan.ok()) {
+    out.error = plan.status().ToString();
+    return out;
+  }
+  auto run = cluster.Run(*plan);
+  if (!run.ok()) {
+    out.error = run.status().ToString();
+    return out;
+  }
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  if (!dist.ok()) {
+    out.error = dist.status().ToString();
+    return out;
+  }
+  out.resume = run->strata_executed;
+
+  // Deterministic mutation batch: sever the first six tree edges (their
+  // whole downstream subtrees must re-derive, which keeps the resumed loop
+  // busy for several strata) and add a detour the oracle must also see.
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::vector<EdgeMutation> batch;
+  int deletions = 0;
+  for (const auto& [src, dst] : graph.edges) {
+    if ((*dist)[static_cast<size_t>(src)] != -1 &&
+        (*dist)[static_cast<size_t>(dst)] ==
+            (*dist)[static_cast<size_t>(src)] + 1) {
+      batch.push_back({src, dst, -1});
+      if (++deletions == 6) break;
+    }
+  }
+  batch.push_back({cfg.source, 399, 1});
+  batch.push_back({399, 7, 1});
+
+  auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+  if (!update.ok()) {
+    out.error = update.status().ToString();
+    return out;
+  }
+  update->faults = make_faults(out.resume);
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  if (!inc.ok()) {
+    out.error = inc.status().ToString();
+    return out;
+  }
+  auto got = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+  if (!got.ok()) {
+    out.error = got.status().ToString();
+    return out;
+  }
+  out.dist = *got;
+  out.strata = inc->strata_executed;
+  out.recoveries = inc->recoveries;
+  out.chaos = inc->chaos;
+
+  ApplyEdgeMutations(&adj, batch);
+  GraphData mutated;
+  mutated.num_vertices = graph.num_vertices;
+  for (size_t u = 0; u < adj.size(); ++u) {
+    for (int64_t v : adj[u]) {
+      mutated.edges.emplace_back(static_cast<int64_t>(u), v);
+    }
+  }
+  out.oracle = ReferenceSssp(mutated, cfg.source);
+  out.ok = true;
+  return out;
+}
+
+void ExpectMatchesIvmOracle(const IvmChaosRun& got) {
+  ASSERT_EQ(got.dist.size(), got.oracle.size());
+  for (size_t j = 0; j < got.oracle.size(); ++j) {
+    ASSERT_EQ(got.dist[j], got.oracle[j]) << "vertex " << j;
+  }
+}
+
+TEST(ChaosSweepIvm, NoFaultBaselineMatchesOracle) {
+  IvmChaosRun got =
+      RunSsspUpdateChaos([](int) { return FaultSchedule{}; });
+  ASSERT_TRUE(got.ok) << got.error;
+  ExpectMatchesIvmOracle(got);
+  EXPECT_EQ(got.chaos.crashes, 0);
+  EXPECT_EQ(got.recoveries, 0);
+  // The subtree severed by the tree-edge deletions takes more than one
+  // stratum to re-derive — the chaos schedules below rely on that window.
+  EXPECT_GE(got.strata, 2);
+}
+
+TEST(ChaosSweepIvm, BoundaryCrashDuringReconvergenceMatchesOracle) {
+  IvmChaosRun got = RunSsspUpdateChaos([](int resume) {
+    FaultSchedule schedule;
+    schedule.strategy = RecoveryStrategy::kIncremental;
+    FaultEvent crash;  // boundary crash as the resumed loop starts
+    crash.kind = FaultEvent::Kind::kCrash;
+    crash.worker = 1;
+    crash.at_stratum = resume;
+    schedule.events.push_back(crash);
+    return schedule;
+  });
+  ASSERT_TRUE(got.ok) << got.error;
+  ExpectMatchesIvmOracle(got);
+  EXPECT_EQ(got.chaos.crashes, 1);
+  EXPECT_GE(got.recoveries, 1);
+}
+
+TEST(ChaosSweepIvm, MidStratumCrashWithDropsMatchesOracle) {
+  IvmChaosRun got = RunSsspUpdateChaos([](int resume) {
+    FaultSchedule schedule;
+    schedule.strategy = RecoveryStrategy::kIncremental;
+    FaultEvent drop;  // re-derivation traffic to a SURVIVOR is lossy, so
+    drop.kind = FaultEvent::Kind::kDrop;  // retransmission is exercised
+    drop.worker = 3;  // independently of the crash below
+    drop.at_stratum = resume;
+    drop.count = 8;
+    schedule.events.push_back(drop);
+    FaultEvent crash;  // and worker 1 dies mid-stratum
+    crash.kind = FaultEvent::Kind::kCrash;
+    crash.worker = 1;
+    crash.at_stratum = resume;
+    crash.after_messages = 2;
+    schedule.events.push_back(crash);
+    return schedule;
+  });
+  ASSERT_TRUE(got.ok) << got.error;
+  ExpectMatchesIvmOracle(got);
+  EXPECT_EQ(got.chaos.mid_stratum_crashes, 1);
+  EXPECT_GE(got.chaos.messages_dropped, 1);
+  EXPECT_GE(got.recoveries, 1);
+}
+
+TEST(ChaosSweepIvm, RestartRecoveryRecomputesFromUpdatedTables) {
+  // A restart-strategy recovery during re-convergence recomputes from the
+  // already-mutated tables, so it must land on the mutated-graph oracle,
+  // not the pre-update converged state.
+  IvmChaosRun got = RunSsspUpdateChaos([](int resume) {
+    FaultSchedule schedule;
+    schedule.strategy = RecoveryStrategy::kRestart;
+    FaultEvent crash;
+    crash.kind = FaultEvent::Kind::kCrash;
+    crash.worker = 2;
+    crash.at_stratum = resume;
+    schedule.events.push_back(crash);
+    return schedule;
+  });
+  ASSERT_TRUE(got.ok) << got.error;
+  ExpectMatchesIvmOracle(got);
+  EXPECT_EQ(got.chaos.crashes, 1);
+  EXPECT_GE(got.recoveries, 1);
+}
+
+TEST(ChaosSweepIvm, ReorderWindowDuringReconvergenceStaysExact) {
+  IvmChaosRun got = RunSsspUpdateChaos([](int resume) {
+    FaultSchedule schedule;  // pure message-level fault, nobody crashes
+    schedule.seed = 99;
+    FaultEvent reorder;
+    reorder.kind = FaultEvent::Kind::kReorder;
+    reorder.worker = -1;
+    reorder.at_stratum = resume;
+    reorder.count = 40;
+    schedule.events.push_back(reorder);
+    return schedule;
+  });
+  ASSERT_TRUE(got.ok) << got.error;
+  ExpectMatchesIvmOracle(got);  // min-merge is order-independent: exact
+  EXPECT_EQ(got.chaos.crashes, 0);
+  EXPECT_EQ(got.recoveries, 0);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "algos/pagerank.h"
 #include "algos/reference.h"
 #include "algos/sssp.h"
+#include "common/serde.h"
 #include "exec/coalesce.h"
 #include "sim/fault_schedule.h"
 
@@ -264,6 +265,53 @@ TEST(DeltaPackingTest, ExpandPassesPlainStreamsThrough) {
   auto expanded = DeltaCoalescer::Expand(std::move(in));
   ASSERT_TRUE(expanded.ok());
   EXPECT_EQ(*expanded, expect);
+}
+
+TEST(DeltaPackingTest, ReplaceWithOldTupleRoundTripsUnpacked) {
+  // A ->(t') composite next to a packable run: the replace must come
+  // through pack/expand with its old_tuple intact (it regressed once —
+  // the checkpoint encoding silently dropped old_tuple, turning the
+  // composite into a bare insert on replay).
+  DeltaVec in = {R(1, 10, 11), U(2, 20), U(2, 21), U(2, 22)};
+  DeltaVec packed = KeyedCoalescer(false, /*pack=*/true).Coalesce(in, nullptr);
+  ASSERT_GE(packed.size(), 2u);
+  EXPECT_EQ(packed[0], R(1, 10, 11));  // composites never enter a batch
+  auto expanded = DeltaCoalescer::Expand(std::move(packed));
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  EXPECT_EQ(*expanded, in);
+  // And the composite survives the wire/checkpoint encoding bit-for-bit.
+  auto back = DeserializeDelta(SerializeDelta(in[0]));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, in[0]);
+  EXPECT_EQ(back->old_tuple, in[0].old_tuple);
+}
+
+TEST(DeltaPackingTest, WeightedDeltasNeverPack) {
+  // Run packing carries no per-payload weight slot, so a weight != 1
+  // survivor must stay a plain delta even inside a uniform same-key run.
+  DeltaVec in = {I(1, 10), Delta::Weighted(Tuple{Value(int64_t{1}),
+                                                 Value(int64_t{11})}, 3),
+                 I(1, 12)};
+  DeltaVec expect = in;
+  DeltaVec packed = KeyedCoalescer(false, /*pack=*/true)
+                        .Coalesce(std::move(in), nullptr);
+  for (const Delta& d : packed) EXPECT_NE(d.op, DeltaOp::kBatch);
+  auto expanded = DeltaCoalescer::Expand(std::move(packed));
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(*expanded, expect);
+}
+
+TEST(DeltaPackingTest, ReplaceChainOutputKeepsComposedOldTuple) {
+  // {D(k,a), I(k,b)} folds to ->(a→b); the survivor must carry a as its
+  // old tuple (not empty), or downstream keyed state deletes nothing.
+  DeltaVec out =
+      KeyedCoalescer().Coalesce({D(4, 1), I(4, 2), U(9, 9)}, nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_EQ(out[0].op, DeltaOp::kReplace);
+  EXPECT_EQ(out[0].old_tuple, (Tuple{Value(int64_t{4}), Value(int64_t{1})}));
+  auto back = DeserializeDelta(SerializeDelta(out[0]));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, out[0]);
 }
 
 // ----------------------------------------------------------- end to end --

@@ -1,0 +1,418 @@
+// Incremental view maintenance oracle tests (algos/ivm.h +
+// Cluster::ApplyBaseUpdate): every scenario is run twice — incrementally
+// against a converged fixpoint, and from scratch on the mutated graph —
+// and the converged states must match (SSSP exactly; PageRank within 1e-6,
+// the FP summation-order envelope at a 1e-10 propagation threshold).
+//
+// Mutation batches are randomized but seeded: weighted edge inserts,
+// deletes, reweights (multiplicity changes), no-op insert+delete pairs,
+// and inverse pairs that exactly undo an earlier batch. Runs use
+// verify_invariants, so every resumed stratum also passes the
+// Δ-conservation check against the seed-extended checkpoint history.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "algos/ivm.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "sim/fault_schedule.h"
+
+namespace rex {
+namespace {
+
+EngineConfig IvmConfig() {
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.replication = 3;
+  cfg.network_batch_size = 64;
+  cfg.verify_invariants = true;  // Δ-conservation across the seed path
+  return cfg;
+}
+
+GraphData TestGraph(int64_t vertices, int64_t edges, uint64_t seed) {
+  GraphGenOptions opt;
+  opt.num_vertices = vertices;
+  opt.num_edges = edges;
+  opt.seed = seed;
+  return GenerateRmatGraph(opt);
+}
+
+/// Rebuilds a GraphData from the maintained adjacency mirror (the
+/// from-scratch oracle's input).
+GraphData GraphFromAdjacency(const Adjacency& adj) {
+  GraphData g;
+  g.num_vertices = static_cast<int64_t>(adj.size());
+  for (size_t u = 0; u < adj.size(); ++u) {
+    for (int64_t v : adj[u]) {
+      g.edges.emplace_back(static_cast<int64_t>(u), v);
+    }
+  }
+  return g;
+}
+
+/// One randomized mutation batch mixing every scenario kind. Deletes and
+/// inverse pairs target edges that exist in `adj`; reweights duplicate an
+/// existing edge (multiplicity +2).
+std::vector<EdgeMutation> RandomBatch(std::mt19937_64* rng,
+                                      const Adjacency& adj, int size) {
+  const int64_t n = static_cast<int64_t>(adj.size());
+  std::uniform_int_distribution<int64_t> vertex(0, n - 1);
+  std::uniform_int_distribution<int> kind(0, 4);
+  std::vector<EdgeMutation> batch;
+  auto random_existing = [&](int64_t* u, int64_t* v) {
+    for (int tries = 0; tries < 64; ++tries) {
+      int64_t cand = vertex(*rng);
+      if (adj[static_cast<size_t>(cand)].empty()) continue;
+      std::uniform_int_distribution<size_t> pick(
+          0, adj[static_cast<size_t>(cand)].size() - 1);
+      *u = cand;
+      *v = adj[static_cast<size_t>(cand)][pick(*rng)];
+      return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < size; ++i) {
+    int64_t u = 0, v = 0;
+    switch (kind(*rng)) {
+      case 0:  // insert a fresh edge
+        batch.push_back({vertex(*rng), vertex(*rng), 1});
+        break;
+      case 1:  // delete an existing edge
+        if (random_existing(&u, &v)) batch.push_back({u, v, -1});
+        break;
+      case 2:  // reweight: bump an existing edge's multiplicity
+        if (random_existing(&u, &v)) batch.push_back({u, v, 2});
+        break;
+      case 3: {  // no-op pair: insert + delete of the same fresh edge
+        int64_t a = vertex(*rng), b = vertex(*rng);
+        batch.push_back({a, b, 1});
+        batch.push_back({a, b, -1});
+        break;
+      }
+      default:  // inverse pair: delete an existing edge, put it back
+        if (random_existing(&u, &v)) {
+          batch.push_back({u, v, -1});
+          batch.push_back({u, v, 1});
+        }
+        break;
+    }
+  }
+  return batch;
+}
+
+// --------------------------------------------------------------- PageRank --
+
+std::vector<double> ScratchPageRank(const GraphData& graph,
+                                    const PageRankConfig& cfg) {
+  Cluster cluster(IvmConfig());
+  EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  EXPECT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  EXPECT_TRUE(ranks.ok());
+  return *ranks;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Drives `batches` random mutation batches through one converged PageRank
+/// cluster, checking each incremental state against the scratch oracle.
+void PageRankIncrementalVsScratch(uint64_t seed, int batches,
+                                  int batch_size) {
+  GraphData graph = TestGraph(250, 1500, seed);
+  PageRankConfig cfg;
+  // Propagation threshold two decades tighter than the 1e-6 comparison
+  // envelope: each converged state truncates per-vertex deltas below the
+  // threshold, amplified by 1/(1-d) and accumulated across batches, so the
+  // engine must leave that much headroom for the oracle bound to hold.
+  cfg.threshold = 1e-10;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(ranks.ok());
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(seed * 7919 + 1);
+  for (int b = 0; b < batches; ++b) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " batch " +
+                 std::to_string(b));
+    std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, batch_size);
+    auto update =
+        BuildPageRankBaseUpdate(*plan, batch, *ranks, adj, cfg.damping);
+    ASSERT_TRUE(update.ok()) << update.status().ToString();
+    auto inc = cluster.ApplyBaseUpdate(*update);
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    ApplyEdgeMutations(&adj, batch);
+
+    ranks = RanksFromState(inc->fixpoint_state, graph.num_vertices);
+    ASSERT_TRUE(ranks.ok());
+    std::vector<double> scratch =
+        ScratchPageRank(GraphFromAdjacency(adj), cfg);
+    EXPECT_LT(MaxAbsDiff(*ranks, scratch), 1e-6);
+  }
+}
+
+TEST(IvmOracle, PageRankRandomBatchesSeedA) {
+  PageRankIncrementalVsScratch(11, 3, 6);
+}
+
+TEST(IvmOracle, PageRankRandomBatchesSeedB) {
+  PageRankIncrementalVsScratch(23, 3, 6);
+}
+
+TEST(IvmOracle, PageRankNoOpBatchConvergesImmediately) {
+  GraphData graph = TestGraph(200, 1200, 5);
+  PageRankConfig cfg;
+  cfg.threshold = 1e-8;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto before = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(before.ok());
+
+  // Insert + delete of the same fresh edges: the per-source share diffs
+  // cancel exactly, the seed set is empty, and the perturbed fixpoint is
+  // already converged — one quiescent stratum, zero rank movement.
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::vector<EdgeMutation> batch = {{3, 9, 1}, {3, 9, -1},
+                                     {17, 4, 1}, {17, 4, -1}};
+  auto update =
+      BuildPageRankBaseUpdate(*plan, batch, *before, adj, cfg.damping);
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->seeds.empty());
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_EQ(inc->strata_executed, 1);
+  auto after = RanksFromState(inc->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);  // bit-for-bit: nothing was perturbed
+}
+
+// ------------------------------------------------------------------- SSSP --
+
+std::vector<int64_t> ScratchSssp(const GraphData& graph,
+                                 const SsspConfig& cfg) {
+  Cluster cluster(IvmConfig());
+  EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  EXPECT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  EXPECT_TRUE(dist.ok());
+  return *dist;
+}
+
+void SsspIncrementalVsScratch(uint64_t seed, int batches, int batch_size) {
+  GraphData graph = TestGraph(300, 1100, seed);
+  SsspConfig cfg;
+  cfg.source = 2;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(seed * 104729 + 3);
+  for (int b = 0; b < batches; ++b) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " batch " +
+                 std::to_string(b));
+    std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, batch_size);
+    auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+    ASSERT_TRUE(update.ok()) << update.status().ToString();
+    auto inc = cluster.ApplyBaseUpdate(*update);
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    ApplyEdgeMutations(&adj, batch);
+
+    dist = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+    ASSERT_TRUE(dist.ok());
+    // Integer distances through order-independent mins: exact equality.
+    std::vector<int64_t> scratch = ScratchSssp(GraphFromAdjacency(adj), cfg);
+    ASSERT_EQ(dist->size(), scratch.size());
+    for (size_t v = 0; v < scratch.size(); ++v) {
+      ASSERT_EQ((*dist)[v], scratch[v])
+          << "vertex " << v << ": incremental=" << (*dist)[v]
+          << " scratch=" << scratch[v];
+    }
+  }
+}
+
+TEST(IvmOracle, SsspRandomBatchesSeedA) { SsspIncrementalVsScratch(31, 3, 6); }
+
+TEST(IvmOracle, SsspRandomBatchesSeedB) { SsspIncrementalVsScratch(57, 3, 6); }
+
+TEST(IvmOracle, SsspRandomBatchUnderChaosSchedule) {
+  // The oracle comparison must also hold when the re-convergence itself is
+  // faulted: a worker dies at the resumed stratum's boundary and recovery
+  // replays the checkpointed seeds. Fault events use absolute strata, so
+  // the crash is pinned at the converged run's strata_executed (= resume).
+  const uint64_t seed = 71;
+  GraphData graph = TestGraph(300, 1100, seed);
+  SsspConfig cfg;
+  cfg.source = 2;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(seed * 104729 + 3);
+  std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 8);
+  auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  update->faults.strategy = RecoveryStrategy::kIncremental;
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.worker = 1;
+  crash.at_stratum = run->strata_executed;
+  update->faults.events.push_back(crash);
+
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_EQ(inc->chaos.crashes, 1);
+  EXPECT_GE(inc->recoveries, 1);
+  ApplyEdgeMutations(&adj, batch);
+  dist = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ScratchSssp(GraphFromAdjacency(adj), cfg));
+}
+
+TEST(IvmOracle, SsspDeletionsCanDisconnect) {
+  // A tiny directed chain plus a shortcut: deleting both paths to the tail
+  // must leave it unreachable (-1), exactly as a scratch run reports.
+  GraphData graph;
+  graph.num_vertices = 6;
+  graph.edges = {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}, {3, 5}};
+  SsspConfig cfg;
+  cfg.source = 0;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_EQ((*dist)[3], 2);  // via the 0→4→3 shortcut
+  ASSERT_EQ((*dist)[5], 3);
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::vector<EdgeMutation> batch = {{2, 3, -1}, {4, 3, -1}};
+  auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+  ASSERT_TRUE(update.ok());
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  ApplyEdgeMutations(&adj, batch);
+  dist = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ((*dist)[3], -1);
+  EXPECT_EQ((*dist)[5], -1);
+  EXPECT_EQ(*dist, ScratchSssp(GraphFromAdjacency(adj), cfg));
+}
+
+TEST(IvmOracle, SsspInsertionCreatesShortcut) {
+  GraphData graph;
+  graph.num_vertices = 5;
+  graph.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  SsspConfig cfg;
+  cfg.source = 0;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_EQ((*dist)[4], 4);
+
+  // 0→3 shortcut: the improvement must cascade to 4 through min-merge.
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::vector<EdgeMutation> batch = {{0, 3, 1}};
+  auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+  ASSERT_TRUE(update.ok());
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  ApplyEdgeMutations(&adj, batch);
+  dist = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ((*dist)[3], 1);
+  EXPECT_EQ((*dist)[4], 2);
+  EXPECT_EQ(*dist, ScratchSssp(GraphFromAdjacency(adj), cfg));
+}
+
+TEST(IvmOracle, UpdateWithoutConvergedRunRejected) {
+  Cluster cluster(IvmConfig());
+  Cluster::BaseUpdate update;
+  auto res = cluster.ApplyBaseUpdate(update);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IvmOracle, IncrementalShipsFewerTuplesThanScratch) {
+  // The acceptance claim behind bench_ivm: a small perturbation of a
+  // converged PageRank must re-converge with strictly less communication
+  // than recomputing from scratch.
+  GraphData graph = TestGraph(300, 1800, 41);
+  PageRankConfig cfg;
+  cfg.threshold = 1e-8;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const int64_t scratch_tuples = run->profile.tuples_sent;
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(ranks.ok());
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::vector<EdgeMutation> batch = {{1, 7, 1}, {5, 11, 1}};
+  if (!adj[2].empty()) batch.push_back({2, adj[2][0], -1});
+  auto update =
+      BuildPageRankBaseUpdate(*plan, batch, *ranks, adj, cfg.damping);
+  ASSERT_TRUE(update.ok());
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_GT(inc->profile.tuples_sent, 0);
+  EXPECT_LT(inc->profile.tuples_sent, scratch_tuples);
+}
+
+}  // namespace
+}  // namespace rex

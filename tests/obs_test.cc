@@ -426,6 +426,39 @@ TEST(ProfileTest, GoldenSampleReportMatchesSchema) {
   EXPECT_GE(first.Get("workers").size(), 1u);
 }
 
+TEST(ProfileTest, GoldenIvmSampleShowsIncrementalAdvantage) {
+  // The committed bench_ivm_updates report (tests/testdata, regenerate
+  // with REX_BENCH_SCALE=0.05 ./bench/bench_ivm_updates). Beyond schema
+  // validity, the sample pins the property the bench exists to show: the
+  // incremental base-update run ships strictly fewer tuples and executes
+  // strictly fewer strata than the from-scratch run on the mutated graph.
+  const std::string path =
+      std::string(REX_TESTDATA_DIR) + "/BENCH_ivm_sample.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden sample: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Status valid = ValidateBenchReportJson(*parsed);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  ASSERT_EQ(parsed->Get("runs").size(), 2u);
+  const Json* incremental = nullptr;
+  const Json* scratch = nullptr;
+  for (size_t i = 0; i < parsed->Get("runs").size(); ++i) {
+    const Json& run = parsed->Get("runs").at(i);
+    if (run.Get("name").AsString() == "incremental") incremental = &run;
+    if (run.Get("name").AsString() == "from-scratch") scratch = &run;
+  }
+  ASSERT_NE(incremental, nullptr);
+  ASSERT_NE(scratch, nullptr);
+  EXPECT_GT(incremental->Get("tuples_sent").AsInt(), 0);
+  EXPECT_LT(incremental->Get("tuples_sent").AsInt(),
+            scratch->Get("tuples_sent").AsInt());
+  EXPECT_LT(incremental->Get("strata_executed").AsInt(),
+            scratch->Get("strata_executed").AsInt());
+}
+
 // ----------------------------------------------- Trace ring x chaos runs --
 
 TEST(TraceRingChaosTest, DriverRingCapturesCrashRestoreRecovery) {
