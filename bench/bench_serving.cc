@@ -1,0 +1,141 @@
+// Serving-layer soak bench: N standing queries (PageRank + SSSP) resident
+// over one shared graph, M update epochs applied through
+// ServingSession::ApplyUpdate, with a subscriber draining each query's
+// result-diff cursor. Series report per-epoch wall time, shipped diff
+// volume, and shed counts; the per-epoch convergence profiles land in
+// BENCH_serving.json (one run per "<query>/epoch<k>" label, schema checked
+// by the golden-sample test in tests/obs_test.cc).
+#include <chrono>
+#include <random>
+
+#include "serve/serve.h"
+#include "workloads.h"
+
+namespace rexbench {
+namespace {
+
+constexpr int kWorkers = 4;
+
+GraphData& Graph() {
+  static GraphData graph = GenerateDbpediaLike(0.25 * DbpediaScale());
+  return graph;
+}
+
+int Epochs() {
+  int m = static_cast<int>(8 * BenchScale());
+  return m < 4 ? 4 : m;
+}
+
+int BatchEdges() {
+  int k = static_cast<int>(8 * BenchScale());
+  return k < 4 ? 4 : k;
+}
+
+/// Seeded per-epoch mutation batch against the maintained adjacency
+/// mirror: 1/3 deletions of existing edges, the rest fresh inserts.
+std::vector<EdgeMutation> MakeBatch(std::mt19937_64* rng,
+                                    const Adjacency& adj, int k) {
+  const int64_t n = static_cast<int64_t>(adj.size());
+  std::uniform_int_distribution<int64_t> vertex(0, n - 1);
+  std::vector<EdgeMutation> batch;
+  for (int i = 0; i < k; ++i) {
+    if (i % 3 == 0) {
+      for (int tries = 0; tries < 32; ++tries) {
+        int64_t u = vertex(*rng);
+        if (adj[static_cast<size_t>(u)].empty()) continue;
+        std::uniform_int_distribution<size_t> pick(
+            0, adj[static_cast<size_t>(u)].size() - 1);
+        batch.push_back({u, adj[static_cast<size_t>(u)][pick(*rng)], -1});
+        break;
+      }
+    } else {
+      batch.push_back({vertex(*rng), vertex(*rng), 1});
+    }
+  }
+  return batch;
+}
+
+/// One serving soak: register both standing queries, subscribe to each,
+/// drive `epochs` update epochs while draining cursors. Emits one FIGURE
+/// row per epoch and leaves the session's accumulated per-epoch profiles
+/// in the binary-wide report log.
+Status RunServingSoak(int epochs, int batch_edges) {
+  const GraphData& graph = Graph();
+  Cluster cluster(BenchEngineConfig(kWorkers));
+  REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
+
+  PageRankConfig pr_cfg;
+  pr_cfg.threshold = 1e-8;
+  SsspConfig sssp_cfg;
+  sssp_cfg.source = 0;
+  REX_RETURN_NOT_OK(RegisterPageRankUdfs(cluster.udfs(), pr_cfg));
+  REX_RETURN_NOT_OK(RegisterSsspUdfs(cluster.udfs(), sssp_cfg));
+
+  ServingSession session(&cluster);
+  REX_ASSIGN_OR_RETURN(StandingQuerySpec pr_spec,
+                       MakePageRankStandingQuery(graph, pr_cfg));
+  REX_ASSIGN_OR_RETURN(StandingQuerySpec sssp_spec,
+                       MakeSsspStandingQuery(graph, sssp_cfg));
+  REX_ASSIGN_OR_RETURN(int pr_qid, session.Register(std::move(pr_spec)));
+  REX_ASSIGN_OR_RETURN(int sssp_qid, session.Register(std::move(sssp_spec)));
+  REX_ASSIGN_OR_RETURN(int pr_sub, session.Subscribe(pr_qid));
+  REX_ASSIGN_OR_RETURN(int sssp_sub, session.Subscribe(sssp_qid));
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(29);
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    std::vector<EdgeMutation> batch = MakeBatch(&rng, adj, batch_edges);
+    ApplyEdgeMutations(&adj, batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    REX_RETURN_NOT_OK(session.ApplyUpdate(batch));
+    const double epoch_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    int64_t diff_rows = 0;
+    for (int sub : {pr_sub, sssp_sub}) {
+      while (auto b = session.Poll(sub)) {
+        diff_rows += static_cast<int64_t>(b->diffs.size());
+      }
+    }
+    Row("serving", "epoch-ms", epoch, epoch_ms, "ms");
+    Row("serving", "diff-rows", epoch, static_cast<double>(diff_rows),
+        "rows");
+  }
+  Row("serving", "sheds", epochs,
+      static_cast<double>(session.metrics()->Value(metrics::kServeSheds)),
+      "folds");
+  Row("serving", "failovers", epochs,
+      static_cast<double>(
+          session.metrics()->Value(metrics::kServeEpochFailovers)),
+      "runs");
+  for (const QueryProfile& p : session.epoch_profiles()) {
+    RecordProfile(p.name, p);
+  }
+  return Status::OK();
+}
+
+void BM_ServingSoak(benchmark::State& state) {
+  for (auto _ : state) {
+    Status st = RunServingSoak(Epochs(), BatchEdges());
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+BENCHMARK(BM_ServingSoak)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader(
+      "SERVING", "standing-query session soak: epochs of incremental fan-out");
+  rexbench::Note("graph: " + std::to_string(rexbench::Graph().num_vertices) +
+                 " vertices, " +
+                 std::to_string(rexbench::Graph().edges.size()) + " edges, " +
+                 std::to_string(rexbench::Epochs()) + " epochs x " +
+                 std::to_string(rexbench::BatchEdges()) + " edge mutations");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  rexbench::WriteBenchReport("serving");
+  return 0;
+}

@@ -138,24 +138,51 @@ Status Cluster::ReviveWorker(int w) {
   trace_.Record(TraceEvent::Kind::kRestore, w, 0, 0);
   // The replacement is a new incarnation: late votes and straggler
   // messages from the previous life are rejected by board and channel.
+  // Every resident's board learns the new incarnation — a stale vote must
+  // be rejected no matter which query it targets.
   const int incarnation = detector_->Revive(w);
   votes_.SetIncarnation(w, incarnation);
+  for (auto& [qid, q] : residents_) {
+    if (q.owned_votes != nullptr) q.owned_votes->SetIncarnation(w, incarnation);
+  }
   // Destroy the dead node FIRST: its destructor closes the inbox, which
   // must happen before Restore() reopens it for the replacement.
   workers_[static_cast<size_t>(w)] = std::make_unique<WorkerNode>(
       w, network_.get(), &storage_, &udfs_, &votes_, &checkpoints_,
       &config_, incarnation);
+  // The fresh node boots pointed at the legacy (query 0) boards; align it
+  // with whichever resident is currently active.
+  if (active_query_ != 0) {
+    workers_[static_cast<size_t>(w)]->ActivateQuery(
+        active_query_, active_votes_, active_checkpoints_, nullptr);
+  }
   network_->Restore(w);
   if (started_) workers_[static_cast<size_t>(w)]->Start();
   failed_[static_cast<size_t>(w)] = false;
+  // The replacement holds no plan for any resident; everyone except the
+  // active query (whose ongoing recovery reinstalls it) is now stale.
+  MarkOthersStale(active_query_);
   return Status::OK();
 }
 
 Status Cluster::ReviveFailedWorkers() {
+  bool any_revived = false;
   for (int i = 0; i < num_workers(); ++i) {
+    if (failed_[static_cast<size_t>(i)]) any_revived = true;
     REX_RETURN_NOT_OK(ReviveWorker(i));
   }
+  // No recovery pass follows a driver-initiated revive: even the active
+  // resident's plan is missing on the replacements, so nobody may resume
+  // incrementally until a fresh RunResident.
+  if (any_revived) MarkOthersStale(/*except_query=*/-1);
   return Status::OK();
+}
+
+void Cluster::MarkOthersStale(int except_query) {
+  for (auto& [qid, q] : residents_) {
+    if (qid == except_query) continue;
+    q.stale = true;
+  }
 }
 
 Status Cluster::GuidedReplay(const PlanSpec& spec, const PartitionMap* pmap,
@@ -240,8 +267,8 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
         !config_.checkpoint_deltas) {
       // Restart — or nothing usable checkpointed: discard all work and
       // re-run from stratum 0 on the current live set.
-      votes_.Reset();
-      checkpoints_.Clear();
+      active_votes_->Reset();
+      active_checkpoints_->Clear();
       for (int w : *live) {
         st = workers_[static_cast<size_t>(w)]->InstallPlan(spec, *pmap);
         if (!st.ok()) break;
@@ -251,7 +278,7 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
       // Incremental (§4.3). First the DHT side: takeover nodes (freshly
       // revived replacements in particular) gain read access to every
       // checkpoint entry they inherit, and copy counts are topped back up.
-      st = checkpoints_.GrantRecoveryAccess(*live, revived,
+      st = active_checkpoints_->GrantRecoveryAccess(*live, revived,
                                             config_.replication);
       if (st.ok()) {
         if (spec.NeedsReplayRecovery() || force_replay) {
@@ -351,6 +378,10 @@ Status Cluster::Recover(const PlanSpec& spec, RecoveryStrategy strategy,
       return st;
     }
     if (restarted) *resume_stratum = 0;
+    // Membership (and the partition map) moved under every inactive
+    // resident: their installed plans may reference dead workers. They must
+    // be re-derived before serving again.
+    MarkOthersStale(active_query_);
     return Status::OK();
   }
 }
@@ -360,7 +391,8 @@ Status Cluster::CheckRuntimeInvariants(const std::vector<int>& live,
   REX_RETURN_NOT_OK(network_->CheckInvariants());
   if (!config_.checkpoint_deltas) return Status::OK();
   // Every checkpoint entry must still be readable from enough live nodes.
-  REX_RETURN_NOT_OK(checkpoints_.VerifyReadable(live, config_.replication));
+  REX_RETURN_NOT_OK(
+      active_checkpoints_->VerifyReadable(live, config_.replication));
   // Δ conservation: replaying the store reproduces each live fixpoint's
   // mutable state (and pending Δ set) bit-for-bit.
   for (int w : live) {
@@ -375,12 +407,76 @@ Status Cluster::CheckRuntimeInvariants(const std::vector<int>& live,
 
 Result<QueryRunResult> Cluster::Run(const PlanSpec& spec,
                                     const QueryOptions& options) {
+  return RunResident(0, spec, options);
+}
+
+Cluster::ResidentQuery* Cluster::Resident(int query_id) {
+  auto it = residents_.find(query_id);
+  if (it != residents_.end()) return &it->second;
+  ResidentQuery q;
+  if (query_id != 0) {
+    q.owned_votes = std::make_unique<VoteBoard>();
+    q.owned_checkpoints =
+        std::make_unique<CheckpointStore>(config_.num_workers);
+    // A board created mid-life must reject votes from incarnations the
+    // cluster has already declared dead.
+    for (int w = 0; w < num_workers(); ++w) {
+      const int inc = workers_[static_cast<size_t>(w)]->incarnation();
+      if (inc > 0) q.owned_votes->SetIncarnation(w, inc);
+    }
+  }
+  return &residents_.emplace(query_id, std::move(q)).first->second;
+}
+
+void Cluster::ActivateResident(int query_id) {
+  ResidentQuery* q = Resident(query_id);
+  active_query_ = query_id;
+  active_votes_ = VotesFor(q);
+  active_checkpoints_ = CheckpointsFor(q);
+  for (int w = 0; w < num_workers(); ++w) {
+    if (failed_[static_cast<size_t>(w)]) continue;
+    workers_[static_cast<size_t>(w)]->ActivateQuery(
+        query_id, active_votes_, active_checkpoints_, q->pmap);
+  }
+}
+
+Result<QueryRunResult> Cluster::RunResident(int query_id,
+                                            const PlanSpec& spec,
+                                            const QueryOptions& options) {
+  ActivateResident(query_id);
   Result<QueryRunResult> res = RunInternal(spec, options);
   if (!res.ok()) {
     REX_LOG(Error) << "query failed: " << res.status().ToString();
     DumpTraces();
   }
   return res;
+}
+
+Status Cluster::EvictResident(int query_id) {
+  auto it = residents_.find(query_id);
+  if (it == residents_.end()) {
+    return Status::NotFound("no resident query " + std::to_string(query_id));
+  }
+  for (auto& w : workers_) w->DropPlan(query_id);
+  if (active_query_ == query_id) {
+    // Fall back to the legacy boards; there is no active plan until the
+    // next RunResident.
+    active_query_ = 0;
+    active_votes_ = &votes_;
+    active_checkpoints_ = &checkpoints_;
+  }
+  residents_.erase(it);
+  return Status::OK();
+}
+
+bool Cluster::IsPoisoned(int query_id) const {
+  auto it = residents_.find(query_id);
+  return it != residents_.end() && it->second.poisoned;
+}
+
+bool Cluster::IsStale(int query_id) const {
+  auto it = residents_.find(query_id);
+  return it != residents_.end() && it->second.stale;
 }
 
 void Cluster::DumpTraces() const {
@@ -412,7 +508,7 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
     p.strata.push_back(s);
   }
 
-  for (const auto& [key, stats] : votes_.SnapshotTotals()) {
+  for (const auto& [key, stats] : active_votes_->SnapshotTotals()) {
     FixpointStratumProfile f;
     f.fixpoint_id = key.first;
     f.stratum = key.second;
@@ -456,7 +552,7 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
     }
   }
 
-  MetricsRegistry& ckpt = checkpoints_.metrics();
+  MetricsRegistry& ckpt = active_checkpoints_->metrics();
   p.checkpoint_bytes = ckpt.Value(metrics::kCheckpointBytes);
   p.checkpoint_tuples = ckpt.Value(metrics::kCheckpointTuples);
   p.recovery_refetch_bytes = ckpt.Value(metrics::kRecoveryRefetchBytes);
@@ -495,7 +591,7 @@ Status Cluster::DriveStrata(const PlanSpec& spec, const QueryOptions& options,
       }
       for (const auto& [holder, max_entries] :
            injector->TakeDueCorruptions(stratum)) {
-        checkpoints_.CorruptCopies(holder, max_entries);
+        active_checkpoints_->CorruptCopies(holder, max_entries);
       }
       std::vector<int> revived;
       for (int w : injector->TakeRestores(stratum)) {
@@ -540,8 +636,8 @@ Status Cluster::DriveStrata(const PlanSpec& spec, const QueryOptions& options,
         }
         // Survivors may already have voted for / checkpointed the aborted
         // stratum; neither may survive into its re-execution.
-        votes_.ClearFromStratum(stratum);
-        checkpoints_.TruncateAfter(stratum - 1);
+        active_votes_->ClearFromStratum(stratum);
+        active_checkpoints_->TruncateAfter(stratum - 1);
         REX_RETURN_NOT_OK(Recover(spec, strategy, injector, {}, pmap, live,
                                   &stratum, out));
         continue;  // re-execute (stratum was reset to 0 on restart)
@@ -555,7 +651,7 @@ Status Cluster::DriveStrata(const PlanSpec& spec, const QueryOptions& options,
 
     StratumReport report;
     report.stratum = stratum;
-    report.stats = votes_.TotalForStratum(stratum);
+    report.stats = active_votes_->TotalForStratum(stratum);
     report.seconds = SecondsSince(t_stratum);
     report.bytes_sent = network_->TotalBytesSent() - bytes_before;
     out->strata.push_back(report);
@@ -612,8 +708,13 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
                                             const QueryOptions& options) {
   if (!started_) REX_RETURN_NOT_OK(Start());
   REX_RETURN_NOT_OK(spec.Validate());
-  // A new query invalidates any previous run's incremental resume point.
-  resume_stratum_ = -1;
+  // A new run invalidates this resident's previous resume point and clears
+  // any poison/staleness: the plan is re-derived from the current tables.
+  ResidentQuery* rq = Resident(active_query_);
+  rq->resume_stratum = -1;
+  rq->poisoned = false;
+  rq->poison_reason.clear();
+  rq->stale = false;
 
   // ---- fault-schedule assembly + validation ------------------------------
   FaultSchedule schedule = options.faults;
@@ -644,8 +745,8 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
   QueryRunResult out;
   const auto t_query = std::chrono::steady_clock::now();
 
-  votes_.Reset();
-  checkpoints_.Clear();
+  active_votes_->Reset();
+  active_checkpoints_->Clear();
 
   std::vector<int> live = LiveWorkers();
   if (live.empty()) return Status::NodeFailure("no live workers");
@@ -690,42 +791,131 @@ Result<QueryRunResult> Cluster::RunInternal(const PlanSpec& spec,
   // stays installed and converged, so ApplyBaseUpdate can seed a
   // perturbation Δ and continue the stratum sequence from here.
   if (has_fixpoint) {
-    resume_stratum_ = next_stratum;
-    resume_spec_ = spec;
-    resume_pmap_ = pmap;
-    resume_live_ = live;
+    rq->spec = spec;
+    rq->resume_stratum = next_stratum;
+    rq->pmap = pmap;
+    rq->live = live;
   }
   return out;
 }
 
 Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
-  if (resume_stratum_ < 1 || resume_pmap_ == nullptr) {
+  return ApplyBaseUpdate(0, update);
+}
+
+Status Cluster::MutateTables(
+    const std::map<std::string, std::vector<DistributedTable::WeightedRow>>&
+        tables) {
+  for (const auto& [name, rows] : tables) {
+    REX_ASSIGN_OR_RETURN(std::shared_ptr<DistributedTable> table,
+                         storage_.GetTable(name));
+    REX_RETURN_NOT_OK(table->ApplyWeighted(rows).status());
+  }
+  return Status::OK();
+}
+
+Cluster::ProfileBaseline Cluster::SnapshotBaseline() const {
+  ProfileBaseline b;
+  b.tuples_sent = network_->metrics().Value(metrics::kTuplesSent);
+  b.retransmits = network_->metrics().Value(metrics::kRetransmits);
+  for (const auto& w : workers_) {
+    b.deltas_coalesced += w->metrics()->Value(metrics::kDeltasCoalesced);
+    b.coalesce_bytes_saved +=
+        w->metrics()->Value(metrics::kCoalesceBytesSaved);
+  }
+  MetricsRegistry& ckpt = active_checkpoints_->metrics();
+  b.checkpoint_bytes = ckpt.Value(metrics::kCheckpointBytes);
+  b.checkpoint_tuples = ckpt.Value(metrics::kCheckpointTuples);
+  b.recovery_refetch_bytes = ckpt.Value(metrics::kRecoveryRefetchBytes);
+  b.checkpoint_repairs = ckpt.Value(metrics::kCheckpointRepairs);
+  return b;
+}
+
+void Cluster::SubtractBaseline(const ProfileBaseline& base, QueryProfile* p) {
+  // A revived worker restarts its registry from zero, which can make the
+  // cumulative sum dip below the baseline; clamp rather than report a
+  // negative count.
+  auto diff = [](int64_t now, int64_t before) {
+    return std::max<int64_t>(0, now - before);
+  };
+  p->tuples_sent = diff(p->tuples_sent, base.tuples_sent);
+  p->deltas_coalesced = diff(p->deltas_coalesced, base.deltas_coalesced);
+  p->coalesce_bytes_saved =
+      diff(p->coalesce_bytes_saved, base.coalesce_bytes_saved);
+  p->checkpoint_bytes = diff(p->checkpoint_bytes, base.checkpoint_bytes);
+  p->checkpoint_tuples = diff(p->checkpoint_tuples, base.checkpoint_tuples);
+  p->recovery_refetch_bytes =
+      diff(p->recovery_refetch_bytes, base.recovery_refetch_bytes);
+  p->checkpoint_repairs =
+      diff(p->checkpoint_repairs, base.checkpoint_repairs);
+  p->retransmits = diff(p->retransmits, base.retransmits);
+}
+
+Result<QueryRunResult> Cluster::ApplyBaseUpdate(int query_id,
+                                                const BaseUpdate& update) {
+  auto res_it = residents_.find(query_id);
+  ResidentQuery* rq = res_it == residents_.end() ? nullptr : &res_it->second;
+  if (rq != nullptr && rq->poisoned) {
+    return Status::FailedPrecondition(
+        "resident query " + std::to_string(query_id) +
+        " is poisoned by a half-applied base update (" + rq->poison_reason +
+        "); re-derive it with a fresh RunResident before further updates");
+  }
+  if (rq == nullptr || rq->resume_stratum < 1 || rq->pmap == nullptr) {
     return Status::InvalidArgument(
-        "ApplyBaseUpdate requires a converged recursive Run on this cluster");
+        "ApplyBaseUpdate requires a converged recursive Run for query " +
+        std::to_string(query_id));
+  }
+  if (rq->stale) {
+    return Status::FailedPrecondition(
+        "resident query " + std::to_string(query_id) +
+        " is stale: cluster membership changed while it was inactive; "
+        "re-derive it with a fresh RunResident");
   }
   FaultSchedule schedule = update.faults;
   if (!schedule.empty()) {
     REX_RETURN_NOT_OK(schedule.Validate(num_workers(), config_.replication));
   }
-  std::vector<int> live = resume_live_;
-  const PartitionMap* pmap = resume_pmap_;
+  ActivateResident(query_id);
+  std::vector<int> live = rq->live;
+  const PartitionMap* pmap = rq->pmap;
+  const int resume_at = rq->resume_stratum;
   REX_RETURN_NOT_OK(CheckWorkerErrors(live));
+
+  // Everything after this point mutates shared state (tables, operator
+  // buckets, checkpointed seeds). Poison the resident now and lift the
+  // poison only on success, so ANY failure — not just one inside the
+  // re-convergence drive — leaves the resident refusing further work
+  // instead of silently computing against half-applied state.
+  rq->poisoned = true;
+  rq->poison_reason = "base update in flight";
+  rq->resume_stratum = -1;
+  auto poison = [&](const Status& why) {
+    rq->poison_reason = why.ToString();
+  };
 
   QueryRunResult out;
   const auto t_query = std::chrono::steady_clock::now();
-  // Network counters are cumulative across the cluster's lifetime; snapshot
-  // them so the returned profile honestly reports only this update's
-  // traffic (the incremental-vs-from-scratch comparison depends on it).
-  const int64_t tuples_before = network_->metrics().Value(metrics::kTuplesSent);
+  // Cumulative counters are snapshotted so the returned profile honestly
+  // reports only this update's traffic, coalescing, and checkpoint volume
+  // (the incremental-vs-from-scratch comparison depends on it).
+  const ProfileBaseline baseline = SnapshotBaseline();
   const int64_t bytes_before = network_->TotalBytesSent();
 
   // 1. Base tables: the durable ℤ-set mutation. Recovery paths (takeover
   // reloads, restarts, guided replay) re-read these, so they must change
   // before any re-execution can happen.
   for (const auto& [name, rows] : update.tables) {
-    REX_ASSIGN_OR_RETURN(std::shared_ptr<DistributedTable> table,
-                         storage_.GetTable(name));
-    table->ApplyWeighted(rows);
+    auto table = storage_.GetTable(name);
+    if (!table.ok()) {
+      poison(table.status());
+      return table.status();
+    }
+    auto net = (*table)->ApplyWeighted(rows);
+    if (!net.ok()) {
+      poison(net.status());
+      return net.status();
+    }
   }
 
   // 2. Operator state patches: revise materialized base state (immutable
@@ -741,12 +931,18 @@ Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
     for (auto& [w, deltas] : by_worker) {
       LocalPlan* plan = workers_[static_cast<size_t>(w)]->plan();
       if (plan == nullptr || patch.op_id < 0 || patch.op_id >= plan->size()) {
-        return Status::InvalidArgument(
+        Status st = Status::InvalidArgument(
             "state patch targets unknown operator " +
             std::to_string(patch.op_id));
+        poison(st);
+        return st;
       }
-      REX_RETURN_NOT_OK(
-          plan->op(patch.op_id)->Consume(patch.port, std::move(deltas)));
+      Status st = plan->op(patch.op_id)->Consume(patch.port,
+                                                 std::move(deltas));
+      if (!st.ok()) {
+        poison(st);
+        return st;
+      }
     }
   }
 
@@ -754,7 +950,7 @@ Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
   // state. The seeds' arrivals are checkpoint-appended to the converged
   // run's final stratum, so a crash anywhere in the re-convergence replays
   // them (TruncateAfter never drops a completed stratum).
-  const int checkpoint_stratum = resume_stratum_ - 1;
+  const int checkpoint_stratum = resume_at - 1;
   for (const auto& [op_id, deltas] : update.seeds) {
     bool found = false;
     for (int w : live) {
@@ -769,13 +965,19 @@ Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
           if (pmap->PrimaryOwner(h) == w) mine.push_back(d);
         }
         if (!mine.empty()) {
-          REX_RETURN_NOT_OK(fp->SeedBaseUpdate(mine, checkpoint_stratum));
+          Status st = fp->SeedBaseUpdate(mine, checkpoint_stratum);
+          if (!st.ok()) {
+            poison(st);
+            return st;
+          }
         }
       }
     }
     if (!found) {
-      return Status::InvalidArgument("seeds target unknown fixpoint op " +
-                                     std::to_string(op_id));
+      Status st = Status::InvalidArgument(
+          "seeds target unknown fixpoint op " + std::to_string(op_id));
+      poison(st);
+      return st;
     }
   }
 
@@ -795,15 +997,14 @@ Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
   QueryOptions options;
   options.terminate = update.terminate;
   options.max_strata = update.max_strata;
-  int next_stratum = resume_stratum_;
-  Status drive = DriveStrata(resume_spec_, options, schedule.strategy,
+  int next_stratum = resume_at;
+  Status drive = DriveStrata(rq->spec, options, schedule.strategy,
                              injector.get(), /*has_fixpoint=*/true,
-                             resume_stratum_, &pmap, &live, &out,
-                             &next_stratum);
+                             resume_at, &pmap, &live, &out, &next_stratum);
   if (!drive.ok()) {
     REX_LOG(Error) << "base update failed: " << drive.ToString();
     DumpTraces();
-    resume_stratum_ = -1;  // state is suspect; require a fresh Run
+    poison(drive);  // state is suspect; require a fresh RunResident
     return drive;
   }
 
@@ -811,13 +1012,14 @@ Result<QueryRunResult> Cluster::ApplyBaseUpdate(const BaseUpdate& update) {
   out.total_seconds = SecondsSince(t_query);
   out.total_bytes_sent = network_->TotalBytesSent() - bytes_before;
   AssembleProfile(live, &out);
-  out.profile.tuples_sent =
-      network_->metrics().Value(metrics::kTuplesSent) - tuples_before;
+  SubtractBaseline(baseline, &out.profile);
 
   // Chain: a further update resumes after this re-convergence.
-  resume_stratum_ = next_stratum;
-  resume_pmap_ = pmap;
-  resume_live_ = live;
+  rq->poisoned = false;
+  rq->poison_reason.clear();
+  rq->resume_stratum = next_stratum;
+  rq->pmap = pmap;
+  rq->live = live;
   return out;
 }
 

@@ -105,9 +105,39 @@ class Cluster {
   /// Optimizes nothing — executes the given physical plan (the optimizer
   /// and RQL layers produce PlanSpecs; algorithms may hand-build them).
   /// On any error the driver and worker trace rings are dumped to the log
-  /// before the Status propagates.
+  /// before the Status propagates. Equivalent to RunResident(0, ...).
   Result<QueryRunResult> Run(const PlanSpec& spec,
                              const QueryOptions& options = {});
+
+  /// Multi-query residency (serving layer). Each query id owns its own
+  /// vote board, checkpoint store, resume point, and one LocalPlan slot per
+  /// worker; execution is still serialized — the driver activates one
+  /// resident at a time while the network is quiescent, because the
+  /// message fabric carries op ids without query ids. RunResident runs
+  /// `spec` under `query_id`, leaves the plan installed and converged
+  /// (standing query), and clears any poison/staleness on that resident.
+  Result<QueryRunResult> RunResident(int query_id, const PlanSpec& spec,
+                                     const QueryOptions& options = {});
+
+  /// Evicts a resident query: drops its plans from all workers and frees
+  /// its boards. Query 0 (the legacy slot) can be evicted too; a later
+  /// Run()/RunResident(0, ...) re-creates it.
+  Status EvictResident(int query_id);
+
+  /// Number of queries currently resident (installed plans).
+  int ResidentCount() const { return static_cast<int>(residents_.size()); }
+
+  /// True if `query_id`'s last ApplyBaseUpdate failed mid-flight, leaving
+  /// tables/operator state half-applied: further updates are refused with
+  /// FailedPrecondition until a fresh RunResident re-derives everything
+  /// from the (already mutated) base tables.
+  bool IsPoisoned(int query_id) const;
+
+  /// True if another resident's recovery changed cluster membership while
+  /// `query_id` was inactive — its installed plans may reference dead
+  /// workers or a superseded partition map. ApplyBaseUpdate refuses stale
+  /// residents; RunResident refreshes them.
+  bool IsStale(int query_id) const;
 
   /// A direct revision of operator-held base state (an immutable join
   /// side's buckets). Deltas are routed to the primary owner of
@@ -151,7 +181,27 @@ class Cluster {
   /// history, so incremental recovery replays them; a restart recovery
   /// recomputes from the already-updated tables). The returned profile's
   /// tuples_sent / total_bytes_sent count only this update's traffic.
+  /// Equivalent to ApplyBaseUpdate(0, update).
   Result<QueryRunResult> ApplyBaseUpdate(const BaseUpdate& update);
+
+  /// Per-resident variant: applies `update` against `query_id`'s converged
+  /// plan. Refuses poisoned or stale residents with FailedPrecondition
+  /// BEFORE mutating any base table. A failure after mutation begins
+  /// poisons the resident (tables/operator state may be half-applied) so a
+  /// follow-up ApplyBaseUpdate or Run reuse cannot silently compute against
+  /// inconsistent state; RunResident clears the poison by re-deriving from
+  /// the (already mutated) tables. On success the returned profile's
+  /// traffic / coalesce / checkpoint counters cover only this update.
+  Result<QueryRunResult> ApplyBaseUpdate(int query_id,
+                                         const BaseUpdate& update);
+
+  /// Applies weighted base-table mutations without touching any resident
+  /// (the serving layer applies the shared table mutation exactly once per
+  /// epoch, then fans per-query patches/seeds out via ApplyBaseUpdate with
+  /// empty `tables`).
+  Status MutateTables(
+      const std::map<std::string,
+                     std::vector<DistributedTable::WeightedRow>>& tables);
 
   /// The driver's bounded event trace (crashes, restores, recovery passes,
   /// stratum starts).
@@ -172,6 +222,62 @@ class Cluster {
       const std::string& udf_name, const NodeCalibration& calib) const;
 
  private:
+  /// Everything one resident query owns: its plan spec, termination boards
+  /// (query 0 aliases the legacy cluster-lifetime members so existing
+  /// accessors keep working), and the incremental resume point captured
+  /// after its last converged run.
+  struct ResidentQuery {
+    PlanSpec spec;
+    /// Owned boards for query ids != 0; null for query 0 (legacy members).
+    std::unique_ptr<VoteBoard> owned_votes;
+    std::unique_ptr<CheckpointStore> owned_checkpoints;
+    // -- incremental base-update resume point: -1 = nothing to resume
+    // (no converged run, or the last run was non-recursive / failed).
+    int resume_stratum = -1;
+    const PartitionMap* pmap = nullptr;
+    std::vector<int> live;
+    /// Set while/after a base update mutates state and fails: the
+    /// resident's derived state no longer matches its tables.
+    bool poisoned = false;
+    std::string poison_reason;
+    /// Set when another resident's recovery changed membership while this
+    /// one was inactive.
+    bool stale = false;
+  };
+
+  VoteBoard* VotesFor(ResidentQuery* q) {
+    return q->owned_votes != nullptr ? q->owned_votes.get() : &votes_;
+  }
+  CheckpointStore* CheckpointsFor(ResidentQuery* q) {
+    return q->owned_checkpoints != nullptr ? q->owned_checkpoints.get()
+                                           : &checkpoints_;
+  }
+  /// Finds-or-creates the resident slot for `query_id` (boards are created
+  /// for non-zero ids).
+  ResidentQuery* Resident(int query_id);
+  /// Switches the active resident: repoints the driver's board pointers and
+  /// every live worker's context. Network must be quiescent.
+  void ActivateResident(int query_id);
+  /// Marks every resident except `except_query` stale (membership moved
+  /// under them).
+  void MarkOthersStale(int except_query);
+
+  /// Cumulative-counter snapshot taken before an incremental update so the
+  /// returned profile reports only the update's own traffic / coalesce /
+  /// checkpoint activity (counters live across the cluster's lifetime).
+  struct ProfileBaseline {
+    int64_t tuples_sent = 0;
+    int64_t deltas_coalesced = 0;
+    int64_t coalesce_bytes_saved = 0;
+    int64_t checkpoint_bytes = 0;
+    int64_t checkpoint_tuples = 0;
+    int64_t recovery_refetch_bytes = 0;
+    int64_t checkpoint_repairs = 0;
+    int64_t retransmits = 0;
+  };
+  ProfileBaseline SnapshotBaseline() const;
+  static void SubtractBaseline(const ProfileBaseline& base, QueryProfile* p);
+
   Result<QueryRunResult> RunInternal(const PlanSpec& spec,
                                      const QueryOptions& options);
   /// The requestor's stratum loop, shared by RunInternal (from stratum 0)
@@ -248,13 +354,14 @@ class Cluster {
   TraceRing trace_{"driver"};
   bool started_ = false;
 
-  // -- incremental base-update resume point ---------------------------------
-  // Captured after a successful recursive Run; -1 = nothing to resume
-  // (no converged run, or the last run was non-recursive / failed).
-  int resume_stratum_ = -1;
-  PlanSpec resume_spec_;
-  const PartitionMap* resume_pmap_ = nullptr;
-  std::vector<int> resume_live_;
+  // -- multi-query residency ------------------------------------------------
+  std::map<int, ResidentQuery> residents_;
+  int active_query_ = 0;
+  /// Boards of the active resident; every internal driver path
+  /// (DriveStrata, Recover, invariants, profile assembly) goes through
+  /// these so a resident switch is a pointer swap.
+  VoteBoard* active_votes_ = &votes_;
+  CheckpointStore* active_checkpoints_ = &checkpoints_;
 };
 
 }  // namespace rex

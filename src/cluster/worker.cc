@@ -35,9 +35,30 @@ Status WorkerNode::InstallPlan(const PlanSpec& spec,
   ctx_.old_pmap = nullptr;
   ctx_.current_stratum = 0;
   ctx_.replay_mode = false;  // an aborted replay must not leak into a retry
-  REX_ASSIGN_OR_RETURN(plan_, LocalPlan::Instantiate(spec, &ctx_));
+  REX_ASSIGN_OR_RETURN(plans_[active_query_],
+                       LocalPlan::Instantiate(spec, &ctx_));
+  plan_ = plans_[active_query_].get();
   error_ = Status::OK();
   return Status::OK();
+}
+
+void WorkerNode::ActivateQuery(int query_id, VoteBoard* votes,
+                               CheckpointStore* checkpoints,
+                               const PartitionMap* pmap) {
+  active_query_ = query_id;
+  ctx_.votes = votes;
+  ctx_.checkpoints = checkpoints;
+  if (pmap != nullptr) ctx_.pmap = pmap;
+  ctx_.old_pmap = nullptr;
+  auto it = plans_.find(query_id);
+  plan_ = it == plans_.end() ? nullptr : it->second.get();
+}
+
+void WorkerNode::DropPlan(int query_id) {
+  auto it = plans_.find(query_id);
+  if (it == plans_.end()) return;
+  if (query_id == active_query_) plan_ = nullptr;
+  plans_.erase(it);
 }
 
 void WorkerNode::StageRecovery(const PartitionMap* new_pmap,

@@ -5,6 +5,7 @@
 #ifndef REX_CLUSTER_WORKER_H_
 #define REX_CLUSTER_WORKER_H_
 
+#include <map>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -28,9 +29,28 @@ class WorkerNode {
   int id() const { return id_; }
   int incarnation() const { return ctx_.incarnation; }
 
-  /// Instantiates the plan against this worker's context. Must be called
-  /// while the network is quiescent (driver thread).
+  /// Instantiates the plan for the currently active query against this
+  /// worker's context. Must be called while the network is quiescent
+  /// (driver thread).
   Status InstallPlan(const PlanSpec& spec, const PartitionMap* pmap);
+
+  /// Multi-plan residency (serving layer): a worker keeps one LocalPlan per
+  /// registered query id, but exactly one is ACTIVE at any time — the
+  /// message fabric carries op ids without query ids, and the vote board /
+  /// checkpoint store are keyed (fixpoint, stratum), so execution is
+  /// serialized per query and the driver switches residents only while the
+  /// network is quiescent. Activation repoints the shared ExecContext at
+  /// the query's own vote board and checkpoint store and selects its plan
+  /// (null until InstallPlan runs for that query).
+  void ActivateQuery(int query_id, VoteBoard* votes,
+                     CheckpointStore* checkpoints, const PartitionMap* pmap);
+  int active_query() const { return active_query_; }
+  bool HasPlan(int query_id) const {
+    return plans_.count(query_id) > 0 && plans_.at(query_id) != nullptr;
+  }
+  /// Drops a resident plan (eviction). Driver thread, network quiescent;
+  /// dropping the active query leaves it planless until InstallPlan.
+  void DropPlan(int query_id);
 
   /// Publishes new partition snapshots for an upcoming kRecoverPrepare.
   /// Driver thread, network quiescent.
@@ -48,7 +68,7 @@ class WorkerNode {
   const Status& error() const { return error_; }
   void ClearError() { error_ = Status::OK(); }
 
-  LocalPlan* plan() { return plan_.get(); }
+  LocalPlan* plan() { return plan_; }
   MetricsRegistry* metrics() { return &metrics_; }
   ExecContext* ctx() { return &ctx_; }
   /// Bounded event trace: dispatches, control verbs, checkpoint writes.
@@ -73,7 +93,10 @@ class WorkerNode {
   Counter* dup_discarded_ = nullptr;
   Timer* dispatch_timer_ = nullptr;  // null when profiling is off
   ExecContext ctx_;
-  std::unique_ptr<LocalPlan> plan_;
+  /// Resident plans by query id; `plan_` aliases the active one.
+  std::map<int, std::unique_ptr<LocalPlan>> plans_;
+  int active_query_ = 0;
+  LocalPlan* plan_ = nullptr;
   std::thread thread_;
   Status error_;
 

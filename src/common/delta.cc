@@ -40,8 +40,10 @@ Delta Delta::Negated() const {
     case DeltaOp::kUpdate:
     case DeltaOp::kBatch:
       // δ(E) has no structural inverse; flip the (handler-owned) weight
-      // sign instead. A batch is never negated in practice.
-      d.weight = -weight;
+      // sign instead. A batch is never negated in practice. INT64_MIN has
+      // no int64 negation and saturates to INT64_MAX (ingress rejects it,
+      // so this only covers locally constructed weights).
+      d.weight = weight == INT64_MIN ? INT64_MAX : -weight;
       break;
   }
   return d;

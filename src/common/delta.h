@@ -77,14 +77,23 @@ struct Delta {
   }
   /// Canonical ℤ-set constructor: w > 0 → insert with weight w, w < 0 →
   /// delete with weight -w, w == 0 → weightless insert (a no-op everywhere).
+  /// INT64_MIN has no negation in int64; it saturates to a delete of weight
+  /// INT64_MAX rather than invoking signed-overflow UB. Ingress points
+  /// (serde, the coalescer, join canonicalization) reject INT64_MIN outright
+  /// so saturation only arises on locally constructed pathological weights.
   static Delta Weighted(Tuple t, int64_t w) {
-    if (w < 0) return Delta{DeltaOp::kDelete, std::move(t), {}, -w};
+    if (w < 0) {
+      const int64_t mag = w == INT64_MIN ? INT64_MAX : -w;
+      return Delta{DeltaOp::kDelete, std::move(t), {}, mag};
+    }
     return Delta{DeltaOp::kInsert, std::move(t), {}, w};
   }
 
   /// The signed ℤ-set multiplicity: -weight for deletes, +weight otherwise.
+  /// A (non-canonical) delete of weight INT64_MIN saturates to INT64_MAX.
   int64_t SignedWeight() const {
-    return op == DeltaOp::kDelete ? -weight : weight;
+    if (op != DeltaOp::kDelete) return weight;
+    return weight == INT64_MIN ? INT64_MAX : -weight;
   }
 
   /// The inverse delta: applying a batch then its negation is the identity.

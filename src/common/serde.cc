@@ -227,6 +227,11 @@ Result<Delta> BufferReader::GetDelta() {
   d.op = static_cast<DeltaOp>(op);
   if (flags & kDeltaHasWeight) {
     REX_ASSIGN_OR_RETURN(d.weight, GetI64());
+    if (d.weight == INT64_MIN) {
+      // INT64_MIN has no int64 negation; every weight-algebra path would
+      // have to special-case it, so the wire rejects it at ingress.
+      return Status::ParseError("delta weight INT64_MIN is not negatable");
+    }
   }
   REX_ASSIGN_OR_RETURN(d.tuple, GetTuple());
   if (flags & kDeltaHasOldTuple) {

@@ -31,6 +31,12 @@ enum class StatusCode {
   /// Stored bytes failed an integrity check and no valid copy remains
   /// (checkpoint corruption that replica repair could not mask).
   kDataLoss,
+  /// The operation is valid in principle but the target is in a state that
+  /// forbids it (e.g. a resident plan poisoned by a half-applied update).
+  kFailedPrecondition,
+  /// A quota or capacity limit was hit (e.g. serving-session admission cap,
+  /// subscriber backlog shed).
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "TypeError", ...).
@@ -82,6 +88,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

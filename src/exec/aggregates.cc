@@ -43,6 +43,21 @@ Status AggFunction::ApplyWeighted(AggState* state, const Value& v,
 
 namespace {
 
+// ℤ-set multiplicities are attacker/workload-controlled int64s; every
+// accumulator fold goes through checked arithmetic so hostile weights
+// surface as InvalidArgument instead of signed-overflow UB.
+Status CheckedCountAdd(int64_t* count, int64_t w, const char* agg) {
+  int64_t sum = 0;
+  if (__builtin_add_overflow(*count, w, &sum)) {
+    return Status::InvalidArgument(std::string(agg) +
+                                   "() multiplicity overflow: count " +
+                                   std::to_string(*count) + " + weight " +
+                                   std::to_string(w) + " leaves int64 range");
+  }
+  *count = sum;
+  return Status::OK();
+}
+
 struct SumState : AggState {
   double sum = 0;
   int64_t int_sum = 0;
@@ -86,12 +101,21 @@ class SumFunction : public AggFunction {
     if (v.is_null()) return Status::OK();  // SQL semantics: ignore NULLs
     REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
     if (v.type() == ValueType::kInt) {
-      s->int_sum += weight * v.AsInt();
+      int64_t contribution = 0;
+      int64_t next = 0;
+      if (__builtin_mul_overflow(weight, v.AsInt(), &contribution) ||
+          __builtin_add_overflow(s->int_sum, contribution, &next)) {
+        return Status::InvalidArgument(
+            "sum() overflow: " + std::to_string(s->int_sum) + " + " +
+            std::to_string(weight) + "×" + v.ToString() +
+            " leaves int64 range");
+      }
+      s->int_sum = next;
     } else {
       s->all_int = false;
     }
     s->sum += static_cast<double>(weight) * d;
-    s->count += weight;
+    REX_RETURN_NOT_OK(CheckedCountAdd(&s->count, weight, "sum"));
     return Status::OK();
   }
 };
@@ -115,8 +139,8 @@ class CountFunction : public AggFunction {
   }
   Status ApplyWeighted(AggState* state, const Value&,
                        int64_t w) const override {
-    static_cast<CountState*>(state)->count += w;
-    return Status::OK();
+    return CheckedCountAdd(&static_cast<CountState*>(state)->count, w,
+                           "count");
   }
   bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
@@ -167,8 +191,7 @@ class AvgFunction : public AggFunction {
     if (v.is_null()) return Status::OK();
     REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
     s->sum += static_cast<double>(weight) * d;
-    s->count += weight;
-    return Status::OK();
+    return CheckedCountAdd(&s->count, weight, "avg");
   }
 };
 

@@ -50,19 +50,29 @@ size_t TotalBytes(const DeltaVec& v) {
   return bytes;
 }
 
-/// Adds `w` to `tuple`'s multiplicity in the key's net.
-void Contribute(KeyState* ks, Tuple tuple, int64_t w) {
-  if (w == 0) return;
+/// Adds `w` to `tuple`'s multiplicity in the key's net. Weight addition is
+/// unbounded accumulation over the stream, so the sum is overflow-checked:
+/// a result outside int64 is an error, not UB.
+Status Contribute(KeyState* ks, Tuple tuple, int64_t w) {
+  if (w == 0) return Status::OK();
   for (size_t i = 0; i < ks->net.size(); ++i) {
     if (ks->net[i].tuple == tuple) {
-      ks->net[i].weight += w;
-      if (ks->net[i].weight == 0) {
+      int64_t sum = 0;
+      if (__builtin_add_overflow(ks->net[i].weight, w, &sum)) {
+        return Status::InvalidArgument(
+            "ℤ-set weight overflow coalescing tuple " + tuple.ToString() +
+            ": " + std::to_string(ks->net[i].weight) + " + " +
+            std::to_string(w) + " leaves int64 range");
+      }
+      ks->net[i].weight = sum;
+      if (sum == 0) {
         ks->net.erase(ks->net.begin() + static_cast<ptrdiff_t>(i));
       }
-      return;
+      return Status::OK();
     }
   }
   ks->net.push_back(NetTerm{std::move(tuple), w});
+  return Status::OK();
 }
 
 /// Signed multiplicity of `tuple` in the key's current net.
@@ -105,7 +115,8 @@ void RenderNet(const KeyState& ks, DeltaVec* out) {
 
 }  // namespace
 
-DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
+Result<DeltaVec> DeltaCoalescer::Coalesce(DeltaVec in,
+                                          CoalesceStats* stats) const {
   const size_t bytes_in = stats != nullptr ? TotalBytes(in) : 0;
   const size_t n_in = in.size();
 
@@ -140,6 +151,12 @@ DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
   };
 
   for (Delta& d : in) {
+    // SignedWeight() and the replace split below negate the weight; the one
+    // int64 with no negation is rejected up front rather than risked.
+    if (d.weight == INT64_MIN) {
+      return Status::InvalidArgument(
+          "delta weight INT64_MIN is not negatable: " + d.ToString());
+    }
     const int ks_idx = state_index_of(key_of(d));
     KeyState& ks = key_states[static_cast<size_t>(ks_idx)];
     switch (d.op) {
@@ -160,8 +177,8 @@ DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
       case DeltaOp::kDelete:
       case DeltaOp::kReplace: {
         if (d.op == DeltaOp::kReplace) {
-          Contribute(&ks, std::move(d.old_tuple), -1);
-          Contribute(&ks, std::move(d.tuple), 1);
+          REX_RETURN_NOT_OK(Contribute(&ks, std::move(d.old_tuple), -1));
+          REX_RETURN_NOT_OK(Contribute(&ks, std::move(d.tuple), 1));
         } else {
           const int64_t w = d.SignedWeight();
           if (w == 0) break;
@@ -171,7 +188,7 @@ DeltaVec DeltaCoalescer::Coalesce(DeltaVec in, CoalesceStats* stats) const {
             const int64_t net = NetWeight(ks, d.tuple);
             if ((w > 0 && net > 0) || (w < 0 && net < 0)) break;
           }
-          Contribute(&ks, std::move(d.tuple), w);
+          REX_RETURN_NOT_OK(Contribute(&ks, std::move(d.tuple), w));
         }
         if (ks.net.empty()) {
           if (ks.slot >= 0) {

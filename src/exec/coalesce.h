@@ -82,7 +82,13 @@ class DeltaCoalescer {
   /// order (a fold leaves the composed delta at the earlier position);
   /// streams nothing applies to come back untouched. `stats` accumulates
   /// (never resets), so one struct can meter a whole query.
-  DeltaVec Coalesce(DeltaVec in, CoalesceStats* stats) const;
+  ///
+  /// Fails with InvalidArgument instead of invoking signed-overflow UB when
+  /// a key's accumulated ℤ-set weight leaves the int64 range (hostile or
+  /// pathological long-lived accumulations — exactly the regime standing
+  /// queries create), or when an input delta carries the non-negatable
+  /// weight INT64_MIN.
+  Result<DeltaVec> Coalesce(DeltaVec in, CoalesceStats* stats) const;
 
   /// Expands kBatch deltas produced by pack_runs back into the original
   /// per-key delta sequences. Cheap no-op for streams without kBatch.

@@ -246,7 +246,8 @@ Status FixpointOp::StartStratum(int stratum) {
     flush.swap(pending_);
     if (coalescer_.has_value()) {
       CoalesceStats stats;
-      flush = coalescer_->Coalesce(std::move(flush), &stats);
+      REX_ASSIGN_OR_RETURN(flush,
+                           coalescer_->Coalesce(std::move(flush), &stats));
       deltas_coalesced_->Add(stats.folded);
       coalesce_bytes_saved_->Add(stats.bytes_saved);
     }

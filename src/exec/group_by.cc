@@ -275,7 +275,7 @@ Status GroupByOp::OnAllPunct(const Punctuation&) {
   }
   if (coalescer_.has_value() && out.size() > 1) {
     CoalesceStats stats;
-    out = coalescer_->Coalesce(std::move(out), &stats);
+    REX_ASSIGN_OR_RETURN(out, coalescer_->Coalesce(std::move(out), &stats));
     deltas_coalesced_->Add(stats.folded);
     coalesce_bytes_saved_->Add(stats.bytes_saved);
   }

@@ -114,6 +114,10 @@ Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
   if (d.op == DeltaOp::kInsert || d.op == DeltaOp::kDelete) {
     if (d.weight == 0) return Status::OK();
     if (d.weight < 0) {
+      if (d.weight == INT64_MIN) {
+        return Status::InvalidArgument(
+            "delta weight INT64_MIN is not negatable: " + d.ToString());
+      }
       d.op = d.op == DeltaOp::kInsert ? DeltaOp::kDelete : DeltaOp::kInsert;
       d.weight = -d.weight;
     }

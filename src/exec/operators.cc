@@ -296,7 +296,7 @@ Status RehashOp::FlushTo(int dest) {
   batch.swap(buf);
   if (coalescer_.has_value()) {
     CoalesceStats stats;
-    batch = coalescer_->Coalesce(std::move(batch), &stats);
+    REX_ASSIGN_OR_RETURN(batch, coalescer_->Coalesce(std::move(batch), &stats));
     deltas_coalesced_->Add(stats.folded);
     coalesce_bytes_saved_->Add(stats.bytes_saved);
     if (batch.empty()) return Status::OK();  // fully annihilated

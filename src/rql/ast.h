@@ -84,10 +84,15 @@ struct RecursiveQuery {
   SelectStmtPtr step;
 };
 
-/// A parsed RQL statement: either a plain query block or a recursive one.
+/// A parsed RQL statement: either a plain query block or a recursive one,
+/// optionally prefixed with `REGISTER <name> AS` to admit it as a standing
+/// query in a serving session (serve/serve.h) instead of running once.
 struct Query {
   SelectStmtPtr select;                    // non-recursive
   std::shared_ptr<RecursiveQuery> recursive;  // or recursive
+  /// Standing-query name from `REGISTER <name> AS ...`; empty for a plain
+  /// one-shot statement.
+  std::string register_name;
 
   bool IsRecursive() const { return recursive != nullptr; }
 };

@@ -13,7 +13,7 @@ const std::set<std::string>& Keywords() {
   static const std::set<std::string> kKeywords = {
       "SELECT", "FROM",  "WHERE",    "GROUP", "BY",    "AS",    "WITH",
       "UNION",  "ALL",   "UNTIL",    "FIXPOINT", "AND", "OR",   "NOT",
-      "NULL",   "TRUE",  "FALSE",    "HAVING", "USING"};
+      "NULL",   "TRUE",  "FALSE",    "HAVING", "USING", "REGISTER"};
   return kKeywords;
 }
 

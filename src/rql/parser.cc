@@ -13,6 +13,14 @@ class Parser {
 
   Result<Query> ParseQuery() {
     Query q;
+    if (Peek().IsKeyword("REGISTER")) {
+      Next();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Err("REGISTER expects a standing-query name");
+      }
+      q.register_name = Next().text;
+      REX_RETURN_NOT_OK(Expect("AS"));
+    }
     if (Peek().IsKeyword("WITH")) {
       REX_ASSIGN_OR_RETURN(auto rec, ParseRecursive());
       q.recursive = std::make_shared<RecursiveQuery>(std::move(rec));

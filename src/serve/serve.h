@@ -1,0 +1,242 @@
+// The serving layer: multiple standing queries resident over shared graph
+// state, with incremental result fan-out to subscribers.
+//
+// A ServingSession is a session/query manager on top of the cluster's
+// multi-query residency (Cluster::RunResident / ApplyBaseUpdate). Each
+// registered query is run to convergence once and then stays resident; an
+// update epoch (a batch of weighted edge mutations) applies the shared
+// base-table mutation exactly once, fans per-query perturbation updates out
+// through ApplyBaseUpdate, and pushes the net ℤ-set *result* diff of each
+// query to its subscribers through a per-subscriber bounded cursor.
+//
+// Subscription contract (see DESIGN.md "Serving layer"):
+//  - Subscribe delivers the converged result snapshot as the first batch
+//    (all inserts, `snapshot = true`), then one batch per epoch.
+//  - Per-epoch batches are the coalesced ℤ-set diff of the query's keyed
+//    result relation: +() for new keys, -() for disappeared keys, ->(old)
+//    for keys whose row changed. Keys untouched by the epoch never appear —
+//    this is the paper's modified()-style change visibility, exposed
+//    directly by ResultBatch::ModifiedKeys().
+//  - Cursors are bounded (PR 3's backpressured channels). A subscriber that
+//    falls more than `subscriber_queue_capacity` epochs behind has further
+//    diffs folded (coalesced) into one pending batch instead of growing the
+//    queue; the fold is counted as a shed. Order is preserved: the pending
+//    batch is only delivered after the queued batches drain, and once a
+//    subscriber has a pending batch every new diff folds into it.
+//  - If an epoch's incremental update fails (poisoned / stale resident,
+//    mid-update crash schedule), the session fails over to a fresh
+//    RunResident against the already-mutated tables and diffs the re-derived
+//    result — subscribers never observe a torn epoch, only a complete one.
+#ifndef REX_SERVE_SERVE_H_
+#define REX_SERVE_SERVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/ivm.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "cluster/cluster.h"
+#include "net/channel.h"
+
+namespace rex {
+
+/// Session-level metric names (ServingSession::metrics()).
+namespace metrics {
+inline constexpr const char kServeSubscribers[] = "serve.subscribers";
+inline constexpr const char kServeEpochs[] = "serve.epochs";
+inline constexpr const char kServeDiffsPushed[] = "serve.diffs_pushed";
+inline constexpr const char kServeSnapshotsPushed[] =
+    "serve.snapshots_pushed";
+inline constexpr const char kServeQueueBlocks[] = "serve.queue_blocks";
+inline constexpr const char kServeSheds[] = "serve.sheds";
+inline constexpr const char kServeEpochFailovers[] = "serve.epoch_failovers";
+/// Wall time spent diffing + pushing one epoch's batches (Timer).
+inline constexpr const char kServePushTimer[] = "serve.push";
+}  // namespace metrics
+
+struct ServeOptions {
+  /// Admission cap: Register beyond this returns ResourceExhausted.
+  int max_queries = 8;
+  /// Bound on each subscriber's cursor queue (epoch batches); falling
+  /// further behind sheds into one coalesced pending batch.
+  size_t subscriber_queue_capacity = 16;
+};
+
+/// A standing query: how to (re)derive it from scratch, how to read its
+/// keyed result relation, and (optionally) how to turn an epoch's edge
+/// mutations into an incremental Cluster::BaseUpdate.
+struct StandingQuerySpec {
+  std::string name;
+  PlanSpec plan;
+  QueryOptions options;
+  /// Field positions forming the result key (for diffing); empty = whole
+  /// tuple is the key (pure insert/delete diffs, no replaces).
+  std::vector<int> key_fields;
+
+  /// Extracts the keyed result relation from a converged run (exactly one
+  /// row per live key). Required.
+  std::function<Result<std::vector<Tuple>>(const QueryRunResult&)> snapshot;
+
+  /// Builds the per-query patches/seeds for an epoch BEFORE the session
+  /// mutates the shared tables (builders read their own pre-update
+  /// mirrors). The returned update's `tables` are applied once per epoch by
+  /// the session, not once per query. Null = no incremental path: the
+  /// session re-derives the query with a fresh RunResident every epoch
+  /// (generic REGISTERed RQL queries take this path).
+  std::function<Result<Cluster::BaseUpdate>(
+      const std::vector<EdgeMutation>& edges)>
+      build_update;
+
+  /// Called once per epoch after the session's shared table mutation
+  /// succeeds (and after every build_update was constructed), so closures
+  /// advance their adjacency mirrors exactly when the tables move. May be
+  /// null.
+  std::function<void(const std::vector<EdgeMutation>&)> on_tables_mutated;
+
+  /// Called after every successful (re-)convergence so the spec's closure
+  /// state (adjacency mirror, converged rank/distance vectors) tracks the
+  /// cluster. May be null.
+  std::function<Status(const QueryRunResult&)> on_converged;
+};
+
+/// One batch on a subscriber cursor: the net result diff of one epoch (or
+/// of several folded epochs for a lagging subscriber).
+struct ResultBatch {
+  /// Epoch this batch brings the subscriber up to (0 = the registration
+  /// snapshot; epoch n = state after the n-th ApplyUpdate).
+  int64_t epoch = 0;
+  /// True when `diffs` is a full-state snapshot (all inserts) rather than
+  /// an incremental diff: the first batch after Subscribe.
+  bool snapshot = false;
+  /// True when this batch folds more than one epoch (slow subscriber).
+  bool coalesced = false;
+  DeltaVec diffs;
+
+  /// modified()-style visibility: the distinct key projections of every
+  /// row this batch touches.
+  std::vector<Tuple> ModifiedKeys(const std::vector<int>& key_fields) const;
+};
+
+class ServingSession {
+ public:
+  explicit ServingSession(Cluster* cluster, ServeOptions options = {});
+  ~ServingSession();
+
+  ServingSession(const ServingSession&) = delete;
+  ServingSession& operator=(const ServingSession&) = delete;
+
+  /// Admits `spec`, runs it to convergence, and leaves it resident.
+  /// Returns the query id. ResourceExhausted over the admission cap.
+  Result<int> Register(StandingQuerySpec spec);
+
+  /// Compiles an RQL statement — `REGISTER <name> AS <query>` — and admits
+  /// it as a standing query on the generic re-run path.
+  Result<int> RegisterRql(const std::string& statement);
+
+  /// Evicts the query and closes all its subscriber cursors.
+  Status Unregister(int query_id);
+
+  /// Opens a cursor on `query_id`. The converged snapshot is queued as the
+  /// cursor's first batch. Returns the subscriber id.
+  Result<int> Subscribe(int query_id);
+  Status Unsubscribe(int subscriber_id);
+
+  /// One update epoch: applies `edges` to the shared base tables exactly
+  /// once, re-converges every registered query (incrementally where the
+  /// spec provides build_update, by fresh re-run otherwise or on failover),
+  /// and pushes each query's coalesced result diff to its subscribers.
+  Status ApplyUpdate(const std::vector<EdgeMutation>& edges,
+                     const FaultSchedule& faults = {});
+
+  /// Non-blocking cursor pull; nullopt when the subscriber is caught up.
+  std::optional<ResultBatch> Poll(int subscriber_id);
+
+  /// Current keyed result relation of a registered query (the converged
+  /// state a new subscriber's snapshot would carry).
+  Result<std::vector<Tuple>> CurrentResult(int query_id) const;
+
+  int64_t epoch() const { return epoch_; }
+  int query_count() const { return static_cast<int>(queries_.size()); }
+  int subscriber_count() const { return static_cast<int>(subscribers_.size()); }
+  const std::string& query_name(int query_id) const;
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Per-epoch, per-query convergence profiles accumulated across the
+  /// session (bench_serving's report rows). Profile names are
+  /// "<query>/epoch<k>" ("<query>/register" for the initial runs).
+  const std::vector<QueryProfile>& epoch_profiles() const {
+    return epoch_profiles_;
+  }
+
+ private:
+  struct Query {
+    StandingQuerySpec spec;
+    /// Keyed result relation as of the last converged epoch:
+    /// key string -> row.
+    std::map<std::string, Tuple> result;
+    std::vector<int> subscribers;
+  };
+
+  struct Subscriber {
+    int query_id = -1;
+    /// Bounded cursor (one Message per batch; epoch in target_op,
+    /// snapshot flag in target_port).
+    std::unique_ptr<Channel> channel;
+    /// Overflow fold, strictly newer than everything queued. Delivered
+    /// (coalesced) only once the queue drains.
+    DeltaVec pending;
+    int64_t pending_epoch = -1;
+    bool pending_snapshot = false;
+  };
+
+  /// Runs `q` from scratch (register / failover path), refreshes its
+  /// result relation, and returns the diff against the previous relation.
+  Result<DeltaVec> RunFresh(int query_id, const char* label);
+
+  /// Diffs `rows` against q->result, replaces q->result, returns the net
+  /// ℤ-set diff (inserts / deletes / replaces by key).
+  DeltaVec DiffAndStore(Query* q, const std::vector<Tuple>& rows);
+
+  /// Queues `diffs` (stamped `epoch`) on every subscriber of `query_id`,
+  /// folding into the pending batch for lagging cursors.
+  void PushToSubscribers(int query_id, int64_t epoch, DeltaVec diffs);
+
+  std::string KeyOf(const Query& q, const Tuple& t) const;
+
+  Cluster* cluster_;
+  ServeOptions options_;
+  MetricsRegistry metrics_;
+  Counter* diffs_pushed_;
+  Counter* snapshots_pushed_;
+  Counter* sheds_;
+  Counter* queue_blocks_;
+  Counter* failovers_;
+  Counter* epochs_counter_;
+  Counter* subscribers_gauge_;
+  Timer* push_timer_;
+
+  std::map<int, Query> queries_;
+  std::map<int, Subscriber> subscribers_;
+  int next_query_id_ = 1;  // 0 is the cluster's legacy slot; never used here
+  int next_subscriber_id_ = 0;
+  int64_t epoch_ = 0;
+  std::vector<QueryProfile> epoch_profiles_;
+};
+
+/// Standing-query factories for the two serving exemplars. Both close over
+/// a private adjacency mirror + converged-state vector kept current by
+/// on_converged, so per-epoch updates ride the exact linear-IVM /
+/// affected-set builders of algos/ivm.h.
+Result<StandingQuerySpec> MakePageRankStandingQuery(const GraphData& graph,
+                                                    const PageRankConfig& config);
+Result<StandingQuerySpec> MakeSsspStandingQuery(const GraphData& graph,
+                                                const SsspConfig& config);
+
+}  // namespace rex
+
+#endif  // REX_SERVE_SERVE_H_

@@ -9,13 +9,24 @@ void DistributedTable::AppendRows(std::vector<Tuple> rows) {
   for (Tuple& t : rows) rows_.push_back(std::move(t));
 }
 
-int64_t DistributedTable::ApplyWeighted(
+Result<int64_t> DistributedTable::ApplyWeighted(
     const std::vector<WeightedRow>& updates) {
+  for (const WeightedRow& u : updates) {
+    if (u.weight == INT64_MIN) {
+      return Status::InvalidArgument(
+          "table '" + name_ + "': row weight INT64_MIN is not negatable: " +
+          u.row.ToString());
+    }
+  }
   int64_t net = 0;
   for (const WeightedRow& u : updates) {
     if (u.weight > 0) {
       for (int64_t i = 0; i < u.weight; ++i) rows_.push_back(u.row);
-      net += u.weight;
+      if (__builtin_add_overflow(net, u.weight, &net)) {
+        return Status::InvalidArgument(
+            "table '" + name_ +
+            "': net row-count change leaves int64 range");
+      }
     } else if (u.weight < 0) {
       for (int64_t i = 0; i > u.weight; --i) {
         auto it = std::find(rows_.begin(), rows_.end(), u.row);

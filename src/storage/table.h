@@ -45,8 +45,13 @@ class DistributedTable {
   /// Applies a batch of weighted mutations in order and returns the net
   /// row-count change. A negative mutation that finds fewer than |w|
   /// matching copies removes what exists (clamping at the empty table —
-  /// ℤ-set negatives do not persist in base storage).
-  int64_t ApplyWeighted(const std::vector<WeightedRow>& updates);
+  /// ℤ-set negatives do not persist in base storage). Fails with
+  /// InvalidArgument instead of invoking signed-overflow UB: a weight of
+  /// INT64_MIN is rejected before any row is touched; a batch whose
+  /// accumulated net change leaves the int64 range fails mid-batch, so the
+  /// caller must treat the table as indeterminate (Cluster poisons the
+  /// resident plan).
+  Result<int64_t> ApplyWeighted(const std::vector<WeightedRow>& updates);
 
   /// All rows whose primary owner under `pmap` is `worker`. This is what a
   /// normal table scan reads.

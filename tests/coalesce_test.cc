@@ -41,23 +41,85 @@ DeltaCoalescer KeyedCoalescer(bool dedupe = false, bool pack = false) {
   return DeltaCoalescer(std::move(opts));
 }
 
+Delta W(int64_t k, int64_t v, int64_t w) {
+  Delta d = Delta::Insert(Tuple{Value(k), Value(v)});
+  d.weight = w;
+  return d;
+}
+
 // ---------------------------------------------------------------- algebra --
+
+// Regression: folding two near-INT64_MAX weights used to be signed-overflow
+// UB in the ℤ-set accumulator; it must now surface InvalidArgument. Runs
+// under REX_SANITIZE=undefined in CI, which would abort on the old code.
+TEST(DeltaCoalescerTest, WeightOverflowSurfacesInvalidArgument) {
+  CoalesceStats stats;
+  auto res = KeyedCoalescer().Coalesce(
+      {W(1, 10, INT64_MAX - 1), W(1, 10, INT64_MAX - 1)}, &stats);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(res.status().message().find("overflow"), std::string::npos);
+}
+
+TEST(DeltaCoalescerTest, NegativeWeightOverflowSurfacesInvalidArgument) {
+  Delta d1 = D(2, 20);
+  d1.weight = INT64_MAX;
+  Delta d2 = D(2, 20);
+  d2.weight = 2;
+  auto res = KeyedCoalescer().Coalesce({d1, d2}, nullptr);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaCoalescerTest, NearMaxWeightsThatCancelStillCoalesce) {
+  Delta ins = W(3, 30, INT64_MAX - 1);
+  Delta del = D(3, 30);
+  del.weight = INT64_MAX - 1;
+  DeltaVec out = *KeyedCoalescer().Coalesce({ins, del}, nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeltaCoalescerTest, Int64MinWeightRejectedAtIngress) {
+  Delta d = W(4, 40, INT64_MIN);
+  auto res = KeyedCoalescer().Coalesce({d}, nullptr);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(res.status().message().find("INT64_MIN"), std::string::npos);
+}
+
+TEST(DeltaSerdeTest, Int64MinWeightRejectedOnDeserialize) {
+  Delta d = W(5, 50, 7);
+  BufferWriter w;
+  w.PutDelta(d);
+  std::string bytes = w.bytes();
+  // Patch the serialized weight (i64 immediately after the head byte) to
+  // INT64_MIN and expect the reader to refuse it.
+  ASSERT_GE(bytes.size(), 9u);
+  uint64_t min_bits = 0x8000000000000000ULL;
+  for (int i = 0; i < 8; ++i) {
+    bytes[1 + i] = static_cast<char>((min_bits >> (8 * i)) & 0xff);
+  }
+  BufferReader r(bytes.data(), bytes.size());
+  auto res = r.GetDelta();
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kParseError);
+}
 
 TEST(DeltaCoalescerTest, InsertThenDeleteAnnihilates) {
   CoalesceStats stats;
-  DeltaVec out = KeyedCoalescer().Coalesce({I(1, 10), D(1, 10)}, &stats);
+  DeltaVec out = *KeyedCoalescer().Coalesce({I(1, 10), D(1, 10)}, &stats);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(stats.folded, 2);
   EXPECT_GT(stats.bytes_saved, 0);
 }
 
 TEST(DeltaCoalescerTest, DeleteThenReinsertAnnihilates) {
-  DeltaVec out = KeyedCoalescer().Coalesce({D(1, 10), I(1, 10)}, nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce({D(1, 10), I(1, 10)}, nullptr);
   EXPECT_TRUE(out.empty());
 }
 
 TEST(DeltaCoalescerTest, DeleteThenInsertOfNewValueFoldsToReplace) {
-  DeltaVec out = KeyedCoalescer().Coalesce({D(1, 10), I(1, 11)}, nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce({D(1, 10), I(1, 11)}, nullptr);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], R(1, 10, 11));
 }
@@ -67,7 +129,7 @@ TEST(DeltaCoalescerTest, FiveRevisionsFoldToOneDelta) {
   // one net delta, not five.
   DeltaVec in = {I(7, 0), R(7, 0, 1), R(7, 1, 2), R(7, 2, 3), R(7, 3, 4)};
   CoalesceStats stats;
-  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), &stats);
+  DeltaVec out = *KeyedCoalescer().Coalesce(std::move(in), &stats);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], I(7, 4));
   EXPECT_EQ(stats.deltas_in, 5);
@@ -77,24 +139,24 @@ TEST(DeltaCoalescerTest, FiveRevisionsFoldToOneDelta) {
 
 TEST(DeltaCoalescerTest, ReplaceChainsCompose) {
   DeltaVec out =
-      KeyedCoalescer().Coalesce({R(3, 1, 2), R(3, 2, 5), R(3, 5, 9)}, nullptr);
+      *KeyedCoalescer().Coalesce({R(3, 1, 2), R(3, 2, 5), R(3, 5, 9)}, nullptr);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], R(3, 1, 9));
 }
 
 TEST(DeltaCoalescerTest, ReplaceRoundTripDropsEntirely) {
-  DeltaVec out = KeyedCoalescer().Coalesce({R(3, 1, 2), R(3, 2, 1)}, nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce({R(3, 1, 2), R(3, 2, 1)}, nullptr);
   EXPECT_TRUE(out.empty());
 }
 
 TEST(DeltaCoalescerTest, ReplaceThenDeleteFoldsToDeleteOfOriginal) {
-  DeltaVec out = KeyedCoalescer().Coalesce({R(4, 1, 2), D(4, 2)}, nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce({R(4, 1, 2), D(4, 2)}, nullptr);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], D(4, 1));
 }
 
 TEST(DeltaCoalescerTest, InsertThenReplaceChainFoldsToInsertOfLast) {
-  DeltaVec out = KeyedCoalescer().Coalesce({I(5, 1), R(5, 1, 2)}, nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce({I(5, 1), R(5, 1, 2)}, nullptr);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], I(5, 2));
 }
@@ -105,7 +167,7 @@ TEST(DeltaCoalescerTest, UntouchedStreamComesBackVerbatim) {
   DeltaVec in = {U(1, 10), U(2, 20), U(1, 11), I(3, 30), U(2, 21)};
   DeltaVec expect = in;
   CoalesceStats stats;
-  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), &stats);
+  DeltaVec out = *KeyedCoalescer().Coalesce(std::move(in), &stats);
   EXPECT_EQ(out, expect);
   EXPECT_EQ(stats.folded, 0);
   EXPECT_EQ(stats.bytes_saved, 0);
@@ -113,7 +175,7 @@ TEST(DeltaCoalescerTest, UntouchedStreamComesBackVerbatim) {
 
 TEST(DeltaCoalescerTest, ChainsAreIndependentPerKey) {
   DeltaVec in = {I(1, 10), I(2, 20), R(1, 10, 11), D(2, 20)};
-  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce(std::move(in), nullptr);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], I(1, 11));
 }
@@ -121,7 +183,7 @@ TEST(DeltaCoalescerTest, ChainsAreIndependentPerKey) {
 TEST(DeltaCoalescerTest, IdempotentDedupeDropsExactRepeatsOnly) {
   DeltaVec in = {U(1, 5), U(1, 5), U(1, 3), U(1, 5), U(2, 5)};
   CoalesceStats stats;
-  DeltaVec out = KeyedCoalescer(/*dedupe=*/true).Coalesce(std::move(in),
+  DeltaVec out = *KeyedCoalescer(/*dedupe=*/true).Coalesce(std::move(in),
                                                           &stats);
   EXPECT_EQ(out, (DeltaVec{U(1, 5), U(1, 3), U(2, 5)}));
   EXPECT_EQ(stats.folded, 2);
@@ -130,7 +192,7 @@ TEST(DeltaCoalescerTest, IdempotentDedupeDropsExactRepeatsOnly) {
 TEST(DeltaCoalescerTest, DedupeOffKeepsRepeats) {
   DeltaVec in = {U(1, 5), U(1, 5)};
   DeltaVec expect = in;
-  DeltaVec out = KeyedCoalescer().Coalesce(std::move(in), nullptr);
+  DeltaVec out = *KeyedCoalescer().Coalesce(std::move(in), nullptr);
   EXPECT_EQ(out, expect);
 }
 
@@ -138,7 +200,7 @@ TEST(DeltaCoalescerTest, DedupeIgnoresAnnihilatedInserts) {
   // +t, -t, +t: the pair annihilates, so the trailing insert is NOT a
   // duplicate of a live entry and must survive.
   DeltaVec in = {I(1, 10), D(1, 10), I(1, 10)};
-  DeltaVec out = KeyedCoalescer(/*dedupe=*/true).Coalesce(std::move(in),
+  DeltaVec out = *KeyedCoalescer(/*dedupe=*/true).Coalesce(std::move(in),
                                                           nullptr);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], I(1, 10));
@@ -164,7 +226,7 @@ TEST(DeltaPackingTest, PacksUniformRunsAndExpandsExactly) {
   DeltaVec in = {U(1, 10), U(2, 20), U(1, 11), U(1, 12), U(2, 21)};
   CoalesceStats stats;
   DeltaVec packed =
-      KeyedCoalescer(false, /*pack=*/true).Coalesce(in, &stats);
+      *KeyedCoalescer(false, /*pack=*/true).Coalesce(in, &stats);
   ASSERT_EQ(packed.size(), 3u);
   EXPECT_EQ(packed[0].op, DeltaOp::kBatch);
   EXPECT_EQ(packed[1], U(2, 20));
@@ -187,7 +249,7 @@ TEST(DeltaPackingTest, NeverInflatesTheWire) {
   DeltaVec expect = in;
   size_t in_bytes = 0;
   for (const Delta& d : in) in_bytes += d.ByteSize();
-  DeltaVec out = KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
+  DeltaVec out = *KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
   size_t out_bytes = 0;
   for (const Delta& d : out) out_bytes += d.ByteSize();
   EXPECT_LE(out_bytes, in_bytes);
@@ -199,7 +261,7 @@ TEST(DeltaPackingTest, NeverInflatesTheWire) {
 TEST(DeltaPackingTest, SingletonKeysStayUnpacked) {
   DeltaVec in = {U(1, 10), U(2, 20)};
   DeltaVec expect = in;
-  DeltaVec out = KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
+  DeltaVec out = *KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
   EXPECT_EQ(out, expect);
 }
 
@@ -208,7 +270,7 @@ TEST(DeltaPackingTest, MixedOpKeysStayUnpacked) {
   // the key is shipped raw.
   DeltaVec in = {U(1, 10), I(1, 11), U(1, 12)};
   DeltaVec expect = in;
-  DeltaVec out = KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
+  DeltaVec out = *KeyedCoalescer(false, true).Coalesce(std::move(in), nullptr);
   EXPECT_EQ(out, expect);
 }
 
@@ -218,7 +280,7 @@ TEST(DeltaPackingTest, WidePayloadRoundTrips) {
   };
   DeltaVec in = {wide(1, 10, "x"), wide(1, 11, "y"), wide(1, 12, "z"),
                  wide(1, 13, "w"), wide(1, 14, "v")};
-  DeltaVec packed = KeyedCoalescer(false, true).Coalesce(in, nullptr);
+  DeltaVec packed = *KeyedCoalescer(false, true).Coalesce(in, nullptr);
   ASSERT_EQ(packed.size(), 1u);
   EXPECT_EQ(packed[0].op, DeltaOp::kBatch);
   auto expanded = DeltaCoalescer::Expand(std::move(packed));
@@ -235,7 +297,7 @@ TEST(DeltaPackingTest, NonLeadingKeyFieldRoundTrips) {
     return Delta::Update(Tuple{Value(payload), Value(key)});
   };
   DeltaVec in = {mk(10, 7), mk(11, 7), mk(12, 7)};
-  DeltaVec packed = c.Coalesce(in, nullptr);
+  DeltaVec packed = *c.Coalesce(in, nullptr);
   ASSERT_EQ(packed.size(), 1u);
   auto expanded = DeltaCoalescer::Expand(std::move(packed));
   ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
@@ -273,7 +335,7 @@ TEST(DeltaPackingTest, ReplaceWithOldTupleRoundTripsUnpacked) {
   // the checkpoint encoding silently dropped old_tuple, turning the
   // composite into a bare insert on replay).
   DeltaVec in = {R(1, 10, 11), U(2, 20), U(2, 21), U(2, 22)};
-  DeltaVec packed = KeyedCoalescer(false, /*pack=*/true).Coalesce(in, nullptr);
+  DeltaVec packed = *KeyedCoalescer(false, /*pack=*/true).Coalesce(in, nullptr);
   ASSERT_GE(packed.size(), 2u);
   EXPECT_EQ(packed[0], R(1, 10, 11));  // composites never enter a batch
   auto expanded = DeltaCoalescer::Expand(std::move(packed));
@@ -293,7 +355,7 @@ TEST(DeltaPackingTest, WeightedDeltasNeverPack) {
                                                  Value(int64_t{11})}, 3),
                  I(1, 12)};
   DeltaVec expect = in;
-  DeltaVec packed = KeyedCoalescer(false, /*pack=*/true)
+  DeltaVec packed = *KeyedCoalescer(false, /*pack=*/true)
                         .Coalesce(std::move(in), nullptr);
   for (const Delta& d : packed) EXPECT_NE(d.op, DeltaOp::kBatch);
   auto expanded = DeltaCoalescer::Expand(std::move(packed));
@@ -305,7 +367,7 @@ TEST(DeltaPackingTest, ReplaceChainOutputKeepsComposedOldTuple) {
   // {D(k,a), I(k,b)} folds to ->(a→b); the survivor must carry a as its
   // old tuple (not empty), or downstream keyed state deletes nothing.
   DeltaVec out =
-      KeyedCoalescer().Coalesce({D(4, 1), I(4, 2), U(9, 9)}, nullptr);
+      *KeyedCoalescer().Coalesce({D(4, 1), I(4, 2), U(9, 9)}, nullptr);
   ASSERT_EQ(out.size(), 2u);
   ASSERT_EQ(out[0].op, DeltaOp::kReplace);
   EXPECT_EQ(out[0].old_tuple, (Tuple{Value(int64_t{4}), Value(int64_t{1})}));

@@ -225,7 +225,7 @@ TEST(DeltaAlgebra, CoalescerMatchesWeightedFoldOnRandomStreams) {
   for (int trial = 0; trial < 60; ++trial) {
     DeltaVec in = RandomStream(&rng, 40, 6);
     CoalesceStats stats;
-    DeltaVec out = coalescer.Coalesce(in, &stats);
+    DeltaVec out = *coalescer.Coalesce(in, &stats);
     EXPECT_EQ(FoldReference(out), FoldReference(in)) << "trial " << trial;
     EXPECT_LE(out.size(), in.size());
     EXPECT_EQ(stats.deltas_in, static_cast<int64_t>(in.size()));
@@ -243,7 +243,7 @@ TEST(DeltaAlgebra, BatchPlusNegationCoalescesToNothing) {
       stream.push_back(it->Negated());
     }
     CoalesceStats stats;
-    DeltaVec out = coalescer.Coalesce(stream, &stats);
+    DeltaVec out = *coalescer.Coalesce(stream, &stats);
     EXPECT_TRUE(FoldReference(out).empty())
         << "trial " << trial << ": " << out.size() << " net survivors";
   }
@@ -257,7 +257,7 @@ TEST(DeltaAlgebra, ZeroWeightIsEliminated) {
   zero_update.weight = 0;
   in.push_back(zero_update);
   CoalesceStats stats;
-  DeltaVec out = coalescer.Coalesce(std::move(in), &stats);
+  DeltaVec out = *coalescer.Coalesce(std::move(in), &stats);
   EXPECT_TRUE(out.empty());
 }
 
@@ -266,7 +266,7 @@ TEST(DeltaAlgebra, OpaqueUpdatesPassThroughWithWeight) {
   Delta u = Delta::Update(T(3, 5));
   u.weight = 9;
   CoalesceStats stats;
-  DeltaVec out = coalescer.Coalesce({u, Delta::Insert(T(3, 5))}, &stats);
+  DeltaVec out = *coalescer.Coalesce({u, Delta::Insert(T(3, 5))}, &stats);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], u);  // weight untouched, order preserved
 }
@@ -279,7 +279,7 @@ TEST(DeltaAlgebra, WeightedNetRendersAsDeletesThenInserts) {
   in.push_back(Delta::Weighted(T(1, 10), -2));
   in.push_back(Delta::Weighted(T(1, 20), 3));
   CoalesceStats stats;
-  DeltaVec out = coalescer.Coalesce(std::move(in), &stats);
+  DeltaVec out = *coalescer.Coalesce(std::move(in), &stats);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], Delta::Weighted(T(1, 10), -2));
   EXPECT_EQ(out[1], Delta::Weighted(T(1, 20), 3));

@@ -384,6 +384,138 @@ TEST(IvmOracle, UpdateWithoutConvergedRunRejected) {
   EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(IvmOracle, FailedUpdatePoisonsResidentUntilRerun) {
+  // A mid-update failure leaves base tables mutated but the resident's
+  // derived state indeterminate; the resident must be poisoned, follow-up
+  // updates refused with FailedPrecondition, and a fresh RunResident must
+  // clear the poison by re-deriving from the (already mutated) tables.
+  const uint64_t seed = 83;
+  GraphData graph = TestGraph(150, 700, seed);
+  SsspConfig cfg;
+  cfg.source = 1;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_FALSE(cluster.IsPoisoned(0));
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(seed);
+  std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 5);
+  auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  // A mandatory crash scheduled far past convergence never fires; the
+  // update fails AFTER the tables were mutated, which must poison the
+  // resident.
+  update->faults.strategy = RecoveryStrategy::kIncremental;
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.worker = 1;
+  crash.at_stratum = 1000000;
+  update->faults.events.push_back(crash);
+  auto failed = cluster.ApplyBaseUpdate(*update);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(cluster.IsPoisoned(0));
+  // The table mutation did land before the failure — track it in the
+  // mirror so the oracle below compares against the real base state.
+  ApplyEdgeMutations(&adj, batch);
+
+  // A follow-up update against the poisoned resident is refused before
+  // touching anything.
+  auto clean = BuildSsspBaseUpdate(*plan, {}, *dist, adj, cfg.source);
+  ASSERT_TRUE(clean.ok());
+  auto refused = cluster.ApplyBaseUpdate(*clean);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // RunResident re-derives from the mutated tables and clears the poison.
+  auto rerun = cluster.RunResident(0, *plan);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_FALSE(cluster.IsPoisoned(0));
+  dist = DistancesFromState(rerun->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ScratchSssp(GraphFromAdjacency(adj), cfg));
+
+  // And the resident accepts incremental updates again.
+  std::vector<EdgeMutation> batch2 = RandomBatch(&rng, adj, 4);
+  auto update2 = BuildSsspBaseUpdate(*plan, batch2, *dist, adj, cfg.source);
+  ASSERT_TRUE(update2.ok());
+  auto inc = cluster.ApplyBaseUpdate(*update2);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  ApplyEdgeMutations(&adj, batch2);
+  dist = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, ScratchSssp(GraphFromAdjacency(adj), cfg));
+}
+
+TEST(IvmOracle, UpdateProfileResetsBetweenUpdates) {
+  // ApplyBaseUpdate's profile must cover only that update's traffic: a
+  // cheap no-op update right after an expensive register run (and again
+  // right after a chaos-recovered update) must report a small tuples_sent,
+  // not the cumulative counter since the run started.
+  const uint64_t seed = 89;
+  GraphData graph = TestGraph(250, 1500, seed);
+  SsspConfig cfg;
+  cfg.source = 0;
+  Cluster cluster(IvmConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  ASSERT_TRUE(plan.ok());
+  auto run = cluster.Run(*plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const int64_t scratch_tuples = run->profile.tuples_sent;
+  ASSERT_GT(scratch_tuples, 0);
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+  Adjacency adj = AdjacencyFromGraph(graph);
+
+  // A real update under a crash schedule first (fault strata are absolute
+  // and the resume point advances with every update, so the crash must be
+  // pinned at the register run's depth while that is still the resume).
+  // Recovery inflates this update's own traffic...
+  std::mt19937_64 rng(seed);
+  std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 5);
+  auto update = BuildSsspBaseUpdate(*plan, batch, *dist, adj, cfg.source);
+  ASSERT_TRUE(update.ok());
+  update->faults.strategy = RecoveryStrategy::kIncremental;
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.worker = 2;
+  crash.at_stratum = run->strata_executed;
+  update->faults.events.push_back(crash);
+  auto inc = cluster.ApplyBaseUpdate(*update);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_EQ(inc->chaos.crashes, 1);
+  ApplyEdgeMutations(&adj, batch);
+  dist = DistancesFromState(inc->fixpoint_state, graph.num_vertices);
+  ASSERT_TRUE(dist.ok());
+
+  // ...but must not leak those counters into later updates' profiles.
+  // Back-to-back no-op updates each converge in one quiescent stratum, so
+  // each profile must be far below the register run's traffic; were the
+  // baseline not reset per update, the second would include the recovered
+  // update plus the first no-op plus the register run.
+  for (int i = 0; i < 2; ++i) {
+    SCOPED_TRACE("no-op update " + std::to_string(i));
+    std::vector<EdgeMutation> noop = {{7, 13, 1}, {7, 13, -1}};
+    auto update2 = BuildSsspBaseUpdate(*plan, noop, *dist, adj, cfg.source);
+    ASSERT_TRUE(update2.ok());
+    auto inc2 = cluster.ApplyBaseUpdate(*update2);
+    ASSERT_TRUE(inc2.ok()) << inc2.status().ToString();
+    EXPECT_LT(inc2->profile.tuples_sent, scratch_tuples / 2);
+    // The checkpoint meters reset per update too: a one-stratum no-op
+    // cannot have checkpointed anywhere near the register run's volume.
+    EXPECT_LT(inc2->profile.checkpoint_tuples,
+              run->profile.checkpoint_tuples / 2 + 1);
+  }
+}
+
 TEST(IvmOracle, IncrementalShipsFewerTuplesThanScratch) {
   // The acceptance claim behind bench_ivm: a small perturbation of a
   // converged PageRank must re-converge with strictly less communication

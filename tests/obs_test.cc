@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "algos/pagerank.h"
@@ -457,6 +458,40 @@ TEST(ProfileTest, GoldenIvmSampleShowsIncrementalAdvantage) {
             scratch->Get("tuples_sent").AsInt());
   EXPECT_LT(incremental->Get("strata_executed").AsInt(),
             scratch->Get("strata_executed").AsInt());
+}
+
+TEST(ProfileTest, GoldenServingSampleCoversBothStandingQueries) {
+  // The committed bench_serving report (tests/testdata, regenerate with
+  // REX_BENCH_SCALE=0.05 ./bench/bench_serving). The sample pins the
+  // serving session's report shape: one profile per query per epoch
+  // ("<query>/epoch<k>") plus the "<query>/register" initial runs, for
+  // both standing queries over the shared graph.
+  const std::string path =
+      std::string(REX_TESTDATA_DIR) + "/BENCH_serving_sample.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden sample: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Status valid = ValidateBenchReportJson(*parsed);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  std::set<std::string> queries;
+  int epoch_profiles = 0;
+  bool saw_register = false;
+  for (size_t i = 0; i < parsed->Get("runs").size(); ++i) {
+    const Json& run = parsed->Get("runs").at(i);
+    const std::string name = run.Get("name").AsString();
+    const size_t slash = name.find('/');
+    ASSERT_NE(slash, std::string::npos) << "unlabelled serving run " << name;
+    queries.insert(name.substr(0, slash));
+    if (name.substr(slash + 1) == "register") saw_register = true;
+    if (name.compare(slash + 1, 5, "epoch") == 0) ++epoch_profiles;
+  }
+  EXPECT_TRUE(queries.count("pagerank"));
+  EXPECT_TRUE(queries.count("sssp"));
+  EXPECT_TRUE(saw_register);
+  EXPECT_GE(epoch_profiles, 2);
 }
 
 // ----------------------------------------------- Trace ring x chaos runs --

@@ -1,0 +1,577 @@
+// Serving-layer tests (serve/serve.h): standing queries resident over
+// shared graph state, with per-subscriber incremental result cursors.
+//
+// The oracle discipline matches ivm_oracle_test.cc: after every update
+// epoch, each subscriber's maintained result state (snapshot + applied
+// diffs) must equal a from-scratch run on the mutated graph — SSSP
+// exactly, PageRank within 1e-6 (the FP summation-order envelope at a
+// 1e-10 propagation threshold). The ChaosSweepServing tests re-run under
+// `ctest -L chaos` with the full seed count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "serve/serve.h"
+#include "sim/fault_schedule.h"
+
+namespace rex {
+namespace {
+
+EngineConfig ServeClusterConfig() {
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.replication = 3;
+  cfg.network_batch_size = 64;
+  cfg.verify_invariants = true;
+  return cfg;
+}
+
+GraphData TestGraph(int64_t vertices, int64_t edges, uint64_t seed) {
+  GraphGenOptions opt;
+  opt.num_vertices = vertices;
+  opt.num_edges = edges;
+  opt.seed = seed;
+  return GenerateRmatGraph(opt);
+}
+
+GraphData GraphFromAdjacency(const Adjacency& adj) {
+  GraphData g;
+  g.num_vertices = static_cast<int64_t>(adj.size());
+  for (size_t u = 0; u < adj.size(); ++u) {
+    for (int64_t v : adj[u]) {
+      g.edges.emplace_back(static_cast<int64_t>(u), v);
+    }
+  }
+  return g;
+}
+
+/// Randomized mutation batch: fresh inserts, deletes of existing edges,
+/// reweights (multiplicity bumps).
+std::vector<EdgeMutation> RandomBatch(std::mt19937_64* rng,
+                                      const Adjacency& adj, int size) {
+  const int64_t n = static_cast<int64_t>(adj.size());
+  std::uniform_int_distribution<int64_t> vertex(0, n - 1);
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::vector<EdgeMutation> batch;
+  auto random_existing = [&](int64_t* u, int64_t* v) {
+    for (int tries = 0; tries < 64; ++tries) {
+      int64_t cand = vertex(*rng);
+      if (adj[static_cast<size_t>(cand)].empty()) continue;
+      std::uniform_int_distribution<size_t> pick(
+          0, adj[static_cast<size_t>(cand)].size() - 1);
+      *u = cand;
+      *v = adj[static_cast<size_t>(cand)][pick(*rng)];
+      return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < size; ++i) {
+    int64_t u = 0, v = 0;
+    switch (kind(*rng)) {
+      case 0:
+        batch.push_back({vertex(*rng), vertex(*rng), 1});
+        break;
+      case 1:
+        if (random_existing(&u, &v)) batch.push_back({u, v, -1});
+        break;
+      default:
+        if (random_existing(&u, &v)) batch.push_back({u, v, 2});
+        break;
+    }
+  }
+  return batch;
+}
+
+std::vector<double> ScratchPageRank(const GraphData& graph,
+                                    const PageRankConfig& cfg) {
+  Cluster cluster(ServeClusterConfig());
+  EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  EXPECT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildPageRankDeltaPlan(cfg);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  auto ranks = RanksFromState(run->fixpoint_state, graph.num_vertices);
+  EXPECT_TRUE(ranks.ok());
+  return *ranks;
+}
+
+std::vector<int64_t> ScratchSssp(const GraphData& graph,
+                                 const SsspConfig& cfg) {
+  Cluster cluster(ServeClusterConfig());
+  EXPECT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  EXPECT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  auto plan = BuildSsspDeltaPlan(cfg);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto run = cluster.Run(*plan);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  auto dist = DistancesFromState(run->fixpoint_state, graph.num_vertices);
+  EXPECT_TRUE(dist.ok());
+  return *dist;
+}
+
+/// A subscriber's maintained view: key (field 0) -> row, revised by every
+/// polled batch exactly as the subscription contract specifies.
+using View = std::map<int64_t, Tuple>;
+
+void ApplyBatch(View* view, const ResultBatch& batch) {
+  if (batch.snapshot) view->clear();
+  for (const Delta& d : batch.diffs) {
+    const int64_t key = d.tuple.field(0).AsInt();
+    switch (d.op) {
+      case DeltaOp::kInsert:
+      case DeltaOp::kReplace:
+        (*view)[key] = d.tuple;
+        break;
+      case DeltaOp::kDelete:
+        view->erase(key);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected delta op in result batch: "
+                      << d.ToString();
+    }
+  }
+}
+
+void DrainCursor(ServingSession* session, int sub, View* view) {
+  while (auto batch = session->Poll(sub)) ApplyBatch(view, *batch);
+}
+
+// ----------------------------------------------------------- oracle sweep --
+
+TEST(ServingOracle, TwoStandingQueriesMatchOraclePerEpoch) {
+  const uint64_t seed = 17;
+  GraphData graph = TestGraph(120, 700, seed);
+  PageRankConfig pr_cfg;
+  pr_cfg.threshold = 1e-10;  // keep drift far below the 1e-6 comparison
+  SsspConfig sp_cfg;
+  sp_cfg.source = 1;
+
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), pr_cfg).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), sp_cfg).ok());
+
+  ServingSession session(&cluster);
+  auto pr_spec = MakePageRankStandingQuery(graph, pr_cfg);
+  ASSERT_TRUE(pr_spec.ok()) << pr_spec.status().ToString();
+  auto sp_spec = MakeSsspStandingQuery(graph, sp_cfg);
+  ASSERT_TRUE(sp_spec.ok()) << sp_spec.status().ToString();
+  auto pr_id = session.Register(std::move(*pr_spec));
+  ASSERT_TRUE(pr_id.ok()) << pr_id.status().ToString();
+  auto sp_id = session.Register(std::move(*sp_spec));
+  ASSERT_TRUE(sp_id.ok()) << sp_id.status().ToString();
+  EXPECT_EQ(session.query_count(), 2);
+  EXPECT_EQ(cluster.ResidentCount(), 2);
+
+  auto pr_sub = session.Subscribe(*pr_id);
+  ASSERT_TRUE(pr_sub.ok());
+  auto sp_sub = session.Subscribe(*sp_id);
+  ASSERT_TRUE(sp_sub.ok());
+
+  View pr_view, sp_view;
+  auto first_pr = session.Poll(*pr_sub);
+  ASSERT_TRUE(first_pr.has_value());
+  EXPECT_TRUE(first_pr->snapshot);
+  EXPECT_EQ(first_pr->epoch, 0);
+  ApplyBatch(&pr_view, *first_pr);
+  auto first_sp = session.Poll(*sp_sub);
+  ASSERT_TRUE(first_sp.has_value());
+  EXPECT_TRUE(first_sp->snapshot);
+  ApplyBatch(&sp_view, *first_sp);
+  ASSERT_EQ(static_cast<int64_t>(pr_view.size()), graph.num_vertices);
+  ASSERT_EQ(static_cast<int64_t>(sp_view.size()), graph.num_vertices);
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(seed * 7919 + 1);
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 5);
+    ApplyEdgeMutations(&adj, batch);
+    ASSERT_TRUE(session.ApplyUpdate(batch).ok()) << "epoch " << epoch;
+    EXPECT_EQ(session.epoch(), epoch);
+    DrainCursor(&session, *pr_sub, &pr_view);
+    DrainCursor(&session, *sp_sub, &sp_view);
+
+    const GraphData now = GraphFromAdjacency(adj);
+    const std::vector<double> oracle_ranks = ScratchPageRank(now, pr_cfg);
+    const std::vector<int64_t> oracle_dist = ScratchSssp(now, sp_cfg);
+    for (int64_t v = 0; v < graph.num_vertices; ++v) {
+      ASSERT_TRUE(pr_view.count(v)) << "epoch " << epoch << " vertex " << v;
+      EXPECT_NEAR(pr_view[v].field(1).AsDouble(),
+                  oracle_ranks[static_cast<size_t>(v)], 1e-6)
+          << "epoch " << epoch << " vertex " << v;
+      ASSERT_TRUE(sp_view.count(v)) << "epoch " << epoch << " vertex " << v;
+      EXPECT_EQ(sp_view[v].field(1).AsInt(),
+                oracle_dist[static_cast<size_t>(v)])
+          << "epoch " << epoch << " vertex " << v;
+    }
+  }
+  EXPECT_GE(session.metrics()->Value(metrics::kServeEpochs), 10);
+}
+
+// ------------------------------------------------------ cursor mechanics --
+
+TEST(ServingCursor, LateSubscriberGetsConvergedSnapshot) {
+  GraphData graph = TestGraph(80, 400, 3);
+  SsspConfig cfg;
+  cfg.source = 0;
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  ServingSession session(&cluster);
+  auto spec = MakeSsspStandingQuery(graph, cfg);
+  ASSERT_TRUE(spec.ok());
+  auto qid = session.Register(std::move(*spec));
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+
+  auto early = session.Subscribe(*qid);
+  ASSERT_TRUE(early.ok());
+  View early_view;
+  DrainCursor(&session, *early, &early_view);
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(11);
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 4);
+    ApplyEdgeMutations(&adj, batch);
+    ASSERT_TRUE(session.ApplyUpdate(batch).ok());
+  }
+  DrainCursor(&session, *early, &early_view);
+
+  // The late subscriber's first batch is the *current* converged state —
+  // identical to what the early subscriber reconstructed from diffs.
+  auto late = session.Subscribe(*qid);
+  ASSERT_TRUE(late.ok());
+  auto batch = session.Poll(*late);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(batch->snapshot);
+  EXPECT_EQ(batch->epoch, 3);
+  View late_view;
+  ApplyBatch(&late_view, *batch);
+  ASSERT_EQ(late_view.size(), early_view.size());
+  for (const auto& [key, row] : early_view) {
+    ASSERT_TRUE(late_view.count(key));
+    EXPECT_TRUE(late_view[key] == row) << "vertex " << key;
+  }
+  EXPECT_FALSE(session.Poll(*late).has_value());  // caught up
+}
+
+TEST(ServingCursor, SlowSubscriberGetsCoalescedFold) {
+  GraphData graph = TestGraph(60, 300, 9);
+  PageRankConfig cfg;
+  cfg.threshold = 1e-8;
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), cfg).ok());
+  ServeOptions opts;
+  opts.subscriber_queue_capacity = 2;
+  ServingSession session(&cluster, opts);
+  auto spec = MakePageRankStandingQuery(graph, cfg);
+  ASSERT_TRUE(spec.ok());
+  auto qid = session.Register(std::move(*spec));
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  auto sub = session.Subscribe(*qid);
+  ASSERT_TRUE(sub.ok());
+  View view;
+  DrainCursor(&session, *sub, &view);  // consume the snapshot
+
+  // Five epochs without a single poll: capacity 2 queues the first two
+  // diff batches, everything after folds into one pending net batch.
+  Adjacency adj = AdjacencyFromGraph(graph);
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    // One fresh edge per epoch; PageRank ranks always move.
+    std::vector<EdgeMutation> batch = {
+        {epoch % graph.num_vertices, (3 * epoch + 1) % graph.num_vertices,
+         1}};
+    ApplyEdgeMutations(&adj, batch);
+    ASSERT_TRUE(session.ApplyUpdate(batch).ok());
+  }
+  EXPECT_GE(session.metrics()->Value(metrics::kServeSheds), 1);
+
+  int batches = 0;
+  bool saw_coalesced = false;
+  int64_t last_epoch = 0;
+  while (auto batch = session.Poll(*sub)) {
+    EXPECT_GT(batch->epoch, last_epoch);
+    last_epoch = batch->epoch;
+    saw_coalesced = saw_coalesced || batch->coalesced;
+    ApplyBatch(&view, *batch);
+    ++batches;
+  }
+  EXPECT_LE(batches, 3);  // 2 queued + 1 fold, never 5
+  EXPECT_TRUE(saw_coalesced);
+  EXPECT_EQ(last_epoch, 5);
+
+  // The folded view equals the query's current result exactly.
+  auto current = session.CurrentResult(*qid);
+  ASSERT_TRUE(current.ok());
+  ASSERT_EQ(view.size(), current->size());
+  for (const Tuple& row : *current) {
+    const int64_t key = row.field(0).AsInt();
+    ASSERT_TRUE(view.count(key)) << "vertex " << key;
+    EXPECT_TRUE(view[key] == row) << "vertex " << key;
+  }
+}
+
+TEST(ServingCursor, ModifiedKeysCoverExactlyTheChangedRows) {
+  GraphData graph = TestGraph(60, 300, 21);
+  SsspConfig cfg;
+  cfg.source = 0;
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  ServingSession session(&cluster);
+  auto spec = MakeSsspStandingQuery(graph, cfg);
+  ASSERT_TRUE(spec.ok());
+  const std::vector<int> key_fields = spec->key_fields;
+  auto qid = session.Register(std::move(*spec));
+  ASSERT_TRUE(qid.ok());
+  auto sub = session.Subscribe(*qid);
+  ASSERT_TRUE(sub.ok());
+  View view;
+  DrainCursor(&session, *sub, &view);
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(33);
+  std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 6);
+  ApplyEdgeMutations(&adj, batch);
+  ASSERT_TRUE(session.ApplyUpdate(batch).ok());
+
+  while (auto rb = session.Poll(*sub)) {
+    const View prev = view;
+    ApplyBatch(&view, *rb);
+    std::vector<Tuple> keys = rb->ModifiedKeys(key_fields);
+    EXPECT_EQ(keys.size(), rb->diffs.size());  // one diff per key, deduped
+    for (const Tuple& k : keys) {
+      const int64_t v = k.field(0).AsInt();
+      // modified() visibility: every reported key actually changed.
+      const auto old_it = prev.find(v);
+      const auto new_it = view.find(v);
+      const bool was_live = old_it != prev.end();
+      const bool is_live = new_it != view.end();
+      const bool changed =
+          was_live != is_live ||
+          (was_live && is_live && !(old_it->second == new_it->second));
+      EXPECT_TRUE(changed)
+          << "vertex " << v << " reported modified but did not change";
+    }
+  }
+}
+
+// -------------------------------------------------- admission / eviction --
+
+TEST(ServingAdmission, CapRefusesRegistrationBeyondLimit) {
+  GraphData graph = TestGraph(40, 200, 5);
+  SsspConfig cfg;
+  cfg.source = 0;
+  PageRankConfig pr_cfg;
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  ASSERT_TRUE(RegisterPageRankUdfs(cluster.udfs(), pr_cfg).ok());
+  ServeOptions opts;
+  opts.max_queries = 1;
+  ServingSession session(&cluster, opts);
+
+  auto sp_spec = MakeSsspStandingQuery(graph, cfg);
+  ASSERT_TRUE(sp_spec.ok());
+  auto qid = session.Register(std::move(*sp_spec));
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+
+  auto pr_spec = MakePageRankStandingQuery(graph, pr_cfg);
+  ASSERT_TRUE(pr_spec.ok());
+  auto refused = session.Register(std::move(*pr_spec));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(session.query_count(), 1);
+
+  // Unregistering frees the slot and closes the query's cursors.
+  auto sub = session.Subscribe(*qid);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(session.Unregister(*qid).ok());
+  EXPECT_EQ(session.query_count(), 0);
+  EXPECT_EQ(cluster.ResidentCount(), 0);
+  EXPECT_FALSE(session.Poll(*sub).has_value());
+
+  auto pr_spec2 = MakePageRankStandingQuery(graph, pr_cfg);
+  ASSERT_TRUE(pr_spec2.ok());
+  auto readmitted = session.Register(std::move(*pr_spec2));
+  EXPECT_TRUE(readmitted.ok()) << readmitted.status().ToString();
+}
+
+// -------------------------------------------------------------- RQL path --
+
+TEST(ServingRql, RegisterStatementAdmitsGenericStandingQuery) {
+  GraphData graph;
+  graph.num_vertices = 6;
+  graph.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {4, 5}, {5, 0}, {3, 0}};
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ServingSession session(&cluster);
+
+  auto qid = session.RegisterRql(
+      "REGISTER fanout AS SELECT src, dst FROM graph WHERE src = 0");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  EXPECT_EQ(session.query_name(*qid), "fanout");
+
+  auto sub = session.Subscribe(*qid);
+  ASSERT_TRUE(sub.ok());
+  auto snapshot = session.Poll(*sub);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_TRUE(snapshot->snapshot);
+  EXPECT_EQ(snapshot->diffs.size(), 2u);  // (0,1), (0,2)
+
+  // A REGISTER without a build_update re-derives per epoch; the diff must
+  // carry exactly the new row.
+  ASSERT_TRUE(session.ApplyUpdate({{0, 5, 1}}).ok());
+  auto diff = session.Poll(*sub);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_FALSE(diff->snapshot);
+  ASSERT_EQ(diff->diffs.size(), 1u);
+  EXPECT_EQ(diff->diffs[0].op, DeltaOp::kInsert);
+  EXPECT_EQ(diff->diffs[0].tuple.field(1).AsInt(), 5);
+
+  // A mutation that misses the WHERE clause produces no batch at all.
+  ASSERT_TRUE(session.ApplyUpdate({{1, 4, 1}}).ok());
+  EXPECT_FALSE(session.Poll(*sub).has_value());
+
+  // Plain statements still refuse the serving path.
+  auto plain = session.RegisterRql("SELECT src FROM graph");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------------- chaos --
+
+/// A crash schedule hitting an epoch's re-convergence while a subscriber
+/// is connected: the subscriber must see either the incremental diff or
+/// the failover re-derivation — always a complete epoch, never a torn one.
+TEST(ChaosSweepServing, SubscriberNeverSeesATornEpoch) {
+  const uint64_t seed = 43;
+  GraphData graph = TestGraph(100, 500, seed);
+  SsspConfig cfg;
+  cfg.source = 2;
+  Cluster cluster(ServeClusterConfig());
+  ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+  ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+  ServingSession session(&cluster);
+  auto spec = MakeSsspStandingQuery(graph, cfg);
+  ASSERT_TRUE(spec.ok());
+  auto qid = session.Register(std::move(*spec));
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  // The converged depth pins where re-convergence resumes — and therefore
+  // where a boundary crash can actually fire (fault strata are absolute).
+  const int resume_stratum =
+      session.epoch_profiles().back().strata_executed;
+
+  auto sub = session.Subscribe(*qid);
+  ASSERT_TRUE(sub.ok());
+  View view;
+  DrainCursor(&session, *sub, &view);
+
+  Adjacency adj = AdjacencyFromGraph(graph);
+  std::mt19937_64 rng(seed + 1);
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 5);
+    ApplyEdgeMutations(&adj, batch);
+    FaultSchedule faults;
+    if (epoch == 1) {
+      // Injected on the first incremental epoch, where the resume stratum
+      // is still the register-run depth, so the crash fires mid
+      // re-convergence rather than landing past it.
+      faults.strategy = RecoveryStrategy::kIncremental;
+      FaultEvent crash;
+      crash.kind = FaultEvent::Kind::kCrash;
+      crash.worker = 1;
+      crash.at_stratum = resume_stratum;
+      faults.events.push_back(crash);
+    }
+    ASSERT_TRUE(session.ApplyUpdate(batch, faults).ok())
+        << "epoch " << epoch;
+    if (epoch == 1) {
+      // The schedule must actually have fired: epoch 1's convergence
+      // profile records the recovery, proving the subscriber's view below
+      // was produced across a mid-epoch crash, not a clean run.
+      ASSERT_FALSE(session.epoch_profiles().empty());
+      EXPECT_GE(session.epoch_profiles().back().recoveries, 1)
+          << "injected crash never fired; the epoch ran clean";
+    }
+    DrainCursor(&session, *sub, &view);
+
+    const std::vector<int64_t> oracle =
+        ScratchSssp(GraphFromAdjacency(adj), cfg);
+    for (int64_t v = 0; v < graph.num_vertices; ++v) {
+      ASSERT_TRUE(view.count(v)) << "epoch " << epoch << " vertex " << v;
+      ASSERT_EQ(view[v].field(1).AsInt(), oracle[static_cast<size_t>(v)])
+          << "epoch " << epoch << " vertex " << v;
+    }
+  }
+}
+
+/// Randomized chaos schedules against a two-query session; every epoch's
+/// subscriber view must still match the scratch oracle. Failovers are
+/// allowed (counted in serve.epoch_failovers) — torn results are not.
+TEST(ChaosSweepServing, SeededSchedulesKeepSubscribersConsistent) {
+  const char* env = std::getenv("REX_CHAOS_SEEDS");
+  const int seeds = env == nullptr ? 1 : std::max(1, std::atoi(env));
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 1009 * static_cast<uint64_t>(s) + 77;
+    GraphData graph = TestGraph(80, 400, seed);
+    SsspConfig cfg;
+    cfg.source = 0;
+    Cluster cluster(ServeClusterConfig());
+    ASSERT_TRUE(LoadGraphTables(&cluster, graph).ok());
+    ASSERT_TRUE(RegisterSsspUdfs(cluster.udfs(), cfg).ok());
+    ServingSession session(&cluster);
+    auto spec = MakeSsspStandingQuery(graph, cfg);
+    ASSERT_TRUE(spec.ok());
+    auto qid = session.Register(std::move(*spec));
+    ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+    const int resume_stratum =
+        session.epoch_profiles().back().strata_executed;
+    auto sub = session.Subscribe(*qid);
+    ASSERT_TRUE(sub.ok());
+    View view;
+    DrainCursor(&session, *sub, &view);
+
+    Adjacency adj = AdjacencyFromGraph(graph);
+    std::mt19937_64 rng(seed);
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+      std::vector<EdgeMutation> batch = RandomBatch(&rng, adj, 4);
+      ApplyEdgeMutations(&adj, batch);
+      // Fault strata are absolute and resume advances every epoch, so the
+      // crash is pinned at the register run's depth: it hits epoch 1's
+      // re-convergence; epochs 2-3 then verify that back-to-back updates
+      // after a recovery still serve consistent diffs.
+      FaultSchedule faults;
+      if (epoch == 1) {
+        faults.strategy = seed % 2 == 0 ? RecoveryStrategy::kIncremental
+                                        : RecoveryStrategy::kRestart;
+        FaultEvent crash;
+        crash.kind = FaultEvent::Kind::kCrash;
+        crash.worker = static_cast<int>(seed % 4);
+        crash.at_stratum = resume_stratum;
+        faults.events.push_back(crash);
+      }
+      ASSERT_TRUE(session.ApplyUpdate(batch, faults).ok())
+          << "seed " << seed << " epoch " << epoch;
+      DrainCursor(&session, *sub, &view);
+
+      const std::vector<int64_t> oracle =
+          ScratchSssp(GraphFromAdjacency(adj), cfg);
+      for (int64_t v = 0; v < graph.num_vertices; ++v) {
+        ASSERT_TRUE(view.count(v))
+            << "seed " << seed << " epoch " << epoch << " vertex " << v;
+        ASSERT_EQ(view[v].field(1).AsInt(), oracle[static_cast<size_t>(v)])
+            << "seed " << seed << " epoch " << epoch << " vertex " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rex
