@@ -1,0 +1,338 @@
+// Columnar data-plane kernel microbench: scalar row-at-a-time loops vs
+// the vectorized DeltaBatch kernels that replace them, on the same input
+// stream. Four kernel pairs — filter predicate evaluation, partition
+// hashing, the coalescer's per-key weight fold, and a full group-by
+// consume — plus the FromDeltas/ToDeltas conversion cost the batch plane
+// pays at operator edges.
+//
+// Every pair first checks bit-identity (the columnar plane's contract;
+// the binary exits non-zero on any mismatch, which the CI smoke job
+// relies on), then emits
+//
+//   FIGURE colplane | series=<kernel>/scalar    x=<rows> y=<tuples/s>
+//   FIGURE colplane | series=<kernel>/columnar  x=<rows> y=<tuples/s>
+//   FIGURE colplane | series=<kernel>/speedup   x=<rows> y=<ratio>
+//
+// CI asserts the filter and partition-hash speedups are an integer
+// factor (>= 2x).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/delta_batch.h"
+#include "common/rng.h"
+#include "exec/coalesce.h"
+#include "exec/expr.h"
+#include "exec/group_by.h"
+#include "exec/operators.h"
+#include "exec/vectorized.h"
+
+namespace rexbench {
+namespace {
+
+using namespace rex;  // NOLINT: bench-local convenience
+
+size_t Rows() {
+  double n = 200000 * BenchScale();
+  return n < 2000 ? 2000 : static_cast<size_t>(n);
+}
+
+/// Repetitions sized so each kernel processes a few million rows total
+/// regardless of REX_BENCH_SCALE.
+int Reps(size_t rows, size_t target_rows) {
+  size_t r = target_rows / rows;
+  return r < 1 ? 1 : static_cast<int>(r);
+}
+
+template <typename F>
+double TimeSeconds(int reps, F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void EmitPair(const std::string& kernel, size_t rows, int reps,
+              double scalar_s, double columnar_s) {
+  const double total = static_cast<double>(rows) * reps;
+  Row("colplane", kernel + "/scalar", static_cast<double>(rows),
+      total / scalar_s, "tuples/s");
+  Row("colplane", kernel + "/columnar", static_cast<double>(rows),
+      total / columnar_s, "tuples/s");
+  Row("colplane", kernel + "/speedup", static_cast<double>(rows),
+      scalar_s / columnar_s, "x");
+}
+
+[[noreturn]] void Die(const char* kernel, const char* what) {
+  std::fprintf(stderr, "colplane: %s kernel %s diverges from scalar\n",
+               kernel, what);
+  std::exit(1);
+}
+
+/// Insert stream over three int columns (key, value, aux). When
+/// `key_determines_row` the non-key fields are functions of the key, so
+/// the coalescer's weight fold collapses each key to one surviving delta.
+DeltaVec MakeIntStream(size_t n, int64_t num_keys, uint64_t seed,
+                       bool key_determines_row = false) {
+  Rng rng(seed);
+  DeltaVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextBelow(
+        static_cast<uint64_t>(num_keys)));
+    const int64_t value =
+        key_determines_row ? key * 7
+                           : static_cast<int64_t>(rng.NextBelow(1000));
+    const int64_t aux =
+        key_determines_row ? key % 13
+                           : static_cast<int64_t>(rng.NextBelow(1 << 20));
+    out.push_back(Delta::Insert(Tuple{Value(key), Value(value), Value(aux)}));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Kernel: edge conversion. Not a pair — the batch plane's overhead,
+// reported so the kernel speedups below can be read net of it.
+void BM_Convert(benchmark::State& state) {
+  const size_t n = Rows();
+  const DeltaVec deltas = MakeIntStream(n, 64, 11);
+  const int reps = Reps(n, 2000000);
+  for (auto _ : state) {
+    const double secs = TimeSeconds(reps, [&] {
+      auto batch = DeltaBatch::FromDeltas(deltas);
+      benchmark::DoNotOptimize(batch->NumRows());
+    });
+    Row("colplane", "convert/columnar", static_cast<double>(n),
+        static_cast<double>(n) * reps / secs, "tuples/s");
+  }
+}
+BENCHMARK(BM_Convert)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---------------------------------------------------------------------
+// Kernel: filter predicate evaluation. Scalar = the EvalPredicate tree
+// walk FilterOp runs per row; columnar = the compiled predicate FilterOp
+// caches per column-type signature.
+void BM_FilterEval(benchmark::State& state) {
+  const size_t n = Rows();
+  const DeltaVec deltas = MakeIntStream(n, 64, 23);
+  const auto batch = DeltaBatch::FromDeltas(deltas);
+  const ExprPtr pred = Expr::Binary(
+      BinOp::kAnd,
+      Expr::Binary(BinOp::kLt, Expr::Column(1),
+                   Expr::Const(Value(static_cast<int64_t>(500)))),
+      Expr::Binary(
+          BinOp::kGt,
+          Expr::Binary(BinOp::kAdd,
+                       Expr::Binary(BinOp::kMul, Expr::Column(0),
+                                    Expr::Const(Value(
+                                        static_cast<int64_t>(3)))),
+                       Expr::Column(2)),
+          Expr::Const(Value(static_cast<int64_t>(100000)))));
+  const auto compiled =
+      CompiledPredicate::Compile(*pred, batch->ColumnTypes());
+  if (!compiled.has_value()) Die("filter", "compile");
+
+  std::vector<uint8_t> mask;
+  compiled->Eval(*batch, &mask);
+  for (size_t i = 0; i < n; ++i) {
+    auto want = EvalPredicate(*pred, deltas[i].tuple, nullptr);
+    if (!want.ok() || *want != (mask[i] != 0)) Die("filter", "mask");
+  }
+
+  const int reps = Reps(n, 2000000);
+  for (auto _ : state) {
+    const double scalar_s = TimeSeconds(reps, [&] {
+      size_t hits = 0;
+      for (const Delta& d : deltas) {
+        auto r = EvalPredicate(*pred, d.tuple, nullptr);
+        if (r.ok() && *r) ++hits;
+      }
+      benchmark::DoNotOptimize(hits);
+    });
+    const double columnar_s = TimeSeconds(reps, [&] {
+      std::vector<uint8_t> m;
+      compiled->Eval(*batch, &m);
+      benchmark::DoNotOptimize(m.data());
+    });
+    EmitPair("filter", n, reps, scalar_s, columnar_s);
+  }
+}
+BENCHMARK(BM_FilterEval)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---------------------------------------------------------------------
+// Kernel: partition hashing (RehashOp routing). Scalar = PartitionHash
+// per tuple; columnar = PartitionHashRows column-at-a-time.
+void BM_PartitionHash(benchmark::State& state) {
+  const size_t n = Rows();
+  const DeltaVec deltas = MakeIntStream(n, 64, 37);
+  const auto batch = DeltaBatch::FromDeltas(deltas);
+  const std::vector<int> keys = {0, 1};
+
+  std::vector<uint64_t> hashes;
+  PartitionHashRows(*batch, keys, &hashes);
+  for (size_t i = 0; i < n; ++i) {
+    if (hashes[i] != PartitionHash(deltas[i].tuple, keys)) {
+      Die("partition-hash", "hash");
+    }
+  }
+
+  const int reps = Reps(n, 4000000);
+  for (auto _ : state) {
+    const double scalar_s = TimeSeconds(reps, [&] {
+      uint64_t acc = 0;
+      for (const Delta& d : deltas) acc ^= PartitionHash(d.tuple, keys);
+      benchmark::DoNotOptimize(acc);
+    });
+    const double columnar_s = TimeSeconds(reps, [&] {
+      std::vector<uint64_t> h;
+      PartitionHashRows(*batch, keys, &h);
+      benchmark::DoNotOptimize(h.data());
+    });
+    EmitPair("partition-hash", n, reps, scalar_s, columnar_s);
+  }
+}
+BENCHMARK(BM_PartitionHash)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---------------------------------------------------------------------
+// Kernel: the coalescer's per-key weight fold on a fold-heavy insert
+// stream (each key carries one distinct tuple, so n rows net to one
+// weighted insert per key). Same DeltaCoalescer, columnar option off/on;
+// the input copy is paid identically on both sides.
+void BM_CoalesceFold(benchmark::State& state) {
+  const size_t n = Rows();
+  const DeltaVec deltas =
+      MakeIntStream(n, 512, 53, /*key_determines_row=*/true);
+  CoalesceOptions scalar_opts;
+  scalar_opts.key_fields = {0};
+  CoalesceOptions columnar_opts = scalar_opts;
+  columnar_opts.columnar = true;
+  const DeltaCoalescer scalar_fold(scalar_opts);
+  const DeltaCoalescer columnar_fold(columnar_opts);
+
+  CoalesceStats s_stats, c_stats;
+  auto s_out = scalar_fold.Coalesce(deltas, &s_stats);
+  auto c_out = columnar_fold.Coalesce(deltas, &c_stats);
+  if (!s_out.ok() || !c_out.ok() || *s_out != *c_out) {
+    Die("coalesce", "output");
+  }
+  if (s_stats.deltas_out != c_stats.deltas_out ||
+      s_stats.folded != c_stats.folded ||
+      s_stats.bytes_saved != c_stats.bytes_saved) {
+    Die("coalesce", "stats");
+  }
+  if (c_stats.columnar_rows != static_cast<int64_t>(n)) {
+    Die("coalesce", "columnar_rows meter");
+  }
+
+  const int reps = Reps(n, 1000000);
+  for (auto _ : state) {
+    const double scalar_s = TimeSeconds(reps, [&] {
+      CoalesceStats stats;
+      auto out = scalar_fold.Coalesce(deltas, &stats);
+      benchmark::DoNotOptimize(out->size());
+    });
+    const double columnar_s = TimeSeconds(reps, [&] {
+      CoalesceStats stats;
+      auto out = columnar_fold.Coalesce(deltas, &stats);
+      benchmark::DoNotOptimize(out->size());
+    });
+    EmitPair("coalesce", n, reps, scalar_s, columnar_s);
+  }
+}
+BENCHMARK(BM_CoalesceFold)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---------------------------------------------------------------------
+// Kernel: a full group-by consume over the linear aggregates (sum, count,
+// avg — the ones with typed weighted fast paths; min/max cost is multiset
+// bookkeeping that boxes identically on both planes),
+// EngineConfig::columnar_batches off vs on — the end-to-end operator
+// cost, not just the fold.
+struct GroupByRun {
+  std::vector<Tuple> results;
+  double seconds = 0;
+};
+
+GroupByRun RunGroupBy(const DeltaVec& deltas, bool columnar, int reps) {
+  Network network(1);
+  PartitionMap pmap({0}, 1);
+  UdfRegistry udfs;
+  StorageCatalog storage;
+  MetricsRegistry metrics;
+  VoteBoard votes;
+  CheckpointStore checkpoints;
+  EngineConfig config;
+  config.columnar_batches = columnar;
+  ExecContext ctx;
+  ctx.network = &network;
+  ctx.pmap = &pmap;
+  ctx.udfs = &udfs;
+  ctx.storage = &storage;
+  ctx.metrics = &metrics;
+  ctx.votes = &votes;
+  ctx.checkpoints = &checkpoints;
+  ctx.config = &config;
+
+  constexpr size_t kChunk = 2048;
+  GroupByRun run;
+  run.seconds = TimeSeconds(reps, [&] {
+    GroupByOp::Params params;
+    params.key_fields = {0};
+    params.aggs = {{AggKind::kSum, 1, "sum"},
+                   {AggKind::kCount, -1, "n"},
+                   {AggKind::kAvg, 2, "avg"}};
+    params.mode = GroupByOp::Mode::kStratum;
+    GroupByOp gb(0, params);
+    SinkOp sink(1);
+    gb.AddOutput(&sink, 0);
+    if (!gb.Open(&ctx).ok() || !sink.Open(&ctx).ok()) Die("group", "open");
+    for (size_t i = 0; i < deltas.size(); i += kChunk) {
+      const size_t end = std::min(deltas.size(), i + kChunk);
+      DeltaVec chunk(deltas.begin() + static_cast<long>(i),
+                     deltas.begin() + static_cast<long>(end));
+      if (!gb.Consume(0, std::move(chunk)).ok()) Die("group", "consume");
+    }
+    Punctuation punct;
+    punct.kind = Punctuation::Kind::kEndOfStratum;
+    punct.stratum = 0;
+    if (!gb.OnPunct(0, punct).ok()) Die("group", "punct");
+    run.results = sink.results().tuples();
+  });
+  std::sort(run.results.begin(), run.results.end());
+  return run;
+}
+
+void BM_GroupFold(benchmark::State& state) {
+  const size_t n = Rows();
+  const DeltaVec deltas = MakeIntStream(n, 512, 71);
+  {
+    GroupByRun s = RunGroupBy(deltas, /*columnar=*/false, 1);
+    GroupByRun c = RunGroupBy(deltas, /*columnar=*/true, 1);
+    if (s.results != c.results) Die("group", "results");
+  }
+  const int reps = Reps(n, 1000000);
+  for (auto _ : state) {
+    const double scalar_s = RunGroupBy(deltas, false, reps).seconds;
+    const double columnar_s = RunGroupBy(deltas, true, reps).seconds;
+    EmitPair("group", n, reps, scalar_s, columnar_s);
+  }
+}
+BENCHMARK(BM_GroupFold)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rexbench
+
+int main(int argc, char** argv) {
+  rexbench::PrintHeader("colplane",
+                        "Columnar delta-plane kernels — scalar vs "
+                        "vectorized, bit-identity checked");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

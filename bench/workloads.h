@@ -54,6 +54,10 @@ inline MrConfig BenchMrConfig(int workers) {
 struct RexRunTweaks {
   bool coalesce_deltas = true;
   bool preaggregate = true;
+  /// Columnar delta batches (exec.batch_* kernels); off reproduces the
+  /// pure scalar data plane for the ablation pairs. Results are
+  /// bit-identical either way.
+  bool columnar_batches = true;
 };
 
 /// REX PageRank in any of the three configurations of §6. `iterations`
@@ -66,6 +70,7 @@ inline Result<SeriesResult> RunRexPageRank(const GraphData& graph,
                                            RexRunTweaks tweaks = {}) {
   EngineConfig engine = BenchEngineConfig(workers);
   engine.coalesce_deltas = tweaks.coalesce_deltas;
+  engine.columnar_batches = tweaks.columnar_batches;
   Cluster cluster(std::move(engine));
   PageRankConfig cfg;
   cfg.threshold = threshold;
@@ -115,6 +120,7 @@ inline Result<SeriesResult> RunRexSssp(const GraphData& graph, bool delta,
                                        RexRunTweaks tweaks = {}) {
   EngineConfig engine = BenchEngineConfig(workers);
   engine.coalesce_deltas = tweaks.coalesce_deltas;
+  engine.columnar_batches = tweaks.columnar_batches;
   Cluster cluster(std::move(engine));
   REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
   SsspConfig cfg;

@@ -1,0 +1,163 @@
+#include "common/delta_batch.h"
+
+namespace rex {
+
+const char* BatchColTypeName(BatchColType t) {
+  switch (t) {
+    case BatchColType::kInt:
+      return "INTEGER";
+    case BatchColType::kDouble:
+      return "DOUBLE";
+    case BatchColType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+uint32_t StringPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<uint32_t>(arena_.size());
+  arena_.emplace_back(s);
+  arena_bytes_ += s.size();
+  // Hash exactly as Value::SlowHash does for strings.
+  hashes_.push_back(HashBytes(arena_.back().data(), arena_.back().size()));
+  // Key the index by a view into the arena copy (stable for the pool's
+  // lifetime), not the caller's transient bytes.
+  index_.emplace(std::string_view(arena_.back()), id);
+  return id;
+}
+
+std::optional<DeltaBatch> DeltaBatch::FromDeltas(const DeltaVec& deltas) {
+  if (deltas.empty()) return std::nullopt;
+  const size_t arity = deltas.front().tuple.size();
+  if (arity == 0) return std::nullopt;
+
+  DeltaBatch batch;
+  batch.columns_.resize(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    switch (deltas.front().tuple.field(c).type()) {
+      case ValueType::kInt:
+        batch.columns_[c].type = BatchColType::kInt;
+        batch.columns_[c].ints.reserve(deltas.size());
+        break;
+      case ValueType::kDouble:
+        batch.columns_[c].type = BatchColType::kDouble;
+        batch.columns_[c].doubles.reserve(deltas.size());
+        break;
+      case ValueType::kString:
+        batch.columns_[c].type = BatchColType::kString;
+        batch.columns_[c].str_ids.reserve(deltas.size());
+        batch.string_cols_.push_back(c);
+        break;
+      default:  // null / bool / list: outside the fast-path domain
+        return std::nullopt;
+    }
+    batch.row_fields_bytes_ +=
+        batch.columns_[c].type == BatchColType::kString ? 5 : 9;
+  }
+
+  batch.ops_.reserve(deltas.size());
+  batch.weights_.reserve(deltas.size());
+  for (const Delta& d : deltas) {
+    if (d.op != DeltaOp::kInsert && d.op != DeltaOp::kDelete &&
+        d.op != DeltaOp::kUpdate) {
+      return std::nullopt;
+    }
+    if (!d.old_tuple.empty()) return std::nullopt;
+    if (d.weight == INT64_MIN) return std::nullopt;
+    if (d.tuple.size() != arity) return std::nullopt;
+    for (size_t c = 0; c < arity; ++c) {
+      const Value& v = d.tuple.field(c);
+      BatchColumn& col = batch.columns_[c];
+      switch (col.type) {
+        case BatchColType::kInt:
+          if (v.type() != ValueType::kInt) return std::nullopt;
+          col.ints.push_back(v.AsInt());
+          break;
+        case BatchColType::kDouble:
+          if (v.type() != ValueType::kDouble) return std::nullopt;
+          col.doubles.push_back(v.AsDouble());
+          break;
+        case BatchColType::kString:
+          if (v.type() != ValueType::kString) return std::nullopt;
+          col.str_ids.push_back(batch.pool_.Intern(v.AsString()));
+          break;
+      }
+    }
+    batch.ops_.push_back(d.op);
+    batch.weights_.push_back(d.weight);
+  }
+  return batch;
+}
+
+DeltaVec DeltaBatch::ToDeltas() const {
+  DeltaVec out;
+  out.reserve(NumRows());
+  for (size_t r = 0; r < NumRows(); ++r) out.push_back(MaterializeDelta(r));
+  return out;
+}
+
+std::vector<BatchColType> DeltaBatch::ColumnTypes() const {
+  std::vector<BatchColType> out;
+  out.reserve(columns_.size());
+  for (const BatchColumn& c : columns_) out.push_back(c.type);
+  return out;
+}
+
+Tuple DeltaBatch::MaterializeRow(size_t row) const {
+  std::vector<Value> fields;
+  fields.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    fields.push_back(ValueAt(row, c));
+  }
+  return Tuple(std::move(fields));
+}
+
+Delta DeltaBatch::MaterializeDelta(size_t row) const {
+  Delta d;
+  d.op = ops_[row];
+  d.tuple = MaterializeRow(row);
+  d.weight = weights_[row];
+  return d;
+}
+
+Value DeltaBatch::ValueAt(size_t row, size_t col) const {
+  const BatchColumn& c = columns_[col];
+  switch (c.type) {
+    case BatchColType::kInt:
+      return Value(c.ints[row]);
+    case BatchColType::kDouble:
+      return Value(c.doubles[row]);
+    case BatchColType::kString:
+      return Value(pool_.Get(c.str_ids[row]));
+  }
+  return Value();  // unreachable
+}
+
+bool DeltaBatch::CellEqualsValue(size_t row, size_t col,
+                                 const Value& v) const {
+  const BatchColumn& c = columns_[col];
+  switch (c.type) {
+    case BatchColType::kInt:
+      if (v.type() == ValueType::kInt) return c.ints[row] == v.AsInt();
+      if (v.type() == ValueType::kDouble) {
+        // Cross-type numeric equality compares through doubles, exactly as
+        // Value::MixedEquals does.
+        return static_cast<double>(c.ints[row]) == v.AsDouble();
+      }
+      return false;
+    case BatchColType::kDouble:
+      if (v.type() == ValueType::kDouble) return c.doubles[row] == v.AsDouble();
+      if (v.type() == ValueType::kInt) {
+        return c.doubles[row] == static_cast<double>(v.AsInt());
+      }
+      return false;
+    case BatchColType::kString:
+      return v.type() == ValueType::kString &&
+             pool_.Get(c.str_ids[row]) == v.AsString();
+  }
+  return false;  // unreachable
+}
+
+}  // namespace rex

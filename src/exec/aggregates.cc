@@ -80,6 +80,29 @@ class SumFunction : public AggFunction {
                        int64_t w) const override {
     return Apply(state, v, w);
   }
+  Status ApplyWeightedInt(AggState* state, int64_t v,
+                          int64_t w) const override {
+    auto* s = static_cast<SumState*>(state);
+    int64_t contribution = 0;
+    int64_t next = 0;
+    if (__builtin_mul_overflow(w, v, &contribution) ||
+        __builtin_add_overflow(s->int_sum, contribution, &next)) {
+      return Status::InvalidArgument(
+          "sum() overflow: " + std::to_string(s->int_sum) + " + " +
+          std::to_string(w) + "×" + Value(v).ToString() +
+          " leaves int64 range");
+    }
+    s->int_sum = next;
+    s->sum += static_cast<double>(w) * static_cast<double>(v);
+    return CheckedCountAdd(&s->count, w, "sum");
+  }
+  Status ApplyWeightedDouble(AggState* state, double v,
+                             int64_t w) const override {
+    auto* s = static_cast<SumState*>(state);
+    s->all_int = false;
+    s->sum += static_cast<double>(w) * v;
+    return CheckedCountAdd(&s->count, w, "sum");
+  }
   bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
     const auto* s = static_cast<const SumState*>(state);
@@ -142,6 +165,16 @@ class CountFunction : public AggFunction {
     return CheckedCountAdd(&static_cast<CountState*>(state)->count, w,
                            "count");
   }
+  Status ApplyWeightedInt(AggState* state, int64_t,
+                          int64_t w) const override {
+    return CheckedCountAdd(&static_cast<CountState*>(state)->count, w,
+                           "count");
+  }
+  Status ApplyWeightedDouble(AggState* state, double,
+                             int64_t w) const override {
+    return CheckedCountAdd(&static_cast<CountState*>(state)->count, w,
+                           "count");
+  }
   bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
     return Value(static_cast<const CountState*>(state)->count);
@@ -152,8 +185,16 @@ class CountFunction : public AggFunction {
   ValueType ResultType(ValueType) const override { return ValueType::kInt; }
 };
 
+/// Mirrors SumState's exact integer fast path: a pure-int input stream
+/// accumulates in `int_sum` (overflow-checked) and only converts to double
+/// at finalize. Accumulating in `sum` alone drifts once the running total
+/// leaves ±2^53 — long insert/retract churn under weighted ℤ-set updates
+/// then returns an average off by the accumulated rounding error even
+/// after most inputs retract.
 struct AvgState : AggState {
   double sum = 0;
+  int64_t int_sum = 0;
+  bool all_int = true;
   int64_t count = 0;
 };
 
@@ -172,10 +213,27 @@ class AvgFunction : public AggFunction {
                        int64_t w) const override {
     return Apply(state, v, w);
   }
+  Status ApplyWeightedInt(AggState* state, int64_t v,
+                          int64_t w) const override {
+    return ApplyInt(state, v, w);
+  }
+  Status ApplyWeightedDouble(AggState* state, double v,
+                             int64_t w) const override {
+    auto* s = static_cast<AvgState*>(state);
+    s->all_int = false;
+    s->sum += static_cast<double>(w) * v;
+    return CheckedCountAdd(&s->count, w, "avg");
+  }
   bool IsLinear() const override { return true; }
   Result<Value> Current(const AggState* state) const override {
     const auto* s = static_cast<const AvgState*>(state);
     if (s->count == 0) return Value::Null();
+    if (s->all_int) {
+      // Exact until finalize: one rounding at the division, none on the
+      // accumulation.
+      return Value(static_cast<double>(s->int_sum) /
+                   static_cast<double>(s->count));
+    }
     return Value(s->sum / static_cast<double>(s->count));
   }
   int64_t Count(const AggState* state) const override {
@@ -186,10 +244,28 @@ class AvgFunction : public AggFunction {
   }
 
  private:
+  static Status ApplyInt(AggState* state, int64_t v, int64_t weight) {
+    auto* s = static_cast<AvgState*>(state);
+    int64_t contribution = 0;
+    int64_t next = 0;
+    if (__builtin_mul_overflow(weight, v, &contribution) ||
+        __builtin_add_overflow(s->int_sum, contribution, &next)) {
+      return Status::InvalidArgument(
+          "avg() overflow: " + std::to_string(s->int_sum) + " + " +
+          std::to_string(weight) + "×" + Value(v).ToString() +
+          " leaves int64 range");
+    }
+    s->int_sum = next;
+    s->sum += static_cast<double>(weight) * static_cast<double>(v);
+    return CheckedCountAdd(&s->count, weight, "avg");
+  }
+
   static Status Apply(AggState* state, const Value& v, int64_t weight) {
     auto* s = static_cast<AvgState*>(state);
     if (v.is_null()) return Status::OK();
+    if (v.type() == ValueType::kInt) return ApplyInt(state, v.AsInt(), weight);
     REX_ASSIGN_OR_RETURN(double d, v.ToDouble());
+    s->all_int = false;
     s->sum += static_cast<double>(weight) * d;
     return CheckedCountAdd(&s->count, weight, "avg");
   }

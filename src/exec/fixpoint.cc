@@ -38,6 +38,16 @@ Result<Delta> DecodeCheckpoint(const Tuple& t) {
 
 Status FixpointOp::Open(ExecContext* ctx) {
   REX_RETURN_NOT_OK(Operator::Open(ctx));
+  // The key-match loops index tuples through static_cast<size_t>, so a
+  // negative index would wrap to a huge offset instead of failing; reject
+  // it at plan time.
+  for (int k : params_.key_fields) {
+    if (k < 0) {
+      return Status::InvalidArgument(
+          "fixpoint key field index must be non-negative, got " +
+          std::to_string(k));
+    }
+  }
   if (!params_.while_handler.empty()) {
     REX_ASSIGN_OR_RETURN(handler_,
                          ctx->udfs->GetWhileHandler(params_.while_handler));
@@ -46,10 +56,12 @@ Status FixpointOp::Open(ExecContext* ctx) {
   if (ctx->config->coalesce_deltas && params_.mode == Mode::kDelta) {
     CoalesceOptions opts;
     opts.key_fields = params_.key_fields;
+    opts.columnar = ctx->config->columnar_batches;
     coalescer_.emplace(std::move(opts));
     deltas_coalesced_ = ctx->metrics->GetCounter(metrics::kDeltasCoalesced);
     coalesce_bytes_saved_ =
         ctx->metrics->GetCounter(metrics::kCoalesceBytesSaved);
+    batch_rows_ = ctx->metrics->GetCounter(metrics::kBatchRows);
   }
   return Status::OK();
 }
@@ -250,6 +262,7 @@ Status FixpointOp::StartStratum(int stratum) {
                            coalescer_->Coalesce(std::move(flush), &stats));
       deltas_coalesced_->Add(stats.folded);
       coalesce_bytes_saved_->Add(stats.bytes_saved);
+      if (stats.columnar_rows > 0) batch_rows_->Add(stats.columnar_rows);
     }
   }
   // Counted after coalescing: the per-stratum Δ cardinality the Figure 3 /

@@ -166,6 +166,8 @@ class FixpointOp : public Operator {
   std::optional<DeltaCoalescer> coalescer_;
   Counter* deltas_coalesced_ = nullptr;
   Counter* coalesce_bytes_saved_ = nullptr;
+  /// Rows the coalescer's columnar fold handled (exec.batch_rows).
+  Counter* batch_rows_ = nullptr;
 
   VoteStats stats_;  // current stratum
 };

@@ -1,14 +1,35 @@
 #include "exec/hash_join.h"
 
+#include "exec/vectorized.h"
+
 namespace rex {
 
 Status HashJoinOp::Open(ExecContext* ctx) {
   REX_RETURN_NOT_OK(Operator::Open(ctx));
+  // The key loops index tuples through static_cast<size_t>, so a negative
+  // index would wrap instead of failing; reject it at plan time.
+  for (int side = 0; side < 2; ++side) {
+    for (int k : KeysOf(side)) {
+      if (k < 0) {
+        return Status::InvalidArgument(
+            std::string("join ") + (side == 0 ? "left" : "right") +
+            " key field index must be non-negative, got " +
+            std::to_string(k));
+      }
+    }
+  }
   if (!params_.handler.empty()) {
     REX_ASSIGN_OR_RETURN(handler_, ctx->udfs->GetJoinHandler(params_.handler));
   } else if (params_.handler_owns_all) {
     return Status::InvalidArgument(
         "handler_owns_all requires a join handler name");
+  }
+  columnar_ = ctx->config->columnar_batches;
+  if (columnar_) {
+    batch_rows_ = ctx->metrics->GetCounter(metrics::kBatchRows);
+    batch_batches_ = ctx->metrics->GetCounter(metrics::kBatchBatches);
+    batch_fallback_rows_ =
+        ctx->metrics->GetCounter(metrics::kBatchFallbackRows);
   }
   return Status::OK();
 }
@@ -51,7 +72,12 @@ bool HashJoinOp::KeyMatches(const Bucket& b, const Tuple& t,
 
 HashJoinOp::Bucket* HashJoinOp::FindBucketFromTuple(const Tuple& t,
                                                     int port) {
-  std::vector<Bucket>* chain = buckets_.Find(HashTupleKey(t, port));
+  return FindBucketFromTuple(t, port, HashTupleKey(t, port));
+}
+
+HashJoinOp::Bucket* HashJoinOp::FindBucketFromTuple(const Tuple& t, int port,
+                                                    uint64_t hash) {
+  std::vector<Bucket>* chain = buckets_.Find(hash);
   if (chain == nullptr) return nullptr;
   for (Bucket& b : *chain) {
     if (KeyMatches(b, t, port)) return &b;
@@ -61,7 +87,13 @@ HashJoinOp::Bucket* HashJoinOp::FindBucketFromTuple(const Tuple& t,
 
 HashJoinOp::Bucket* HashJoinOp::FindOrCreateFromTuple(const Tuple& t,
                                                       int port) {
-  auto& chain = buckets_.FindOrCreate(HashTupleKey(t, port));
+  return FindOrCreateFromTuple(t, port, HashTupleKey(t, port));
+}
+
+HashJoinOp::Bucket* HashJoinOp::FindOrCreateFromTuple(const Tuple& t,
+                                                      int port,
+                                                      uint64_t hash) {
+  auto& chain = buckets_.FindOrCreate(hash);
   for (Bucket& b : chain) {
     if (KeyMatches(b, t, port)) return &b;
   }
@@ -89,8 +121,8 @@ HashJoinOp::Bucket* HashJoinOp::FindOrCreate(const std::vector<Value>& key,
 }
 
 Status HashJoinOp::Probe(int port, const Tuple& t, DeltaOp op,
-                         int64_t weight, DeltaVec* out) {
-  Bucket* b = FindBucketFromTuple(t, port);
+                         int64_t weight, DeltaVec* out, uint64_t hash) {
+  Bucket* b = FindBucketFromTuple(t, port, hash);
   if (b == nullptr) return Status::OK();
   const int other = 1 - port;
   for (const Tuple& match : b->side[other]) {
@@ -108,6 +140,14 @@ Status HashJoinOp::Probe(int port, const Tuple& t, DeltaOp op,
 }
 
 Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
+  // Insert/delete canonicalization never changes d.tuple, so the key hash
+  // can be computed once up front.
+  const uint64_t hash = HashTupleKey(d.tuple, port);
+  return ApplyStandard(port, std::move(d), out, hash);
+}
+
+Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out,
+                                 uint64_t hash) {
   const bool immutable_side = params_.immutable[port];
   // Canonicalize the set plane: insert of weight -w is a delete of weight
   // w, and weight zero is a no-op everywhere.
@@ -130,16 +170,16 @@ Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
       // with the annotation (weight included, opaque) preserved on
       // outputs. A weighted +() materializes its multiplicity as physical
       // copies, so bucket cardinality equals ℤ-set multiplicity.
-      Bucket* b = FindOrCreateFromTuple(d.tuple, port);
+      Bucket* b = FindOrCreateFromTuple(d.tuple, port, hash);
       const int64_t copies = d.op == DeltaOp::kInsert ? d.weight : 1;
       for (int64_t i = 0; i < copies; ++i) b->side[port].Add(d.tuple);
       if (!immutable_side) {
-        REX_RETURN_NOT_OK(Probe(port, d.tuple, d.op, d.weight, out));
+        REX_RETURN_NOT_OK(Probe(port, d.tuple, d.op, d.weight, out, hash));
       }
       return Status::OK();
     }
     case DeltaOp::kDelete: {
-      Bucket* b = FindBucketFromTuple(d.tuple, port);
+      Bucket* b = FindBucketFromTuple(d.tuple, port, hash);
       if (b != nullptr) {
         for (int64_t i = 0; i < d.weight; ++i) {
           if (!b->side[port].Remove(d.tuple)) break;
@@ -147,7 +187,7 @@ Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
       }
       if (!immutable_side) {
         REX_RETURN_NOT_OK(
-            Probe(port, d.tuple, DeltaOp::kDelete, d.weight, out));
+            Probe(port, d.tuple, DeltaOp::kDelete, d.weight, out, hash));
       }
       return Status::OK();
     }
@@ -156,7 +196,9 @@ Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
       std::vector<Value> old_key = KeyValues(d.old_tuple, port);
       if (new_key == old_key) {
         Bucket* b = FindOrCreate(new_key, HashKey(new_key));
-        b->side[port].Replace(d.old_tuple, d.tuple);
+        // Upsert: a replace whose old image was never buffered (e.g. the
+        // first -> for a key) still lands the new image in the bucket.
+        b->side[port].ReplaceOrInsert(d.old_tuple, d.tuple);
         // Matches see a replacement of the joined tuple.
         const int other = 1 - port;
         for (const Tuple& match : b->side[other]) {
@@ -183,7 +225,12 @@ Status HashJoinOp::ApplyStandard(int port, Delta d, DeltaVec* out) {
 }
 
 Status HashJoinOp::ApplyHandler(int port, const Delta& d, DeltaVec* out) {
-  Bucket* b = FindOrCreateFromTuple(d.tuple, port);
+  return ApplyHandler(port, d, out, HashTupleKey(d.tuple, port));
+}
+
+Status HashJoinOp::ApplyHandler(int port, const Delta& d, DeltaVec* out,
+                                uint64_t hash) {
+  Bucket* b = FindOrCreateFromTuple(d.tuple, port, hash);
   // The handler sees the bucket its delta arrived into first, then the
   // opposite side (the paper's LEFTBUCKET/RIGHTBUCKET convention).
   REX_ASSIGN_OR_RETURN(DeltaVec produced,
@@ -195,13 +242,38 @@ Status HashJoinOp::ApplyHandler(int port, const Delta& d, DeltaVec* out) {
 
 Status HashJoinOp::ConsumeDeltas(int port, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
+  // Columnar plane: for an in-domain batch, hash the key columns
+  // column-at-a-time (strings hash once per distinct interned value) and
+  // feed the precomputed hashes to the per-row build/probe. An empty key
+  // list means whole-tuple hashing on the scalar path's terms (bare
+  // seed), which SeededKeyHashRows does not reproduce — keep scalar.
+  std::vector<uint64_t> hashes;
+  bool hashed = false;
+  if (columnar_ && !deltas.empty() && !KeysOf(port).empty()) {
+    std::optional<DeltaBatch> batch = DeltaBatch::FromDeltas(deltas);
+    if (batch.has_value() && batch->KeyFieldsInRange(KeysOf(port))) {
+      SeededKeyHashRows(*batch, kJoinHashSeed, KeysOf(port), &hashes);
+      hashed = true;
+      batch_rows_->Add(static_cast<int64_t>(deltas.size()));
+      batch_batches_->Add(1);
+    } else {
+      batch_fallback_rows_->Add(static_cast<int64_t>(deltas.size()));
+    }
+  }
   DeltaVec out;
-  for (Delta& d : deltas) {
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    Delta& d = deltas[i];
     const bool use_handler =
         handler_ != nullptr && !params_.immutable[port] &&
         (params_.handler_owns_all || d.op == DeltaOp::kUpdate);
     if (use_handler) {
-      REX_RETURN_NOT_OK(ApplyHandler(port, d, &out));
+      if (hashed) {
+        REX_RETURN_NOT_OK(ApplyHandler(port, d, &out, hashes[i]));
+      } else {
+        REX_RETURN_NOT_OK(ApplyHandler(port, d, &out));
+      }
+    } else if (hashed) {
+      REX_RETURN_NOT_OK(ApplyStandard(port, std::move(d), &out, hashes[i]));
     } else {
       REX_RETURN_NOT_OK(ApplyStandard(port, std::move(d), &out));
     }

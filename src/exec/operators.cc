@@ -62,8 +62,50 @@ Status ScanOp::RecoveryReload() {
 
 // -------------------------------------------------------------- FilterOp --
 
+Status FilterOp::Open(ExecContext* ctx) {
+  REX_RETURN_NOT_OK(Operator::Open(ctx));
+  columnar_ = ctx->config->columnar_batches;
+  compiled_.clear();
+  batch_rows_ = ctx->metrics->GetCounter(metrics::kBatchRows);
+  batch_batches_ = ctx->metrics->GetCounter(metrics::kBatchBatches);
+  batch_fallback_rows_ =
+      ctx->metrics->GetCounter(metrics::kBatchFallbackRows);
+  return Status::OK();
+}
+
 Status FilterOp::ConsumeDeltas(int, DeltaVec deltas) {
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
+  if (columnar_ && !deltas.empty()) {
+    auto batch = DeltaBatch::FromDeltas(deltas);
+    if (batch.has_value()) {
+      std::vector<BatchColType> types = batch->ColumnTypes();
+      const std::optional<CompiledPredicate>* plan = nullptr;
+      for (const auto& [sig, compiled] : compiled_) {
+        if (sig == types) {
+          plan = &compiled;
+          break;
+        }
+      }
+      if (plan == nullptr) {
+        compiled_.emplace_back(types,
+                               CompiledPredicate::Compile(*predicate_, types));
+        plan = &compiled_.back().second;
+      }
+      if (plan->has_value()) {
+        batch_rows_->Add(static_cast<int64_t>(deltas.size()));
+        batch_batches_->Increment();
+        std::vector<uint8_t> mask;
+        (*plan)->Eval(*batch, &mask);
+        DeltaVec out;
+        out.reserve(deltas.size());
+        for (size_t i = 0; i < deltas.size(); ++i) {
+          if (mask[i] != 0) out.push_back(std::move(deltas[i]));
+        }
+        return Emit(std::move(out));
+      }
+    }
+    batch_fallback_rows_->Add(static_cast<int64_t>(deltas.size()));
+  }
   DeltaVec out;
   out.reserve(deltas.size());
   for (Delta& d : deltas) {
@@ -252,7 +294,9 @@ Status SinkOp::ConsumeDeltas(int, DeltaVec deltas) {
         results_.Remove(d.tuple);
         break;
       case DeltaOp::kReplace:
-        results_.Replace(d.old_tuple, std::move(d.tuple));
+        // Upsert: a -> whose old image never reached this sink (e.g. it
+        // was folded away upstream) must still land the new image.
+        results_.ReplaceOrInsert(d.old_tuple, std::move(d.tuple));
         break;
       case DeltaOp::kBatch:
         // Wire-only packing; the receiving rehash expands it.
@@ -271,11 +315,17 @@ Status RehashOp::Open(ExecContext* ctx) {
                   DeltaVec());
   SetExpectedPuncts(1, ctx->pmap->num_workers());
   coalescer_.reset();
+  columnar_ = ctx->config->columnar_batches;
+  batch_rows_ = ctx->metrics->GetCounter(metrics::kBatchRows);
+  batch_batches_ = ctx->metrics->GetCounter(metrics::kBatchBatches);
+  batch_fallback_rows_ =
+      ctx->metrics->GetCounter(metrics::kBatchFallbackRows);
   if (ctx->config->coalesce_deltas && !params_.broadcast) {
     CoalesceOptions opts;
     opts.key_fields = params_.key_fields;
     opts.dedupe_idempotent = params_.idempotent_updates;
     opts.pack_runs = true;
+    opts.columnar = columnar_;
     coalescer_.emplace(std::move(opts));
     deltas_coalesced_ = ctx->metrics->GetCounter(metrics::kDeltasCoalesced);
     coalesce_bytes_saved_ =
@@ -299,6 +349,7 @@ Status RehashOp::FlushTo(int dest) {
     REX_ASSIGN_OR_RETURN(batch, coalescer_->Coalesce(std::move(batch), &stats));
     deltas_coalesced_->Add(stats.folded);
     coalesce_bytes_saved_->Add(stats.bytes_saved);
+    if (stats.columnar_rows > 0) batch_rows_->Add(stats.columnar_rows);
     if (batch.empty()) return Status::OK();  // fully annihilated
   }
   return ctx_->network->Send(
@@ -329,6 +380,10 @@ Status RehashOp::Route(Delta d) {
     return Status::OK();
   }
   const uint64_t h = PartitionHash(d.tuple, params_.key_fields);
+  return RouteHashed(std::move(d), h);
+}
+
+Status RehashOp::RouteHashed(Delta d, uint64_t h) {
   const int dest = ctx_->pmap->PrimaryOwner(h);
   if (dest == ctx_->worker_id) {
     DeltaVec self{std::move(d)};
@@ -348,6 +403,21 @@ Status RehashOp::ConsumeDeltas(int port, DeltaVec deltas) {
     return Emit(std::move(deltas));
   }
   tuples_processed_->Add(static_cast<int64_t>(deltas.size()));
+  if (columnar_ && !params_.broadcast && !params_.key_fields.empty() &&
+      !deltas.empty()) {
+    auto batch = DeltaBatch::FromDeltas(deltas);
+    if (batch.has_value() && batch->KeyFieldsInRange(params_.key_fields)) {
+      batch_rows_->Add(static_cast<int64_t>(deltas.size()));
+      batch_batches_->Increment();
+      std::vector<uint64_t> hashes;
+      PartitionHashRows(*batch, params_.key_fields, &hashes);
+      for (size_t i = 0; i < deltas.size(); ++i) {
+        REX_RETURN_NOT_OK(RouteHashed(std::move(deltas[i]), hashes[i]));
+      }
+      return Status::OK();
+    }
+    batch_fallback_rows_->Add(static_cast<int64_t>(deltas.size()));
+  }
   for (Delta& d : deltas) REX_RETURN_NOT_OK(Route(std::move(d)));
   return Status::OK();
 }

@@ -1,6 +1,22 @@
 #include "exec/tuple_set.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace rex {
+
+namespace {
+/// A negative field index fed into the size_t casts below wraps to a huge
+/// offset, so every lookup silently missed (nullptr / nullopt) instead of
+/// surfacing the caller's bug. Crash loudly instead.
+void CheckFieldIndex(const char* what, int field) {
+  if (field >= 0) return;
+  std::fprintf(stderr, "TupleSet::%s: negative field index %d\n", what,
+               field);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace
 
 bool TupleSet::Remove(const Tuple& t) {
   for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
@@ -19,11 +35,22 @@ bool TupleSet::Replace(const Tuple& old_t, Tuple new_t) {
       return true;
     }
   }
+  return false;
+}
+
+bool TupleSet::ReplaceOrInsert(const Tuple& old_t, Tuple new_t) {
+  for (Tuple& existing : tuples_) {
+    if (existing == old_t) {
+      existing = std::move(new_t);
+      return true;
+    }
+  }
   tuples_.push_back(std::move(new_t));
   return false;
 }
 
 const Tuple* TupleSet::Find(const Value& key, int key_field) const {
+  CheckFieldIndex("Find", key_field);
   for (const Tuple& t : tuples_) {
     if (t.size() > static_cast<size_t>(key_field) &&
         t.field(static_cast<size_t>(key_field)) == key) {
@@ -40,6 +67,7 @@ Tuple* TupleSet::Find(const Value& key, int key_field) {
 
 std::optional<Value> TupleSet::Get(const Value& key, int value_field,
                                    int key_field) const {
+  CheckFieldIndex("Get", value_field);
   const Tuple* t = Find(key, key_field);
   if (t == nullptr || t->size() <= static_cast<size_t>(value_field)) {
     return std::nullopt;

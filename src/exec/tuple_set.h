@@ -33,17 +33,24 @@ class TupleSet {
   /// Removes the first tuple equal to `t`; returns whether one was found.
   bool Remove(const Tuple& t);
 
-  /// Replaces the first tuple equal to `old_t` with `new_t`; appends
-  /// `new_t` if `old_t` was absent. Returns whether a replacement happened.
+  /// Replaces the first tuple equal to `old_t` with `new_t`. Strict: a
+  /// miss leaves the set untouched and returns false (it used to append —
+  /// callers that want upsert semantics must say so via ReplaceOrInsert).
   bool Replace(const Tuple& old_t, Tuple new_t);
+
+  /// Upsert form of Replace: appends `new_t` when `old_t` is absent.
+  /// Returns whether an existing tuple was replaced (false = appended).
+  bool ReplaceOrInsert(const Tuple& old_t, Tuple new_t);
 
   // -- key->value convenience layer (field `key_field` is the key) --------
 
-  /// First tuple whose `key_field` equals `key`, or nullptr.
+  /// First tuple whose `key_field` equals `key`, or nullptr. A negative
+  /// field index aborts (it used to wrap through size_t and silently miss).
   const Tuple* Find(const Value& key, int key_field = 0) const;
   Tuple* Find(const Value& key, int key_field = 0);
 
-  /// Value of field `value_field` for `key`, if present.
+  /// Value of field `value_field` for `key`, if present. Negative field
+  /// indexes abort, as in Find.
   std::optional<Value> Get(const Value& key, int value_field = 1,
                            int key_field = 0) const;
 

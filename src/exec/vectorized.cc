@@ -1,0 +1,452 @@
+#include "exec/vectorized.h"
+
+#include <cmath>
+
+namespace rex {
+
+// ---------------------------------------------------------------- hashes --
+
+namespace {
+
+/// Appends the Value::Hash of every row of one column into `out` (resized
+/// by the caller). Tight per-type loops: no variant dispatch per row.
+void ColumnValueHashes(const DeltaBatch& batch, size_t col,
+                       std::vector<uint64_t>* out) {
+  const BatchColumn& c = batch.column(col);
+  const size_t n = batch.NumRows();
+  switch (c.type) {
+    case BatchColType::kInt:
+      for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(c.ints[i]);
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        (*out)[i] = HashMix(bits);
+      }
+      break;
+    case BatchColType::kDouble:
+      for (size_t i = 0; i < n; ++i) {
+        double d = c.doubles[i];
+        if (d == 0.0) d = 0.0;  // normalize -0.0
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        (*out)[i] = HashMix(bits);
+      }
+      break;
+    case BatchColType::kString: {
+      // One hash per distinct string (precomputed at intern time), gathered
+      // per row by id.
+      const StringPool& pool = batch.pool();
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = pool.HashOf(c.str_ids[i]);
+      }
+      break;
+    }
+  }
+}
+
+void CombineColumnHashes(const DeltaBatch& batch, uint64_t seed,
+                         const std::vector<size_t>& cols,
+                         std::vector<uint64_t>* hashes) {
+  const size_t n = batch.NumRows();
+  hashes->assign(n, seed);
+  std::vector<uint64_t> field(n);
+  for (size_t col : cols) {
+    ColumnValueHashes(batch, col, &field);
+    for (size_t i = 0; i < n; ++i) {
+      (*hashes)[i] = HashCombine((*hashes)[i], field[i]);
+    }
+  }
+}
+
+}  // namespace
+
+void PartitionHashRows(const DeltaBatch& batch,
+                       const std::vector<int>& key_fields,
+                       std::vector<uint64_t>* hashes) {
+  if (key_fields.size() == 1) {
+    // PartitionHash of a single-field key is exactly Value::Hash.
+    hashes->resize(batch.NumRows());
+    ColumnValueHashes(batch, static_cast<size_t>(key_fields[0]), hashes);
+    return;
+  }
+  std::vector<size_t> cols;
+  cols.reserve(key_fields.size());
+  for (int f : key_fields) cols.push_back(static_cast<size_t>(f));
+  CombineColumnHashes(batch, 0x2545f4914f6cdd1dULL, cols, hashes);
+}
+
+void SeededKeyHashRows(const DeltaBatch& batch, uint64_t seed,
+                       const std::vector<int>& key_fields,
+                       std::vector<uint64_t>* hashes) {
+  std::vector<size_t> cols;
+  if (key_fields.empty()) {
+    for (size_t c = 0; c < batch.NumColumns(); ++c) cols.push_back(c);
+  } else {
+    cols.reserve(key_fields.size());
+    for (int f : key_fields) cols.push_back(static_cast<size_t>(f));
+  }
+  CombineColumnHashes(batch, seed, cols, hashes);
+}
+
+// ----------------------------------------------------- predicate compile --
+
+/// Statically-typed evaluation plan node. `kind` of the produced vector is
+/// fixed at compile time; evaluation can therefore run whole columns
+/// without per-row type dispatch.
+struct CompiledPredicate::Node {
+  enum class Op : uint8_t {
+    kColInt,     // load int column `col`
+    kColDouble,  // load double column `col`
+    kConstInt,
+    kConstDouble,
+    kConstBool,
+    kCompare,  // bin ∈ {Eq, Ne, Lt, Le, Gt, Ge} over numeric children
+    kArith,    // bin ∈ {Add, Sub, Mul, Div, Mod} over numeric children
+    kAnd,
+    kOr,
+    kNot,
+  };
+  enum class Kind : uint8_t { kInt, kDouble, kBool };
+
+  Op op = Op::kConstBool;
+  Kind out = Kind::kBool;
+  BinOp bin = BinOp::kAdd;
+  int col = -1;
+  int64_t const_int = 0;
+  double const_double = 0;
+  bool const_bool = false;
+  std::shared_ptr<const Node> a;
+  std::shared_ptr<const Node> b;
+};
+
+namespace {
+
+using Node = CompiledPredicate::Node;
+using NodePtr = std::shared_ptr<const Node>;
+using Kind = Node::Kind;
+
+bool IsComparisonOp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNumericKind(Kind k) { return k == Kind::kInt || k == Kind::kDouble; }
+
+/// The literal numeric value of a const expr, if it is one.
+std::optional<double> LiteralNumeric(const Expr& e) {
+  if (e.kind != Expr::Kind::kConst) return std::nullopt;
+  if (e.constant.type() == ValueType::kInt) {
+    return static_cast<double>(e.constant.AsInt());
+  }
+  if (e.constant.type() == ValueType::kDouble) return e.constant.AsDouble();
+  return std::nullopt;
+}
+
+std::optional<NodePtr> CompileNode(const Expr& e,
+                                   const std::vector<BatchColType>& schema) {
+  auto node = std::make_shared<Node>();
+  switch (e.kind) {
+    case Expr::Kind::kColumn: {
+      if (e.column < 0 || static_cast<size_t>(e.column) >= schema.size()) {
+        return std::nullopt;  // scalar path raises OutOfRange
+      }
+      node->col = e.column;
+      switch (schema[static_cast<size_t>(e.column)]) {
+        case BatchColType::kInt:
+          node->op = Node::Op::kColInt;
+          node->out = Kind::kInt;
+          break;
+        case BatchColType::kDouble:
+          node->op = Node::Op::kColDouble;
+          node->out = Kind::kDouble;
+          break;
+        case BatchColType::kString:
+          return std::nullopt;  // string ops stay scalar
+      }
+      return node;
+    }
+    case Expr::Kind::kConst:
+      switch (e.constant.type()) {
+        case ValueType::kInt:
+          node->op = Node::Op::kConstInt;
+          node->out = Kind::kInt;
+          node->const_int = e.constant.AsInt();
+          return node;
+        case ValueType::kDouble:
+          node->op = Node::Op::kConstDouble;
+          node->out = Kind::kDouble;
+          node->const_double = e.constant.AsDouble();
+          return node;
+        case ValueType::kBool:
+          node->op = Node::Op::kConstBool;
+          node->out = Kind::kBool;
+          node->const_bool = e.constant.AsBool();
+          return node;
+        default:
+          return std::nullopt;  // null / string / list constants
+      }
+    case Expr::Kind::kNot: {
+      auto child = CompileNode(*e.args[0], schema);
+      if (!child || (*child)->out != Kind::kBool) return std::nullopt;
+      node->op = Node::Op::kNot;
+      node->out = Kind::kBool;
+      node->a = std::move(*child);
+      return node;
+    }
+    case Expr::Kind::kCall:
+      return std::nullopt;  // UDFs are opaque; scalar path only
+    case Expr::Kind::kBinary:
+      break;
+  }
+
+  auto lhs = CompileNode(*e.lhs, schema);
+  if (!lhs) return std::nullopt;
+  auto rhs = CompileNode(*e.rhs, schema);
+  if (!rhs) return std::nullopt;
+  const Kind lk = (*lhs)->out;
+  const Kind rk = (*rhs)->out;
+  node->bin = e.op;
+  node->a = std::move(*lhs);
+  node->b = std::move(*rhs);
+
+  if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+    // Statically boolean on both sides: the scalar short-circuit can only
+    // skip an evaluation that is provably side-effect- and error-free
+    // here, so elementwise &&/|| is equivalent.
+    if (lk != Kind::kBool || rk != Kind::kBool) return std::nullopt;
+    node->op = e.op == BinOp::kAnd ? Node::Op::kAnd : Node::Op::kOr;
+    node->out = Kind::kBool;
+    return node;
+  }
+  if (IsComparisonOp(e.op)) {
+    if (!IsNumericKind(lk) || !IsNumericKind(rk)) return std::nullopt;
+    node->op = Node::Op::kCompare;
+    node->out = Kind::kBool;
+    return node;
+  }
+  // Arithmetic.
+  if (!IsNumericKind(lk) || !IsNumericKind(rk)) return std::nullopt;
+  if (e.op == BinOp::kDiv || e.op == BinOp::kMod) {
+    // Only a provably nonzero literal divisor can never raise
+    // division/modulo-by-zero; anything else must take the scalar path so
+    // the error (and its interaction with AND/OR short-circuiting)
+    // reproduces exactly.
+    auto divisor = LiteralNumeric(*e.rhs);
+    if (!divisor || *divisor == 0.0) return std::nullopt;
+  }
+  node->op = Node::Op::kArith;
+  if (e.op == BinOp::kDiv) {
+    node->out = Kind::kDouble;  // integer / integer evaluates in double
+  } else {
+    node->out =
+        (lk == Kind::kInt && rk == Kind::kInt) ? Kind::kInt : Kind::kDouble;
+  }
+  return node;
+}
+
+/// Evaluation result: a typed vector, or a broadcast constant.
+struct VecVal {
+  Kind kind = Kind::kBool;
+  bool is_const = false;
+  int64_t ci = 0;
+  double cd = 0;
+  uint8_t cb = 0;
+  const int64_t* borrow_ints = nullptr;  // column loads borrow the batch
+  const double* borrow_doubles = nullptr;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint8_t> bools;
+
+  int64_t IntAt(size_t i) const {
+    if (is_const) return ci;
+    return borrow_ints != nullptr ? borrow_ints[i] : ints[i];
+  }
+  double DoubleAt(size_t i) const {
+    if (is_const) return cd;
+    if (kind == Kind::kInt) return static_cast<double>(IntAt(i));
+    return borrow_doubles != nullptr ? borrow_doubles[i] : doubles[i];
+  }
+  uint8_t BoolAt(size_t i) const { return is_const ? cb : bools[i]; }
+  /// Numeric view matching Value's cross-type compare (NumericOf).
+  double NumericAt(size_t i) const {
+    return kind == Kind::kInt ? static_cast<double>(IntAt(i)) : DoubleAt(i);
+  }
+};
+
+VecVal EvalNode(const Node& node, const DeltaBatch& batch, size_t n) {
+  VecVal out;
+  out.kind = node.out;
+  switch (node.op) {
+    case Node::Op::kColInt:
+      out.borrow_ints = batch.column(static_cast<size_t>(node.col)).ints.data();
+      return out;
+    case Node::Op::kColDouble:
+      out.borrow_doubles =
+          batch.column(static_cast<size_t>(node.col)).doubles.data();
+      return out;
+    case Node::Op::kConstInt:
+      out.is_const = true;
+      out.ci = node.const_int;
+      out.cd = static_cast<double>(node.const_int);
+      return out;
+    case Node::Op::kConstDouble:
+      out.is_const = true;
+      out.cd = node.const_double;
+      return out;
+    case Node::Op::kConstBool:
+      out.is_const = true;
+      out.cb = node.const_bool ? 1 : 0;
+      return out;
+    default:
+      break;
+  }
+
+  const VecVal a = EvalNode(*node.a, batch, n);
+  if (node.op == Node::Op::kNot) {
+    out.bools.resize(n);
+    for (size_t i = 0; i < n; ++i) out.bools[i] = a.BoolAt(i) ? 0 : 1;
+    return out;
+  }
+  const VecVal b = EvalNode(*node.b, batch, n);
+
+  switch (node.op) {
+    case Node::Op::kAnd:
+      out.bools.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.bools[i] = (a.BoolAt(i) != 0 && b.BoolAt(i) != 0) ? 1 : 0;
+      }
+      return out;
+    case Node::Op::kOr:
+      out.bools.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.bools[i] = (a.BoolAt(i) != 0 || b.BoolAt(i) != 0) ? 1 : 0;
+      }
+      return out;
+    case Node::Op::kCompare: {
+      out.bools.resize(n);
+      const bool exact_int = a.kind == Kind::kInt && b.kind == Kind::kInt;
+      // Int/int compares exactly (Value::operator== on two ints is exact
+      // int64 equality); any double operand compares through double,
+      // matching MixedEquals / NumericOf. The scalar evaluator derives
+      // kLe/kGt/kGe from operator< (kLe is !(b < a)), which differs from
+      // native <= / >= when NaN is an operand — use the same derived
+      // forms so NaN rows produce identical masks.
+      auto cmp = [&](auto av, auto bv) -> uint8_t {
+        switch (node.bin) {
+          case BinOp::kEq:
+            return av == bv;
+          case BinOp::kNe:
+            return av != bv;
+          case BinOp::kLt:
+            return av < bv;
+          case BinOp::kLe:
+            return !(bv < av);
+          case BinOp::kGt:
+            return bv < av;
+          case BinOp::kGe:
+            return !(av < bv);
+          default:
+            return 0;
+        }
+      };
+      if (exact_int) {
+        for (size_t i = 0; i < n; ++i) {
+          out.bools[i] = cmp(a.IntAt(i), b.IntAt(i));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out.bools[i] = cmp(a.NumericAt(i), b.NumericAt(i));
+        }
+      }
+      return out;
+    }
+    case Node::Op::kArith: {
+      if (node.out == Kind::kInt) {
+        // integer ⊕ integer stays integer (mod divisor is a nonzero
+        // literal by compile-time guarantee).
+        out.ints.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          const int64_t x = a.IntAt(i);
+          const int64_t y = b.IntAt(i);
+          switch (node.bin) {
+            case BinOp::kAdd:
+              out.ints[i] = x + y;
+              break;
+            case BinOp::kSub:
+              out.ints[i] = x - y;
+              break;
+            case BinOp::kMul:
+              out.ints[i] = x * y;
+              break;
+            case BinOp::kMod:
+              out.ints[i] = x % y;
+              break;
+            default:
+              break;
+          }
+        }
+        return out;
+      }
+      out.doubles.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const double x = a.DoubleAt(i);
+        const double y = b.DoubleAt(i);
+        switch (node.bin) {
+          case BinOp::kAdd:
+            out.doubles[i] = x + y;
+            break;
+          case BinOp::kSub:
+            out.doubles[i] = x - y;
+            break;
+          case BinOp::kMul:
+            out.doubles[i] = x * y;
+            break;
+          case BinOp::kDiv:
+            out.doubles[i] = x / y;  // divisor statically nonzero
+            break;
+          case BinOp::kMod:
+            out.doubles[i] = std::fmod(x, y);
+            break;
+          default:
+            break;
+        }
+      }
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+}  // namespace
+
+std::optional<CompiledPredicate> CompiledPredicate::Compile(
+    const Expr& expr, const std::vector<BatchColType>& schema) {
+  auto root = CompileNode(expr, schema);
+  // EvalPredicate maps NULL to false and rejects non-boolean results; a
+  // compiled tree is never null, so only statically-bool roots qualify.
+  if (!root || (*root)->out == Node::Kind::kInt ||
+      (*root)->out == Node::Kind::kDouble) {
+    return std::nullopt;
+  }
+  return CompiledPredicate(std::move(*root));
+}
+
+void CompiledPredicate::Eval(const DeltaBatch& batch,
+                             std::vector<uint8_t>* mask) const {
+  const size_t n = batch.NumRows();
+  VecVal v = EvalNode(*root_, batch, n);
+  mask->resize(n);
+  for (size_t i = 0; i < n; ++i) (*mask)[i] = v.BoolAt(i);
+}
+
+}  // namespace rex

@@ -1,0 +1,69 @@
+// Vectorized kernels over columnar DeltaBatches: a statically-typed
+// predicate compiler for filter expressions and whole-column hash kernels
+// for partitioning and keyed-state probes.
+//
+// The contract for every kernel here is bit-identical equivalence with the
+// scalar path it replaces. The predicate compiler enforces that by
+// refusing (Compile returns nullopt) any expression it cannot prove
+// error-free and type-stable over the batch's column types: UDF calls,
+// string/list/null operands, divisions or modulos whose divisor is not a
+// nonzero literal, and AND/OR over non-boolean subexpressions all fall
+// back to the scalar row-at-a-time evaluator, which preserves the exact
+// error and short-circuit semantics of EvalExpr. What does compile is a
+// total function: evaluating it column-at-a-time yields exactly the mask
+// EvalPredicate would produce row by row.
+#ifndef REX_EXEC_VECTORIZED_H_
+#define REX_EXEC_VECTORIZED_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/delta_batch.h"
+#include "exec/expr.h"
+
+namespace rex {
+
+/// A filter predicate compiled against a batch column-type signature.
+/// Compilation is per (expression, schema) pair; operators cache the
+/// compiled form keyed by the column types of the batches they see.
+class CompiledPredicate {
+ public:
+  /// Compiles `expr` for batches whose columns have types `schema`.
+  /// Returns nullopt if any subexpression could error or is not statically
+  /// typed — the caller must use the scalar evaluator.
+  static std::optional<CompiledPredicate> Compile(
+      const Expr& expr, const std::vector<BatchColType>& schema);
+
+  /// Evaluates the predicate over every row: mask->at(i) != 0 iff
+  /// EvalPredicate(expr, row_i) would return true. `batch` must have the
+  /// column types this predicate was compiled for.
+  void Eval(const DeltaBatch& batch, std::vector<uint8_t>* mask) const;
+
+  struct Node;
+
+ private:
+  explicit CompiledPredicate(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+  std::shared_ptr<const Node> root_;
+};
+
+/// hashes->at(i) = PartitionHash(row i, key_fields), computed
+/// column-at-a-time (string fields hash once per distinct interned
+/// string). Preconditions: batch.KeyFieldsInRange(key_fields) and
+/// !key_fields.empty().
+void PartitionHashRows(const DeltaBatch& batch,
+                       const std::vector<int>& key_fields,
+                       std::vector<uint64_t>* hashes);
+
+/// hashes->at(i) = `seed` folded with HashCombine over row i's key-field
+/// value hashes — the keyed-state hash used by group-by / join / fixpoint.
+/// An empty `key_fields` hashes every column (whole-tuple key).
+void SeededKeyHashRows(const DeltaBatch& batch, uint64_t seed,
+                       const std::vector<int>& key_fields,
+                       std::vector<uint64_t>* hashes);
+
+}  // namespace rex
+
+#endif  // REX_EXEC_VECTORIZED_H_

@@ -135,6 +135,8 @@ Json QueryProfile::ToJson() const {
   out.Set("tuples_sent", tuples_sent);
   out.Set("deltas_coalesced", deltas_coalesced);
   out.Set("coalesce_bytes_saved", coalesce_bytes_saved);
+  out.Set("batch_rows", batch_rows);
+  out.Set("batch_fallback_rows", batch_fallback_rows);
   return out;
 }
 
@@ -222,6 +224,8 @@ Status ValidateProfileJson(const Json& profile) {
   REX_RETURN_NOT_OK(RequireInt(profile, "tuples_sent"));
   REX_RETURN_NOT_OK(RequireInt(profile, "deltas_coalesced"));
   REX_RETURN_NOT_OK(RequireInt(profile, "coalesce_bytes_saved"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "batch_rows"));
+  REX_RETURN_NOT_OK(RequireInt(profile, "batch_fallback_rows"));
   return Status::OK();
 }
 

@@ -169,8 +169,13 @@ TEST(TupleSetTest, RemoveAndReplace) {
   EXPECT_TRUE(s.Replace(Tuple{Value(2), Value("b")},
                         Tuple{Value(2), Value("c")}));
   EXPECT_EQ(s.at(0).field(1), Value("c"));
-  // Replace of a missing tuple appends.
+  // Strict Replace: a miss leaves the set untouched.
   EXPECT_FALSE(s.Replace(Tuple{Value(9)}, Tuple{Value(9)}));
+  EXPECT_EQ(s.size(), 1u);
+  // ReplaceOrInsert is the upsert form: a miss appends.
+  EXPECT_FALSE(s.ReplaceOrInsert(Tuple{Value(9)}, Tuple{Value(9)}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.ReplaceOrInsert(Tuple{Value(9)}, Tuple{Value(10)}));
   EXPECT_EQ(s.size(), 2u);
 }
 
