@@ -58,6 +58,11 @@ struct RexRunTweaks {
   /// pure scalar data plane for the ablation pairs. Results are
   /// bit-identical either way.
   bool columnar_batches = true;
+  /// Differential compression (common/delta_codec.h) of checkpoint epoch
+  /// chains and packed shuffle runs. Results are bit-identical either way;
+  /// the ablation pairs compare shipped/stored byte volume.
+  bool diff_checkpoints = true;
+  bool diff_wire_runs = true;
 };
 
 /// REX PageRank in any of the three configurations of §6. `iterations`
@@ -71,6 +76,8 @@ inline Result<SeriesResult> RunRexPageRank(const GraphData& graph,
   EngineConfig engine = BenchEngineConfig(workers);
   engine.coalesce_deltas = tweaks.coalesce_deltas;
   engine.columnar_batches = tweaks.columnar_batches;
+  engine.diff_checkpoints = tweaks.diff_checkpoints;
+  engine.diff_wire_runs = tweaks.diff_wire_runs;
   Cluster cluster(std::move(engine));
   PageRankConfig cfg;
   cfg.threshold = threshold;
@@ -121,6 +128,8 @@ inline Result<SeriesResult> RunRexSssp(const GraphData& graph, bool delta,
   EngineConfig engine = BenchEngineConfig(workers);
   engine.coalesce_deltas = tweaks.coalesce_deltas;
   engine.columnar_batches = tweaks.columnar_batches;
+  engine.diff_checkpoints = tweaks.diff_checkpoints;
+  engine.diff_wire_runs = tweaks.diff_wire_runs;
   Cluster cluster(std::move(engine));
   REX_RETURN_NOT_OK(LoadGraphTables(&cluster, graph));
   SsspConfig cfg;

@@ -16,7 +16,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Cluster::Cluster(EngineConfig config)
-    : config_(config), checkpoints_(config.num_workers) {
+    : config_(config),
+      checkpoints_(CheckpointStore::Options{
+          config.num_workers, config.diff_checkpoints,
+          config.checkpoint_keyframe_every}) {
   network_ = std::make_unique<Network>(config_.num_workers,
                                        config_.channel_capacity,
                                        config_.send_retry_budget);
@@ -417,7 +420,9 @@ Cluster::ResidentQuery* Cluster::Resident(int query_id) {
   if (query_id != 0) {
     q.owned_votes = std::make_unique<VoteBoard>();
     q.owned_checkpoints =
-        std::make_unique<CheckpointStore>(config_.num_workers);
+        std::make_unique<CheckpointStore>(CheckpointStore::Options{
+            config_.num_workers, config_.diff_checkpoints,
+            config_.checkpoint_keyframe_every});
     // A board created mid-life must reject votes from incarnations the
     // cluster has already declared dead.
     for (int w = 0; w < num_workers(); ++w) {
@@ -557,6 +562,8 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
   p.checkpoint_tuples = ckpt.Value(metrics::kCheckpointTuples);
   p.recovery_refetch_bytes = ckpt.Value(metrics::kRecoveryRefetchBytes);
   p.checkpoint_repairs = ckpt.Value(metrics::kCheckpointRepairs);
+  p.ckpt_raw_bytes = ckpt.Value(metrics::kCheckpointRawBytes);
+  p.ckpt_stored_bytes = ckpt.Value(metrics::kCheckpointStoredBytes);
   p.detection_latency_ticks = detector_->detection_latency_ticks();
   p.retransmits = network_->metrics().Value(metrics::kRetransmits);
 
@@ -567,6 +574,8 @@ void Cluster::AssembleProfile(const std::vector<int>& live,
     p.coalesce_bytes_saved += m->Value(metrics::kCoalesceBytesSaved);
     p.batch_rows += m->Value(metrics::kBatchRows);
     p.batch_fallback_rows += m->Value(metrics::kBatchFallbackRows);
+    p.run_raw_bytes += m->Value(metrics::kRunRawBytes);
+    p.run_compressed_bytes += m->Value(metrics::kRunCompressedBytes);
   }
 }
 
@@ -826,12 +835,17 @@ Cluster::ProfileBaseline Cluster::SnapshotBaseline() const {
         w->metrics()->Value(metrics::kCoalesceBytesSaved);
     b.batch_rows += w->metrics()->Value(metrics::kBatchRows);
     b.batch_fallback_rows += w->metrics()->Value(metrics::kBatchFallbackRows);
+    b.run_raw_bytes += w->metrics()->Value(metrics::kRunRawBytes);
+    b.run_compressed_bytes +=
+        w->metrics()->Value(metrics::kRunCompressedBytes);
   }
   MetricsRegistry& ckpt = active_checkpoints_->metrics();
   b.checkpoint_bytes = ckpt.Value(metrics::kCheckpointBytes);
   b.checkpoint_tuples = ckpt.Value(metrics::kCheckpointTuples);
   b.recovery_refetch_bytes = ckpt.Value(metrics::kRecoveryRefetchBytes);
   b.checkpoint_repairs = ckpt.Value(metrics::kCheckpointRepairs);
+  b.ckpt_raw_bytes = ckpt.Value(metrics::kCheckpointRawBytes);
+  b.ckpt_stored_bytes = ckpt.Value(metrics::kCheckpointStoredBytes);
   return b;
 }
 
@@ -856,6 +870,11 @@ void Cluster::SubtractBaseline(const ProfileBaseline& base, QueryProfile* p) {
   p->checkpoint_repairs =
       diff(p->checkpoint_repairs, base.checkpoint_repairs);
   p->retransmits = diff(p->retransmits, base.retransmits);
+  p->ckpt_raw_bytes = diff(p->ckpt_raw_bytes, base.ckpt_raw_bytes);
+  p->ckpt_stored_bytes = diff(p->ckpt_stored_bytes, base.ckpt_stored_bytes);
+  p->run_raw_bytes = diff(p->run_raw_bytes, base.run_raw_bytes);
+  p->run_compressed_bytes =
+      diff(p->run_compressed_bytes, base.run_compressed_bytes);
 }
 
 Result<QueryRunResult> Cluster::ApplyBaseUpdate(int query_id,

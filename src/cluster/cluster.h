@@ -276,6 +276,10 @@ class Cluster {
     int64_t recovery_refetch_bytes = 0;
     int64_t checkpoint_repairs = 0;
     int64_t retransmits = 0;
+    int64_t ckpt_raw_bytes = 0;
+    int64_t ckpt_stored_bytes = 0;
+    int64_t run_raw_bytes = 0;
+    int64_t run_compressed_bytes = 0;
   };
   ProfileBaseline SnapshotBaseline() const;
   static void SubtractBaseline(const ProfileBaseline& base, QueryProfile* p);

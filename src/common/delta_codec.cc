@@ -1,0 +1,459 @@
+#include "common/delta_codec.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rex {
+
+namespace {
+
+constexpr uint8_t kMagic = 0xD5;
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kOpEnd = 0x00;
+constexpr uint8_t kOpCopy = 0x01;
+constexpr uint8_t kOpAdd = 0x02;
+
+// Karp-Rabin parameters (the onepass scheme's choices): arithmetic mod the
+// Mersenne prime 2^61−1 with polynomial base 263.
+constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+constexpr uint64_t kBase = 263;
+
+/// Seed window the rolling hash fingerprints; matches are verified byte-
+/// for-byte and then extended in both directions, so a small seed only
+/// costs lookup collisions, never correctness. 8 bytes is small enough to
+/// catch the repeated key/framing bytes between epochs whose numeric
+/// payloads changed.
+constexpr size_t kSeedLen = 8;
+
+/// Fixed-size fingerprint table (2^16 slots of 4 bytes): the O(1)-space
+/// half of onepass's bargain. Slot value is offset+1; 0 means empty.
+/// First-wins keeps encoding deterministic.
+constexpr size_t kTableBits = 16;
+constexpr size_t kTableSize = size_t{1} << kTableBits;
+
+inline uint64_t MulMod(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kPrime);
+}
+
+inline uint64_t AddMod(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;  // both < 2^61, no overflow
+  return s >= kPrime ? s - kPrime : s;
+}
+
+inline uint64_t SubMod(uint64_t a, uint64_t b) {
+  return a >= b ? a - b : a + kPrime - b;
+}
+
+inline uint64_t HashSeed(const char* p) {
+  uint64_t h = 0;
+  for (size_t i = 0; i < kSeedLen; ++i) {
+    h = AddMod(MulMod(h, kBase), static_cast<uint8_t>(p[i]));
+  }
+  return h;
+}
+
+/// base^(kSeedLen-1) mod p, for rolling the leading byte out.
+inline uint64_t LeadingPower() {
+  uint64_t pw = 1;
+  for (size_t i = 0; i + 1 < kSeedLen; ++i) pw = MulMod(pw, kBase);
+  return pw;
+}
+
+inline size_t Slot(uint64_t h) {
+  // Fold the 61-bit hash down to the table width.
+  return static_cast<size_t>((h ^ (h >> 32) ^ (h >> 16)) & (kTableSize - 1));
+}
+
+// ---------------------------------------------------------------- writer --
+
+inline void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void EmitAdd(std::string* out, const char* data, size_t len) {
+  if (len == 0) return;
+  AppendU8(out, kOpAdd);
+  AppendVarint(out, len);
+  out->append(data, len);
+}
+
+/// COPY offsets are emitted as a zigzag delta from where the previous COPY
+/// left off in the reference: streams whose records keep their order across
+/// epochs (the common case for ℤ-set payloads) encode each offset in one
+/// byte, which is what makes COPY cheaper than re-ADDing short stable runs
+/// between changed numeric fields.
+void EmitCopy(std::string* out, int64_t* expected, size_t offset,
+              size_t len) {
+  if (len == 0) return;
+  AppendU8(out, kOpCopy);
+  AppendVarint(out, ZigZag(static_cast<int64_t>(offset) - *expected));
+  AppendVarint(out, len);
+  *expected = static_cast<int64_t>(offset + len);
+}
+
+// ---------------------------------------------------------------- parser --
+
+/// One validated op; ADD literals point into the delta buffer. COPY
+/// offsets are absolute (already resolved against the running expected
+/// position and bounds-checked).
+struct Op {
+  uint8_t tag;
+  size_t offset;     // COPY: reference offset
+  size_t len;        // bytes produced
+  const char* data;  // ADD: literal bytes
+};
+
+struct ReadCursor {
+  const char* p;
+  size_t left;
+
+  Status Need(size_t n, const char* what) {
+    if (left < n) {
+      return Status::OutOfRange(std::string("delta codec: truncated ") +
+                                what);
+    }
+    return Status::OK();
+  }
+  uint8_t U8() {
+    uint8_t v = static_cast<uint8_t>(*p);
+    ++p;
+    --left;
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  Result<uint64_t> Varint(const char* what) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      REX_RETURN_NOT_OK(Need(1, what));
+      const uint8_t b = U8();
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    return Status::ParseError(std::string("delta codec: varint overflow in ") +
+                              what);
+  }
+};
+
+/// Parses and fully validates the op stream before anyone touches output
+/// bytes: header sanity, COPY ranges against `ref_size`, cumulative output
+/// against the header's target_size and the caller's `max_output` cap,
+/// unknown tags, truncation, and trailing garbage after END.
+Status ParseOps(size_t ref_size, const std::string& delta, size_t max_output,
+                size_t* target_size, std::vector<Op>* ops) {
+  ReadCursor c{delta.data(), delta.size()};
+  REX_RETURN_NOT_OK(c.Need(2 + 4 + 4, "header"));
+  if (c.U8() != kMagic) {
+    return Status::ParseError("delta codec: bad magic byte");
+  }
+  if (c.U8() != kVersion) {
+    return Status::ParseError("delta codec: unsupported version");
+  }
+  const size_t target = c.U32();
+  const size_t header_ref = c.U32();
+  if (header_ref != ref_size) {
+    return Status::InvalidArgument(
+        "delta codec: reference size mismatch (delta encoded against " +
+        std::to_string(header_ref) + " bytes, reference has " +
+        std::to_string(ref_size) + ")");
+  }
+  if (target > max_output) {
+    return Status::OutOfRange(
+        "delta codec: declared output " + std::to_string(target) +
+        " exceeds cap " + std::to_string(max_output));
+  }
+  size_t produced = 0;
+  int64_t expected = 0;  // reference position after the previous COPY
+  while (true) {
+    REX_RETURN_NOT_OK(c.Need(1, "op tag"));
+    const uint8_t tag = c.U8();
+    if (tag == kOpEnd) break;
+    if (tag == kOpCopy) {
+      REX_ASSIGN_OR_RETURN(uint64_t zz, c.Varint("COPY offset"));
+      REX_ASSIGN_OR_RETURN(uint64_t len, c.Varint("COPY length"));
+      const int64_t offset = expected + UnZigZag(zz);
+      if (len == 0) {
+        return Status::ParseError("delta codec: zero-length COPY");
+      }
+      if (offset < 0 || len > ref_size ||
+          static_cast<uint64_t>(offset) > ref_size - len) {
+        return Status::OutOfRange(
+            "delta codec: COPY [" + std::to_string(offset) + ", +" +
+            std::to_string(len) + ") outside reference of " +
+            std::to_string(ref_size) + " bytes");
+      }
+      expected = offset + static_cast<int64_t>(len);
+      produced += static_cast<size_t>(len);
+      ops->push_back(Op{kOpCopy, static_cast<size_t>(offset),
+                        static_cast<size_t>(len), nullptr});
+    } else if (tag == kOpAdd) {
+      REX_ASSIGN_OR_RETURN(uint64_t len64, c.Varint("ADD length"));
+      if (len64 == 0) {
+        return Status::ParseError("delta codec: zero-length ADD");
+      }
+      if (len64 > c.left) {
+        return Status::OutOfRange("delta codec: truncated ADD literal");
+      }
+      const size_t len = static_cast<size_t>(len64);
+      ops->push_back(Op{kOpAdd, 0, len, c.p});
+      c.p += len;
+      c.left -= len;
+      produced += len;
+    } else {
+      return Status::ParseError("delta codec: unknown op tag " +
+                                std::to_string(tag));
+    }
+    if (produced > target) {
+      return Status::OutOfRange(
+          "delta codec: ops produce more than the declared " +
+          std::to_string(target) + " bytes");
+    }
+  }
+  if (produced != target) {
+    return Status::ParseError(
+        "delta codec: ops produce " + std::to_string(produced) +
+        " bytes, header declares " + std::to_string(target));
+  }
+  if (c.left != 0) {
+    return Status::ParseError("delta codec: trailing bytes after END op");
+  }
+  *target_size = target;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- encoder --
+
+/// A verified candidate match at target position `i`: extend forward and
+/// backward (into the pending literal, at most back to `lit_start`).
+struct Match {
+  size_t offset = 0;  // reference offset (after backward extension)
+  size_t start = 0;   // target position (after backward extension)
+  size_t len = 0;
+};
+
+Match ExtendMatch(const std::string& ref, const std::string& target,
+                  size_t cand, size_t i, size_t lit_start) {
+  size_t fwd = kSeedLen;
+  while (cand + fwd < ref.size() && i + fwd < target.size() &&
+         ref[cand + fwd] == target[i + fwd]) {
+    ++fwd;
+  }
+  size_t back = 0;
+  while (back < i - lit_start && back < cand &&
+         ref[cand - back - 1] == target[i - back - 1]) {
+    ++back;
+  }
+  return Match{cand - back, i - back, fwd + back};
+}
+
+}  // namespace
+
+std::string DeltaCodecEncode(const std::string& ref,
+                             const std::string& target) {
+  std::string out;
+  out.reserve(16 + target.size() / 4);
+  AppendU8(&out, kMagic);
+  AppendU8(&out, kVersion);
+  AppendU32(&out, static_cast<uint32_t>(target.size()));
+  AppendU32(&out, static_cast<uint32_t>(ref.size()));
+
+  if (target.empty()) {
+    AppendU8(&out, kOpEnd);
+    return out;
+  }
+  if (ref.size() < kSeedLen || target.size() < kSeedLen) {
+    EmitAdd(&out, target.data(), target.size());
+    AppendU8(&out, kOpEnd);
+    return out;
+  }
+
+  // Fingerprint the reference: one table entry per window position,
+  // first-wins (earlier offsets stick, keeping the encoding deterministic).
+  std::vector<uint32_t> table(kTableSize, 0);
+  {
+    const uint64_t lead = LeadingPower();
+    uint64_t h = HashSeed(ref.data());
+    for (size_t i = 0;; ++i) {
+      uint32_t& slot = table[Slot(h)];
+      if (slot == 0) slot = static_cast<uint32_t>(i + 1);
+      if (i + kSeedLen >= ref.size()) break;
+      h = AddMod(
+          MulMod(SubMod(h, MulMod(static_cast<uint8_t>(ref[i]), lead)),
+                 kBase),
+          static_cast<uint8_t>(ref[i + kSeedLen]));
+    }
+  }
+
+  const uint64_t lead = LeadingPower();
+  int64_t expected = 0;   // zigzag base for COPY offsets
+  size_t align_ref = 0;   // reference/target positions after the last COPY,
+  size_t align_tgt = 0;   // for the alignment guess below
+  size_t lit_start = 0;   // start of the pending ADD literal
+  size_t i = 0;           // scan position in target
+  uint64_t h = HashSeed(target.data());
+  bool h_valid = true;
+  while (i + kSeedLen <= target.size()) {
+    if (!h_valid) {
+      h = HashSeed(target.data() + i);
+      h_valid = true;
+    }
+    Match best;
+    // Alignment guess first: streams that keep record order across epochs
+    // match at (last ref end) + (bytes scanned since the last COPY), which
+    // both finds matches the first-wins table misses and keeps the offset
+    // delta near zero (1-byte varint).
+    const size_t guess = align_ref + (i - align_tgt);
+    if (guess + kSeedLen <= ref.size() &&
+        std::memcmp(ref.data() + guess, target.data() + i, kSeedLen) == 0) {
+      best = ExtendMatch(ref, target, guess, i, lit_start);
+    }
+    const uint32_t entry = table[Slot(h)];
+    if (entry != 0) {
+      const size_t cand = static_cast<size_t>(entry - 1);
+      if (cand != guess &&
+          std::memcmp(ref.data() + cand, target.data() + i, kSeedLen) == 0) {
+        Match m = ExtendMatch(ref, target, cand, i, lit_start);
+        if (m.len > best.len) best = m;  // ties keep the aligned guess
+      }
+    }
+    if (best.len >= kSeedLen) {
+      EmitAdd(&out, target.data() + lit_start, best.start - lit_start);
+      EmitCopy(&out, &expected, best.offset, best.len);
+      i = best.start + best.len;
+      lit_start = i;
+      align_ref = best.offset + best.len;
+      align_tgt = i;
+      h_valid = false;  // jumped; recompute the window hash lazily
+    } else {
+      // Roll one byte.
+      if (i + kSeedLen < target.size()) {
+        h = AddMod(
+            MulMod(SubMod(h, MulMod(static_cast<uint8_t>(target[i]), lead)),
+                   kBase),
+            static_cast<uint8_t>(target[i + kSeedLen]));
+      }
+      ++i;
+    }
+  }
+  EmitAdd(&out, target.data() + lit_start, target.size() - lit_start);
+  AppendU8(&out, kOpEnd);
+  return out;
+}
+
+// --------------------------------------------------------------- decoder --
+
+Result<std::string> DeltaCodecDecode(const std::string& ref,
+                                     const std::string& delta,
+                                     size_t max_output) {
+  size_t target_size = 0;
+  std::vector<Op> ops;
+  REX_RETURN_NOT_OK(ParseOps(ref.size(), delta, max_output, &target_size,
+                             &ops));
+  std::string out;
+  out.reserve(target_size);
+  for (const Op& op : ops) {
+    if (op.tag == kOpCopy) {
+      out.append(ref.data() + op.offset, op.len);
+    } else {
+      out.append(op.data, op.len);
+    }
+  }
+  return out;
+}
+
+Status DeltaCodecDecodeInPlace(std::string* buf, const std::string& delta,
+                               size_t max_output) {
+  size_t target_size = 0;
+  std::vector<Op> ops;
+  REX_RETURN_NOT_OK(ParseOps(buf->size(), delta, max_output, &target_size,
+                             &ops));
+  const size_t ref_size = buf->size();
+
+  // Pass 1: simulate the write cursor and save the reference bytes each
+  // COPY would read after an earlier op already overwrote them (source
+  // prefix below the op's starting cursor). Saving happens before any
+  // write, so the source bytes are still pristine. ADD literals live in
+  // `delta` and can never conflict.
+  std::vector<std::pair<size_t, size_t>> saved_range(ops.size(), {0, 0});
+  std::string saved;
+  {
+    size_t cursor = 0;
+    for (size_t k = 0; k < ops.size(); ++k) {
+      const Op& op = ops[k];
+      if (op.tag == kOpCopy && op.offset < cursor) {
+        const size_t conflict = std::min(op.len, cursor - op.offset);
+        saved_range[k] = {saved.size(), conflict};
+        saved.append(buf->data() + op.offset, conflict);
+      }
+      cursor += op.len;
+    }
+  }
+
+  // Pass 2: execute. The buffer is grown up front so forward COPY sources
+  // (offset >= cursor) stay addressable until the cursor passes them.
+  if (target_size > ref_size) buf->resize(target_size);
+  size_t cursor = 0;
+  for (size_t k = 0; k < ops.size(); ++k) {
+    const Op& op = ops[k];
+    char* dst = buf->data() + cursor;
+    if (op.tag == kOpAdd) {
+      std::memcpy(dst, op.data, op.len);
+    } else {
+      const auto [save_pos, conflict] = saved_range[k];
+      if (op.len > conflict) {
+        // Non-conflicted source bytes start at/after the pre-op cursor,
+        // hence are still pristine. Move them BEFORE restoring the saved
+        // prefix: the prefix write lands at [cursor, cursor+conflict),
+        // which can overlap this move's source range. memmove itself
+        // tolerates the intra-op overlap as the source crosses the
+        // advancing write region.
+        std::memmove(dst + conflict, buf->data() + op.offset + conflict,
+                     op.len - conflict);
+      }
+      if (conflict > 0) {
+        std::memcpy(dst, saved.data() + save_pos, conflict);
+      }
+    }
+    cursor += op.len;
+  }
+  buf->resize(target_size);
+  return Status::OK();
+}
+
+bool DeltaCodecLooksEncoded(const std::string& delta) {
+  return delta.size() >= 2 && static_cast<uint8_t>(delta[0]) == kMagic &&
+         static_cast<uint8_t>(delta[1]) == kVersion;
+}
+
+}  // namespace rex

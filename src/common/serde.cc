@@ -290,6 +290,26 @@ Result<std::vector<Tuple>> DeserializeTuples(const std::string& bytes) {
   return out;
 }
 
+std::string SerializeDeltas(const DeltaVec& deltas) {
+  BufferWriter w;
+  w.PutU32(static_cast<uint32_t>(deltas.size()));
+  for (const Delta& d : deltas) w.PutDelta(d);
+  return w.TakeBytes();
+}
+
+Result<DeltaVec> DeserializeDeltas(const std::string& bytes) {
+  BufferReader r(bytes);
+  REX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  DeltaVec out;
+  out.reserve(std::min(static_cast<size_t>(n), r.remaining()));
+  for (uint32_t i = 0; i < n; ++i) {
+    REX_ASSIGN_OR_RETURN(Delta d, r.GetDelta());
+    out.push_back(std::move(d));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after deltas");
+  return out;
+}
+
 // ------------------------------------------------- columnar batch serde --
 //
 // Layout (all integers little-endian):

@@ -93,6 +93,12 @@ Result<Delta> DeserializeDelta(const std::string& bytes);
 std::string SerializeTuples(const std::vector<Tuple>& tuples);
 Result<std::vector<Tuple>> DeserializeTuples(const std::string& bytes);
 
+/// Serializes a delta batch with a count prefix (the wire-run payload the
+/// differential codec compresses; also how network byte metering sees the
+/// true encoded size of a run).
+std::string SerializeDeltas(const DeltaVec& deltas);
+Result<DeltaVec> DeserializeDeltas(const std::string& bytes);
+
 }  // namespace rex
 
 #endif  // REX_COMMON_SERDE_H_

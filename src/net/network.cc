@@ -57,7 +57,8 @@ void Network::Deliver(Message msg) {
         .fetch_add(bytes, std::memory_order_relaxed);
     bytes_sent_counter_->Add(bytes);
     messages_sent_counter_->Increment();
-    tuples_sent_counter_->Add(static_cast<int64_t>(msg.deltas.size()));
+    tuples_sent_counter_->Add(static_cast<int64_t>(msg.deltas.size()) +
+                              msg.wire_tuples);
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!channels_[to]->Push(std::move(msg))) {

@@ -15,6 +15,17 @@
 // repaired from a surviving checksum-valid replica; when every copy of an
 // entry is bad the read fails with StatusCode::kDataLoss and recovery
 // degrades to the restart strategy.
+//
+// With Options::diff_payloads the store compresses each (fixpoint, owner,
+// replica-group) chain differentially: an epoch's bytes are stored as a
+// rolling-hash binary delta (common/delta_codec.h) against the previous
+// epoch, bounded by a keyframe every `keyframe_every` epochs and gated on
+// byte profitability. Reads reconstruct through the chain in place; the
+// stored checksum guards each copy's stored bytes and a separate raw
+// checksum guards every reconstruction step, so a corrupted mid-chain
+// delta either repairs from a replica or fails loudly with kDataLoss.
+// Raw-vs-stored volume is metered under storage.ckpt_raw_bytes /
+// storage.ckpt_stored_bytes.
 #ifndef REX_STORAGE_CHECKPOINT_STORE_H_
 #define REX_STORAGE_CHECKPOINT_STORE_H_
 
@@ -22,6 +33,8 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -32,10 +45,23 @@ namespace rex {
 
 class CheckpointStore {
  public:
-  /// `num_workers` bounds worker-id validation in Put/Read; -1 (the
-  /// default, for store-only unit tests) checks only for negative ids.
+  struct Options {
+    /// Bounds worker-id validation in Put/Read; -1 (the default, for
+    /// store-only unit tests) checks only for negative ids.
+    int num_workers = -1;
+    /// Store successive epochs of a (fixpoint, owner, replica-group) chain
+    /// as rolling-hash binary deltas against the previous epoch
+    /// (common/delta_codec.h), gated on byte profitability. Off stores
+    /// every epoch whole (the pre-codec behavior).
+    bool diff_payloads = false;
+    /// Force a self-contained keyframe every N epochs per chain; <= 1
+    /// keyframes everything (equivalent to diff_payloads = false).
+    int keyframe_every = 8;
+  };
+
   explicit CheckpointStore(int num_workers = -1)
-      : num_workers_(num_workers) {}
+      : CheckpointStore(Options{num_workers, false, 8}) {}
+  explicit CheckpointStore(const Options& options) : options_(options) {}
 
   /// Replicates `delta_set` — the Δ tuples fixpoint `fixpoint_id` on
   /// `owner` processed during `stratum` — to `replicas` (one checksummed
@@ -100,25 +126,66 @@ class CheckpointStore {
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
-  /// One holder's physical copy of an entry.
+  /// One holder's physical copy of an entry. `bytes` is the STORED payload
+  /// — either the raw serialized tuple vector (keyframe) or a codec delta
+  /// against the chain predecessor — and `checksum` guards those stored
+  /// bytes, so corruption is detected per copy before any reconstruction.
   struct Copy {
-    std::string bytes;  // serialized tuple vector
+    std::string bytes;
     uint64_t checksum = 0;
   };
   struct Entry {
     int owner;
     std::vector<int> replicas;
     std::map<int, Copy> copies;  // holder -> its copy
+    /// Chain metadata. `epoch_id` is store-unique and monotonic;
+    /// `ref_epoch_id` names the predecessor whose raw bytes this entry's
+    /// delta was encoded against (-1 = keyframe, copies hold raw bytes).
+    /// `raw_checksum`/`raw_size` guard the RECONSTRUCTED payload, so a
+    /// chain can never silently decode to wrong bytes.
+    int64_t epoch_id = 0;
+    int64_t ref_epoch_id = -1;
+    int chain_depth = 0;  // keyframe = 0
+    uint64_t raw_checksum = 0;
+    size_t raw_size = 0;
   };
   // (fixpoint, stratum) -> entries from each writer.
   using Key = std::pair<int, int>;
+  /// Chain identity: entries of one (fixpoint, owner, replica-group)
+  /// delta-encode against each other, never across groups.
+  using ChainKey = std::tuple<int, int, std::vector<int>>;
 
   Status ValidateIds(const char* op, int fixpoint_id, int stratum,
                      int worker) const;
+  /// The chain predecessor for a new entry at (fixpoint, stratum): the
+  /// newest existing entry of the same (owner, replicas) at a stratum <=
+  /// `stratum` (slot order breaks ties, so an appended base-update seed
+  /// chains onto the stratum's earlier entries, never a later stratum's).
+  /// `exclude_epoch` skips the entry being written itself.
+  const Entry* FindPredecessor(int fixpoint_id, int stratum, int owner,
+                               const std::vector<int>& replicas,
+                               int64_t exclude_epoch) const;
+  /// First checksum-valid stored copy of `e` (any holder), or null.
+  static const Copy* FindValidCopy(const Entry& e);
+  /// Reconstructs the entry's raw payload by walking its reference chain
+  /// down to a keyframe and decoding back up in place. Verifies the stored
+  /// checksum of every hop's copy and the raw checksum of every
+  /// reconstruction step; any failure is kDataLoss (degrade to restart),
+  /// never silently-wrong bytes. Caller holds `mutex_`.
+  Result<std::string> ReconstructRaw(const Entry& e) const;
 
-  const int num_workers_;
+  const Options options_;
   mutable std::mutex mutex_;
   std::map<Key, std::vector<Entry>> entries_;
+  /// epoch_id -> location of the entry (slot key + index); kept in sync
+  /// with entries_ so chain reconstruction finds predecessors without a
+  /// full scan. Indices stay valid because slots only grow (overwrites
+  /// replace in place; truncation erases whole slots).
+  std::map<int64_t, std::pair<Key, size_t>> epoch_index_;
+  /// Last raw payload per chain, so Put encodes against its predecessor
+  /// without re-reconstructing the chain on every epoch.
+  std::map<ChainKey, std::pair<int64_t, std::string>> tail_cache_;
+  int64_t next_epoch_id_ = 1;
   MetricsRegistry metrics_;
 };
 

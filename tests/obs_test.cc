@@ -369,6 +369,13 @@ TEST(ProfileTest, RecoveryPassesAreProfiled) {
   EXPECT_FALSE(p.workers[1].live_at_end);
   EXPECT_GT(p.checkpoint_bytes, 0);
   EXPECT_GT(p.checkpoint_tuples, 0);
+  // Byte accounting reports raw AND stored volume; the diff codec (on by
+  // default) must never store more than raw, and raw matches the
+  // pre-codec checkpoint_bytes meter.
+  EXPECT_GT(p.ckpt_raw_bytes, 0);
+  EXPECT_GT(p.ckpt_stored_bytes, 0);
+  EXPECT_LE(p.ckpt_stored_bytes, p.ckpt_raw_bytes);
+  EXPECT_EQ(p.ckpt_raw_bytes, p.checkpoint_bytes);
 }
 
 TEST(ProfileTest, ToJsonValidatesAndRoundTrips) {
@@ -425,6 +432,13 @@ TEST(ProfileTest, GoldenSampleReportMatchesSchema) {
   const Json& first = parsed->Get("runs").at(0);
   EXPECT_GE(first.Get("strata").size(), 1u);
   EXPECT_GE(first.Get("workers").size(), 1u);
+  // Compression accounting is part of the schema: raw and stored volumes
+  // are both present, non-negative, and stored never exceeds raw (the
+  // store's profitability gate keyframes unprofitable epochs).
+  EXPECT_GE(first.Get("ckpt_raw_bytes").AsInt(), 0);
+  EXPECT_GE(first.Get("run_raw_bytes").AsInt(), 0);
+  EXPECT_LE(first.Get("ckpt_stored_bytes").AsInt(),
+            first.Get("ckpt_raw_bytes").AsInt());
 }
 
 TEST(ProfileTest, GoldenIvmSampleShowsIncrementalAdvantage) {
